@@ -1,0 +1,35 @@
+//! Compiler-under-test benches: per-stage cost of the instrumented pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metamut_fuzzing::corpus::seed_corpus;
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+
+fn bench_compile(c: &mut Criterion) {
+    let seeds = seed_corpus();
+    let mut group = c.benchmark_group("compile");
+    for (label, opts) in [("O0", CompileOptions::o0()), ("O2", CompileOptions::o2()), ("O3", CompileOptions::o3())] {
+        let compiler = Compiler::new(Profile::Gcc, opts);
+        group.bench_function(label, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                black_box(compiler.compile(seeds[i % seeds.len()]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend_only(c: &mut Criterion) {
+    let seeds = seed_corpus();
+    c.bench_function("frontend_compile_check", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(metamut_lang::compile_check(seeds[i % seeds.len()]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_frontend_only);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fuzzing-loop benches: one campaign iteration per evaluated fuzzer
+//! (the engine behind Figures 7–9).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metamut_fuzzing::campaign::{run_campaign, CampaignConfig};
+use metamut_fuzzing::{all_fuzzers, corpus};
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+
+fn bench_campaign_step(c: &mut Criterion) {
+    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let mut group = c.benchmark_group("campaign_25_iters");
+    group.sample_size(10);
+    for (i, name) in ["uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen"]
+        .iter()
+        .enumerate()
+    {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut fuzzer = all_fuzzers(&seeds).remove(i);
+                let cfg = CampaignConfig {
+                    iterations: 25,
+                    seed: 7,
+                    sample_every: 25,
+                };
+                black_box(run_campaign(fuzzer.as_mut(), &compiler, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_step);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! MetaMut pipeline benches: cost of one generation run (invention +
+//! synthesis + validation/refinement) behind Tables 1–3.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_run_once(c: &mut Criterion) {
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut group = c.benchmark_group("metamut");
+    group.sample_size(20);
+    group.bench_function("run_once", |b| {
+        let mut mm = metamut_core::default_framework(11);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(mm.run_once(i))
+        })
+    });
+    group.bench_function("validate_clean_mutator", |b| {
+        let reg = metamut_mutators::full_registry();
+        let bp = metamut_llm::Blueprint {
+            name: "Bench".into(),
+            description: "bench".into(),
+            behavior: "ModifyIntegerLiteral".into(),
+            defects: vec![],
+            mismatched: false,
+            latent_compile_error: false,
+        };
+        let m = metamut_core::compile_blueprint(&bp, &reg).unwrap();
+        let tests: Vec<String> = metamut_llm::TEST_PROGRAMS.iter().map(|s| s.to_string()).collect();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(metamut_core::validate(&m, &tests, i))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_once);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Mutator throughput benches, backing the §5.2 throughput claim
+//! (μCFuzz sustains ~11 mutants/s on the paper's server; our substrate is
+//! in-process, so absolute numbers differ but the harness shape matches).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metamut_fuzzing::corpus::seed_corpus;
+use metamut_muast::{mutate_source, MutationOutcome};
+
+fn bench_single_mutators(c: &mut Criterion) {
+    let reg = metamut_mutators::full_registry();
+    let seed = seed_corpus()[2]; // the jump-heavy seed
+    let mut group = c.benchmark_group("mutate_one");
+    for name in ["ModifyIntegerLiteral", "DuplicateBranch", "ModifyFunctionReturnTypeToVoid"] {
+        let m = reg.get(name).expect("registered");
+        group.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(mutate_source(m.mutator.as_ref(), seed, i))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutant_throughput(c: &mut Criterion) {
+    // Whole-library throughput over the corpus: how many mutants/second the
+    // μCFuzz inner loop can sustain (Table 5's "throughput" discussion).
+    let reg = metamut_mutators::full_registry();
+    let seeds = seed_corpus();
+    c.bench_function("mutants_round_robin", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let m = reg.iter().nth(i % reg.len()).unwrap();
+            let s = seeds[i % seeds.len()];
+            match mutate_source(m.mutator.as_ref(), s, i as u64) {
+                Ok(MutationOutcome::Mutated(out)) => black_box(out.len()),
+                _ => 0,
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_mutators, bench_mutant_throughput);
+criterion_main!(benches);

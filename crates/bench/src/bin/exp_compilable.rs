@@ -1,0 +1,111 @@
+//! Experiment: compilable-mutant ratios (Table 5), averaged over repeated
+//! runs exactly as the paper averages ten 24-hour runs.
+
+use metamut_bench::{render_table, write_json, ExpOptions};
+use metamut_fuzzing::campaign::{run_campaign, CampaignConfig};
+use metamut_fuzzing::{all_fuzzers, corpus};
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    tool: String,
+    compilable: usize,
+    total: usize,
+    ratio_pct: f64,
+    paper_pct: f64,
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let repeats = 4;
+    let per_run = (opts.iterations / 2).max(50);
+    println!(
+        "== Table 5: compilable test programs ({repeats} runs x {per_run} iterations, seed {}) ==\n",
+        opts.seed
+    );
+
+    let paper: &[(&str, f64)] = &[
+        ("uCFuzz.s", 74.46),
+        ("uCFuzz.u", 72.00),
+        ("AFL++", 3.53),
+        ("GrayC", 98.99),
+        ("Csmith", 99.86),
+        ("YARPGen", 99.83),
+    ];
+
+    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let mut rows = Vec::new();
+    let mut throughput = Vec::new();
+    for (fi, &(name, paper_pct)) in paper.iter().enumerate() {
+        let mut total = 0;
+        let mut ok = 0;
+        let started = std::time::Instant::now();
+        for rep in 0..repeats {
+            let mut fuzzer = all_fuzzers(&seeds).remove(fi);
+            let cfg = CampaignConfig {
+                iterations: per_run,
+                seed: opts.seed ^ (rep as u64 * 31 + fi as u64),
+                sample_every: per_run,
+            };
+            let report = run_campaign(fuzzer.as_mut(), &compiler, &cfg);
+            assert_eq!(report.fuzzer, name, "fuzzer order drifted");
+            total += report.mutants.total;
+            ok += report.mutants.compilable;
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        throughput.push((name, total as f64 / elapsed.max(1e-9)));
+        rows.push(Row {
+            tool: name.to_string(),
+            compilable: ok,
+            total,
+            ratio_pct: 100.0 * ok as f64 / total.max(1) as f64,
+            paper_pct,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tool.clone(),
+                r.compilable.to_string(),
+                r.total.to_string(),
+                format!("{:.2}", r.ratio_pct),
+                format!("{:.2}", r.paper_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Tool", "Compilable (#)", "Total (#)", "Ratio (%)", "Paper (%)"],
+            &table
+        )
+    );
+
+    // Shape checks: generators ≈ 100% > GrayC > uCFuzz ≈ 70%+ >> AFL++.
+    let pct = |name: &str| rows.iter().find(|r| r.tool == name).map(|r| r.ratio_pct).unwrap_or(0.0);
+    println!(
+        "shape: AFL++ {:.1}% << uCFuzz.u {:.1}% ~ uCFuzz.s {:.1}% < GrayC {:.1}% <= generators {:.1}%/{:.1}%",
+        pct("AFL++"),
+        pct("uCFuzz.u"),
+        pct("uCFuzz.s"),
+        pct("GrayC"),
+        pct("Csmith"),
+        pct("YARPGen"),
+    );
+
+    // §5.2 throughput: mutants/second, generation+compile included (the
+    // paper's ~11/s is against a forked real compiler; only relative rates
+    // are comparable).
+    println!("\n-- throughput (mutants/second incl. compilation) --");
+    for (name, rate) in &throughput {
+        println!("{name:>10}: {rate:>8.0}/s");
+    }
+    println!();
+
+    let path = write_json("compilable", &rows);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! Experiment: branch-coverage trends (Figure 7).
+//!
+//! Runs all six fuzzers against both compiler profiles and prints the
+//! coverage time series plus the final ordering; the paper's shape is
+//! μCFuzz.s > μCFuzz.u > the best baseline, with μCFuzz.u beating the best
+//! of Csmith/YARPGen/GrayC/AFL++ by ~5–6%.
+
+use metamut_bench::{render_series, render_table, run_matrix, write_json, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    println!(
+        "== Figure 7: coverage trends ({} iterations/fuzzer, seed {}) ==\n",
+        opts.iterations, opts.seed
+    );
+    let reports = run_matrix(&opts);
+
+    for profile in ["gcc-sim", "clang-sim"] {
+        let series: Vec<(String, Vec<(usize, usize)>)> = reports
+            .iter()
+            .filter(|r| r.compiler == profile)
+            .map(|r| {
+                (
+                    r.fuzzer.clone(),
+                    r.series.iter().map(|p| (p.iteration, p.covered)).collect(),
+                )
+            })
+            .collect();
+        println!("{}", render_series(&format!("covered branches, {profile}"), &series));
+
+        let mut rows: Vec<(String, usize)> = reports
+            .iter()
+            .filter(|r| r.compiler == profile)
+            .map(|r| (r.fuzzer.clone(), r.final_coverage))
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(f, c)| vec![f.clone(), c.to_string()])
+            .collect();
+        println!("{}", render_table(&["Fuzzer", "Final coverage"], &table));
+
+        // Shape checks against the paper.
+        let cov = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.compiler == profile && r.fuzzer == name)
+                .map(|r| r.final_coverage)
+                .unwrap_or(0)
+        };
+        let s = cov("uCFuzz.s");
+        let u = cov("uCFuzz.u");
+        let best_baseline = ["AFL++", "GrayC", "Csmith", "YARPGen"]
+            .iter()
+            .map(|n| cov(n))
+            .max()
+            .unwrap_or(0);
+        println!(
+            "shape: uCFuzz.s {} uCFuzz.u ({} vs {}), uCFuzz.u {} best baseline ({} vs {}, {:+.1}%)\n",
+            if s >= u { ">=" } else { "<" },
+            s,
+            u,
+            if u > best_baseline { ">" } else { "<=" },
+            u,
+            best_baseline,
+            100.0 * (u as f64 - best_baseline as f64) / best_baseline.max(1) as f64
+        );
+    }
+
+    let path = write_json("coverage", &reports);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,123 @@
+//! Experiment: unique crashes (Figure 8's overlap, Figure 9's discovery
+//! timelines, Table 4's per-component breakdown).
+
+use metamut_bench::{render_series, render_table, run_matrix, write_json, ExpOptions};
+use metamut_fuzzing::campaign::CampaignReport;
+use metamut_simcomp::Stage;
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    println!(
+        "== Figures 8–9 / Table 4: unique crashes ({} iterations/fuzzer, seed {}) ==\n",
+        opts.iterations, opts.seed
+    );
+    let reports = run_matrix(&opts);
+    let fuzzer_names = ["uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen"];
+
+    // Crashes are pooled over both compilers per fuzzer (as in Figure 8).
+    let pooled: HashMap<&str, Vec<&CampaignReport>> = fuzzer_names
+        .iter()
+        .map(|&name| {
+            (
+                name,
+                reports.iter().filter(|r| r.fuzzer == name).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+    let sigs_of = |name: &str| -> HashSet<u64> {
+        pooled[name]
+            .iter()
+            .flat_map(|r| r.signatures())
+            .collect()
+    };
+
+    // Figure 8: totals and exclusivity.
+    println!("-- Figure 8: unique crashes per fuzzer (paper: s=90, u=59, AFL++=19, GrayC=13, YARPGen=2, Csmith=0) --");
+    let mut rows = Vec::new();
+    let all_sigs: HashSet<u64> = fuzzer_names.iter().flat_map(|n| sigs_of(n)).collect();
+    let mucfuzz_sigs: HashSet<u64> = sigs_of("uCFuzz.s")
+        .union(&sigs_of("uCFuzz.u"))
+        .copied()
+        .collect();
+    let others_sigs: HashSet<u64> = ["AFL++", "GrayC", "Csmith", "YARPGen"]
+        .iter()
+        .flat_map(|n| sigs_of(n))
+        .collect();
+    for name in fuzzer_names {
+        let mine = sigs_of(name);
+        let exclusive = mine
+            .iter()
+            .filter(|s| {
+                fuzzer_names
+                    .iter()
+                    .filter(|o| **o != name)
+                    .all(|o| !sigs_of(o).contains(s))
+            })
+            .count();
+        rows.push(vec![
+            name.to_string(),
+            mine.len().to_string(),
+            exclusive.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&["Fuzzer", "Unique crashes", "Exclusive"], &rows));
+    let mucfuzz_only = mucfuzz_sigs.difference(&others_sigs).count();
+    println!(
+        "total unique: {}; found only by uCFuzz: {} ({:.0}%; paper: 72.8%)\n",
+        all_sigs.len(),
+        mucfuzz_only,
+        100.0 * mucfuzz_only as f64 / all_sigs.len().max(1) as f64
+    );
+
+    // Table 4: by compiler component.
+    println!("-- Table 4: unique crashes by compiler component --");
+    let mut rows = Vec::new();
+    for name in fuzzer_names {
+        let mut by_stage: HashMap<Stage, HashSet<u64>> = HashMap::new();
+        for r in &pooled[name] {
+            for c in &r.crashes {
+                by_stage.entry(c.info.stage).or_default().insert(c.signature);
+            }
+        }
+        let cell = |s: Stage| by_stage.get(&s).map(|x| x.len()).unwrap_or(0).to_string();
+        let total: usize = Stage::ALL
+            .iter()
+            .map(|s| by_stage.get(s).map(|x| x.len()).unwrap_or(0))
+            .sum();
+        rows.push(vec![
+            name.to_string(),
+            cell(Stage::FrontEnd),
+            cell(Stage::IrGen),
+            cell(Stage::Opt),
+            cell(Stage::BackEnd),
+            total.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Fuzzer", "Front-End", "IR", "Opt", "Back-End", "Total"], &rows)
+    );
+
+    // Figure 9: discovery timelines per compiler.
+    for profile in ["gcc-sim", "clang-sim"] {
+        let series: Vec<(String, Vec<(usize, usize)>)> = reports
+            .iter()
+            .filter(|r| r.compiler == profile)
+            .map(|r| {
+                (
+                    r.fuzzer.clone(),
+                    r.series.iter().map(|p| (p.iteration, p.crashes)).collect(),
+                )
+            })
+            .collect();
+        println!(
+            "{}",
+            render_series(&format!("Figure 9: unique crashes over time, {profile}"), &series)
+        );
+    }
+
+    let path = write_json("crashes", &reports);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,191 @@
+//! Experiment: mutator generation (Tables 1, 2 and 3 + the §4.1 census).
+//!
+//! Runs the fully automatic MetaMut pipeline 100 times (the paper's
+//! unsupervised campaign) and prints:
+//! - the §4.1 outcome census (system errors, valid rate, invalidity causes),
+//! - Table 1: defect classes fixed by the validation-refinement loop,
+//! - Table 2: per-mutator generation cost (tokens / QA rounds / time),
+//! - Table 3: request/response time split.
+
+use metamut_bench::{render_table, write_json, ExpOptions};
+use metamut_core::{GenerationRecord, GenerationStatus};
+use metamut_llm::accounting::summarize;
+use metamut_llm::defects::Defect;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GenerationReport {
+    invocations: usize,
+    system_errors: usize,
+    valid: usize,
+    refinement_failed: usize,
+    mismatched: usize,
+    latent_invalid: usize,
+    duplicates: usize,
+    fixed_by_class: Vec<(String, usize)>,
+    records: Vec<GenerationRecord>,
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let invocations = 100;
+    println!("== MetaMut unsupervised generation: {invocations} invocations (seed {}) ==\n", opts.seed);
+
+    let mut mm = metamut_core::default_framework(opts.seed);
+    // Crash-defective mutators panic by design; silence the default hook so
+    // the validation loop's catch_unwind stays invisible in the output.
+    std::panic::set_hook(Box::new(|_| {}));
+    let records = mm.run_many(invocations, opts.seed ^ 0xBEEF);
+    let _ = std::panic::take_hook();
+
+    let count = |f: &dyn Fn(&GenerationRecord) -> bool| records.iter().filter(|r| f(r)).count();
+    let system_errors = count(&|r| matches!(r.status, GenerationStatus::SystemError(_)));
+    let valid = count(&|r| r.status.is_valid());
+    let refinement_failed =
+        count(&|r| matches!(r.status, GenerationStatus::RefinementFailed { .. }));
+    let mismatched = count(&|r| r.status == GenerationStatus::Mismatched);
+    let latent = count(&|r| r.status == GenerationStatus::LatentInvalid);
+    let duplicates = count(&|r| r.status == GenerationStatus::Duplicate);
+    let attempted = invocations - system_errors;
+
+    println!("-- §4.1 census (paper: 24 system errors, 50/76 = 65.8% valid) --");
+    println!(
+        "{}",
+        render_table(
+            &["Outcome", "Count", "Paper"],
+            &[
+                vec!["system error".into(), system_errors.to_string(), "24".into()],
+                vec![
+                    "valid".into(),
+                    format!("{valid} ({:.1}% of {attempted})", 100.0 * valid as f64 / attempted.max(1) as f64),
+                    "50 (65.8% of 76)".into()
+                ],
+                vec!["refinement failed".into(), refinement_failed.to_string(), "6".into()],
+                vec!["mismatched impl".into(), mismatched.to_string(), "7".into()],
+                vec!["unthorough tests".into(), latent.to_string(), "10".into()],
+                vec!["duplicate".into(), duplicates.to_string(), "3".into()],
+            ],
+        )
+    );
+
+    // Table 1: defect classes fixed by the loop.
+    let mut fixed_by_class = Vec::new();
+    println!("-- Table 1: bugs fixed by the validation-refinement loop --");
+    let mut rows = Vec::new();
+    let total_fixed: usize = records.iter().map(|r| r.fixed_defects.len()).sum();
+    for d in Defect::ALL {
+        let n = records
+            .iter()
+            .flat_map(|r| &r.fixed_defects)
+            .filter(|x| **x == d)
+            .count();
+        rows.push(vec![
+            format!("#{}", d.goal()),
+            d.label().to_string(),
+            n.to_string(),
+        ]);
+        fixed_by_class.push((d.label().to_string(), n));
+    }
+    rows.push(vec!["".into(), "total".into(), total_fixed.to_string()]);
+    println!("{}", render_table(&["Goal", "Violation", "Fixed (#)"], &rows));
+    // The paper normalizes by the mutators that were invalid prior to
+    // refinement and then fixed (27 of 50).
+    let repaired_valid = records
+        .iter()
+        .filter(|r| r.status.is_valid() && !r.fixed_defects.is_empty())
+        .count();
+    let per_valid = total_fixed as f64 / repaired_valid.max(1) as f64;
+    println!(
+        "mean fixes per repaired valid mutator: {per_valid:.2} over {repaired_valid} mutators (paper: 3.96 over 27)\n"
+    );
+
+    // Table 2: generation cost.
+    let ok_records: Vec<&GenerationRecord> = records
+        .iter()
+        .filter(|r| !matches!(r.status, GenerationStatus::SystemError(_)))
+        .collect();
+    let col = |f: &dyn Fn(&GenerationRecord) -> f64| -> Vec<f64> {
+        ok_records.iter().map(|r| f(r)).collect()
+    };
+    let token_inv = summarize(&col(&|r| r.cost.tokens_invention as f64));
+    let token_impl = summarize(&col(&|r| r.cost.tokens_implementation as f64));
+    let token_fix = summarize(&col(&|r| r.cost.tokens_bugfix as f64));
+    let token_total = summarize(&col(&|r| r.cost.tokens_total() as f64));
+    let qa_fix = summarize(&col(&|r| r.cost.qa_bugfix as f64));
+    let qa_total = summarize(&col(&|r| r.cost.qa_total() as f64));
+    let time_total = summarize(&col(&|r| r.cost.time_s));
+
+    println!("-- Table 2: generation cost of one mutator --");
+    let srow = |metric: &str, step: &str, s: metamut_llm::accounting::Summary, paper: &str| {
+        vec![
+            metric.to_string(),
+            step.to_string(),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.max),
+            format!("{:.0}", s.median),
+            format!("{:.0}", s.mean),
+            paper.to_string(),
+        ]
+    };
+    println!(
+        "{}",
+        render_table(
+            &["Metric", "Step", "Min", "Max", "Median", "Mean", "Paper mean"],
+            &[
+                srow("Tokens", "Invention", token_inv, "1,158"),
+                srow("Tokens", "Implementation", token_impl, "2,501"),
+                srow("Tokens", "Bug-Fixing", token_fix, "4,935"),
+                srow("Tokens", "Total", token_total, "8,595"),
+                srow("QA", "Bug-Fixing", qa_fix, "4.0"),
+                srow("QA", "Total", qa_total, "6.0"),
+                srow("Time (s)", "Total", time_total, "346"),
+            ],
+        )
+    );
+    let mean_cost = ok_records.iter().map(|r| r.cost.dollars()).sum::<f64>()
+        / ok_records.len().max(1) as f64;
+    println!("mean API cost per mutator: ${mean_cost:.2} (paper: ~$0.50)\n");
+
+    // Table 3: request/response time.
+    let wait = summarize(&col(&|r| r.cost.wait_s / r.cost.qa_total() as f64));
+    let prep = summarize(&col(&|r| r.cost.prepare_s / r.cost.qa_total() as f64));
+    println!("-- Table 3: request/response time of a single interaction --");
+    println!(
+        "{}",
+        render_table(
+            &["Phase", "Min", "Max", "Median", "Mean", "Paper mean"],
+            &[
+                vec![
+                    "Wait for response (s)".into(),
+                    format!("{:.0}", wait.min),
+                    format!("{:.0}", wait.max),
+                    format!("{:.0}", wait.median),
+                    format!("{:.0}", wait.mean),
+                    "43".into()
+                ],
+                vec![
+                    "Prepare request (s)".into(),
+                    format!("{:.0}", prep.min),
+                    format!("{:.0}", prep.max),
+                    format!("{:.0}", prep.median),
+                    format!("{:.0}", prep.mean),
+                    "17".into()
+                ],
+            ],
+        )
+    );
+
+    let report = GenerationReport {
+        invocations,
+        system_errors,
+        valid,
+        refinement_failed,
+        mismatched,
+        latent_invalid: latent,
+        duplicates,
+        fixed_by_class,
+        records,
+    };
+    let path = write_json("generation", &report);
+    println!("report written to {}", path.display());
+}

@@ -1,0 +1,120 @@
+//! Experiment: the §4.1 mutator census — library size, supervised vs
+//! unsupervised split, category distribution, and the overlap between the
+//! two sets.
+
+use metamut_bench::{render_table, write_json, ExpOptions};
+use metamut_muast::{Category, Provenance};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Census {
+    supervised: usize,
+    unsupervised: usize,
+    total: usize,
+    by_category: Vec<(String, usize)>,
+    mutators: Vec<(String, String, String)>,
+}
+
+fn main() {
+    let _opts = ExpOptions::from_args();
+    let full = metamut_mutators::full_registry();
+    let s = full.with_provenance(Provenance::Supervised).len();
+    let u = full.with_provenance(Provenance::Unsupervised).len();
+
+    println!("== §4.1 mutator census ==\n");
+    println!(
+        "{}",
+        render_table(
+            &["Set", "Count", "Paper"],
+            &[
+                vec!["supervised (M_s)".into(), s.to_string(), "68".into()],
+                vec!["unsupervised (M_u)".into(), u.to_string(), "50".into()],
+                vec!["total".into(), full.len().to_string(), "118".into()],
+            ],
+        )
+    );
+
+    println!("-- category distribution (paper: Var 16, Expr 50, Stmt 27, Fn 19, Type 6) --");
+    let census = full.category_census();
+    let rows: Vec<Vec<String>> = census
+        .iter()
+        .map(|(c, n)| {
+            vec![
+                c.to_string(),
+                n.to_string(),
+                format!("{:.0}%", 100.0 * *n as f64 / full.len() as f64),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Category", "Count", "Share"], &rows));
+    let expr = census
+        .iter()
+        .find(|(c, _)| *c == Category::Expression)
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    println!(
+        "Expression mutators are the largest group at {:.0}% (paper: 42%); Type the smallest.\n",
+        100.0 * expr as f64 / full.len() as f64
+    );
+
+    // Overlap between supervised and unsupervised: same category + a shared
+    // action keyword approximates the paper's "similar actions on similar
+    // structures" check (they found ~10%).
+    let actionish = ["Swap", "Modify", "Replace", "Duplicate", "Remove", "Insert", "Inverse", "Change"];
+    let keyword = |name: &str| {
+        actionish
+            .iter()
+            .find(|a| name.starts_with(**a))
+            .copied()
+            .unwrap_or("other")
+    };
+    let mut overlap = 0;
+    for ms in full.with_provenance(Provenance::Supervised) {
+        for mu in full.with_provenance(Provenance::Unsupervised) {
+            if ms.mutator.category() == mu.mutator.category()
+                && keyword(ms.mutator.name()) == keyword(mu.mutator.name())
+                && keyword(ms.mutator.name()) != "other"
+            {
+                overlap += 1;
+            }
+        }
+    }
+    println!(
+        "similar (action, structure) pairs across the two sets: {overlap} (paper: 6 pairs ≈ 10%)\n"
+    );
+
+    println!("-- full inventory --");
+    let rows: Vec<Vec<String>> = full
+        .iter()
+        .map(|m| {
+            vec![
+                m.mutator.name().to_string(),
+                m.mutator.category().to_string(),
+                match m.provenance {
+                    Provenance::Supervised => "M_s".to_string(),
+                    Provenance::Unsupervised => "M_u".to_string(),
+                },
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Mutator", "Category", "Set"], &rows));
+
+    let report = Census {
+        supervised: s,
+        unsupervised: u,
+        total: full.len(),
+        by_category: census.iter().map(|(c, n)| (c.to_string(), *n)).collect(),
+        mutators: full
+            .iter()
+            .map(|m| {
+                (
+                    m.mutator.name().to_string(),
+                    m.mutator.category().to_string(),
+                    m.mutator.description().to_string(),
+                )
+            })
+            .collect(),
+    };
+    let path = write_json("mutators", &report);
+    println!("report written to {}", path.display());
+}

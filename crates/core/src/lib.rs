@@ -1,0 +1,62 @@
+//! # metamut-core
+//!
+//! The MetaMut framework (Figure 1 of the paper): given a language model
+//! and a mutator behavior library, it
+//!
+//! 1. **invents** mutators by prompting the model over the
+//!    action × program-structure space (§3.1),
+//! 2. **synthesizes** implementations as [`metamut_llm::Blueprint`]s and
+//!    compiles them against the library ([`synth`], §3.2), and
+//! 3. **validates and refines** them through goals #1–#6 with feedback to
+//!    the model ([`mod@validate`], §3.3), capped at 27 repair attempts (§5.1).
+//!
+//! The [`pipeline::MetaMut`] orchestrator also reproduces the §4 bookkeeping:
+//! system-error attrition, the manual-review gate (mismatched / latent /
+//! duplicate rejections), and full token/latency cost accounting.
+//!
+//! ```
+//! use metamut_core::pipeline::MetaMut;
+//! use metamut_llm::SimLlm;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(metamut_mutators::full_registry());
+//! let behaviors = registry.iter().map(|m| m.mutator.name().to_string()).collect();
+//! let mut metamut = MetaMut::new(SimLlm::new(1, behaviors), registry);
+//! let record = metamut.run_once(7);
+//! assert!(record.cost.qa_total() >= 2 || record.invention.is_none());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod synth;
+pub mod validate;
+
+pub use pipeline::{GenerationRecord, GenerationStatus, MetaMut};
+pub use synth::{compile_blueprint, SynthError, SynthesizedMutator};
+pub use validate::{validate, Verdict};
+
+use std::sync::Arc;
+
+/// Convenience constructor: a [`MetaMut`] over the full behavior library
+/// with a seeded simulated model — what the experiment binaries use.
+pub fn default_framework(seed: u64) -> MetaMut {
+    let registry = Arc::new(metamut_mutators::full_registry());
+    let behaviors = registry
+        .iter()
+        .map(|m| m.mutator.name().to_string())
+        .collect();
+    MetaMut::new(metamut_llm::SimLlm::new(seed, behaviors), registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_framework_generates() {
+        let mut mm = default_framework(5);
+        let records = mm.run_many(10, 3);
+        assert_eq!(records.len(), 10);
+    }
+}

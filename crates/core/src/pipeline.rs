@@ -1,0 +1,352 @@
+//! The three-stage MetaMut pipeline of Figure 1: mutator invention,
+//! implementation synthesis, and the validation-refinement loop — plus the
+//! "manual verification" gate of §4 that decides what enters M_u.
+
+use crate::synth::{compile_blueprint, SynthError, SynthesizedMutator};
+use crate::validate::{validate, Verdict};
+use metamut_llm::accounting::{CostRecord, Step};
+use metamut_llm::defects::Defect;
+use metamut_llm::{Blueprint, Invention, SimLlm};
+use metamut_muast::MutatorRegistry;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// How one MetaMut invocation ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum GenerationStatus {
+    /// A valid mutator: survived validation and manual review.
+    Valid,
+    /// Infrastructure failure (API throttling/timeouts; 24/100 in §4.1).
+    SystemError(String),
+    /// Did not survive the refinement loop within the attempt budget
+    /// (6/26 invalid mutators in §4.1).
+    RefinementFailed {
+        /// The goal that kept failing.
+        goal: u8,
+    },
+    /// Passed validation but the implementation deviates from its
+    /// description (7 mutators in §4.1) — caught by manual review.
+    Mismatched,
+    /// Passed the generated tests but failed the authors' more complex
+    /// tests (10 mutators in §4.1).
+    LatentInvalid,
+    /// A duplicate of a previously generated mutator (3 in §4.1).
+    Duplicate,
+}
+
+impl GenerationStatus {
+    /// Whether the run produced a usable mutator.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, GenerationStatus::Valid)
+    }
+}
+
+/// The record of one MetaMut invocation.
+#[derive(Debug, Clone, Serialize)]
+pub struct GenerationRecord {
+    /// The invention, when stage 1 ran.
+    pub invention: Option<Invention>,
+    /// The final blueprint, when stage 2 ran.
+    pub blueprint: Option<Blueprint>,
+    /// Outcome classification.
+    pub status: GenerationStatus,
+    /// Token/latency cost.
+    pub cost: CostRecord,
+    /// Defects actually removed by the refinement loop (Table 1 rows).
+    pub fixed_defects: Vec<Defect>,
+    /// Goals whose feedback was sent (one per bug-fix round).
+    pub feedback_goals: Vec<u8>,
+}
+
+/// The MetaMut framework instance.
+pub struct MetaMut {
+    llm: SimLlm,
+    registry: Arc<MutatorRegistry>,
+    tests: Vec<String>,
+    /// Repair-attempt budget (§5.1: automatic fixing stops after 27).
+    pub max_repair_attempts: u32,
+    generated_names: Vec<String>,
+}
+
+impl std::fmt::Debug for MetaMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaMut")
+            .field("behaviors", &self.registry.len())
+            .field("tests", &self.tests.len())
+            .field("generated", &self.generated_names.len())
+            .finish()
+    }
+}
+
+impl MetaMut {
+    /// Creates a framework instance over a behavior library, asking the
+    /// model once for the validation test suite.
+    pub fn new(mut llm: SimLlm, registry: Arc<MutatorRegistry>) -> Self {
+        let tests = llm.generate_tests("all").value;
+        MetaMut {
+            llm,
+            registry,
+            tests,
+            max_repair_attempts: 27,
+            generated_names: Vec::new(),
+        }
+    }
+
+    /// Names of the valid mutators generated so far (the sampling-hint
+    /// avoid-list of §3.1).
+    pub fn generated_names(&self) -> &[String] {
+        &self.generated_names
+    }
+
+    /// Runs the full pipeline once (one "MetaMut invocation" in §4 terms).
+    pub fn run_once(&mut self, run_seed: u64) -> GenerationRecord {
+        let mut cost = CostRecord::default();
+        let mut fixed = Vec::new();
+        let mut feedback_goals = Vec::new();
+
+        // Infrastructure roulette: the paper lost 24/100 runs to it.
+        if let Some(err) = self.llm.roll_system_error() {
+            return GenerationRecord {
+                invention: None,
+                blueprint: None,
+                status: GenerationStatus::SystemError(err.to_string()),
+                cost,
+                fixed_defects: fixed,
+                feedback_goals,
+            };
+        }
+
+        // Stage 1: invention.
+        let reply = self.llm.invent(&self.generated_names);
+        cost.add(Step::Invention, reply.cost);
+        let invention = reply.value;
+
+        // Stage 2: one-shot synthesis over the template.
+        let reply = self.llm.synthesize(&invention);
+        cost.add(Step::Implementation, reply.cost);
+        let mut blueprint = reply.value;
+
+        // Stage 3: validation and refinement.
+        let mut attempts = 0u32;
+        let status = loop {
+            let check = self.check(&blueprint, run_seed.wrapping_add(attempts as u64));
+            match check {
+                Ok(Verdict::Valid) => break self.manual_review(&invention, &blueprint),
+                Ok(Verdict::Unmet { goal, message }) | Err((goal, message)) => {
+                    if attempts >= self.max_repair_attempts {
+                        break GenerationStatus::RefinementFailed { goal };
+                    }
+                    attempts += 1;
+                    feedback_goals.push(goal);
+                    let before: Vec<Defect> = blueprint.defects.clone();
+                    let reply = self.llm.repair(&blueprint, goal, &message);
+                    cost.add(Step::BugFixing, reply.cost);
+                    blueprint = reply.value;
+                    for d in before {
+                        if !blueprint.defects.contains(&d) {
+                            fixed.push(d);
+                        }
+                    }
+                }
+            }
+        };
+
+        if status.is_valid() {
+            self.generated_names.push(blueprint.name.clone());
+        }
+        GenerationRecord {
+            invention: Some(invention),
+            blueprint: Some(blueprint),
+            status,
+            cost,
+            fixed_defects: fixed,
+            feedback_goals,
+        }
+    }
+
+    /// Compiles and validates a blueprint; maps compile failures to goal #1.
+    fn check(&self, blueprint: &Blueprint, seed: u64) -> Result<Verdict, (u8, String)> {
+        match compile_blueprint(blueprint, &self.registry) {
+            Ok(m) => Ok(validate(&m, &self.tests, seed)),
+            Err(e @ SynthError::DoesNotCompile(_)) => Err((1, e.to_string())),
+            Err(e @ SynthError::UnknownBehavior(_)) => Err((1, e.to_string())),
+        }
+    }
+
+    /// The §4 manual gate: two authors rejected mutators whose behavior
+    /// deviates from the description, that fail on harder tests, or that
+    /// duplicate earlier ones.
+    fn manual_review(&self, invention: &Invention, blueprint: &Blueprint) -> GenerationStatus {
+        if self.generated_names.contains(&invention.name) {
+            return GenerationStatus::Duplicate;
+        }
+        if blueprint.mismatched {
+            return GenerationStatus::Mismatched;
+        }
+        if blueprint.latent_compile_error {
+            return GenerationStatus::LatentInvalid;
+        }
+        GenerationStatus::Valid
+    }
+
+    /// Runs the pipeline `n` times without intervention (the unsupervised
+    /// campaign of §4).
+    pub fn run_many(&mut self, n: usize, base_seed: u64) -> Vec<GenerationRecord> {
+        (0..n)
+            .map(|i| self.run_once(base_seed.wrapping_add(i as u64 * 7919)))
+            .collect()
+    }
+
+    /// Compiles the valid results of a campaign into an executable mutator
+    /// set (the M_u handed to μCFuzz.u).
+    pub fn compiled_valid_mutators(
+        &self,
+        records: &[GenerationRecord],
+    ) -> Vec<SynthesizedMutator> {
+        records
+            .iter()
+            .filter(|r| r.status.is_valid())
+            .filter_map(|r| r.blueprint.as_ref())
+            .filter_map(|bp| compile_blueprint(bp, &self.registry).ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamut_llm::SimLlmConfig;
+
+    fn framework(seed: u64) -> MetaMut {
+        let registry = Arc::new(metamut_mutators::full_registry());
+        let behaviors: Vec<String> = registry
+            .iter()
+            .map(|m| m.mutator.name().to_string())
+            .collect();
+        MetaMut::new(SimLlm::new(seed, behaviors), registry)
+    }
+
+    #[test]
+    fn single_run_completes() {
+        let mut mm = framework(1);
+        let r = mm.run_once(100);
+        match &r.status {
+            GenerationStatus::SystemError(_) => assert!(r.invention.is_none()),
+            _ => {
+                assert!(r.invention.is_some());
+                assert!(r.blueprint.is_some());
+                assert!(r.cost.tokens_total() > 0);
+                assert!(r.cost.qa_total() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_statistics_match_paper_shape() {
+        let mut mm = framework(42);
+        let records = mm.run_many(100, 7);
+        assert_eq!(records.len(), 100);
+
+        let system_errors = records
+            .iter()
+            .filter(|r| matches!(r.status, GenerationStatus::SystemError(_)))
+            .count();
+        let valid = records.iter().filter(|r| r.status.is_valid()).count();
+        let attempted = 100 - system_errors;
+
+        // §4.1: 24/100 system errors, 50/76 (65.8%) valid.
+        assert!(
+            (10..=40).contains(&system_errors),
+            "system errors: {system_errors}"
+        );
+        assert!(
+            valid * 100 >= attempted * 35 && valid * 100 <= attempted * 90,
+            "valid {valid}/{attempted}"
+        );
+
+        // The refinement loop did real work: some defects were fixed.
+        let total_fixed: usize = records.iter().map(|r| r.fixed_defects.len()).sum();
+        assert!(total_fixed > 10, "only {total_fixed} defects fixed");
+
+        // SyntaxError dominates the fixed classes (Table 1: 55/107).
+        let syntax_fixed = records
+            .iter()
+            .flat_map(|r| &r.fixed_defects)
+            .filter(|d| **d == Defect::SyntaxError)
+            .count();
+        assert!(
+            syntax_fixed * 2 >= total_fixed / 2,
+            "syntax share too low: {syntax_fixed}/{total_fixed}"
+        );
+
+        // Costs are in the paper's ballpark: mean tokens within [3k, 36k].
+        let mean_tokens: f64 = records
+            .iter()
+            .filter(|r| !matches!(r.status, GenerationStatus::SystemError(_)))
+            .map(|r| r.cost.tokens_total() as f64)
+            .sum::<f64>()
+            / attempted as f64;
+        assert!(
+            (3000.0..20000.0).contains(&mean_tokens),
+            "mean tokens {mean_tokens}"
+        );
+    }
+
+    #[test]
+    fn valid_mutators_are_executable() {
+        let mut mm = framework(9);
+        let records = mm.run_many(40, 11);
+        let mutators = mm.compiled_valid_mutators(&records);
+        assert!(!mutators.is_empty());
+        for m in &mutators {
+            let out = metamut_muast::mutate_source(
+                m,
+                metamut_llm::TEST_PROGRAMS[0],
+                5,
+            );
+            assert!(out.is_ok(), "valid mutator errored");
+        }
+    }
+
+    #[test]
+    fn refinement_budget_respected() {
+        // With repairs that never succeed, the loop stops at the cap.
+        let registry = Arc::new(metamut_mutators::full_registry());
+        let behaviors: Vec<String> = registry
+            .iter()
+            .map(|m| m.mutator.name().to_string())
+            .collect();
+        let llm = SimLlm::with_config(
+            3,
+            behaviors,
+            SimLlmConfig {
+                system_error_rate: 0.0,
+                defective_rate: 1.0,
+                repair_success_rate: 0.0,
+                mean_defects: 2.0,
+                ..Default::default()
+            },
+        );
+        let mut mm = MetaMut::new(llm, registry);
+        mm.max_repair_attempts = 5;
+        let r = mm.run_once(1);
+        match r.status {
+            GenerationStatus::RefinementFailed { .. } => {
+                assert_eq!(r.feedback_goals.len(), 5);
+            }
+            // A lucky run may synthesize a clean blueprint anyway when the
+            // sole injected defect class repeats; defective_rate=1 with
+            // dedup can still produce a valid one if validation passes.
+            other => panic!("expected refinement failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn avoid_list_grows_with_valid_mutators() {
+        let mut mm = framework(21);
+        let before = mm.generated_names().len();
+        let records = mm.run_many(30, 2);
+        let valid = records.iter().filter(|r| r.status.is_valid()).count();
+        assert_eq!(mm.generated_names().len(), before + valid);
+    }
+}

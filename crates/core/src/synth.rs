@@ -1,0 +1,215 @@
+//! Blueprint "compilation": turning a [`Blueprint`] emitted by the language
+//! model into an executable mutator, faithfully reproducing each injected
+//! defect's observable behavior so the validation loop has real work to do.
+
+use metamut_llm::defects::Defect;
+use metamut_llm::Blueprint;
+use metamut_muast::{Category, MutCtx, Mutator, MutatorRegistry};
+use metamut_lang::source::Span;
+use std::sync::Arc;
+
+/// Error from compiling a blueprint (validation goal #1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The generated source does not compile (`SyntaxError` defect).
+    DoesNotCompile(String),
+    /// The referenced behavior is unknown to the library.
+    UnknownBehavior(String),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::DoesNotCompile(msg) => write!(f, "mutator does not compile: {msg}"),
+            SynthError::UnknownBehavior(b) => write!(f, "unresolved symbol '{b}'"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// An executable synthesized mutator: the bound behavior plus any remaining
+/// implementation defects, which manifest exactly as the paper's validation
+/// goals observe them.
+pub struct SynthesizedMutator {
+    blueprint: Blueprint,
+    base: Arc<dyn Mutator>,
+    category: Category,
+}
+
+impl std::fmt::Debug for SynthesizedMutator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthesizedMutator")
+            .field("name", &self.blueprint.name)
+            .field("behavior", &self.blueprint.behavior)
+            .field("defects", &self.blueprint.defects)
+            .finish()
+    }
+}
+
+impl SynthesizedMutator {
+    /// The blueprint this mutator was compiled from.
+    pub fn blueprint(&self) -> &Blueprint {
+        &self.blueprint
+    }
+
+    /// Whether the implementation still carries the given defect.
+    pub fn has_defect(&self, d: Defect) -> bool {
+        self.blueprint.defects.contains(&d)
+    }
+}
+
+impl Mutator for SynthesizedMutator {
+    fn name(&self) -> &str {
+        &self.blueprint.name
+    }
+
+    fn description(&self) -> &str {
+        &self.blueprint.description
+    }
+
+    fn category(&self) -> Category {
+        self.category
+    }
+
+    fn mutate(&self, ctx: &mut MutCtx<'_>) -> bool {
+        // Goal #3: the mutator crashes on its input.
+        if self.has_defect(Defect::Crashes) {
+            panic!(
+                "synthesized mutator '{}' dereferenced a null AST node",
+                self.blueprint.name
+            );
+        }
+        // Goal #4: the mutator never finds anything to do.
+        if self.has_defect(Defect::NoOutput) {
+            return false;
+        }
+        // Goal #5: claims success but rewrites nothing observable — model
+        // by replacing the first byte with itself (an identity rewrite).
+        if self.has_defect(Defect::NoRewrite) {
+            let src = ctx.ast().source();
+            if !src.is_empty() {
+                let first = src[0..1].to_string();
+                ctx.replace(Span::new(0, 1), first);
+            }
+            return true;
+        }
+        let changed = self.base.mutate(ctx);
+        // Goal #6: the rewrite breaks the mutant's syntax.
+        if changed && self.has_defect(Defect::CompileErrorMutant) {
+            ctx.insert_before(0, ") ");
+        }
+        changed
+    }
+}
+
+/// Compiles a blueprint against the behavior library.
+///
+/// # Errors
+///
+/// [`SynthError::DoesNotCompile`] when the blueprint carries a
+/// `SyntaxError` defect (the implementation itself is broken);
+/// [`SynthError::UnknownBehavior`] when the behavior key does not resolve.
+pub fn compile_blueprint(
+    blueprint: &Blueprint,
+    registry: &MutatorRegistry,
+) -> Result<SynthesizedMutator, SynthError> {
+    if blueprint.defects.contains(&Defect::SyntaxError) {
+        return Err(SynthError::DoesNotCompile(format!(
+            "use of undeclared identifier 'TheFunctions' in {}.cpp",
+            blueprint.name
+        )));
+    }
+    let entry = registry
+        .get(&blueprint.behavior)
+        .ok_or_else(|| SynthError::UnknownBehavior(blueprint.behavior.clone()))?;
+    Ok(SynthesizedMutator {
+        blueprint: blueprint.clone(),
+        base: Arc::clone(&entry.mutator),
+        category: entry.mutator.category(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamut_muast::{mutate_source, MutationOutcome};
+
+    fn bp(defects: Vec<Defect>) -> Blueprint {
+        Blueprint {
+            name: "TestMutator".into(),
+            description: "test".into(),
+            behavior: "ModifyIntegerLiteral".into(),
+            defects,
+            mismatched: false,
+            latent_compile_error: false,
+        }
+    }
+
+    const SRC: &str = "int f(void) { return 42; } int main(void) { return f(); }";
+
+    #[test]
+    fn syntax_error_fails_compilation() {
+        let reg = metamut_mutators::full_registry();
+        let err = compile_blueprint(&bp(vec![Defect::SyntaxError]), &reg).unwrap_err();
+        assert!(matches!(err, SynthError::DoesNotCompile(_)));
+        assert!(err.to_string().contains("does not compile"));
+    }
+
+    #[test]
+    fn unknown_behavior_rejected() {
+        let reg = metamut_mutators::full_registry();
+        let mut b = bp(vec![]);
+        b.behavior = "NoSuchBehavior".into();
+        assert!(matches!(
+            compile_blueprint(&b, &reg),
+            Err(SynthError::UnknownBehavior(_))
+        ));
+    }
+
+    #[test]
+    fn clean_blueprint_behaves_like_base() {
+        let reg = metamut_mutators::full_registry();
+        let m = compile_blueprint(&bp(vec![]), &reg).unwrap();
+        let out = mutate_source(&m, SRC, 1).unwrap();
+        let s = out.mutant().expect("applies");
+        assert_ne!(s, SRC);
+        metamut_lang::compile_check(s).unwrap();
+    }
+
+    #[test]
+    fn no_output_defect() {
+        let reg = metamut_mutators::full_registry();
+        let m = compile_blueprint(&bp(vec![Defect::NoOutput]), &reg).unwrap();
+        assert_eq!(
+            mutate_source(&m, SRC, 1).unwrap(),
+            MutationOutcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn no_rewrite_defect_yields_identity() {
+        let reg = metamut_mutators::full_registry();
+        let m = compile_blueprint(&bp(vec![Defect::NoRewrite]), &reg).unwrap();
+        let out = mutate_source(&m, SRC, 1).unwrap();
+        assert_eq!(out.mutant(), Some(SRC));
+    }
+
+    #[test]
+    fn compile_error_mutant_defect() {
+        let reg = metamut_mutators::full_registry();
+        let m = compile_blueprint(&bp(vec![Defect::CompileErrorMutant]), &reg).unwrap();
+        let out = mutate_source(&m, SRC, 1).unwrap();
+        let s = out.mutant().expect("applies");
+        assert!(metamut_lang::compile_check(s).is_err(), "{s}");
+    }
+
+    #[test]
+    fn crash_defect_panics() {
+        let reg = metamut_mutators::full_registry();
+        let m = compile_blueprint(&bp(vec![Defect::Crashes]), &reg).unwrap();
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mutate_source(&m, SRC, 1)));
+        assert!(result.is_err());
+    }
+}

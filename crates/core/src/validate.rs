@@ -1,0 +1,201 @@
+//! The validation stage of §3.3: checks goals #1–#6 against the
+//! LLM-generated unit tests and renders feedback for the simplest unmet
+//! goal, exactly as the refinement loop requires.
+
+use crate::synth::SynthesizedMutator;
+use metamut_llm::defects::Defect;
+use metamut_muast::{mutate_source, MutationOutcome, Mutator};
+
+/// The result of validating one mutator implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All six goals met on every test program.
+    Valid,
+    /// The simplest unmet goal plus the feedback message handed to the LLM.
+    Unmet {
+        /// Goal number (1–6).
+        goal: u8,
+        /// Diagnostic rendered for the repair prompt.
+        message: String,
+    },
+}
+
+impl Verdict {
+    /// Whether validation passed.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Verdict::Valid)
+    }
+}
+
+/// Validates `m` against the test programs (goals #2–#6; goal #1 — "the
+/// mutator compiles" — is checked by
+/// [`crate::synth::compile_blueprint`] before an executable mutator exists).
+///
+/// `seed` perturbs the mutator's random choices so successive refinement
+/// rounds re-roll its decisions, like re-running a flaky test suite.
+pub fn validate(m: &SynthesizedMutator, tests: &[String], seed: u64) -> Verdict {
+    // Goal #2: μ terminates. Hanging implementations are detected by the
+    // harness timeout; the simulation flags them without spinning.
+    if m.has_defect(Defect::Hangs) {
+        return Verdict::Unmet {
+            goal: 2,
+            message: format!(
+                "mutator '{}' exceeded the 10s budget on test 1 (stack trace: Mutator::mutate → TraverseAST → <loop>)",
+                m.name()
+            ),
+        };
+    }
+
+    let mut any_output = false;
+    for (i, t) in tests.iter().enumerate() {
+        // Goal #3: μ returns (does not crash).
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mutate_source(m, t, seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
+        }));
+        let outcome = match run {
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "abort".into());
+                return Verdict::Unmet {
+                    goal: 3,
+                    message: format!("mutator crashed on test {}: {msg}", i + 1),
+                };
+            }
+            Ok(outcome) => outcome,
+        };
+        match outcome {
+            Ok(MutationOutcome::Mutated(mutant)) => {
+                any_output = true;
+                // Goal #5: μ changes something.
+                if mutant == *t {
+                    return Verdict::Unmet {
+                        goal: 5,
+                        message: format!(
+                            "mutator reported success on test {} but the output is identical to the input",
+                            i + 1
+                        ),
+                    };
+                }
+                // Goal #6: the mutant compiles.
+                if let Err(diags) = metamut_lang::compile_check(&mutant) {
+                    let first = diags
+                        .first_error()
+                        .map(|d| d.message.clone())
+                        .unwrap_or_else(|| "unknown error".into());
+                    return Verdict::Unmet {
+                        goal: 6,
+                        message: format!(
+                            "mutant of test {} does not compile: {first}",
+                            i + 1
+                        ),
+                    };
+                }
+            }
+            Ok(MutationOutcome::NotApplicable) => {}
+            Err(e) => {
+                // Driver errors (conflicting rewrites) read as crashes.
+                return Verdict::Unmet {
+                    goal: 3,
+                    message: format!("mutator failed on test {}: {e}", i + 1),
+                };
+            }
+        }
+    }
+
+    // Goal #4: μ outputs something on at least one test.
+    if !any_output {
+        return Verdict::Unmet {
+            goal: 4,
+            message: "mutator produced no output on any generated test case".into(),
+        };
+    }
+    Verdict::Valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::compile_blueprint;
+    use metamut_llm::Blueprint;
+
+    fn tests_suite() -> Vec<String> {
+        metamut_llm::TEST_PROGRAMS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    fn synth(behavior: &str, defects: Vec<Defect>) -> SynthesizedMutator {
+        let reg = metamut_mutators::full_registry();
+        compile_blueprint(
+            &Blueprint {
+                name: "T".into(),
+                description: "t".into(),
+                behavior: behavior.into(),
+                defects,
+                mismatched: false,
+                latent_compile_error: false,
+            },
+            &reg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_mutator_is_valid() {
+        let m = synth("ModifyIntegerLiteral", vec![]);
+        assert_eq!(validate(&m, &tests_suite(), 1), Verdict::Valid);
+    }
+
+    #[test]
+    fn goals_detected_in_order() {
+        let cases = [
+            (vec![Defect::Hangs], 2u8),
+            (vec![Defect::Crashes], 3),
+            (vec![Defect::NoOutput], 4),
+            (vec![Defect::NoRewrite], 5),
+            (vec![Defect::CompileErrorMutant], 6),
+        ];
+        for (defects, goal) in cases {
+            let m = synth("ModifyIntegerLiteral", defects.clone());
+            match validate(&m, &tests_suite(), 1) {
+                Verdict::Unmet { goal: g, message } => {
+                    assert_eq!(g, goal, "{defects:?}: {message}");
+                    assert!(!message.is_empty());
+                }
+                Verdict::Valid => panic!("{defects:?} passed validation"),
+            }
+        }
+    }
+
+    #[test]
+    fn simplest_goal_reported_first() {
+        // Hangs (#2) masks CompileErrorMutant (#6).
+        let m = synth(
+            "ModifyIntegerLiteral",
+            vec![Defect::Hangs, Defect::CompileErrorMutant],
+        );
+        assert!(matches!(
+            validate(&m, &tests_suite(), 1),
+            Verdict::Unmet { goal: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn behaviors_with_risky_rewrites_fail_goal_6() {
+        // StructToInt textually rewrites the struct definition too; on the
+        // struct-bearing test it yields a non-compiling mutant — exactly the
+        // class of generated mutators the paper's loop rejects.
+        let m = synth("StructToInt", vec![]);
+        let mut saw_goal_6 = false;
+        for seed in 0..8 {
+            if let Verdict::Unmet { goal: 6, .. } = validate(&m, &tests_suite(), seed) {
+                saw_goal_6 = true;
+            }
+        }
+        assert!(saw_goal_6);
+    }
+}

@@ -1,0 +1,245 @@
+//! The campaign runner: drives any [`TestGenerator`] against an
+//! instrumented compiler for a fixed iteration budget, recording the three
+//! quantities the paper's RQ1 evaluation reports — branch coverage over
+//! time (Figure 7), unique crashes over time (Figures 8/9, Table 4), and
+//! the compilable-mutant ratio (Table 5).
+
+use crate::generator::TestGenerator;
+use metamut_muast::MutRng;
+use metamut_simcomp::{Compiler, CoverageMap, CrashInfo, Outcome, Stage};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of fuzzing iterations (scaled stand-in for the paper's 24 h).
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a coverage sample every this many iterations.
+    pub sample_every: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            iterations: 500,
+            seed: 0x4d45_5441,
+            sample_every: 25,
+        }
+    }
+}
+
+/// One point of the coverage/crash time series.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SamplePoint {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Covered branches so far (Figure 7's y-axis).
+    pub covered: usize,
+    /// Unique crashes so far (Figure 9's y-axis).
+    pub crashes: usize,
+}
+
+/// A deduplicated crash with its discovery time.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashRecord {
+    /// The crash signature's bug.
+    pub info: CrashInfo,
+    /// Top-two-frame signature value.
+    pub signature: u64,
+    /// Iteration of first discovery (Figure 9).
+    pub first_iteration: usize,
+}
+
+/// Mutant production statistics (Table 5).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MutantStats {
+    /// Total generated test programs.
+    pub total: usize,
+    /// How many the front end accepted.
+    pub compilable: usize,
+}
+
+impl MutantStats {
+    /// The compilable ratio in percent.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.compilable as f64 / self.total as f64
+        }
+    }
+}
+
+/// The full result of one campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Fuzzer display name.
+    pub fuzzer: String,
+    /// Compiler profile name.
+    pub compiler: String,
+    /// Coverage/crash series.
+    pub series: Vec<SamplePoint>,
+    /// Unique crashes in discovery order.
+    pub crashes: Vec<CrashRecord>,
+    /// Mutant statistics.
+    pub mutants: MutantStats,
+    /// Final covered-branch count.
+    pub final_coverage: usize,
+    /// Final coverage per stage, in [`Stage::ALL`] order.
+    pub stage_coverage: Vec<usize>,
+}
+
+impl CampaignReport {
+    /// Crash counts per compiler component (one Table 4 row).
+    pub fn crashes_by_stage(&self) -> HashMap<Stage, usize> {
+        let mut m = HashMap::new();
+        for c in &self.crashes {
+            *m.entry(c.info.stage).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Signatures of all unique crashes (for Figure 8's Venn overlap).
+    pub fn signatures(&self) -> Vec<u64> {
+        self.crashes.iter().map(|c| c.signature).collect()
+    }
+}
+
+/// Runs one fuzzing campaign.
+pub fn run_campaign(
+    generator: &mut dyn TestGenerator,
+    compiler: &Compiler,
+    config: &CampaignConfig,
+) -> CampaignReport {
+    let mut rng = MutRng::new(config.seed);
+    let mut global = CoverageMap::new();
+    let mut crashes: Vec<CrashRecord> = Vec::new();
+    let mut seen_sigs = std::collections::HashSet::new();
+    let mut mutants = MutantStats::default();
+    let mut series = Vec::new();
+
+    for iter in 0..config.iterations {
+        let candidate = generator.next_candidate(&mut rng);
+        let result = compiler.compile(&candidate.program);
+        mutants.total += 1;
+        let compiled = match &result.outcome {
+            Outcome::Success { .. } => true,
+            // A crash beyond the front end means the front end accepted it.
+            Outcome::Crash(c) => c.stage != Stage::FrontEnd,
+            Outcome::Rejected { .. } => false,
+        };
+        if compiled {
+            mutants.compilable += 1;
+        }
+        if let Outcome::Crash(info) = &result.outcome {
+            let sig = info.signature();
+            if seen_sigs.insert(sig) {
+                crashes.push(CrashRecord {
+                    info: info.clone(),
+                    signature: sig,
+                    first_iteration: iter,
+                });
+            }
+        }
+        let new_bits = global.merge(&result.coverage);
+        generator.feedback(&candidate, new_bits > 0, compiled);
+
+        if iter % config.sample_every == 0 || iter + 1 == config.iterations {
+            series.push(SamplePoint {
+                iteration: iter,
+                covered: global.count(),
+                crashes: crashes.len(),
+            });
+        }
+    }
+
+    CampaignReport {
+        fuzzer: generator.name().to_string(),
+        compiler: compiler.profile().name().to_string(),
+        final_coverage: global.count(),
+        stage_coverage: Stage::ALL.iter().map(|s| global.count_stage(*s)).collect(),
+        series,
+        crashes,
+        mutants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::seed_corpus;
+    use crate::mucfuzz::MuCFuzz;
+    use metamut_simcomp::{CompileOptions, Profile};
+    use std::sync::Arc;
+
+    #[test]
+    fn campaign_produces_monotone_series() {
+        let mut f = MuCFuzz::new(
+            "uCFuzz.s",
+            Arc::new(metamut_mutators::supervised_registry()),
+            seed_corpus().iter().map(|s| s.to_string()),
+        );
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cfg = CampaignConfig {
+            iterations: 60,
+            seed: 1,
+            sample_every: 10,
+        };
+        let report = run_campaign(&mut f, &compiler, &cfg);
+        assert_eq!(report.mutants.total, 60);
+        assert!(report.final_coverage > 0);
+        for w in report.series.windows(2) {
+            assert!(w[1].covered >= w[0].covered, "coverage dropped");
+            assert!(w[1].crashes >= w[0].crashes);
+        }
+        assert_eq!(
+            report.series.last().unwrap().covered,
+            report.final_coverage
+        );
+    }
+
+    #[test]
+    fn crash_dedup_by_signature() {
+        // A generator that always emits the same crashing input.
+        struct Fixed(String);
+        impl TestGenerator for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn next_candidate(&mut self, _rng: &mut MutRng) -> crate::generator::Candidate {
+                crate::generator::Candidate {
+                    program: self.0.clone(),
+                    parent: None,
+                }
+            }
+            fn feedback(&mut self, _c: &crate::generator::Candidate, _n: bool, _k: bool) {}
+        }
+        let crasher = "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }".to_string();
+        let mut g = Fixed(crasher);
+        let compiler = Compiler::new(Profile::Clang, CompileOptions::o0());
+        let report = run_campaign(
+            &mut g,
+            &compiler,
+            &CampaignConfig {
+                iterations: 10,
+                seed: 3,
+                sample_every: 5,
+            },
+        );
+        assert_eq!(report.crashes.len(), 1);
+        assert_eq!(report.crashes[0].info.bug_id, "clang-69213-scalar-brace");
+        assert_eq!(report.crashes[0].first_iteration, 0);
+    }
+
+    #[test]
+    fn compilable_ratio_counts_front_end_acceptance() {
+        let stats = MutantStats {
+            total: 200,
+            compilable: 144,
+        };
+        assert!((stats.ratio() - 72.0).abs() < 1e-9);
+    }
+}

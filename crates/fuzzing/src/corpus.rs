@@ -1,0 +1,402 @@
+//! The seed corpus: programs modelled on the GCC/Clang test suites that the
+//! paper bootstraps every mutation-based fuzzer with (§5.1: 1,839 seeds from
+//! the two compilers' test suites).
+//!
+//! Each seed is a small, self-contained, *valid* program exercising a
+//! distinct language area; several are shaped after the seeds behind the
+//! paper's case-study bugs (the jump-table torture test behind Clang #63762,
+//! the sprintf buffer test behind the strlen crash, the `_Complex` seed
+//! behind GCC #111819).
+
+/// Returns the embedded seed corpus.
+pub fn seed_corpus() -> Vec<&'static str> {
+    SEEDS.to_vec()
+}
+
+/// The seeds, in a stable order.
+pub static SEEDS: [&str; 24] = [
+    // 1. Basic arithmetic and calls.
+    r#"
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int main(void) {
+    int x = add(3, 4);
+    int y = mul(x, 2);
+    return add(x, y) % 256;
+}
+"#,
+    // 2. Loop accumulation (test-suite style sum).
+    r#"
+int sum_to(int n) {
+    int s = 0;
+    for (int i = 0; i <= n; i++) s += i;
+    return s;
+}
+int main(void) {
+    if (sum_to(10) != 55) abort();
+    return 0;
+}
+"#,
+    // 3. The jump-heavy seed behind Clang #63762 (GCC #20001226-1 style).
+    r#"
+void touch(int *x, int *y) { x[0] = y[0]; }
+unsigned foo(int x[64], int y[64]) {
+    touch(x, y);
+    touch(x, y);
+    if (x[0] > y[0]) goto gt;
+    if (x[0] < y[0]) goto lt;
+    return 0x01234567;
+gt:
+    return 0x12345678;
+lt:
+    return 0xF0123456;
+}
+int main(void) {
+    int x[64];
+    int y[64];
+    x[0] = 1; y[0] = 2;
+    return (int)(foo(x, y) & 0xff);
+}
+"#,
+    // 4. The sprintf buffer seed behind the strlen-optimization crash.
+    r#"
+static char buffer[32];
+int test4(void) { return sprintf(buffer, "%s", "bar"); }
+void main_test(void) {
+    memset(buffer, 'A', 32);
+    if (test4() != 3) abort();
+}
+int main(void) { main_test(); return 0; }
+"#,
+    // 5. The _Complex seed behind GCC #111819.
+    r#"
+_Complex double x;
+int *bar(void) {
+    return (int *)&__imag__ x;
+}
+int main(void) {
+    x = 0;
+    return bar() != 0 ? 0 : 1;
+}
+"#,
+    // 6. Array/loop kernel (vectorizer food, GCC #111820 ancestry).
+    r#"
+int r[6];
+void f(int n) {
+    while (--n) {
+        r[0] += r[5];
+        r[1] += r[0];
+        r[2] += r[1];
+        r[3] += r[2];
+        r[4] += r[3];
+        r[5] += r[4];
+    }
+}
+int main(void) {
+    r[5] = 1;
+    f(3);
+    return r[0] & 0xff;
+}
+"#,
+    // 7. Switch dispatch.
+    r#"
+int classify(int c) {
+    switch (c) {
+        case 0: return 1;
+        case 1: return 2;
+        case 2: return 4;
+        case 3: return 8;
+        case 4: return 16;
+        default: return 0;
+    }
+}
+int main(void) {
+    int total = 0;
+    for (int i = 0; i < 6; i++) total += classify(i);
+    return total;
+}
+"#,
+    // 8. Struct plumbing.
+    r#"
+struct point { int x; int y; };
+struct rect { struct point lo; struct point hi; };
+int area(struct rect *r) {
+    return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+}
+int main(void) {
+    struct rect r;
+    r.lo.x = 0; r.lo.y = 0;
+    r.hi.x = 4; r.hi.y = 3;
+    return area(&r);
+}
+"#,
+    // 9. Pointer arithmetic and strings.
+    r#"
+unsigned long count_nonzero(const char *s) {
+    unsigned long n = 0;
+    while (*s) { n++; s++; }
+    return n;
+}
+int main(void) {
+    return (int)count_nonzero("hello world");
+}
+"#,
+    // 10. Recursion.
+    r#"
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(10) & 0xff; }
+"#,
+    // 11. Enum and conditional operators.
+    r#"
+enum mode { OFF, SLOW = 10, FAST = 20 };
+int speed(enum mode m, int boost) {
+    return m == OFF ? 0 : (m == SLOW ? 10 + boost : 20 + boost * 2);
+}
+int main(void) {
+    return speed(SLOW, 1) + speed(FAST, 2) + speed(OFF, 3);
+}
+"#,
+    // 12. Bitwise manipulation.
+    r#"
+unsigned int popcount8(unsigned int v) {
+    unsigned int c = 0;
+    for (int i = 0; i < 8; i++) {
+        c += (v >> i) & 1u;
+    }
+    return c;
+}
+int main(void) { return (int)popcount8(0xA5u); }
+"#,
+    // 13. Do-while and compound assignment mix.
+    r#"
+int collatz_steps(int n) {
+    int steps = 0;
+    do {
+        if (n % 2 == 0) n /= 2;
+        else n = 3 * n + 1;
+        steps++;
+    } while (n != 1 && steps < 100);
+    return steps;
+}
+int main(void) { return collatz_steps(27) & 0xff; }
+"#,
+    // 14. Globals, statics and volatile.
+    r#"
+static int counter;
+volatile int sensor;
+int poll(void) {
+    sensor = counter;
+    counter += 1;
+    return sensor;
+}
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 4; i++) acc += poll();
+    return acc;
+}
+"#,
+    // 15. Typedefs and casts.
+    r#"
+typedef unsigned long word_t;
+word_t mix(word_t a, word_t b) {
+    return (a << 3) ^ (b >> 1) ^ (word_t)(a * 2 + b);
+}
+int main(void) {
+    word_t w = mix(12ul, 34ul);
+    return (int)(w & 0xff);
+}
+"#,
+    // 16. Matrix-ish nested loops (YARPGen territory).
+    r#"
+int m[4][4];
+int trace(void) {
+    int t = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            if (i == j) t += m[i][j];
+    return t;
+}
+int main(void) {
+    for (int i = 0; i < 4; i++) m[i][i] = i + 1;
+    return trace();
+}
+"#,
+    // 17. Short-circuit evaluation.
+    r#"
+int calls;
+int bump(int v) { calls++; return v; }
+int main(void) {
+    int a = bump(0) && bump(1);
+    int b = bump(1) || bump(0);
+    return a + b + calls;
+}
+"#,
+    // 18. Unions and memory views.
+    r#"
+union view { int i; float f; char bytes[4]; };
+int main(void) {
+    union view v;
+    v.i = 0x41424344;
+    return v.bytes[0] + v.bytes[3];
+}
+"#,
+    // 19. Function pointers.
+    r#"
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int apply(int (*f)(int), int v) { return f(v); }
+int main(void) {
+    return apply(twice, 3) + apply(thrice, 4);
+}
+"#,
+    // 20. Ternary chains and comma operators.
+    r#"
+int grade(int score) {
+    return score > 90 ? 4 : score > 80 ? 3 : score > 70 ? 2 : score > 60 ? 1 : 0;
+}
+int main(void) {
+    int s = 0;
+    int g = (s = 85, grade(s));
+    return g;
+}
+"#,
+    // 21. Goto-based state machine.
+    r#"
+int run(int input) {
+    int state = 0;
+start:
+    if (input <= 0) goto done;
+    state += input % 3;
+    input -= 1;
+    goto start;
+done:
+    return state;
+}
+int main(void) { return run(7); }
+"#,
+    // 22. Char arrays and initializers.
+    r#"
+char digits[10] = {'0', '1', '2', '3', '4', '5', '6', '7', '8', '9'};
+int digit_at(int i) { return digits[i % 10] - '0'; }
+int main(void) {
+    int acc = 0;
+    for (int i = 0; i < 10; i++) acc += digit_at(i);
+    return acc;
+}
+"#,
+    // 23. Long double / float conversions.
+    r#"
+double average(int *vals, int n) {
+    double sum = 0.0;
+    for (int i = 0; i < n; i++) sum += (double)vals[i];
+    return n > 0 ? sum / n : 0.0;
+}
+int main(void) {
+    int data[5] = {1, 2, 3, 4, 5};
+    return (int)average(data, 5);
+}
+"#,
+    // 24. Nested conditionals with side effects.
+    r#"
+int log_count;
+void note(void) { log_count++; }
+int decide(int a, int b, int c) {
+    if (a > b) {
+        if (b > c) { note(); return 1; }
+        else { note(); note(); return 2; }
+    } else if (a == b) {
+        return c;
+    }
+    return 0;
+}
+int main(void) {
+    return decide(3, 2, 1) + decide(1, 1, 7) + decide(0, 5, 2);
+}
+"#,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seeds_compile() {
+        for (i, seed) in seed_corpus().iter().enumerate() {
+            metamut_lang::compile_check(seed)
+                .unwrap_or_else(|e| panic!("seed {i} does not compile: {e}\n{seed}"));
+        }
+    }
+
+    #[test]
+    fn seeds_are_diverse() {
+        let all = seed_corpus().join("\n");
+        for needle in [
+            "switch", "goto", "struct", "union", "enum", "typedef", "while", "for", "do",
+            "_Complex", "volatile", "sprintf", "char", "double", "static",
+        ] {
+            assert!(all.contains(needle), "no seed uses {needle}");
+        }
+        // No duplicates.
+        let set: std::collections::HashSet<&&str> = SEEDS.iter().collect();
+        assert_eq!(set.len(), SEEDS.len());
+    }
+
+    #[test]
+    fn seeds_compile_cleanly_on_both_profiles() {
+        use metamut_simcomp::{CompileOptions, Compiler, Profile};
+        for profile in [Profile::Gcc, Profile::Clang] {
+            let c = Compiler::new(profile, CompileOptions::o2());
+            for (i, seed) in seed_corpus().iter().enumerate() {
+                let r = c.compile(seed);
+                assert!(
+                    r.outcome.is_success(),
+                    "seed {i} on {profile:?}: {:?}",
+                    r.outcome
+                );
+            }
+        }
+    }
+}
+
+/// Extends the embedded corpus with `extra` generated valid programs,
+/// approximating the paper's 1,839-seed bootstrap at configurable scale.
+/// Deterministic for a given `seed`.
+pub fn extended_corpus(extra: usize, seed: u64) -> Vec<String> {
+    let mut out: Vec<String> = seed_corpus().iter().map(|s| s.to_string()).collect();
+    let gen = crate::csmith::CsmithLike::new();
+    let loops = crate::yarpgen::YarpGenLike::new();
+    let mut rng = metamut_muast::MutRng::new(seed);
+    for i in 0..extra {
+        let p = if i % 3 == 0 {
+            loops.generate(&mut rng)
+        } else {
+            gen.generate(&mut rng)
+        };
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn extended_corpus_scales_and_compiles() {
+        let c = extended_corpus(30, 5);
+        assert_eq!(c.len(), seed_corpus().len() + 30);
+        for (i, p) in c.iter().enumerate() {
+            metamut_lang::compile_check(p)
+                .unwrap_or_else(|e| panic!("extended seed {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn extended_corpus_deterministic() {
+        assert_eq!(extended_corpus(10, 1), extended_corpus(10, 1));
+        assert_ne!(extended_corpus(10, 1), extended_corpus(10, 2));
+    }
+}

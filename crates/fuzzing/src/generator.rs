@@ -1,0 +1,100 @@
+//! The common interface every evaluated fuzzer implements, so one campaign
+//! runner (§5.1's "coverage and crashes" experiment) can drive μCFuzz,
+//! AFL++, GrayC, Csmith and YARPGen identically.
+
+use metamut_muast::MutRng;
+
+/// One produced test program plus bookkeeping for feedback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The program text handed to the compiler.
+    pub program: String,
+    /// Index of the pool entry it was derived from (mutation-based fuzzers).
+    pub parent: Option<usize>,
+}
+
+/// A test-program source: either generation-based (Csmith, YARPGen) or
+/// mutation-based (μCFuzz, AFL++, GrayC).
+pub trait TestGenerator {
+    /// Short display name (`"uCFuzz.s"`, `"AFL++"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Produces the next candidate program.
+    fn next_candidate(&mut self, rng: &mut MutRng) -> Candidate;
+
+    /// Feedback after compiling the candidate: whether it covered a new
+    /// branch and whether the front end accepted it. Mutation-based fuzzers
+    /// grow their pool here (Algorithm 1, line 9).
+    fn feedback(&mut self, candidate: &Candidate, new_coverage: bool, compiled: bool);
+
+    /// Current pool size (1 for pure generators).
+    fn pool_len(&self) -> usize {
+        1
+    }
+}
+
+/// A shared pool implementation for the mutation-based fuzzers.
+#[derive(Debug, Clone, Default)]
+pub struct SeedPool {
+    items: Vec<String>,
+}
+
+impl SeedPool {
+    /// Builds a pool from initial seeds.
+    pub fn new(seeds: impl IntoIterator<Item = String>) -> Self {
+        SeedPool {
+            items: seeds.into_iter().collect(),
+        }
+    }
+
+    /// Number of pooled programs.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// A uniformly random pool entry (Algorithm 1, line 4).
+    pub fn pick<'a>(&'a self, rng: &mut MutRng) -> (usize, &'a str) {
+        assert!(!self.items.is_empty(), "seed pool must not be empty");
+        let i = rng.index(self.items.len());
+        (i, &self.items[i])
+    }
+
+    /// Entry by index.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.items.get(i).map(|s| s.as_str())
+    }
+
+    /// Adds a program that covered new branches (Algorithm 1, line 9).
+    pub fn push(&mut self, program: String) {
+        self.items.push(program);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_grows_on_push() {
+        let mut pool = SeedPool::new(["int x;".to_string()]);
+        assert_eq!(pool.len(), 1);
+        pool.push("int y;".into());
+        assert_eq!(pool.len(), 2);
+        let mut rng = MutRng::new(1);
+        let (i, s) = pool.pick(&mut rng);
+        assert_eq!(pool.get(i), Some(s));
+    }
+
+    #[test]
+    #[should_panic(expected = "seed pool must not be empty")]
+    fn empty_pool_panics() {
+        let pool = SeedPool::default();
+        let mut rng = MutRng::new(1);
+        let _ = pool.pick(&mut rng);
+    }
+}

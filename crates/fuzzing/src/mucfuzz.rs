@@ -1,0 +1,163 @@
+//! μCFuzz (Algorithm 1): the micro coverage-guided fuzzer that plugs the
+//! MetaMut-generated mutators into a minimal seed-pool loop.
+
+use crate::generator::{Candidate, SeedPool, TestGenerator};
+use metamut_muast::{mutate_source, MutRng, MutationOutcome, MutatorRegistry};
+use std::sync::Arc;
+
+/// The micro fuzzer of §3.4, parameterized by a mutator registry (M_s,
+/// M_u, or both).
+pub struct MuCFuzz {
+    name: &'static str,
+    mutators: Arc<MutatorRegistry>,
+    pool: SeedPool,
+    /// How many mutators to try (in shuffled order) before giving up on a
+    /// candidate (Algorithm 1's inner loop).
+    attempts_per_step: usize,
+}
+
+impl std::fmt::Debug for MuCFuzz {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuCFuzz")
+            .field("name", &self.name)
+            .field("mutators", &self.mutators.len())
+            .field("pool", &self.pool.len())
+            .finish()
+    }
+}
+
+impl MuCFuzz {
+    /// Creates a μCFuzz instance over the given mutators and seeds.
+    pub fn new(
+        name: &'static str,
+        mutators: Arc<MutatorRegistry>,
+        seeds: impl IntoIterator<Item = String>,
+    ) -> Self {
+        MuCFuzz {
+            name,
+            mutators,
+            pool: SeedPool::new(seeds),
+            attempts_per_step: 4,
+        }
+    }
+
+    /// The mutator registry in use.
+    pub fn mutators(&self) -> &MutatorRegistry {
+        &self.mutators
+    }
+}
+
+impl TestGenerator for MuCFuzz {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_candidate(&mut self, rng: &mut MutRng) -> Candidate {
+        // Algorithm 1 line 4: P ← random_choice(pool).
+        let (parent_idx, parent) = self.pool.pick(rng);
+        let parent = parent.to_string();
+        // Line 5: M' ← random_shuffle(M); then try mutators in order.
+        let mut order: Vec<usize> = (0..self.mutators.len()).collect();
+        rng.shuffle(&mut order);
+        for &mi in order.iter().take(self.attempts_per_step.max(1)) {
+            let m = self
+                .mutators
+                .iter()
+                .nth(mi)
+                .expect("index in range")
+                .mutator
+                .as_ref();
+            match mutate_source(m, &parent, rng.next_u64()) {
+                Ok(MutationOutcome::Mutated(p)) => {
+                    return Candidate {
+                        program: p,
+                        parent: Some(parent_idx),
+                    };
+                }
+                Ok(MutationOutcome::NotApplicable) | Err(_) => continue,
+            }
+        }
+        // Nothing applied: re-emit the parent (cheap, counts as a dud).
+        Candidate {
+            program: parent,
+            parent: Some(parent_idx),
+        }
+    }
+
+    fn feedback(&mut self, candidate: &Candidate, new_coverage: bool, _compiled: bool) {
+        // Algorithm 1 lines 8–9: pool ← pool ∪ {P'} on new branches.
+        if new_coverage
+            && candidate
+                .parent
+                .and_then(|i| self.pool.get(i))
+                .map(|p| p != candidate.program)
+                .unwrap_or(true)
+        {
+            self.pool.push(candidate.program.clone());
+        }
+    }
+
+    fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::seed_corpus;
+
+    fn fuzzer() -> MuCFuzz {
+        MuCFuzz::new(
+            "uCFuzz.s",
+            Arc::new(metamut_mutators::supervised_registry()),
+            seed_corpus().iter().map(|s| s.to_string()),
+        )
+    }
+
+    #[test]
+    fn produces_mutants() {
+        let mut f = fuzzer();
+        let mut rng = MutRng::new(42);
+        let mut mutated = 0;
+        for _ in 0..20 {
+            let c = f.next_candidate(&mut rng);
+            if c.parent.map(|i| f.pool.get(i) != Some(c.program.as_str())).unwrap_or(true) {
+                mutated += 1;
+            }
+        }
+        assert!(mutated >= 15, "only {mutated}/20 attempts mutated");
+    }
+
+    #[test]
+    fn pool_grows_on_interesting() {
+        let mut f = fuzzer();
+        let mut rng = MutRng::new(1);
+        let before = f.pool_len();
+        // Draw candidates until one actually mutated its parent (a dud
+        // re-emits the parent and is never pooled).
+        let c = loop {
+            let c = f.next_candidate(&mut rng);
+            let parent = c.parent.and_then(|i| f.pool.get(i));
+            if parent != Some(c.program.as_str()) {
+                break c;
+            }
+        };
+        f.feedback(&c, true, true);
+        assert_eq!(f.pool_len(), before + 1);
+        let c2 = f.next_candidate(&mut rng);
+        f.feedback(&c2, false, true);
+        assert_eq!(f.pool_len(), before + 1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = fuzzer();
+        let mut b = fuzzer();
+        let mut ra = MutRng::new(7);
+        let mut rb = MutRng::new(7);
+        for _ in 0..5 {
+            assert_eq!(a.next_candidate(&mut ra), b.next_candidate(&mut rb));
+        }
+    }
+}

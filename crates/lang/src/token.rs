@@ -1,0 +1,349 @@
+//! Token definitions for the C-subset lexer.
+
+use crate::source::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keyword and punctuation variants are self-describing; see
+/// [`TokenKind::describe`] for the diagnostic spellings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    // Literals and identifiers ------------------------------------------
+    /// An identifier or a keyword candidate resolved by [`keyword_from_str`].
+    Ident,
+    /// Integer literal, e.g. `42`, `0x1f`, `07`, `42u`, `42LL`.
+    IntLit,
+    /// Floating literal, e.g. `1.5`, `1e9`, `.5f`.
+    FloatLit,
+    /// Character literal, e.g. `'a'`, `'\n'`.
+    CharLit,
+    /// String literal, e.g. `"abc"`.
+    StrLit,
+
+    // Keywords -----------------------------------------------------------
+    KwVoid,
+    KwChar,
+    KwShort,
+    KwInt,
+    KwLong,
+    KwFloat,
+    KwDouble,
+    KwSigned,
+    KwUnsigned,
+    KwBool,
+    KwComplex,
+    KwStruct,
+    KwUnion,
+    KwEnum,
+    KwTypedef,
+    KwStatic,
+    KwExtern,
+    KwRegister,
+    KwAuto,
+    KwConst,
+    KwVolatile,
+    KwRestrict,
+    KwInline,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwGoto,
+    KwSizeof,
+
+    // Punctuation ---------------------------------------------------------
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Ellipsis,
+    Question,
+    Colon,
+    Tilde,
+    Bang,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this token can begin a type specifier (used by the parser's
+    /// declaration/expression disambiguation, together with typedef names).
+    pub fn is_type_specifier_keyword(self) -> bool {
+        use TokenKind::*;
+        matches!(
+            self,
+            KwVoid
+                | KwChar
+                | KwShort
+                | KwInt
+                | KwLong
+                | KwFloat
+                | KwDouble
+                | KwSigned
+                | KwUnsigned
+                | KwBool
+                | KwComplex
+                | KwStruct
+                | KwUnion
+                | KwEnum
+        )
+    }
+
+    /// Whether this token is a declaration-specifier keyword (storage class,
+    /// qualifier, or type specifier).
+    pub fn is_decl_specifier_keyword(self) -> bool {
+        use TokenKind::*;
+        self.is_type_specifier_keyword()
+            || matches!(
+                self,
+                KwTypedef
+                    | KwStatic
+                    | KwExtern
+                    | KwRegister
+                    | KwAuto
+                    | KwConst
+                    | KwVolatile
+                    | KwRestrict
+                    | KwInline
+            )
+    }
+
+    /// A short human-readable name used in diagnostics.
+    pub fn describe(self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Ident => "identifier",
+            IntLit => "integer literal",
+            FloatLit => "floating literal",
+            CharLit => "character literal",
+            StrLit => "string literal",
+            KwVoid => "'void'",
+            KwChar => "'char'",
+            KwShort => "'short'",
+            KwInt => "'int'",
+            KwLong => "'long'",
+            KwFloat => "'float'",
+            KwDouble => "'double'",
+            KwSigned => "'signed'",
+            KwUnsigned => "'unsigned'",
+            KwBool => "'_Bool'",
+            KwComplex => "'_Complex'",
+            KwStruct => "'struct'",
+            KwUnion => "'union'",
+            KwEnum => "'enum'",
+            KwTypedef => "'typedef'",
+            KwStatic => "'static'",
+            KwExtern => "'extern'",
+            KwRegister => "'register'",
+            KwAuto => "'auto'",
+            KwConst => "'const'",
+            KwVolatile => "'volatile'",
+            KwRestrict => "'restrict'",
+            KwInline => "'inline'",
+            KwIf => "'if'",
+            KwElse => "'else'",
+            KwWhile => "'while'",
+            KwDo => "'do'",
+            KwFor => "'for'",
+            KwSwitch => "'switch'",
+            KwCase => "'case'",
+            KwDefault => "'default'",
+            KwBreak => "'break'",
+            KwContinue => "'continue'",
+            KwReturn => "'return'",
+            KwGoto => "'goto'",
+            KwSizeof => "'sizeof'",
+            LParen => "'('",
+            RParen => "')'",
+            LBrace => "'{'",
+            RBrace => "'}'",
+            LBracket => "'['",
+            RBracket => "']'",
+            Semi => "';'",
+            Comma => "','",
+            Dot => "'.'",
+            Arrow => "'->'",
+            Ellipsis => "'...'",
+            Question => "'?'",
+            Colon => "':'",
+            Tilde => "'~'",
+            Bang => "'!'",
+            Plus => "'+'",
+            Minus => "'-'",
+            Star => "'*'",
+            Slash => "'/'",
+            Percent => "'%'",
+            Amp => "'&'",
+            Pipe => "'|'",
+            Caret => "'^'",
+            Shl => "'<<'",
+            Shr => "'>>'",
+            Lt => "'<'",
+            Gt => "'>'",
+            Le => "'<='",
+            Ge => "'>='",
+            EqEq => "'=='",
+            Ne => "'!='",
+            AmpAmp => "'&&'",
+            PipePipe => "'||'",
+            PlusPlus => "'++'",
+            MinusMinus => "'--'",
+            Eq => "'='",
+            PlusEq => "'+='",
+            MinusEq => "'-='",
+            StarEq => "'*='",
+            SlashEq => "'/='",
+            PercentEq => "'%='",
+            AmpEq => "'&='",
+            PipeEq => "'|='",
+            CaretEq => "'^='",
+            ShlEq => "'<<='",
+            ShrEq => "'>>='",
+            Eof => "end of input",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// Resolves an identifier spelling to a keyword kind, if it is one.
+pub fn keyword_from_str(s: &str) -> Option<TokenKind> {
+    use TokenKind::*;
+    Some(match s {
+        "void" => KwVoid,
+        "char" => KwChar,
+        "short" => KwShort,
+        "int" => KwInt,
+        "long" => KwLong,
+        "float" => KwFloat,
+        "double" => KwDouble,
+        "signed" => KwSigned,
+        "unsigned" => KwUnsigned,
+        "_Bool" => KwBool,
+        "_Complex" => KwComplex,
+        "struct" => KwStruct,
+        "union" => KwUnion,
+        "enum" => KwEnum,
+        "typedef" => KwTypedef,
+        "static" => KwStatic,
+        "extern" => KwExtern,
+        "register" => KwRegister,
+        "auto" => KwAuto,
+        "const" => KwConst,
+        "volatile" => KwVolatile,
+        "restrict" => KwRestrict,
+        "inline" | "__inline" | "__inline__" => KwInline,
+        "if" => KwIf,
+        "else" => KwElse,
+        "while" => KwWhile,
+        "do" => KwDo,
+        "for" => KwFor,
+        "switch" => KwSwitch,
+        "case" => KwCase,
+        "default" => KwDefault,
+        "break" => KwBreak,
+        "continue" => KwContinue,
+        "return" => KwReturn,
+        "goto" => KwGoto,
+        "sizeof" => KwSizeof,
+        "__const" | "__const__" => KwConst,
+        "__volatile" | "__volatile__" => KwVolatile,
+        "__restrict" | "__restrict__" => KwRestrict,
+        "__signed" | "__signed__" => KwSigned,
+        _ => return None,
+    })
+}
+
+/// A lexed token: a kind plus the span of its spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where its spelling lives in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(keyword_from_str("int"), Some(TokenKind::KwInt));
+        assert_eq!(keyword_from_str("_Complex"), Some(TokenKind::KwComplex));
+        assert_eq!(keyword_from_str("__restrict__"), Some(TokenKind::KwRestrict));
+        assert_eq!(keyword_from_str("foo"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(TokenKind::KwInt.is_type_specifier_keyword());
+        assert!(TokenKind::KwConst.is_decl_specifier_keyword());
+        assert!(!TokenKind::KwConst.is_type_specifier_keyword());
+        assert!(!TokenKind::Ident.is_decl_specifier_keyword());
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert!(!TokenKind::Arrow.describe().is_empty());
+        assert_eq!(format!("{}", TokenKind::Semi), "';'");
+    }
+}

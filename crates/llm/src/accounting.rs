@@ -1,0 +1,238 @@
+//! Token/latency accounting calibrated against Tables 2 and 3 of the paper:
+//! per-mutator generation consumed ~8,600 tokens over ~6 QA rounds, with
+//! ~43 s mean response wait and ~17 s request preparation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::Serialize;
+
+/// Cost of one LLM interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Interaction {
+    /// Tokens consumed (prompt + completion).
+    pub tokens: u32,
+    /// Seconds spent waiting for the response (Table 3 row 1).
+    pub wait_s: f64,
+    /// Seconds spent preparing the request — compiling and running the
+    /// mutator, collecting feedback (Table 3 row 2).
+    pub prepare_s: f64,
+}
+
+/// Which pipeline step an interaction belongs to (Table 2's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Step {
+    /// Mutator invention.
+    Invention,
+    /// Implementation synthesis.
+    Implementation,
+    /// One bug-fixing round.
+    BugFixing,
+}
+
+impl Step {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Step::Invention => "Invention",
+            Step::Implementation => "Implementation",
+            Step::BugFixing => "Bug-Fixing",
+        }
+    }
+}
+
+/// Samples a value from a clamped log-normal-ish distribution around the
+/// paper's empirical median/mean shapes.
+fn skewed(rng: &mut StdRng, min: f64, median: f64, max: f64) -> f64 {
+    // Sum of two uniforms gives a triangular body; an occasional long tail
+    // reproduces the min ≪ median ≪ max spread the paper reports.
+    let base = rng.gen_range(0.0..1.0f64) + rng.gen_range(0.0..1.0f64);
+    let v = median * base;
+    let v = if rng.gen_bool(0.08) {
+        v + rng.gen_range(0.0..(max - median)).max(0.0)
+    } else {
+        v
+    };
+    v.clamp(min, max)
+}
+
+/// Samples the cost of one interaction of the given step.
+pub fn sample_interaction(rng: &mut StdRng, step: Step) -> Interaction {
+    let tokens = match step {
+        // Table 2: invention 359–2,240, median 1,130.
+        Step::Invention => skewed(rng, 359.0, 1130.0, 2240.0),
+        // Table 2: implementation 372–3,870, median 2,488.
+        Step::Implementation => skewed(rng, 372.0, 2488.0, 3870.0),
+        // Table 2: bug-fixing totals 335–30,923 over ~4 rounds; per round
+        // median ≈ 520.
+        Step::BugFixing => skewed(rng, 120.0, 700.0, 7000.0),
+    };
+    Interaction {
+        tokens: tokens as u32,
+        // Table 3: wait 11–123 s, median 46, mean 43.
+        wait_s: skewed(rng, 11.0, 46.0, 123.0),
+        // Table 3: prepare 0–69 s, median 9, mean 17. Invention needs no
+        // compile-and-run preparation.
+        prepare_s: match step {
+            Step::Invention => skewed(rng, 0.0, 2.0, 8.0),
+            _ => skewed(rng, 0.0, 9.0, 69.0),
+        },
+    }
+}
+
+/// Accumulated cost of generating one mutator (one Table 2 column set).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CostRecord {
+    /// Tokens per step.
+    pub tokens_invention: u32,
+    /// Tokens spent on the one-shot synthesis.
+    pub tokens_implementation: u32,
+    /// Tokens spent across all repair rounds.
+    pub tokens_bugfix: u32,
+    /// Bug-fixing QA rounds.
+    pub qa_bugfix: u32,
+    /// Total wall-clock seconds (virtual).
+    pub time_s: f64,
+    /// Seconds waiting on the model.
+    pub wait_s: f64,
+    /// Seconds preparing requests.
+    pub prepare_s: f64,
+}
+
+impl CostRecord {
+    /// Total tokens across all steps.
+    pub fn tokens_total(&self) -> u32 {
+        self.tokens_invention + self.tokens_implementation + self.tokens_bugfix
+    }
+
+    /// Total QA rounds (two fixed + bug-fixing).
+    pub fn qa_total(&self) -> u32 {
+        2 + self.qa_bugfix
+    }
+
+    /// Dollar cost at the paper's ~US$0.06/1K-token blended GPT-4 rate
+    /// (8,600 tokens ≈ $0.50).
+    pub fn dollars(&self) -> f64 {
+        self.tokens_total() as f64 * 0.5 / 8600.0
+    }
+
+    /// Adds one interaction to the record.
+    pub fn add(&mut self, step: Step, i: Interaction) {
+        match step {
+            Step::Invention => self.tokens_invention += i.tokens,
+            Step::Implementation => self.tokens_implementation += i.tokens,
+            Step::BugFixing => {
+                self.tokens_bugfix += i.tokens;
+                self.qa_bugfix += 1;
+            }
+        }
+        self.time_s += i.wait_s + i.prepare_s;
+        self.wait_s += i.wait_s;
+        self.prepare_s += i.prepare_s;
+    }
+}
+
+/// Min/max/median/mean summary of a sample (a Table 2/3 cell row).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Summarizes a sample of values.
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary {
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+            mean: 0.0,
+        };
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+    Summary {
+        min: v[0],
+        max: *v.last().expect("nonempty"),
+        median: v[v.len() / 2],
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interactions_within_paper_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let i = sample_interaction(&mut rng, Step::Invention);
+            assert!((359..=2240).contains(&i.tokens), "{}", i.tokens);
+            assert!((11.0..=123.0).contains(&i.wait_s));
+            let i = sample_interaction(&mut rng, Step::Implementation);
+            assert!((372..=3870).contains(&i.tokens));
+        }
+    }
+
+    #[test]
+    fn cost_record_accumulates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = CostRecord::default();
+        c.add(Step::Invention, sample_interaction(&mut rng, Step::Invention));
+        c.add(
+            Step::Implementation,
+            sample_interaction(&mut rng, Step::Implementation),
+        );
+        for _ in 0..4 {
+            c.add(Step::BugFixing, sample_interaction(&mut rng, Step::BugFixing));
+        }
+        assert_eq!(c.qa_total(), 6);
+        assert_eq!(
+            c.tokens_total(),
+            c.tokens_invention + c.tokens_implementation + c.tokens_bugfix
+        );
+        assert!(c.dollars() > 0.0);
+        assert!(c.time_s >= c.wait_s);
+    }
+
+    #[test]
+    fn mean_cost_near_half_dollar() {
+        // Over many simulated generations the mean cost should sit near the
+        // paper's ~$0.5 (token mean ~8.6k with ~4 fix rounds).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let mut c = CostRecord::default();
+            c.add(Step::Invention, sample_interaction(&mut rng, Step::Invention));
+            c.add(
+                Step::Implementation,
+                sample_interaction(&mut rng, Step::Implementation),
+            );
+            for _ in 0..4 {
+                c.add(Step::BugFixing, sample_interaction(&mut rng, Step::BugFixing));
+            }
+            total += c.dollars();
+        }
+        let mean = total / n as f64;
+        assert!((0.2..0.9).contains(&mean), "mean ${mean:.2}");
+    }
+
+    #[test]
+    fn summaries() {
+        let s = summarize(&[3.0, 1.0, 2.0, 10.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 4.0);
+        let empty = summarize(&[]);
+        assert_eq!(empty.mean, 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Defect classes injected into synthesized mutator implementations.
+//!
+//! These are exactly the violation classes of the paper's validation goals
+//! #1–#6 (§3.3, Table 1); the simulated LLM plants them with the empirical
+//! Table 1 frequencies and removes them when the refinement loop feeds the
+//! right diagnostic back.
+
+use serde::{Deserialize, Serialize};
+
+/// A flaw in a tentative mutator implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Defect {
+    /// Goal #1: the mutator implementation does not compile.
+    SyntaxError,
+    /// Goal #2: the mutator hangs on some input.
+    Hangs,
+    /// Goal #3: the mutator crashes on some input.
+    Crashes,
+    /// Goal #4: the mutator never outputs anything.
+    NoOutput,
+    /// Goal #5: the mutator runs but performs no rewrite.
+    NoRewrite,
+    /// Goal #6: the mutator produces mutants that do not compile.
+    CompileErrorMutant,
+}
+
+impl Defect {
+    /// All classes in validation-goal order (simplest first).
+    pub const ALL: [Defect; 6] = [
+        Defect::SyntaxError,
+        Defect::Hangs,
+        Defect::Crashes,
+        Defect::NoOutput,
+        Defect::NoRewrite,
+        Defect::CompileErrorMutant,
+    ];
+
+    /// The validation-goal number (1-based) this defect violates.
+    pub fn goal(self) -> u8 {
+        match self {
+            Defect::SyntaxError => 1,
+            Defect::Hangs => 2,
+            Defect::Crashes => 3,
+            Defect::NoOutput => 4,
+            Defect::NoRewrite => 5,
+            Defect::CompileErrorMutant => 6,
+        }
+    }
+
+    /// Table 1 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Defect::SyntaxError => "μ not compile",
+            Defect::Hangs => "μ hangs",
+            Defect::Crashes => "μ crashes",
+            Defect::NoOutput => "μ outputs nothing",
+            Defect::NoRewrite => "μ does not rewrite",
+            Defect::CompileErrorMutant => "μ creates compile-error mutant",
+        }
+    }
+
+    /// Table 1 empirical weights (counts of fixed bugs per class: 55, 0, 4,
+    /// 11, 1, 36). `Hangs` gets a tiny nonzero weight so the class exists —
+    /// the paper observed hang-defects only among *unfixable* mutators.
+    pub fn weight(self) -> u32 {
+        match self {
+            Defect::SyntaxError => 55,
+            Defect::Hangs => 1,
+            Defect::Crashes => 4,
+            Defect::NoOutput => 11,
+            Defect::NoRewrite => 1,
+            Defect::CompileErrorMutant => 36,
+        }
+    }
+
+    /// Samples a defect class from the Table 1 distribution.
+    pub fn sample(pick: u32) -> Defect {
+        let total: u32 = Defect::ALL.iter().map(|d| d.weight()).sum();
+        let mut x = pick % total;
+        for d in Defect::ALL {
+            if x < d.weight() {
+                return d;
+            }
+            x -= d.weight();
+        }
+        Defect::SyntaxError
+    }
+}
+
+impl std::fmt::Display for Defect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goals_ordered() {
+        for w in Defect::ALL.windows(2) {
+            assert!(w[0].goal() < w[1].goal());
+        }
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let mut counts = std::collections::HashMap::new();
+        let total: u32 = Defect::ALL.iter().map(|d| d.weight()).sum();
+        for i in 0..total {
+            *counts.entry(Defect::sample(i)).or_insert(0u32) += 1;
+        }
+        for d in Defect::ALL {
+            assert_eq!(counts.get(&d).copied().unwrap_or(0), d.weight());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Defect::SyntaxError.label(), "μ not compile");
+        assert_eq!(Defect::CompileErrorMutant.label(), "μ creates compile-error mutant");
+    }
+}

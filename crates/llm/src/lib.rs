@@ -1,0 +1,623 @@
+//! # metamut-llm
+//!
+//! A deterministic *simulated* language model standing in for the GPT-4
+//! endpoint the paper drives (see DESIGN.md, substitution #2). It answers
+//! the four prompt kinds MetaMut issues:
+//!
+//! 1. **Invention** — samples the "perform \[Action\] on \[Program
+//!    Structure\]" probability space of §3.1 (with the paper's creativity
+//!    escape hatch) and names a mutator.
+//! 2. **Synthesis** — emits a [`Blueprint`]: a serialized implementation
+//!    spec that the framework compiles against the mutator behavior
+//!    library, seeded with [`defects::Defect`]s at the Table 1 frequencies.
+//! 3. **Test generation** — returns compilable unit-test programs
+//!    containing the targeted structure.
+//! 4. **Repair** — given validation feedback naming an unmet goal, returns
+//!    a corrected blueprint (usually; LLMs fail at hard bugs, §5.4).
+//!
+//! Token counts, QA rounds and latencies are sampled from the empirical
+//! distributions of Tables 2–3, so the framework's cost bookkeeping is
+//! directly comparable to the paper's.
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod defects;
+
+use accounting::{sample_interaction, Interaction, Step};
+use defects::Defect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The `[Action]` list of §3.1 (derived from Clang AST/IR member functions).
+pub const ACTIONS: [&str; 12] = [
+    "Add", "Modify", "Copy", "Swap", "Inline", "Destruct", "Group", "Combine", "Lift", "Switch",
+    "Inverse", "Remove",
+];
+
+/// The `[Program Structure]` list of §3.1 (Clang AST node types).
+pub const STRUCTURES: [&str; 14] = [
+    "BinaryOperator",
+    "LogicalExpr",
+    "CharLiteral",
+    "IfStmt",
+    "Attribute",
+    "Builtins",
+    "ArrayDimension",
+    "IntegerLiteral",
+    "FunctionDecl",
+    "VarDecl",
+    "ReturnStmt",
+    "SwitchStmt",
+    "UnaryOperator",
+    "ForStmt",
+];
+
+/// A synthesized mutator implementation, as structured data: the framework
+/// "compiles" it by binding `behavior` against the mutator library and
+/// wrapping it with any remaining `defects`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Blueprint {
+    /// The invented CamelCase mutator name.
+    pub name: String,
+    /// The natural-language description the name stands for.
+    pub description: String,
+    /// Behavior key resolved against the mutator library.
+    pub behavior: String,
+    /// Remaining implementation flaws.
+    pub defects: Vec<Defect>,
+    /// Hidden flaw: the implementation deviates from the description and
+    /// only *manual* review catches it (§4.1 "mismatched implementation").
+    pub mismatched: bool,
+    /// Hidden flaw: survives the generated tests but fails on more complex
+    /// programs (§4.1 "unthorough test cases").
+    pub latent_compile_error: bool,
+}
+
+/// An invented mutator: name plus description plus sampling metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invention {
+    /// CamelCase name.
+    pub name: String,
+    /// One-sentence description.
+    pub description: String,
+    /// The `(action, structure)` pair it was sampled from (`None` for the
+    /// "creative" escapes like `Ret2V`).
+    pub pair: Option<(String, String)>,
+    /// The behavior key the synthesis step will bind.
+    pub behavior: String,
+}
+
+/// A model response plus its sampled cost.
+#[derive(Debug, Clone)]
+pub struct Reply<T> {
+    /// The payload.
+    pub value: T,
+    /// Token/latency cost of the round trip.
+    pub cost: Interaction,
+}
+
+/// Error kinds for failed invocations (§4.1: 24/100 runs died on API
+/// throttling or timeouts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// Rate limited.
+    Throttled,
+    /// Request timed out.
+    Timeout,
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::Throttled => f.write_str("API throttled"),
+            LlmError::Timeout => f.write_str("request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// Simulator configuration knobs (probabilities measured in §4.1).
+#[derive(Debug, Clone)]
+pub struct SimLlmConfig {
+    /// Probability a whole invocation dies on infrastructure errors (24%).
+    pub system_error_rate: f64,
+    /// Probability the first implementation carries defects (54%).
+    pub defective_rate: f64,
+    /// Mean number of injected defects when defective (≈4, Table 1).
+    pub mean_defects: f64,
+    /// Probability a repair round actually fixes the reported defect.
+    pub repair_success_rate: f64,
+    /// Probability of a hidden description mismatch (7/76).
+    pub mismatch_rate: f64,
+    /// Probability of a latent compile-error flaw (10/76).
+    pub latent_rate: f64,
+    /// Probability the model ignores the avoid-list (3/76 duplicates).
+    pub duplicate_rate: f64,
+    /// Probability of a "creative" off-template invention (33/118).
+    pub creative_rate: f64,
+}
+
+impl Default for SimLlmConfig {
+    fn default() -> Self {
+        SimLlmConfig {
+            system_error_rate: 0.24,
+            defective_rate: 0.54,
+            mean_defects: 5.5,
+            repair_success_rate: 0.93,
+            mismatch_rate: 0.09,
+            latent_rate: 0.13,
+            duplicate_rate: 0.04,
+            creative_rate: 0.28,
+        }
+    }
+}
+
+/// The deterministic simulated language model.
+#[derive(Debug)]
+pub struct SimLlm {
+    rng: StdRng,
+    config: SimLlmConfig,
+    /// Behavior keys the "model" can implement (its pretraining knowledge —
+    /// in practice, the names in the mutator library).
+    behaviors: Vec<String>,
+    /// Off-template creative inventions with their behaviors.
+    creative: Vec<(String, String, String)>,
+}
+
+impl SimLlm {
+    /// Creates a simulator over the given behavior vocabulary.
+    pub fn new(seed: u64, behaviors: Vec<String>) -> Self {
+        SimLlm::with_config(seed, behaviors, SimLlmConfig::default())
+    }
+
+    /// Creates a simulator with custom rates.
+    pub fn with_config(seed: u64, behaviors: Vec<String>, config: SimLlmConfig) -> Self {
+        let creative = vec![
+            (
+                "ModifyFunctionReturnTypeToVoid".to_string(),
+                "Change a function's return type to void, remove all return statements, and replace all uses of the function's result with a default value.".to_string(),
+                "ModifyFunctionReturnTypeToVoid".to_string(),
+            ),
+            (
+                "SimpleUninliner".to_string(),
+                "Turn a block of code into a function call.".to_string(),
+                "SimpleUninliner".to_string(),
+            ),
+            (
+                "TransformSwitchToIfElse".to_string(),
+                "This mutator identifies a 'switch' statement in the code and transforms it into an equivalent series of 'if-else' statements, effectively altering the control flow structure.".to_string(),
+                "TransformSwitchToIfElse".to_string(),
+            ),
+            (
+                "DecaySmallStruct".to_string(),
+                "Casts a small object into a long long variable and rewrites all references into pointer arithmetic over the new variable.".to_string(),
+                "DecaySmallStruct".to_string(),
+            ),
+            (
+                "AggregateMemberToScalarVariable".to_string(),
+                "Transforms an aggregate member access into a fresh scalar variable with a declaration added for it.".to_string(),
+                "AggregateMemberToScalarVariable".to_string(),
+            ),
+            (
+                "ChangeParamScope".to_string(),
+                "Moves a parameter from the parameter scope to the local scope of the function, initializing it with a default value.".to_string(),
+                "ChangeParamScope".to_string(),
+            ),
+        ];
+        SimLlm {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            behaviors,
+            creative,
+        }
+    }
+
+    /// Whether this invocation dies with an infrastructure error; MetaMut
+    /// counts these as unsuccessful runs (§4.1).
+    pub fn roll_system_error(&mut self) -> Option<LlmError> {
+        if self.rng.gen_bool(self.config.system_error_rate) {
+            Some(if self.rng.gen_bool(0.5) {
+                LlmError::Throttled
+            } else {
+                LlmError::Timeout
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Answers an invention prompt (the §3.1 template plus sampling hints:
+    /// `avoid` lists the previously generated names).
+    pub fn invent(&mut self, avoid: &[String]) -> Reply<Invention> {
+        let cost = sample_interaction(&mut self.rng, Step::Invention);
+        let honor_avoid = !self.rng.gen_bool(self.config.duplicate_rate);
+        let mut attempts = 0;
+        let value = loop {
+            let inv = self.sample_invention();
+            attempts += 1;
+            if !honor_avoid || !avoid.contains(&inv.name) || attempts > 64 {
+                break inv;
+            }
+            // Biased re-sampling — the paper's "sampling hints" (§3.1.3).
+        };
+        Reply { value, cost }
+    }
+
+    fn sample_invention(&mut self) -> Invention {
+        if self.rng.gen_bool(self.config.creative_rate) {
+            let i = self.rng.gen_range(0..self.creative.len());
+            let (name, desc, behavior) = self.creative[i].clone();
+            return Invention {
+                name,
+                description: desc,
+                pair: None,
+                behavior,
+            };
+        }
+        let action = ACTIONS[self.rng.gen_range(0..ACTIONS.len())];
+        let structure = STRUCTURES[self.rng.gen_range(0..STRUCTURES.len())];
+        let behavior = self.nearest_behavior(action, structure);
+        Invention {
+            name: format!("{action}{structure}"),
+            description: format!(
+                "A semantic-aware mutation operator that performs {action} on {structure}."
+            ),
+            pair: Some((action.to_string(), structure.to_string())),
+            behavior,
+        }
+    }
+
+    /// Maps an (action, structure) pair onto the behavior vocabulary —
+    /// the model "knowing how" to implement what it invented.
+    fn nearest_behavior(&mut self, action: &str, structure: &str) -> String {
+        let keyword: &[&str] = match structure {
+            "BinaryOperator" | "LogicalExpr" => &["Binary", "Operand", "Relational"],
+            "CharLiteral" | "IntegerLiteral" => &["Literal", "Integer"],
+            "IfStmt" => &["If", "Branch", "Condition"],
+            "ArrayDimension" => &["Array", "Index"],
+            "FunctionDecl" | "Builtins" => &["Function", "Param", "Call", "Inline"],
+            "VarDecl" | "Attribute" => &["Var", "Qualifier", "Volatile", "Static", "Init"],
+            "ReturnStmt" => &["Return", "Early"],
+            "SwitchStmt" => &["Switch", "Case"],
+            "UnaryOperator" => &["Unary", "Not"],
+            "ForStmt" => &["Loop", "For", "While"],
+            _ => &["Expr"],
+        };
+        let verb: &[&str] = match action {
+            "Swap" | "Switch" => &["Swap", "Reorder", "Switch"],
+            "Inverse" => &["Inverse", "Negate"],
+            "Copy" | "Add" | "Group" | "Combine" => &["Duplicate", "Copy", "Add", "Insert", "Wrap"],
+            "Remove" | "Destruct" => &["Remove", "Delete", "Empty"],
+            "Inline" | "Lift" => &["Inline", "Promote", "Uninline", "Extract"],
+            _ => &["Modify", "Replace", "Change"],
+        };
+        let mut candidates: Vec<&String> = self
+            .behaviors
+            .iter()
+            .filter(|b| {
+                keyword.iter().any(|k| b.contains(k)) && verb.iter().any(|v| b.contains(v))
+            })
+            .collect();
+        if candidates.is_empty() {
+            candidates = self
+                .behaviors
+                .iter()
+                .filter(|b| keyword.iter().any(|k| b.contains(k)))
+                .collect();
+        }
+        if candidates.is_empty() {
+            candidates = self.behaviors.iter().collect();
+        }
+        let i = self.rng.gen_range(0..candidates.len());
+        candidates[i].clone()
+    }
+
+    /// Answers a synthesis prompt with a tentative blueprint.
+    pub fn synthesize(&mut self, invention: &Invention) -> Reply<Blueprint> {
+        let cost = sample_interaction(&mut self.rng, Step::Implementation);
+        let mut defects = Vec::new();
+        if self.rng.gen_bool(self.config.defective_rate) {
+            // Geometric-ish count with the paper's ~4 mean.
+            let mut n = 1;
+            while self.rng.gen_bool(1.0 - 1.0 / self.config.mean_defects) && n < 12 {
+                n += 1;
+            }
+            for _ in 0..n {
+                defects.push(Defect::sample(self.rng.gen()));
+            }
+            defects.sort();
+        }
+        let value = Blueprint {
+            name: invention.name.clone(),
+            description: invention.description.clone(),
+            behavior: invention.behavior.clone(),
+            defects,
+            mismatched: self.rng.gen_bool(self.config.mismatch_rate),
+            latent_compile_error: self.rng.gen_bool(self.config.latent_rate),
+        };
+        Reply { value, cost }
+    }
+
+    /// Answers a test-generation prompt with compilable programs that
+    /// contain the targeted structures.
+    pub fn generate_tests(&mut self, _behavior: &str) -> Reply<Vec<String>> {
+        let cost = sample_interaction(&mut self.rng, Step::Implementation);
+        // The simulated model produces a fixed, rich test suite; the real
+        // one produced per-mutator suites, but validation only needs the
+        // targeted structures to be *present*.
+        let value = TEST_PROGRAMS.iter().map(|s| s.to_string()).collect();
+        Reply { value, cost }
+    }
+
+    /// Answers a repair prompt: usually removes the defect behind the
+    /// reported goal, occasionally fails (hard bugs stay, §5.4 limitation 2).
+    pub fn repair(&mut self, blueprint: &Blueprint, goal: u8, _message: &str) -> Reply<Blueprint> {
+        let cost = sample_interaction(&mut self.rng, Step::BugFixing);
+        let mut fixed = blueprint.clone();
+        // Hang defects model the paper's un-fixable class.
+        let hard = goal == Defect::Hangs.goal();
+        let succeed = !hard && self.rng.gen_bool(self.config.repair_success_rate);
+        if succeed {
+            // One feedback round fixes one bug (Table 2: ~4 rounds mean);
+            // occasionally the rewrite cleans a second instance too.
+            let had_defect = fixed.defects.iter().any(|d| d.goal() == goal);
+            let remove_one = |fixed: &mut Blueprint| {
+                if let Some(pos) = fixed.defects.iter().position(|d| d.goal() == goal) {
+                    fixed.defects.remove(pos);
+                }
+            };
+            remove_one(&mut fixed);
+            if had_defect {
+                if self.rng.gen_bool(0.3) {
+                    remove_one(&mut fixed);
+                }
+            } else if !self.behaviors.is_empty() && self.rng.gen_bool(0.5) {
+                // The reported failure is inherent to the chosen approach
+                // (no injected defect to remove): the model rewrites the
+                // implementation around a different strategy, like GPT-4's
+                // restructured Ret2V in Figure 4. Such rewrites are how
+                // implementations drift away from their descriptions — half
+                // of them become §4.1 "mismatched implementation" cases.
+                let i = self.rng.gen_range(0..self.behaviors.len());
+                fixed.behavior = self.behaviors[i].clone();
+                if self.rng.gen_bool(0.5) {
+                    fixed.mismatched = true;
+                }
+            }
+        }
+        Reply { value: fixed, cost }
+    }
+}
+
+/// The unit-test programs the simulated model "writes" for validation:
+/// compilable and jointly covering every targeted program structure.
+pub static TEST_PROGRAMS: [&str; 5] = [
+    r#"
+int flag = 1;
+int spare_global;
+int alpha(int a, int b) {
+    int x = a + b * 2;
+    int y = 10;
+    if (x > y) { x = x - 1; } else { y = y + 1; }
+    return x ^ y;
+}
+int main(void) { return alpha(3, 4); }
+"#,
+    r#"
+int arr[8];
+int beta(int n) {
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        arr[i & 7] = i * 2;
+        total += arr[i & 7];
+    }
+    while (total > 100) { total /= 2; }
+    return total;
+}
+int main(void) { return beta(6); }
+"#,
+    r#"
+int gamma_fn(int mode) {
+    switch (mode) {
+        case 0: return 10;
+        case 1: return 20;
+        default: return mode > 5 ? 1 : -1;
+    }
+}
+int main(void) { return gamma_fn(1) + gamma_fn(9); }
+"#,
+    r#"
+double scale_factor = 1.5;
+double delta(double v) { return v * scale_factor; }
+int wrapper(void) { return (int)delta(4.0); }
+int main(void) { return wrapper(); }
+"#,
+    r#"
+struct node { int value; int weight; };
+int eval(struct node *n) { return n->value * n->weight; }
+int main(void) {
+    struct node n;
+    n.value = 3;
+    n.weight = -2;
+    int r = eval(&n);
+    return !r ? 0 : 1;
+}
+"#,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn behaviors() -> Vec<String> {
+        [
+            "SwapBinaryOperands",
+            "ModifyIntegerLiteral",
+            "DuplicateBranch",
+            "NegateCondition",
+            "RemoveVarInit",
+            "InlineFunctionCall",
+            "ReplaceIndexWithZero",
+            "AddCaseToSwitch",
+            "InverseUnaryOperator",
+            "ConvertWhileToFor",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn inventions_are_plausible_and_bound() {
+        let mut llm = SimLlm::new(7, behaviors());
+        for _ in 0..50 {
+            let r = llm.invent(&[]);
+            assert!(!r.value.name.is_empty());
+            assert!(!r.value.description.is_empty());
+            assert!(
+                behaviors().contains(&r.value.behavior) || r.value.pair.is_none(),
+                "unbound behavior {}",
+                r.value.behavior
+            );
+            assert!(r.cost.tokens >= 359);
+        }
+    }
+
+    #[test]
+    fn avoid_list_respected_mostly() {
+        let mut llm = SimLlm::with_config(
+            3,
+            behaviors(),
+            SimLlmConfig {
+                duplicate_rate: 0.0,
+                creative_rate: 0.0,
+                ..Default::default()
+            },
+        );
+        let first = llm.invent(&[]).value;
+        for _ in 0..30 {
+            let next = llm.invent(std::slice::from_ref(&first.name)).value;
+            assert_ne!(next.name, first.name);
+        }
+    }
+
+    #[test]
+    fn creative_inventions_break_template() {
+        let mut llm = SimLlm::with_config(
+            11,
+            behaviors(),
+            SimLlmConfig {
+                creative_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        let inv = llm.invent(&[]).value;
+        assert!(inv.pair.is_none());
+        assert!([
+            "ModifyFunctionReturnTypeToVoid",
+            "SimpleUninliner",
+            "TransformSwitchToIfElse",
+            "DecaySmallStruct",
+            "AggregateMemberToScalarVariable",
+            "ChangeParamScope"
+        ]
+        .contains(&inv.name.as_str()));
+    }
+
+    #[test]
+    fn synthesis_injects_defects_at_rate() {
+        let mut llm = SimLlm::new(13, behaviors());
+        let inv = llm.invent(&[]).value;
+        let mut defective = 0;
+        let n = 300;
+        for _ in 0..n {
+            let bp = llm.synthesize(&inv).value;
+            if !bp.defects.is_empty() {
+                defective += 1;
+            }
+        }
+        let rate = defective as f64 / n as f64;
+        assert!((0.40..0.70).contains(&rate), "defective rate {rate}");
+    }
+
+    #[test]
+    fn repair_removes_reported_goal() {
+        let mut llm = SimLlm::with_config(
+            17,
+            behaviors(),
+            SimLlmConfig {
+                repair_success_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        let inv = llm.invent(&[]).value;
+        let mut bp = llm.synthesize(&inv).value;
+        bp.defects = vec![Defect::SyntaxError, Defect::NoOutput];
+        let fixed = llm.repair(&bp, 1, "error: expected ';'").value;
+        assert!(!fixed.defects.contains(&Defect::SyntaxError));
+    }
+
+    #[test]
+    fn hang_defects_resist_repair() {
+        let mut llm = SimLlm::new(19, behaviors());
+        let inv = llm.invent(&[]).value;
+        let mut bp = llm.synthesize(&inv).value;
+        bp.defects = vec![Defect::Hangs];
+        for _ in 0..10 {
+            bp = llm.repair(&bp, 2, "timeout").value;
+        }
+        assert!(bp.defects.contains(&Defect::Hangs));
+    }
+
+    #[test]
+    fn test_programs_compile_and_cover_structures() {
+        for (i, p) in TEST_PROGRAMS.iter().enumerate() {
+            metamut_lang::compile_check(p).unwrap_or_else(|e| panic!("test program {i}: {e}"));
+        }
+        let all = TEST_PROGRAMS.join("\n");
+        for needle in ["if", "for", "while", "switch", "struct", "return", "double", "["] {
+            assert!(all.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimLlm::new(5, behaviors());
+        let mut b = SimLlm::new(5, behaviors());
+        for _ in 0..10 {
+            assert_eq!(a.invent(&[]).value, b.invent(&[]).value);
+        }
+    }
+
+    #[test]
+    fn system_errors_at_configured_rate() {
+        let mut llm = SimLlm::new(23, behaviors());
+        let mut errors = 0;
+        let n = 1000;
+        for _ in 0..n {
+            if llm.roll_system_error().is_some() {
+                errors += 1;
+            }
+        }
+        let rate = errors as f64 / n as f64;
+        assert!((0.18..0.30).contains(&rate), "system error rate {rate}");
+    }
+
+    #[test]
+    fn blueprints_serialize() {
+        let bp = Blueprint {
+            name: "X".into(),
+            description: "d".into(),
+            behavior: "B".into(),
+            defects: vec![Defect::SyntaxError],
+            mismatched: false,
+            latent_compile_error: true,
+        };
+        let json = serde_json::to_string(&bp).unwrap();
+        let back: Blueprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(bp, back);
+    }
+}

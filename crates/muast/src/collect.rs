@@ -1,0 +1,186 @@
+//! Node collectors: the traversal half of the μAST API.
+//!
+//! The paper's mutator template (Figure 2) has mutators first traverse the
+//! AST collecting "mutation instances" and then pick one at random. These
+//! helpers implement that collection step generically so each mutator stays
+//! a few dozen lines.
+
+use metamut_lang::ast::*;
+use metamut_lang::visit::{self, Visitor};
+
+/// Collects clones of every expression satisfying `pred`.
+pub fn exprs_matching<F>(ast: &Ast, pred: F) -> Vec<Expr>
+where
+    F: Fn(&Expr) -> bool,
+{
+    struct C<F> {
+        pred: F,
+        out: Vec<Expr>,
+    }
+    impl<F: Fn(&Expr) -> bool> Visitor for C<F> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if (self.pred)(e) {
+                self.out.push(e.clone());
+            }
+            visit::walk_expr(self, e);
+        }
+    }
+    let mut c = C {
+        pred,
+        out: Vec::new(),
+    };
+    c.visit_unit(&ast.unit);
+    c.out
+}
+
+/// Collects clones of every statement satisfying `pred`.
+pub fn stmts_matching<F>(ast: &Ast, pred: F) -> Vec<Stmt>
+where
+    F: Fn(&Stmt) -> bool,
+{
+    struct C<F> {
+        pred: F,
+        out: Vec<Stmt>,
+    }
+    impl<F: Fn(&Stmt) -> bool> Visitor for C<F> {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if (self.pred)(s) {
+                self.out.push(s.clone());
+            }
+            visit::walk_stmt(self, s);
+        }
+    }
+    let mut c = C {
+        pred,
+        out: Vec::new(),
+    };
+    c.visit_unit(&ast.unit);
+    c.out
+}
+
+/// Collects clones of every variable declarator (globals, locals, for-init).
+pub fn all_var_decls(ast: &Ast) -> Vec<VarDecl> {
+    struct C {
+        out: Vec<VarDecl>,
+    }
+    impl Visitor for C {
+        fn visit_var_decl(&mut self, v: &VarDecl) {
+            self.out.push(v.clone());
+            visit::walk_var_decl(self, v);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    c.visit_unit(&ast.unit);
+    c.out
+}
+
+/// Collects clones of the function definitions (with bodies).
+pub fn function_defs(ast: &Ast) -> Vec<FunctionDef> {
+    ast.function_defs().cloned().collect()
+}
+
+/// Collects the `return` statements lexically inside `f`'s body.
+pub fn returns_in(f: &FunctionDef) -> Vec<Stmt> {
+    struct C {
+        out: Vec<Stmt>,
+    }
+    impl Visitor for C {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if matches!(s.kind, StmtKind::Return(_)) {
+                self.out.push(s.clone());
+            }
+            visit::walk_stmt(self, s);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    if let Some(body) = &f.body {
+        c.visit_stmt(body);
+    }
+    c.out
+}
+
+/// Collects every call whose callee is the plain identifier `name`.
+pub fn calls_to(ast: &Ast, name: &str) -> Vec<Expr> {
+    exprs_matching(ast, |e| match &e.kind {
+        ExprKind::Call { callee, .. } => {
+            matches!(&callee.unparenthesized().kind, ExprKind::Ident(n) if n == name)
+        }
+        _ => false,
+    })
+}
+
+/// Collects every identifier expression naming `name`.
+pub fn uses_of(ast: &Ast, name: &str) -> Vec<Expr> {
+    exprs_matching(ast, |e| matches!(&e.kind, ExprKind::Ident(n) if n == name))
+}
+
+/// Collects all `if` statements.
+pub fn if_stmts(ast: &Ast) -> Vec<Stmt> {
+    stmts_matching(ast, |s| matches!(s.kind, StmtKind::If { .. }))
+}
+
+/// Collects all loops (`for`, `while`, `do`).
+pub fn loops(ast: &Ast) -> Vec<Stmt> {
+    stmts_matching(ast, |s| {
+        matches!(
+            s.kind,
+            StmtKind::For { .. } | StmtKind::While { .. } | StmtKind::DoWhile { .. }
+        )
+    })
+}
+
+/// Collects all binary expressions.
+pub fn binary_exprs(ast: &Ast) -> Vec<Expr> {
+    exprs_matching(ast, |e| matches!(e.kind, ExprKind::Binary { .. }))
+}
+
+/// Collects all compound statements (blocks).
+pub fn blocks(ast: &Ast) -> Vec<Stmt> {
+    stmts_matching(ast, |s| matches!(s.kind, StmtKind::Compound(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamut_lang::parse;
+
+    const SRC: &str = r#"
+int g = 1;
+int helper(int x) { return x * 2; }
+int main(void) {
+    int a = helper(g);
+    if (a > 2) { a = helper(a); } else { a--; }
+    for (int i = 0; i < 3; i++) a += i;
+    while (a > 100) a /= 2;
+    return a;
+}
+"#;
+
+    #[test]
+    fn collects_calls_and_uses() {
+        let ast = parse("t.c", SRC).unwrap();
+        assert_eq!(calls_to(&ast, "helper").len(), 2);
+        assert_eq!(uses_of(&ast, "a").len(), 8);
+        assert_eq!(uses_of(&ast, "nonexistent").len(), 0);
+    }
+
+    #[test]
+    fn collects_structures() {
+        let ast = parse("t.c", SRC).unwrap();
+        assert_eq!(if_stmts(&ast).len(), 1);
+        assert_eq!(loops(&ast).len(), 2);
+        assert_eq!(function_defs(&ast).len(), 2);
+        assert_eq!(all_var_decls(&ast).len(), 3); // g, a, i
+        assert!(binary_exprs(&ast).len() >= 4);
+        assert!(blocks(&ast).len() >= 3);
+    }
+
+    #[test]
+    fn returns_in_function() {
+        let ast = parse("t.c", SRC).unwrap();
+        let main = ast.find_function("main").unwrap();
+        assert_eq!(returns_in(main).len(), 1);
+        let helper = ast.find_function("helper").unwrap();
+        assert_eq!(returns_in(helper).len(), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The [`Mutator`] trait and the driver that applies one to a source
+//! program, mirroring the paper's `bool mutate()` contract.
+
+use crate::ctx::MutCtx;
+use metamut_lang::error::Diagnostics;
+use metamut_lang::rewrite::RewriteConflict;
+use metamut_lang::{analyze, parse};
+use std::fmt;
+
+/// Mutator categories from §4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Mutates variable declarations and uses.
+    Variable,
+    /// Mutates expressions.
+    Expression,
+    /// Mutates statements and control flow.
+    Statement,
+    /// Mutates function signatures/bodies.
+    Function,
+    /// Mutates types.
+    Type,
+}
+
+impl Category {
+    /// All categories in the paper's presentation order.
+    pub const ALL: [Category; 5] = [
+        Category::Variable,
+        Category::Expression,
+        Category::Statement,
+        Category::Function,
+        Category::Type,
+    ];
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Variable => "Variable",
+            Category::Expression => "Expression",
+            Category::Statement => "Statement",
+            Category::Function => "Function",
+            Category::Type => "Type",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a mutator came to exist (§4: supervised vs unsupervised generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// From the supervised set M_s (human-in-the-loop refinement).
+    Supervised,
+    /// From the unsupervised set M_u (fully automatic runs).
+    Unsupervised,
+}
+
+/// A semantic-aware mutation operator.
+///
+/// Implementations follow the template of Figure 2: traverse, collect
+/// mutation instances, pick one at random, check validity, queue rewrites,
+/// and report whether anything changed.
+pub trait Mutator: Send + Sync {
+    /// The mutator's CamelCase name (e.g. `"ModifyFunctionReturnTypeToVoid"`).
+    fn name(&self) -> &str;
+
+    /// The one-sentence natural-language description the name stands for.
+    fn description(&self) -> &str;
+
+    /// Which program-structure category the mutator targets.
+    fn category(&self) -> Category;
+
+    /// Applies the mutator, queuing rewrites on `ctx`.
+    ///
+    /// Returns `true` if a mutation instance was found and rewritten.
+    fn mutate(&self, ctx: &mut MutCtx<'_>) -> bool;
+}
+
+/// Outcome of running a mutator over a source program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationOutcome {
+    /// The mutator rewrote the program; here is the mutant source.
+    Mutated(String),
+    /// The targeted program structure does not occur; nothing changed.
+    NotApplicable,
+}
+
+impl MutationOutcome {
+    /// The mutant source, if one was produced.
+    pub fn mutant(&self) -> Option<&str> {
+        match self {
+            MutationOutcome::Mutated(s) => Some(s),
+            MutationOutcome::NotApplicable => None,
+        }
+    }
+}
+
+/// Why a mutation attempt failed.
+#[derive(Debug, Clone)]
+pub enum MutateError {
+    /// The input program itself does not compile.
+    BadInput(Diagnostics),
+    /// The mutator queued overlapping rewrites.
+    Conflict(RewriteConflict),
+}
+
+impl fmt::Display for MutateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutateError::BadInput(d) => write!(f, "input does not compile: {d}"),
+            MutateError::Conflict(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+/// Parses, checks and mutates `src` with `m`, returning the mutant text.
+///
+/// This is the single-step driver used by μCFuzz's inner loop and by the
+/// validation harness.
+///
+/// # Errors
+///
+/// [`MutateError::BadInput`] if `src` does not compile;
+/// [`MutateError::Conflict`] if the mutator queued overlapping edits.
+pub fn mutate_source(
+    m: &dyn Mutator,
+    src: &str,
+    seed: u64,
+) -> Result<MutationOutcome, MutateError> {
+    let ast = parse("<seed>", src).map_err(MutateError::BadInput)?;
+    let sema = analyze(&ast).map_err(MutateError::BadInput)?;
+    let mut ctx = MutCtx::new(&ast, &sema, seed);
+    let changed = m.mutate(&mut ctx);
+    if !changed || !ctx.changed() {
+        return Ok(MutationOutcome::NotApplicable);
+    }
+    let out = ctx.finish().map_err(MutateError::Conflict)?;
+    Ok(MutationOutcome::Mutated(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamut_lang::source::Span;
+
+    /// A toy mutator that rewrites the first integer literal to 0.
+    struct ZeroLiteral;
+
+    impl Mutator for ZeroLiteral {
+        fn name(&self) -> &str {
+            "ZeroLiteral"
+        }
+        fn description(&self) -> &str {
+            "replace an integer literal with 0"
+        }
+        fn category(&self) -> Category {
+            Category::Expression
+        }
+        fn mutate(&self, ctx: &mut MutCtx<'_>) -> bool {
+            let lits = crate::collect::exprs_matching(ctx.ast(), |e| {
+                matches!(e.kind, metamut_lang::ast::ExprKind::IntLit { .. })
+            });
+            let Some(lit) = lits.first() else {
+                return false;
+            };
+            ctx.replace(lit.span, "0");
+            true
+        }
+    }
+
+    #[test]
+    fn driver_produces_mutant() {
+        let out = mutate_source(&ZeroLiteral, "int f(void) { return 7; }", 1).unwrap();
+        assert_eq!(out.mutant().unwrap(), "int f(void) { return 0; }");
+    }
+
+    #[test]
+    fn driver_not_applicable() {
+        let out = mutate_source(&ZeroLiteral, "void f(void) { }", 1).unwrap();
+        assert_eq!(out, MutationOutcome::NotApplicable);
+    }
+
+    #[test]
+    fn driver_rejects_bad_input() {
+        assert!(matches!(
+            mutate_source(&ZeroLiteral, "int f( {", 1),
+            Err(MutateError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn conflict_detected() {
+        struct Conflicting;
+        impl Mutator for Conflicting {
+            fn name(&self) -> &str {
+                "Conflicting"
+            }
+            fn description(&self) -> &str {
+                "queue overlapping edits"
+            }
+            fn category(&self) -> Category {
+                Category::Expression
+            }
+            fn mutate(&self, ctx: &mut MutCtx<'_>) -> bool {
+                ctx.replace(Span::new(0, 5), "x");
+                ctx.replace(Span::new(3, 8), "y");
+                true
+            }
+        }
+        assert!(matches!(
+            mutate_source(&Conflicting, "int f(void) { return 7; }", 1),
+            Err(MutateError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn categories_display() {
+        for c in Category::ALL {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

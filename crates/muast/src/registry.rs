@@ -1,0 +1,144 @@
+//! A registry of named mutators, the analogue of the paper's
+//! `RegisterMutator<T> M("Name", "Description")` static registration.
+
+use crate::mutator::{Category, Mutator, Provenance};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One registered mutator plus its provenance tag.
+#[derive(Clone)]
+pub struct RegisteredMutator {
+    /// The mutator object.
+    pub mutator: Arc<dyn Mutator>,
+    /// Supervised (M_s) or unsupervised (M_u).
+    pub provenance: Provenance,
+}
+
+impl std::fmt::Debug for RegisteredMutator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredMutator")
+            .field("name", &self.mutator.name())
+            .field("category", &self.mutator.category())
+            .field("provenance", &self.provenance)
+            .finish()
+    }
+}
+
+/// An ordered, name-indexed collection of mutators.
+#[derive(Debug, Default)]
+pub struct MutatorRegistry {
+    items: Vec<RegisteredMutator>,
+    by_name: HashMap<String, usize>,
+}
+
+impl MutatorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MutatorRegistry::default()
+    }
+
+    /// Registers a mutator. Returns `false` (and ignores it) when a mutator
+    /// with the same name is already present — duplicates are one of the
+    /// §4.1 failure classes, and the registry enforces uniqueness.
+    pub fn register(&mut self, mutator: Arc<dyn Mutator>, provenance: Provenance) -> bool {
+        let name = mutator.name().to_string();
+        if self.by_name.contains_key(&name) {
+            return false;
+        }
+        self.by_name.insert(name, self.items.len());
+        self.items.push(RegisteredMutator {
+            mutator,
+            provenance,
+        });
+        true
+    }
+
+    /// Number of registered mutators.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Looks up a mutator by name.
+    pub fn get(&self, name: &str) -> Option<&RegisteredMutator> {
+        self.by_name.get(name).map(|&i| &self.items[i])
+    }
+
+    /// Iterates over all registered mutators in registration order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RegisteredMutator> {
+        self.items.iter()
+    }
+
+    /// All mutators with the given provenance.
+    pub fn with_provenance(&self, p: Provenance) -> Vec<&RegisteredMutator> {
+        self.items.iter().filter(|m| m.provenance == p).collect()
+    }
+
+    /// Count of mutators per category, in [`Category::ALL`] order.
+    pub fn category_census(&self) -> Vec<(Category, usize)> {
+        Category::ALL
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    self.items
+                        .iter()
+                        .filter(|m| m.mutator.category() == c)
+                        .count(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::MutCtx;
+
+    struct Nop(&'static str, Category);
+    impl Mutator for Nop {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn description(&self) -> &str {
+            "does nothing"
+        }
+        fn category(&self) -> Category {
+            self.1
+        }
+        fn mutate(&self, _ctx: &mut MutCtx<'_>) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = MutatorRegistry::new();
+        assert!(r.is_empty());
+        assert!(r.register(Arc::new(Nop("A", Category::Expression)), Provenance::Supervised));
+        assert!(r.register(Arc::new(Nop("B", Category::Statement)), Provenance::Unsupervised));
+        assert!(!r.register(Arc::new(Nop("A", Category::Type)), Provenance::Supervised));
+        assert_eq!(r.len(), 2);
+        assert!(r.get("A").is_some());
+        assert!(r.get("C").is_none());
+        assert_eq!(r.with_provenance(Provenance::Supervised).len(), 1);
+    }
+
+    #[test]
+    fn census_counts() {
+        let mut r = MutatorRegistry::new();
+        r.register(Arc::new(Nop("A", Category::Expression)), Provenance::Supervised);
+        r.register(Arc::new(Nop("B", Category::Expression)), Provenance::Supervised);
+        r.register(Arc::new(Nop("C", Category::Type)), Provenance::Supervised);
+        let census = r.category_census();
+        assert_eq!(census.iter().map(|(_, n)| n).sum::<usize>(), 3);
+        assert!(census.contains(&(Category::Expression, 2)));
+        assert!(census.contains(&(Category::Type, 1)));
+        assert!(census.contains(&(Category::Variable, 0)));
+    }
+}

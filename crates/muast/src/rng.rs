@@ -1,0 +1,142 @@
+//! Deterministic randomness for mutators.
+//!
+//! Every mutation decision flows through a [`MutRng`] seeded by the fuzzer,
+//! so a campaign is reproducible from its seed — a property the experiment
+//! harness relies on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the convenience pickers mutators need
+/// (`randElement` in the paper's μAST API).
+#[derive(Debug, Clone)]
+pub struct MutRng {
+    inner: StdRng,
+}
+
+impl MutRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        MutRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniformly random index below `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot pick from an empty collection");
+        self.inner.gen_range(0..len)
+    }
+
+    /// A uniformly random element of `items`, or `None` when empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.index(items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Removes and returns a uniformly random element, or `None` when empty.
+    pub fn take<T>(&mut self, items: &mut Vec<T>) -> Option<T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.index(items.len());
+            Some(items.swap_remove(i))
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A random integer in `lo..=hi`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        if lo >= hi {
+            lo
+        } else {
+            self.inner.gen_range(lo..=hi)
+        }
+    }
+
+    /// A fresh `u64` (for sub-seeding).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Shuffles `items` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = MutRng::new(42);
+        let mut b = MutRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn pick_and_take() {
+        let mut rng = MutRng::new(1);
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(rng.pick(&items).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(rng.pick(&empty).is_none());
+
+        let mut v = vec![1, 2, 3];
+        let mut seen = Vec::new();
+        while let Some(x) = rng.take(&mut v) {
+            seen.push(x);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = MutRng::new(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn int_in_bounds() {
+        let mut rng = MutRng::new(9);
+        for _ in 0..100 {
+            let v = rng.int_in(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+        assert_eq!(rng.int_in(3, 3), 3);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = MutRng::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not stay sorted");
+    }
+}

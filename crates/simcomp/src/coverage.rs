@@ -1,0 +1,262 @@
+//! Branch-coverage instrumentation for the compiler under test.
+//!
+//! Every pipeline stage reports *features* (hashed structural observations);
+//! each feature maps to one bit in a fixed-size map, exactly like the edge
+//! bitmap of AFL-style fuzzers. The evaluation's "covered branches" metric
+//! (Figure 7) is the population count of this map.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Compilation stages, which double as the compiler components that crashes
+/// are attributed to (Table 4 / Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Lexing, parsing, semantic analysis.
+    FrontEnd,
+    /// Lowering the AST to three-address IR.
+    IrGen,
+    /// The optimization pipeline.
+    Opt,
+    /// Instruction selection and register allocation.
+    BackEnd,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::FrontEnd, Stage::IrGen, Stage::Opt, Stage::BackEnd];
+
+    /// Table-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::FrontEnd => "Front-End",
+            Stage::IrGen => "IR",
+            Stage::Opt => "Opt",
+            Stage::BackEnd => "Back-End",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Size of the per-stage bitmap in bits (64K, like AFL's edge map).
+pub const MAP_BITS: usize = 1 << 16;
+
+/// A branch-coverage bitmap over all stages.
+#[derive(Clone)]
+pub struct CoverageMap {
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoverageMap")
+            .field("covered", &self.count())
+            .finish()
+    }
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CoverageMap {
+            words: vec![0u64; MAP_BITS * Stage::ALL.len() / 64],
+        }
+    }
+
+    fn slot(stage: Stage, feature: u64) -> (usize, u64) {
+        let stage_idx = match stage {
+            Stage::FrontEnd => 0usize,
+            Stage::IrGen => 1,
+            Stage::Opt => 2,
+            Stage::BackEnd => 3,
+        };
+        let bit = (feature % MAP_BITS as u64) as usize + stage_idx * MAP_BITS;
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Records one feature observation. Returns `true` if the bit was new.
+    pub fn record(&mut self, stage: Stage, feature: u64) -> bool {
+        let (word, mask) = Self::slot(stage, feature);
+        let new = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        new
+    }
+
+    /// Whether the feature's bit is already set.
+    pub fn contains(&self, stage: Stage, feature: u64) -> bool {
+        let (word, mask) = Self::slot(stage, feature);
+        self.words[word] & mask != 0
+    }
+
+    /// Number of covered branches across all stages.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of covered branches attributed to one stage.
+    pub fn count_stage(&self, stage: Stage) -> usize {
+        let stage_idx = match stage {
+            Stage::FrontEnd => 0usize,
+            Stage::IrGen => 1,
+            Stage::Opt => 2,
+            Stage::BackEnd => 3,
+        };
+        let lo = stage_idx * MAP_BITS / 64;
+        let hi = lo + MAP_BITS / 64;
+        self.words[lo..hi]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Merges `other` into `self`; returns the number of newly set bits.
+    pub fn merge(&mut self, other: &CoverageMap) -> usize {
+        let mut new = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            new += (*b & !*a).count_ones() as usize;
+            *a |= *b;
+        }
+        new
+    }
+
+    /// Whether `other` covers at least one branch `self` does not.
+    pub fn would_grow(&self, other: &CoverageMap) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| *b & !*a != 0)
+    }
+}
+
+/// A thread-safe coverage map shared across parallel fuzzing workers
+/// (macro-fuzzer enhancement #3 in §3.4).
+#[derive(Clone, Default)]
+pub struct SharedCoverage {
+    inner: Arc<Mutex<CoverageMap>>,
+}
+
+impl std::fmt::Debug for SharedCoverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCoverage")
+            .field("covered", &self.count())
+            .finish()
+    }
+}
+
+impl SharedCoverage {
+    /// A fresh shared map.
+    pub fn new() -> Self {
+        SharedCoverage::default()
+    }
+
+    /// Merges a worker's local observations; returns newly covered bits.
+    pub fn merge(&self, local: &CoverageMap) -> usize {
+        self.inner.lock().merge(local)
+    }
+
+    /// Whether merging `local` would add coverage.
+    pub fn would_grow(&self, local: &CoverageMap) -> bool {
+        self.inner.lock().would_grow(local)
+    }
+
+    /// Total covered branches.
+    pub fn count(&self) -> usize {
+        self.inner.lock().count()
+    }
+
+    /// A snapshot of the current map.
+    pub fn snapshot(&self) -> CoverageMap {
+        self.inner.lock().clone()
+    }
+}
+
+/// FNV-1a hash used to turn structural observations into feature ids.
+pub fn feature_hash(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for b in p.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Hashes a string into a feature id.
+pub fn feature_hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut m = CoverageMap::new();
+        assert_eq!(m.count(), 0);
+        assert!(m.record(Stage::FrontEnd, 1));
+        assert!(!m.record(Stage::FrontEnd, 1));
+        assert!(m.record(Stage::Opt, 1)); // same feature, different stage
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.count_stage(Stage::FrontEnd), 1);
+        assert_eq!(m.count_stage(Stage::Opt), 1);
+        assert_eq!(m.count_stage(Stage::BackEnd), 0);
+    }
+
+    #[test]
+    fn merge_reports_new_bits() {
+        let mut a = CoverageMap::new();
+        let mut b = CoverageMap::new();
+        a.record(Stage::IrGen, 10);
+        b.record(Stage::IrGen, 10);
+        b.record(Stage::IrGen, 11);
+        assert!(a.would_grow(&b));
+        assert_eq!(a.merge(&b), 1);
+        assert!(!a.would_grow(&b));
+        assert_eq!(a.merge(&b), 0);
+    }
+
+    #[test]
+    fn shared_coverage_threads() {
+        let shared = SharedCoverage::new();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut local = CoverageMap::new();
+                for i in 0..100 {
+                    local.record(Stage::BackEnd, t * 1000 + i);
+                }
+                s.merge(&local);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.count(), 400);
+    }
+
+    #[test]
+    fn hashes_are_stable_and_distinct() {
+        assert_eq!(feature_hash(&[1, 2, 3]), feature_hash(&[1, 2, 3]));
+        assert_ne!(feature_hash(&[1, 2, 3]), feature_hash(&[3, 2, 1]));
+        assert_ne!(feature_hash_str("a"), feature_hash_str("b"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Gallery: apply every registered mutator once to a demo program and show
+//! a unified-diff-style before/after of the line it changed.
+//!
+//! Run with: `cargo run --example mutator_gallery`
+
+use metamut_muast::{mutate_source, MutationOutcome, Provenance};
+
+const DEMO: &str = r#"
+struct pair { int first; int second; };
+int table[8];
+int counter = 0;
+static double ratio = 0.5;
+
+int lookup(void) { return table[0] * 2; }
+
+int combine(struct pair *p, int bias) {
+    int a = p->first;
+    int b = p->second;
+    if (a > b) { a += bias; } else { b -= bias; }
+    for (int i = 0; i < 4; i++) counter += i;
+    while (a > 100) { a /= 2; }
+    switch (bias) {
+        case 0: a = lookup(); break;
+        case 1: a = -a; break;
+        default: a = a > 50 ? 50 : a; break;
+    }
+    table[1] = a;
+    a = a + 1;
+    a = abs(a);
+    return a + b;
+}
+
+int main(void) {
+    struct pair p;
+    p.first = 1;
+    p.second = 2;
+    return combine(&p, 1) % 256;
+}
+"#;
+
+fn first_diff_lines(a: &str, b: &str) -> Option<(String, String)> {
+    let (mut la, mut lb) = (a.lines(), b.lines());
+    loop {
+        match (la.next(), lb.next()) {
+            (Some(x), Some(y)) if x == y => continue,
+            (Some(x), Some(y)) => return Some((x.trim().into(), y.trim().into())),
+            (Some(x), None) => return Some((x.trim().into(), "<removed>".into())),
+            (None, Some(y)) => return Some(("<added>".into(), y.trim().into())),
+            (None, None) => return None,
+        }
+    }
+}
+
+fn main() {
+    let registry = metamut_mutators::full_registry();
+    println!(
+        "{} mutators registered ({} supervised, {} unsupervised)\n",
+        registry.len(),
+        registry.with_provenance(Provenance::Supervised).len(),
+        registry.with_provenance(Provenance::Unsupervised).len(),
+    );
+
+    let mut applied = 0;
+    for entry in registry.iter() {
+        let m = entry.mutator.as_ref();
+        let mut shown = false;
+        for seed in 0..30 {
+            match mutate_source(m, DEMO, seed) {
+                Ok(MutationOutcome::Mutated(out)) => {
+                    let tag = match entry.provenance {
+                        Provenance::Supervised => "M_s",
+                        Provenance::Unsupervised => "M_u",
+                    };
+                    println!("== {} [{}/{}]", m.name(), m.category(), tag);
+                    let compiles = metamut_lang::compile_check(&out).is_ok();
+                    match first_diff_lines(DEMO, &out) {
+                        Some((before, after)) => {
+                            println!("   - {before}");
+                            println!("   + {after}");
+                        }
+                        None => println!("   (whole-program rewrite)"),
+                    }
+                    println!(
+                        "   mutant {}\n",
+                        if compiles { "compiles" } else { "does NOT compile" }
+                    );
+                    applied += 1;
+                    shown = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        if !shown {
+            println!("== {} — not applicable to the demo program\n", m.name());
+        }
+    }
+    println!("{applied}/{} mutators applied to the demo program", registry.len());
+}

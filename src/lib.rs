@@ -1,0 +1,46 @@
+//! # metamut
+//!
+//! Umbrella crate for the MetaMut reproduction: re-exports every subsystem
+//! so downstream users can depend on one crate.
+//!
+//! - [`lang`] — the C-subset front end (lexer, parser, sema, rewriter).
+//! - [`muast`] — the μAST API layer and the `Mutator` trait.
+//! - [`mutators`] — the library of semantic-aware mutation operators.
+//! - [`llm`] — the deterministic simulated language model.
+//! - [`core`] — the MetaMut framework (invent → synthesize → validate).
+//! - [`simcomp`] — the instrumented compiler under test.
+//! - [`fuzzing`] — μCFuzz, the macro fuzzer and the four baselines.
+//!
+//! ```
+//! use metamut::prelude::*;
+//!
+//! let registry = mutators::full_registry();
+//! let ret2v = registry.get("ModifyFunctionReturnTypeToVoid").unwrap();
+//! let out = mutate_source(
+//!     ret2v.mutator.as_ref(),
+//!     "int f(void) { return 1; } int main(void) { return f(); }",
+//!     3,
+//! ).unwrap();
+//! assert!(out.mutant().unwrap().contains("void f(void)"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use metamut_core as core;
+pub use metamut_fuzzing as fuzzing;
+pub use metamut_lang as lang;
+pub use metamut_llm as llm;
+pub use metamut_muast as muast;
+pub use metamut_mutators as mutators;
+pub use metamut_simcomp as simcomp;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use metamut_core::{compile_blueprint, MetaMut};
+    pub use metamut_fuzzing::{run_campaign, CampaignConfig, TestGenerator};
+    pub use metamut_lang::{compile, compile_check, parse};
+    pub use metamut_llm::SimLlm;
+    pub use metamut_muast::{mutate_source, MutCtx, MutationOutcome, Mutator};
+    pub use metamut_simcomp::{CompileOptions, Compiler, Outcome, Profile};
+    pub use metamut_mutators as mutators;
+}

@@ -1,0 +1,230 @@
+//! `metamut` — command-line front door to the reproduction.
+//!
+//! ```text
+//! metamut list                          # list the mutator library
+//! metamut mutate FILE -m NAME [-s N]    # apply one mutator to a C file
+//! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
+//! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
+//! metamut fuzz [-i N] [-s N] [-p gcc|clang]   # a μCFuzz campaign
+//! ```
+
+use metamut::prelude::*;
+use metamut_fuzzing::mucfuzz::MuCFuzz;
+use metamut_simcomp::OptFlags;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "list" => list(),
+        "mutate" => mutate(rest),
+        "compile" => compile_cmd(rest),
+        "generate" => generate(rest),
+        "fuzz" => fuzz(rest),
+        _ => {
+            eprintln!(
+                "usage: metamut <list|mutate|compile|generate|fuzz> [options]\n\
+                 \n  list                         list the mutator library\
+                 \n  mutate FILE -m NAME [-s N]   apply one mutator to a C file\
+                 \n  compile FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
+                 \n  generate [-n N] [-s N]       run the MetaMut generation pipeline\
+                 \n  fuzz [-i N] [-s N] [-p gcc|clang]  run a μCFuzz campaign"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn opt(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .cloned()
+}
+
+fn positional(rest: &[String]) -> Option<&String> {
+    const VALUE_FLAGS: [&str; 6] = ["-m", "-s", "-p", "-O", "-i", "-n"];
+    let mut skip_next = false;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with('-') {
+            return Some(a);
+        }
+    }
+    None
+}
+
+fn list() -> ExitCode {
+    let reg = metamut::mutators::full_registry();
+    println!("{} mutators:", reg.len());
+    for m in reg.iter() {
+        let tag = match m.provenance {
+            metamut::muast::Provenance::Supervised => "M_s",
+            metamut::muast::Provenance::Unsupervised => "M_u",
+        };
+        println!("  {:<34} [{:<10} {tag}]  {}", m.mutator.name(), m.mutator.category().to_string(), m.mutator.description());
+    }
+    ExitCode::SUCCESS
+}
+
+fn mutate(rest: &[String]) -> ExitCode {
+    let Some(file) = positional(rest) else {
+        eprintln!("mutate: missing FILE");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mutate: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = opt(rest, "-s").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let reg = metamut::mutators::full_registry();
+    let name = opt(rest, "-m");
+    let entries: Vec<_> = match &name {
+        Some(n) => match reg.get(n) {
+            Some(e) => vec![e.clone()],
+            None => {
+                eprintln!("mutate: unknown mutator {n} (try `metamut list`)");
+                return ExitCode::from(2);
+            }
+        },
+        None => reg.iter().cloned().collect(),
+    };
+    for attempt in 0..200u64 {
+        let e = &entries[(seed.wrapping_add(attempt) % entries.len() as u64) as usize];
+        match mutate_source(e.mutator.as_ref(), &src, seed.wrapping_add(attempt)) {
+            Ok(MutationOutcome::Mutated(m)) => {
+                eprintln!("-- applied {}", e.mutator.name());
+                print!("{m}");
+                return ExitCode::SUCCESS;
+            }
+            _ => continue,
+        }
+    }
+    eprintln!("mutate: no mutator applied (is the input valid C?)");
+    ExitCode::FAILURE
+}
+
+fn parse_profile(rest: &[String]) -> Profile {
+    match opt(rest, "-p").as_deref() {
+        Some("clang") => Profile::Clang,
+        _ => Profile::Gcc,
+    }
+}
+
+fn compile_cmd(rest: &[String]) -> ExitCode {
+    let Some(file) = positional(rest) else {
+        eprintln!("compile: missing FILE");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = CompileOptions {
+        opt_level: opt(rest, "-O").and_then(|s| s.parse().ok()).unwrap_or(2),
+        flags: OptFlags {
+            no_tree_vrp: rest.iter().any(|a| a == "--no-tree-vrp"),
+            unroll_loops: rest.iter().any(|a| a == "--unroll-loops"),
+            strict_aliasing: true,
+        },
+    };
+    let compiler = Compiler::new(parse_profile(rest), options);
+    let r = compiler.compile(&src);
+    println!(
+        "{} {} → {:?} ({} branches covered)",
+        compiler.profile().name(),
+        compiler.options().render(),
+        r.outcome,
+        r.coverage.count()
+    );
+    match r.outcome {
+        Outcome::Success { .. } => ExitCode::SUCCESS,
+        Outcome::Rejected { .. } => ExitCode::FAILURE,
+        Outcome::Crash(_) => ExitCode::from(101),
+    }
+}
+
+fn generate(rest: &[String]) -> ExitCode {
+    let n: usize = opt(rest, "-n").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seed: u64 = opt(rest, "-s").and_then(|s| s.parse().ok()).unwrap_or(7);
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut mm = metamut::core::default_framework(seed);
+    let records = mm.run_many(n, seed ^ 0xFACE);
+    let _ = std::panic::take_hook();
+    for r in &records {
+        match (&r.status, &r.blueprint) {
+            (metamut::core::GenerationStatus::Valid, Some(bp)) => println!(
+                "VALID   {:<30} behavior={:<28} tokens={} rounds={}",
+                bp.name,
+                bp.behavior,
+                r.cost.tokens_total(),
+                r.cost.qa_total()
+            ),
+            (status, _) => println!("INVALID {status:?}"),
+        }
+    }
+    let valid = records.iter().filter(|r| r.status.is_valid()).count();
+    println!("{valid}/{n} valid mutators generated");
+    ExitCode::SUCCESS
+}
+
+fn fuzz(rest: &[String]) -> ExitCode {
+    let iterations: usize = opt(rest, "-i").and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed: u64 = opt(rest, "-s").and_then(|s| s.parse().ok()).unwrap_or(7);
+    let seeds: Vec<String> = metamut::fuzzing::corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut fuzzer = MuCFuzz::new(
+        "uCFuzz",
+        Arc::new(metamut::mutators::full_registry()),
+        seeds.iter().cloned(),
+    );
+    let compiler = Compiler::new(parse_profile(rest), CompileOptions::o2());
+    let report = run_campaign(
+        &mut fuzzer,
+        &compiler,
+        &CampaignConfig {
+            iterations,
+            seed,
+            sample_every: (iterations / 10).max(1),
+        },
+    );
+    println!(
+        "{} on {}: {} iterations, {} branches covered, {:.1}% compilable, {} unique crashes",
+        report.fuzzer,
+        report.compiler,
+        report.mutants.total,
+        report.final_coverage,
+        report.mutants.ratio(),
+        report.crashes.len()
+    );
+    for c in &report.crashes {
+        println!(
+            "  crash at iter {}: {} [{} / {}] frames {}::{}",
+            c.first_iteration,
+            c.info.bug_id,
+            c.info.stage,
+            c.info.kind.label(),
+            c.info.frames[0],
+            c.info.frames[1]
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,165 @@
+//! Integration tests reproducing the paper's bug case studies (§2, §5.3)
+//! end to end: seed → named mutator(s) → instrumented compiler → the
+//! planted reconstruction of the reported bug fires.
+
+use metamut::prelude::*;
+use metamut_simcomp::{CrashKind, OptFlags, Stage};
+
+fn mutate_until(name: &str, src: &str, pred: impl Fn(&str) -> bool) -> String {
+    let reg = metamut::mutators::full_registry();
+    let m = reg.get(name).unwrap_or_else(|| panic!("{name} registered"));
+    for seed in 0..500 {
+        if let Ok(MutationOutcome::Mutated(s)) = mutate_source(m.mutator.as_ref(), src, seed) {
+            if pred(&s) {
+                return s;
+            }
+        }
+    }
+    panic!("{name} never produced the wanted mutant");
+}
+
+/// Clang #63762 (Figure 5): Ret2V voids the jump-heavy function, removing
+/// its returns; clang-sim's back end dies on the label-only tail.
+#[test]
+fn clang_63762_via_ret2v() {
+    let seed = r#"
+void touch(int *x, int *y) { x[0] = y[0]; }
+unsigned foo(int x[64], int y[64]) {
+    touch(x, y);
+    if (x[0] > y[0]) goto gt;
+    if (x[0] < y[0]) goto lt;
+    return 0x01234567;
+gt:
+    return 0x12345678;
+lt:
+    return 0xF0123456;
+}
+int main(void) { int a[64]; int b[64]; a[0] = 1; b[0] = 2; return (int)foo(a, b); }
+"#;
+    let mutant = mutate_until("ModifyFunctionReturnTypeToVoid", seed, |s| {
+        s.contains("void foo")
+    });
+    // The mutant still compiles under the reference front end (returns were
+    // removed, calls rewritten) — the crash is the *compiler's* fault.
+    compile_check(&mutant).expect("Ret2V mutant compiles");
+
+    let clang = Compiler::new(Profile::Clang, CompileOptions::o2());
+    let crash = clang.compile(&mutant).outcome.crash().cloned().expect("clang crashes");
+    assert_eq!(crash.bug_id, "clang-63762-label-codegen");
+    assert_eq!(crash.stage, Stage::BackEnd);
+    assert_eq!(crash.kind, CrashKind::AssertionFailure);
+
+    // GCC is unaffected — the bug is Clang-specific, like the report.
+    let gcc = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    assert!(gcc.compile(&mutant).outcome.crash().is_none());
+}
+
+/// GCC #111820: the while(--n) loop over a zero-initialized local, with the
+/// array reduced to scalars, hangs the vectorizer at -O3 -fno-tree-vrp.
+#[test]
+fn gcc_111820_vectorizer_shape() {
+    let mutant = r#"
+int r;
+int r_0;
+void f(void) {
+    int n = 0;
+    while (--n) {
+        r_0 += r;
+        r += r; r += r; r += r; r += r; r += r;
+    }
+}
+int main(void) { return 0; }
+"#;
+    compile_check(mutant).expect("mutant compiles");
+    let opts = CompileOptions {
+        opt_level: 3,
+        flags: OptFlags {
+            no_tree_vrp: true,
+            ..Default::default()
+        },
+    };
+    let gcc = Compiler::new(Profile::Gcc, opts);
+    let crash = gcc.compile(mutant).outcome.crash().cloned().expect("gcc hangs");
+    assert_eq!(crash.bug_id, "gcc-111820-vectorizer-hang");
+    assert_eq!(crash.kind, CrashKind::Hang);
+    // Both knobs matter, exactly like the report's `-O3 -fno-tree-vrp`.
+    assert!(Compiler::new(Profile::Gcc, CompileOptions::o3())
+        .compile(mutant)
+        .outcome
+        .crash()
+        .is_none());
+    assert!(Compiler::new(
+        Profile::Gcc,
+        CompileOptions {
+            opt_level: 2,
+            flags: OptFlags {
+                no_tree_vrp: true,
+                ..Default::default()
+            }
+        }
+    )
+    .compile(mutant)
+    .outcome
+    .crash()
+    .is_none());
+}
+
+/// GCC #111819: DecaySmallStruct rewrites the `_Complex double` global into
+/// a long long + pointer-arithmetic views; `&__imag__ (cast)` trips
+/// fold_offsetof with default options.
+#[test]
+fn gcc_111819_via_decay_small_struct() {
+    let seed = r#"
+_Complex double x;
+int *bar(void) {
+    return (int *)&__imag__ x;
+}
+int main(void) { x = 0; return 0; }
+"#;
+    let mutant = mutate_until("DecaySmallStruct", seed, |s| s.contains("long long"));
+    compile_check(&mutant).expect("decayed mutant compiles");
+    let gcc = Compiler::new(Profile::Gcc, CompileOptions::o0());
+    let crash = gcc.compile(&mutant).outcome.crash().cloned().expect("gcc crashes at -O0");
+    assert_eq!(crash.bug_id, "gcc-111819-fold-offsetof");
+    assert_eq!(crash.stage, Stage::IrGen);
+}
+
+/// Clang #69213: the StructToInt mutant `*ptr = (int){{}, 0}` crashes the
+/// Clang front end while GCC merely rejects the program.
+#[test]
+fn clang_69213_struct_to_int_shape() {
+    let mutant = "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }";
+    let clang = Compiler::new(Profile::Clang, CompileOptions::o0());
+    let crash = clang.compile(mutant).outcome.crash().cloned().expect("clang crashes");
+    assert_eq!(crash.bug_id, "clang-69213-scalar-brace");
+    assert_eq!(crash.stage, Stage::FrontEnd);
+    let gcc = Compiler::new(Profile::Gcc, CompileOptions::o0());
+    let out = gcc.compile(mutant).outcome;
+    assert!(matches!(out, Outcome::Rejected { .. }), "{out:?}");
+}
+
+/// §5.2 crash case: CopyExpr makes the sprintf self-referential; the strlen
+/// return-value optimization at -O2 then trips verify_range.
+#[test]
+fn strlen_case_via_copy_expr() {
+    let seed = r#"
+static char buffer[32];
+int test4(void) { return sprintf(buffer, "%s", "bar"); }
+void main_test(void) {
+    memset(buffer, 'A', 32);
+    if (test4() != 3) abort();
+}
+int main(void) { main_test(); return 0; }
+"#;
+    let mutant = mutate_until("CopyExpr", seed, |s| {
+        s.contains("sprintf(buffer, \"%s\", buffer)")
+    });
+    let gcc = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let crash = gcc.compile(&mutant).outcome.crash().cloned().expect("gcc crashes at -O2");
+    assert_eq!(crash.bug_id, "gcc-strlen-verify-range");
+    // At -O0 the optimization never runs and the program is fine.
+    assert!(Compiler::new(Profile::Gcc, CompileOptions::o0())
+        .compile(&mutant)
+        .outcome
+        .is_success());
+}
