@@ -7,7 +7,11 @@ use metamut_simcomp::{CompileOptions, Compiler, Profile};
 fn bench_compile(c: &mut Criterion) {
     let seeds = seed_corpus();
     let mut group = c.benchmark_group("compile");
-    for (label, opts) in [("O0", CompileOptions::o0()), ("O2", CompileOptions::o2()), ("O3", CompileOptions::o3())] {
+    for (label, opts) in [
+        ("O0", CompileOptions::o0()),
+        ("O2", CompileOptions::o2()),
+        ("O3", CompileOptions::o3()),
+    ] {
         let compiler = Compiler::new(Profile::Gcc, opts);
         group.bench_function(label, |b| {
             let mut i = 0usize;

@@ -7,15 +7,20 @@ use metamut_fuzzing::{all_fuzzers, corpus};
 use metamut_simcomp::{CompileOptions, Compiler, Profile};
 
 fn bench_campaign_step(c: &mut Criterion) {
-    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let seeds: Vec<String> = corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
     let mut group = c.benchmark_group("campaign_25_iters");
     group.sample_size(10);
-    for (i, name) in ["uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen",
+    ]
+    .iter()
+    .enumerate()
     {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut fuzzer = all_fuzzers(&seeds).remove(i);
                 let cfg = CampaignConfig {

@@ -26,7 +26,10 @@ fn bench_run_once(c: &mut Criterion) {
             latent_compile_error: false,
         };
         let m = metamut_core::compile_blueprint(&bp, &reg).unwrap();
-        let tests: Vec<String> = metamut_llm::TEST_PROGRAMS.iter().map(|s| s.to_string()).collect();
+        let tests: Vec<String> = metamut_llm::TEST_PROGRAMS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut i = 0u64;
         b.iter(|| {
             i += 1;

@@ -10,7 +10,11 @@ fn bench_single_mutators(c: &mut Criterion) {
     let reg = metamut_mutators::full_registry();
     let seed = seed_corpus()[2]; // the jump-heavy seed
     let mut group = c.benchmark_group("mutate_one");
-    for name in ["ModifyIntegerLiteral", "DuplicateBranch", "ModifyFunctionReturnTypeToVoid"] {
+    for name in [
+        "ModifyIntegerLiteral",
+        "DuplicateBranch",
+        "ModifyFunctionReturnTypeToVoid",
+    ] {
         let m = reg.get(name).expect("registered");
         group.bench_function(name, |b| {
             let mut i = 0u64;

@@ -70,7 +70,11 @@ fn main() {
     let full = Arc::new(metamut_mutators::full_registry());
     let mut guided = MuCFuzz::new("uCFuzz", Arc::clone(&full), seeds.iter().cloned());
     push(&mut rows, "A1 guided (Algorithm 1)", &mut guided);
-    let mut blind = BlindMuCFuzz(MuCFuzz::new("uCFuzz", Arc::clone(&full), seeds.iter().cloned()));
+    let mut blind = BlindMuCFuzz(MuCFuzz::new(
+        "uCFuzz",
+        Arc::clone(&full),
+        seeds.iter().cloned(),
+    ));
     push(&mut rows, "A1 blind (no feedback)", &mut blind);
 
     // A2: provenance sets.
@@ -91,9 +95,18 @@ fn main() {
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.config.clone(), r.coverage.to_string(), r.crashes.to_string()])
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.coverage.to_string(),
+                r.crashes.to_string(),
+            ]
+        })
         .collect();
-    println!("{}", render_table(&["Config", "Coverage", "Crashes"], &table));
+    println!(
+        "{}",
+        render_table(&["Config", "Coverage", "Crashes"], &table)
+    );
 
     // A3/A4: macro-fuzzer knobs (bug counts over a short field run).
     println!("-- macro fuzzer knobs --");
@@ -130,7 +143,12 @@ fn main() {
     println!("report written to {}", path.display());
 
     // Sanity: guidance and the full set must not hurt.
-    let cov = |name: &str| rows.iter().find(|r| r.config.starts_with(name)).map(|r| r.coverage).unwrap_or(0);
+    let cov = |name: &str| {
+        rows.iter()
+            .find(|r| r.config.starts_with(name))
+            .map(|r| r.coverage)
+            .unwrap_or(0)
+    };
     assert!(
         cov("A1 guided") > cov("A1 blind"),
         "coverage guidance should help"

@@ -16,7 +16,10 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
 
     let mutators = Arc::new(metamut_mutators::full_registry());
-    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let seeds: Vec<String> = corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let config = MacroConfig {
         iterations_per_worker: opts.iterations.max(200),
         workers: 4,
@@ -26,12 +29,7 @@ fn main() {
 
     let mut reports: Vec<(Profile, FieldReport)> = Vec::new();
     for profile in [Profile::Clang, Profile::Gcc] {
-        let report = run_field_experiment(
-            profile,
-            Arc::clone(&mutators),
-            seeds.clone(),
-            &config,
-        );
+        let report = run_field_experiment(profile, Arc::clone(&mutators), seeds.clone(), &config);
         println!(
             "{}: {} compiles, {} branches covered, {} unique bugs",
             profile.name(),
@@ -75,7 +73,10 @@ fn main() {
             (c + g).to_string(),
         ]);
     }
-    println!("{}", render_table(&["Module", "Clang", "GCC", "Total"], &rows));
+    println!(
+        "{}",
+        render_table(&["Module", "Clang", "GCC", "Total"], &rows)
+    );
 
     println!("-- by consequence (paper: 111 assertion, 9 segfault, 11 hang) --");
     let mut rows = Vec::new();
@@ -89,7 +90,10 @@ fn main() {
             (c + g).to_string(),
         ]);
     }
-    println!("{}", render_table(&["Consequence", "Clang", "GCC", "Total"], &rows));
+    println!(
+        "{}",
+        render_table(&["Consequence", "Clang", "GCC", "Total"], &rows)
+    );
 
     println!("-- bug inventory --");
     let mut rows = Vec::new();
@@ -106,7 +110,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Bug", "Compiler", "Module", "Consequence", "Flags"], &rows)
+        render_table(
+            &["Bug", "Compiler", "Module", "Consequence", "Flags"],
+            &rows
+        )
     );
 
     let payload: Vec<&FieldReport> = reports.iter().map(|(_, r)| r).collect();

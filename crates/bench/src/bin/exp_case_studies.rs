@@ -55,7 +55,9 @@ int main(void) { int a[64]; int b[64]; a[0] = 1; b[0] = 2; return (int)foo(a, b)
         // Apply Ret2V until foo becomes void (it may pick another function
         // first on some seeds).
         let reg = metamut_mutators::full_registry();
-        let ret2v = reg.get("ModifyFunctionReturnTypeToVoid").expect("Ret2V registered");
+        let ret2v = reg
+            .get("ModifyFunctionReturnTypeToVoid")
+            .expect("Ret2V registered");
         let mut mutant = None;
         for seed in 0..300 {
             if let Ok(MutationOutcome::Mutated(s)) =
@@ -207,14 +209,25 @@ int main(void) { main_test(); return 0; }
                 r.compiler.clone(),
                 r.flags.clone(),
                 r.bug_id.clone().unwrap_or_else(|| "-".into()),
-                if r.reproduced { "yes".into() } else { "NO".into() },
+                if r.reproduced {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["Case", "Mutators", "Compiler", "Flags", "Triggered bug", "Reproduced"],
+            &[
+                "Case",
+                "Mutators",
+                "Compiler",
+                "Flags",
+                "Triggered bug",
+                "Reproduced"
+            ],
             &rows
         )
     );

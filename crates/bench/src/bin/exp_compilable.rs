@@ -34,7 +34,10 @@ fn main() {
         ("YARPGen", 99.83),
     ];
 
-    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let seeds: Vec<String> = corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
     let mut rows = Vec::new();
     let mut throughput = Vec::new();
@@ -80,13 +83,24 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Tool", "Compilable (#)", "Total (#)", "Ratio (%)", "Paper (%)"],
+            &[
+                "Tool",
+                "Compilable (#)",
+                "Total (#)",
+                "Ratio (%)",
+                "Paper (%)"
+            ],
             &table
         )
     );
 
     // Shape checks: generators ≈ 100% > GrayC > uCFuzz ≈ 70%+ >> AFL++.
-    let pct = |name: &str| rows.iter().find(|r| r.tool == name).map(|r| r.ratio_pct).unwrap_or(0.0);
+    let pct = |name: &str| {
+        rows.iter()
+            .find(|r| r.tool == name)
+            .map(|r| r.ratio_pct)
+            .unwrap_or(0.0)
+    };
     println!(
         "shape: AFL++ {:.1}% << uCFuzz.u {:.1}% ~ uCFuzz.s {:.1}% < GrayC {:.1}% <= generators {:.1}%/{:.1}%",
         pct("AFL++"),

@@ -26,7 +26,10 @@ fn main() {
                 )
             })
             .collect();
-        println!("{}", render_series(&format!("covered branches, {profile}"), &series));
+        println!(
+            "{}",
+            render_series(&format!("covered branches, {profile}"), &series)
+        );
 
         let mut rows: Vec<(String, usize)> = reports
             .iter()

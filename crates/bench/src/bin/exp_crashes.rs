@@ -13,7 +13,9 @@ fn main() {
         opts.iterations, opts.seed
     );
     let reports = run_matrix(&opts);
-    let fuzzer_names = ["uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen"];
+    let fuzzer_names = [
+        "uCFuzz.s", "uCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen",
+    ];
 
     // Crashes are pooled over both compilers per fuzzer (as in Figure 8).
     let pooled: HashMap<&str, Vec<&CampaignReport>> = fuzzer_names
@@ -21,17 +23,16 @@ fn main() {
         .map(|&name| {
             (
                 name,
-                reports.iter().filter(|r| r.fuzzer == name).collect::<Vec<_>>(),
+                reports
+                    .iter()
+                    .filter(|r| r.fuzzer == name)
+                    .collect::<Vec<_>>(),
             )
         })
         .collect();
 
-    let sigs_of = |name: &str| -> HashSet<u64> {
-        pooled[name]
-            .iter()
-            .flat_map(|r| r.signatures())
-            .collect()
-    };
+    let sigs_of =
+        |name: &str| -> HashSet<u64> { pooled[name].iter().flat_map(|r| r.signatures()).collect() };
 
     // Figure 8: totals and exclusivity.
     println!("-- Figure 8: unique crashes per fuzzer (paper: s=90, u=59, AFL++=19, GrayC=13, YARPGen=2, Csmith=0) --");
@@ -62,7 +63,10 @@ fn main() {
             exclusive.to_string(),
         ]);
     }
-    println!("{}", render_table(&["Fuzzer", "Unique crashes", "Exclusive"], &rows));
+    println!(
+        "{}",
+        render_table(&["Fuzzer", "Unique crashes", "Exclusive"], &rows)
+    );
     let mucfuzz_only = mucfuzz_sigs.difference(&others_sigs).count();
     println!(
         "total unique: {}; found only by uCFuzz: {} ({:.0}%; paper: 72.8%)\n",
@@ -78,7 +82,10 @@ fn main() {
         let mut by_stage: HashMap<Stage, HashSet<u64>> = HashMap::new();
         for r in &pooled[name] {
             for c in &r.crashes {
-                by_stage.entry(c.info.stage).or_default().insert(c.signature);
+                by_stage
+                    .entry(c.info.stage)
+                    .or_default()
+                    .insert(c.signature);
             }
         }
         let cell = |s: Stage| by_stage.get(&s).map(|x| x.len()).unwrap_or(0).to_string();
@@ -97,7 +104,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Fuzzer", "Front-End", "IR", "Opt", "Back-End", "Total"], &rows)
+        render_table(
+            &["Fuzzer", "Front-End", "IR", "Opt", "Back-End", "Total"],
+            &rows
+        )
     );
 
     // Figure 9: discovery timelines per compiler.
@@ -114,7 +124,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_series(&format!("Figure 9: unique crashes over time, {profile}"), &series)
+            render_series(
+                &format!("Figure 9: unique crashes over time, {profile}"),
+                &series
+            )
         );
     }
 

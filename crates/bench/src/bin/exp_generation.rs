@@ -29,7 +29,10 @@ struct GenerationReport {
 fn main() {
     let opts = ExpOptions::from_args();
     let invocations = 100;
-    println!("== MetaMut unsupervised generation: {invocations} invocations (seed {}) ==\n", opts.seed);
+    println!(
+        "== MetaMut unsupervised generation: {invocations} invocations (seed {}) ==\n",
+        opts.seed
+    );
 
     let mut mm = metamut_core::default_framework(opts.seed);
     // Crash-defective mutators panic by design; silence the default hook so
@@ -54,13 +57,24 @@ fn main() {
         render_table(
             &["Outcome", "Count", "Paper"],
             &[
-                vec!["system error".into(), system_errors.to_string(), "24".into()],
+                vec![
+                    "system error".into(),
+                    system_errors.to_string(),
+                    "24".into()
+                ],
                 vec![
                     "valid".into(),
-                    format!("{valid} ({:.1}% of {attempted})", 100.0 * valid as f64 / attempted.max(1) as f64),
+                    format!(
+                        "{valid} ({:.1}% of {attempted})",
+                        100.0 * valid as f64 / attempted.max(1) as f64
+                    ),
                     "50 (65.8% of 76)".into()
                 ],
-                vec!["refinement failed".into(), refinement_failed.to_string(), "6".into()],
+                vec![
+                    "refinement failed".into(),
+                    refinement_failed.to_string(),
+                    "6".into()
+                ],
                 vec!["mismatched impl".into(), mismatched.to_string(), "7".into()],
                 vec!["unthorough tests".into(), latent.to_string(), "10".into()],
                 vec!["duplicate".into(), duplicates.to_string(), "3".into()],
@@ -87,7 +101,10 @@ fn main() {
         fixed_by_class.push((d.label().to_string(), n));
     }
     rows.push(vec!["".into(), "total".into(), total_fixed.to_string()]);
-    println!("{}", render_table(&["Goal", "Violation", "Fixed (#)"], &rows));
+    println!(
+        "{}",
+        render_table(&["Goal", "Violation", "Fixed (#)"], &rows)
+    );
     // The paper normalizes by the mutators that were invalid prior to
     // refinement and then fixed (27 of 50).
     let repaired_valid = records
@@ -130,7 +147,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Metric", "Step", "Min", "Max", "Median", "Mean", "Paper mean"],
+            &[
+                "Metric",
+                "Step",
+                "Min",
+                "Max",
+                "Median",
+                "Mean",
+                "Paper mean"
+            ],
             &[
                 srow("Tokens", "Invention", token_inv, "1,158"),
                 srow("Tokens", "Implementation", token_impl, "2,501"),
@@ -142,8 +167,8 @@ fn main() {
             ],
         )
     );
-    let mean_cost = ok_records.iter().map(|r| r.cost.dollars()).sum::<f64>()
-        / ok_records.len().max(1) as f64;
+    let mean_cost =
+        ok_records.iter().map(|r| r.cost.dollars()).sum::<f64>() / ok_records.len().max(1) as f64;
     println!("mean API cost per mutator: ${mean_cost:.2} (paper: ~$0.50)\n");
 
     // Table 3: request/response time.

@@ -60,7 +60,16 @@ fn main() {
     // Overlap between supervised and unsupervised: same category + a shared
     // action keyword approximates the paper's "similar actions on similar
     // structures" check (they found ~10%).
-    let actionish = ["Swap", "Modify", "Replace", "Duplicate", "Remove", "Insert", "Inverse", "Change"];
+    let actionish = [
+        "Swap",
+        "Modify",
+        "Replace",
+        "Duplicate",
+        "Remove",
+        "Insert",
+        "Inverse",
+        "Change",
+    ];
     let keyword = |name: &str| {
         actionish
             .iter()

@@ -22,6 +22,9 @@ pub struct ExpOptions {
     pub iterations: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Telemetry JSONL path, when `--telemetry` (or `METAMUT_TELEMETRY`)
+    /// enabled the global pipeline.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -29,14 +32,18 @@ impl Default for ExpOptions {
         ExpOptions {
             iterations: 1500,
             seed: 20240427, // ASPLOS'24 opening day
+            telemetry: None,
         }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--iterations N` and `--seed N` from `std::env::args`.
+    /// Parses `--iterations N`, `--seed N`, and `--telemetry PATH` from
+    /// `std::env::args`, enabling the global telemetry pipeline when a
+    /// path is given (or `METAMUT_TELEMETRY` is set).
     pub fn from_args() -> Self {
         let mut opts = ExpOptions::default();
+        let mut telemetry_arg: Option<String> = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -49,10 +56,15 @@ impl ExpOptions {
                     opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
                     i += 1;
                 }
+                "--telemetry" if i + 1 < args.len() => {
+                    telemetry_arg = Some(args[i + 1].clone());
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
         }
+        opts.telemetry = metamut_telemetry::init_from_arg(telemetry_arg.as_deref());
         opts
     }
 }
@@ -60,7 +72,10 @@ impl ExpOptions {
 /// Runs the full RQ1 matrix: all six fuzzers against both compiler
 /// profiles at `-O2` (§5.1's configuration).
 pub fn run_matrix(opts: &ExpOptions) -> Vec<CampaignReport> {
-    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let seeds: Vec<String> = corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut reports = Vec::new();
     for profile in [Profile::Gcc, Profile::Clang] {
         let compiler = Compiler::new(profile, CompileOptions::o2());
@@ -83,12 +98,17 @@ pub fn run_matrix(opts: &ExpOptions) -> Vec<CampaignReport> {
 /// Panics when the target directory cannot be created or written — the
 /// experiment binaries treat an unwritable workspace as fatal.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create target/experiments");
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize report");
     std::fs::write(&path, json).expect("write report");
+    // When telemetry is live, drop a metrics snapshot next to the report so
+    // every experiment run leaves its counters/gauges/histograms behind.
+    if let Some(snapshot) = metamut_telemetry::global_snapshot_json() {
+        std::fs::write(dir.join(format!("{name}.telemetry.json")), snapshot)
+            .expect("write telemetry snapshot");
+    }
     path
 }
 
@@ -174,7 +194,10 @@ mod tests {
     fn series_render() {
         let s = render_series(
             "coverage",
-            &[("a".into(), vec![(0, 1), (10, 100)]), ("b".into(), vec![(0, 1), (10, 50)])],
+            &[
+                ("a".into(), vec![(0, 1), (10, 100)]),
+                ("b".into(), vec![(0, 1), (10, 50)]),
+            ],
         );
         assert!(s.contains("a |"));
         assert!(s.contains("100"));
@@ -185,6 +208,7 @@ mod tests {
         let opts = ExpOptions {
             iterations: 8,
             seed: 1,
+            ..Default::default()
         };
         let reports = run_matrix(&opts);
         assert_eq!(reports.len(), 12);

@@ -39,6 +39,18 @@ impl GenerationStatus {
     pub fn is_valid(&self) -> bool {
         matches!(self, GenerationStatus::Valid)
     }
+
+    /// Stable telemetry label for the outcome class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GenerationStatus::Valid => "valid",
+            GenerationStatus::SystemError(_) => "system_error",
+            GenerationStatus::RefinementFailed { .. } => "refinement_failed",
+            GenerationStatus::Mismatched => "mismatched",
+            GenerationStatus::LatentInvalid => "latent_invalid",
+            GenerationStatus::Duplicate => "duplicate",
+        }
+    }
 }
 
 /// The record of one MetaMut invocation.
@@ -100,16 +112,23 @@ impl MetaMut {
 
     /// Runs the full pipeline once (one "MetaMut invocation" in §4 terms).
     pub fn run_once(&mut self, run_seed: u64) -> GenerationRecord {
+        let telemetry = metamut_telemetry::handle();
+        let _run_span = telemetry.span("run_once");
         let mut cost = CostRecord::default();
         let mut fixed = Vec::new();
         let mut feedback_goals = Vec::new();
 
         // Infrastructure roulette: the paper lost 24/100 runs to it.
         if let Some(err) = self.llm.roll_system_error() {
+            let status = GenerationStatus::SystemError(err.to_string());
+            telemetry.counter_add(
+                &metamut_telemetry::labeled("generation_status", status.label()),
+                1,
+            );
             return GenerationRecord {
                 invention: None,
                 blueprint: None,
-                status: GenerationStatus::SystemError(err.to_string()),
+                status,
                 cost,
                 fixed_defects: fixed,
                 feedback_goals,
@@ -117,42 +136,60 @@ impl MetaMut {
         }
 
         // Stage 1: invention.
-        let reply = self.llm.invent(&self.generated_names);
-        cost.add(Step::Invention, reply.cost);
-        let invention = reply.value;
+        let invention = {
+            let _span = telemetry.span("invent");
+            let reply = self.llm.invent(&self.generated_names);
+            cost.add(Step::Invention, reply.cost);
+            reply.value
+        };
 
         // Stage 2: one-shot synthesis over the template.
-        let reply = self.llm.synthesize(&invention);
-        cost.add(Step::Implementation, reply.cost);
-        let mut blueprint = reply.value;
+        let mut blueprint = {
+            let _span = telemetry.span("synthesize");
+            let reply = self.llm.synthesize(&invention);
+            cost.add(Step::Implementation, reply.cost);
+            reply.value
+        };
 
         // Stage 3: validation and refinement.
-        let mut attempts = 0u32;
-        let status = loop {
-            let check = self.check(&blueprint, run_seed.wrapping_add(attempts as u64));
-            match check {
-                Ok(Verdict::Valid) => break self.manual_review(&invention, &blueprint),
-                Ok(Verdict::Unmet { goal, message }) | Err((goal, message)) => {
-                    if attempts >= self.max_repair_attempts {
-                        break GenerationStatus::RefinementFailed { goal };
-                    }
-                    attempts += 1;
-                    feedback_goals.push(goal);
-                    let before: Vec<Defect> = blueprint.defects.clone();
-                    let reply = self.llm.repair(&blueprint, goal, &message);
-                    cost.add(Step::BugFixing, reply.cost);
-                    blueprint = reply.value;
-                    for d in before {
-                        if !blueprint.defects.contains(&d) {
-                            fixed.push(d);
+        let status = {
+            let _span = telemetry.span("fix_loop");
+            let mut attempts = 0u32;
+            loop {
+                let check = self.check(&blueprint, run_seed.wrapping_add(attempts as u64));
+                match check {
+                    Ok(Verdict::Valid) => break self.manual_review(&invention, &blueprint),
+                    Ok(Verdict::Unmet { goal, message }) | Err((goal, message)) => {
+                        if attempts >= self.max_repair_attempts {
+                            break GenerationStatus::RefinementFailed { goal };
+                        }
+                        attempts += 1;
+                        feedback_goals.push(goal);
+                        telemetry.counter_add("repair_attempts", 1);
+                        let before: Vec<Defect> = blueprint.defects.clone();
+                        let reply = self.llm.repair(&blueprint, goal, &message);
+                        cost.add(Step::BugFixing, reply.cost);
+                        blueprint = reply.value;
+                        for d in before {
+                            if !blueprint.defects.contains(&d) {
+                                fixed.push(d);
+                            }
                         }
                     }
                 }
             }
         };
 
+        telemetry.counter_add(
+            &metamut_telemetry::labeled("generation_status", status.label()),
+            1,
+        );
         if status.is_valid() {
             self.generated_names.push(blueprint.name.clone());
+            telemetry.gauge_set(
+                "generated_valid_mutators",
+                self.generated_names.len() as f64,
+            );
         }
         GenerationRecord {
             invention: Some(invention),
@@ -199,10 +236,7 @@ impl MetaMut {
 
     /// Compiles the valid results of a campaign into an executable mutator
     /// set (the M_u handed to μCFuzz.u).
-    pub fn compiled_valid_mutators(
-        &self,
-        records: &[GenerationRecord],
-    ) -> Vec<SynthesizedMutator> {
+    pub fn compiled_valid_mutators(&self, records: &[GenerationRecord]) -> Vec<SynthesizedMutator> {
         records
             .iter()
             .filter(|r| r.status.is_valid())
@@ -299,11 +333,7 @@ mod tests {
         let mutators = mm.compiled_valid_mutators(&records);
         assert!(!mutators.is_empty());
         for m in &mutators {
-            let out = metamut_muast::mutate_source(
-                m,
-                metamut_llm::TEST_PROGRAMS[0],
-                5,
-            );
+            let out = metamut_muast::mutate_source(m, metamut_llm::TEST_PROGRAMS[0], 5);
             assert!(out.is_ok(), "valid mutator errored");
         }
     }

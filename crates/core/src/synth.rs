@@ -2,10 +2,10 @@
 //! model into an executable mutator, faithfully reproducing each injected
 //! defect's observable behavior so the validation loop has real work to do.
 
+use metamut_lang::source::Span;
 use metamut_llm::defects::Defect;
 use metamut_llm::Blueprint;
 use metamut_muast::{Category, MutCtx, Mutator, MutatorRegistry};
-use metamut_lang::source::Span;
 use std::sync::Arc;
 
 /// Error from compiling a blueprint (validation goal #1).

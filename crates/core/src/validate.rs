@@ -34,6 +34,20 @@ impl Verdict {
 /// `seed` perturbs the mutator's random choices so successive refinement
 /// rounds re-roll its decisions, like re-running a flaky test suite.
 pub fn validate(m: &SynthesizedMutator, tests: &[String], seed: u64) -> Verdict {
+    let telemetry = metamut_telemetry::handle();
+    let _span = telemetry.span("validate");
+    let verdict = validate_inner(m, tests, seed);
+    if telemetry.enabled() {
+        let label = match &verdict {
+            Verdict::Valid => "valid".to_string(),
+            Verdict::Unmet { goal, .. } => format!("goal_{goal}"),
+        };
+        telemetry.counter_add(&metamut_telemetry::labeled("validate_verdict", &label), 1);
+    }
+    verdict
+}
+
+fn validate_inner(m: &SynthesizedMutator, tests: &[String], seed: u64) -> Verdict {
     // Goal #2: μ terminates. Hanging implementations are detected by the
     // harness timeout; the simulation flags them without spinning.
     if m.has_defect(Defect::Hangs) {
@@ -87,10 +101,7 @@ pub fn validate(m: &SynthesizedMutator, tests: &[String], seed: u64) -> Verdict 
                         .unwrap_or_else(|| "unknown error".into());
                     return Verdict::Unmet {
                         goal: 6,
-                        message: format!(
-                            "mutant of test {} does not compile: {first}",
-                            i + 1
-                        ),
+                        message: format!("mutant of test {} does not compile: {first}", i + 1),
                     };
                 }
             }

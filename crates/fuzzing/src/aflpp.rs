@@ -137,7 +137,10 @@ mod tests {
         let mut changed = 0;
         for _ in 0..20 {
             let c = f.next_candidate(&mut rng);
-            if c.parent.map(|i| f.pool.get(i) != Some(c.program.as_str())).unwrap_or(true) {
+            if c.parent
+                .map(|i| f.pool.get(i) != Some(c.program.as_str()))
+                .unwrap_or(true)
+            {
                 changed += 1;
             }
         }

@@ -63,6 +63,20 @@ pub struct MutantStats {
 }
 
 impl MutantStats {
+    /// Records one generated mutant, bumping the matching telemetry
+    /// counters (`mutants_generated`, `mutants_compilable`). Every update
+    /// site goes through here so the stats and the telemetry stream
+    /// cannot drift apart.
+    pub fn record(&mut self, compilable: bool) {
+        self.total += 1;
+        let telemetry = metamut_telemetry::handle();
+        telemetry.counter_add("mutants_generated", 1);
+        if compilable {
+            self.compilable += 1;
+            telemetry.counter_add("mutants_compilable", 1);
+        }
+    }
+
     /// The compilable ratio in percent.
     pub fn ratio(&self) -> f64 {
         if self.total == 0 {
@@ -114,6 +128,8 @@ pub fn run_campaign(
     compiler: &Compiler,
     config: &CampaignConfig,
 ) -> CampaignReport {
+    let telemetry = metamut_telemetry::handle();
+    let _campaign_span = telemetry.span("fuzz");
     let mut rng = MutRng::new(config.seed);
     let mut global = CoverageMap::new();
     let mut crashes: Vec<CrashRecord> = Vec::new();
@@ -124,19 +140,21 @@ pub fn run_campaign(
     for iter in 0..config.iterations {
         let candidate = generator.next_candidate(&mut rng);
         let result = compiler.compile(&candidate.program);
-        mutants.total += 1;
         let compiled = match &result.outcome {
             Outcome::Success { .. } => true,
             // A crash beyond the front end means the front end accepted it.
             Outcome::Crash(c) => c.stage != Stage::FrontEnd,
             Outcome::Rejected { .. } => false,
         };
-        if compiled {
-            mutants.compilable += 1;
-        }
+        mutants.record(compiled);
+        telemetry.counter_add("fuzz_execs", 1);
         if let Outcome::Crash(info) = &result.outcome {
             let sig = info.signature();
             if seen_sigs.insert(sig) {
+                telemetry.counter_add(
+                    &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
+                    1,
+                );
                 crashes.push(CrashRecord {
                     info: info.clone(),
                     signature: sig,
@@ -153,6 +171,10 @@ pub fn run_campaign(
                 covered: global.count(),
                 crashes: crashes.len(),
             });
+            if telemetry.enabled() {
+                telemetry.gauge_set("fuzz_corpus", generator.pool_len() as f64);
+                telemetry.gauge_set("fuzz_coverage", global.count() as f64);
+            }
         }
     }
 
@@ -195,10 +217,7 @@ mod tests {
             assert!(w[1].covered >= w[0].covered, "coverage dropped");
             assert!(w[1].crashes >= w[0].crashes);
         }
-        assert_eq!(
-            report.series.last().unwrap().covered,
-            report.final_coverage
-        );
+        assert_eq!(report.series.last().unwrap().covered, report.final_coverage);
     }
 
     #[test]

@@ -389,8 +389,7 @@ mod extended_tests {
         let c = extended_corpus(30, 5);
         assert_eq!(c.len(), seed_corpus().len() + 30);
         for (i, p) in c.iter().enumerate() {
-            metamut_lang::compile_check(p)
-                .unwrap_or_else(|e| panic!("extended seed {i}: {e}"));
+            metamut_lang::compile_check(p).unwrap_or_else(|e| panic!("extended seed {i}: {e}"));
         }
     }
 

@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn six_fuzzers_in_order() {
-        let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+        let seeds: Vec<String> = corpus::seed_corpus()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let fuzzers = all_fuzzers(&seeds);
         let names: Vec<&str> = fuzzers.iter().map(|f| f.name()).collect();
         assert_eq!(

@@ -7,7 +7,7 @@
 use crate::generator::SeedPool;
 use metamut_muast::{mutate_source, MutRng, MutationOutcome, MutatorRegistry};
 use metamut_simcomp::{
-    CompileOptions, Compiler, Outcome, OptFlags, Profile, SharedCoverage, Stage,
+    CompileOptions, Compiler, OptFlags, Outcome, Profile, SharedCoverage, Stage,
 };
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -117,6 +117,8 @@ pub fn run_field_experiment(
     seeds: Vec<String>,
     config: &MacroConfig,
 ) -> FieldReport {
+    let telemetry = metamut_telemetry::handle();
+    let _field_span = telemetry.span("macro_fuzz");
     let shared_cov = SharedCoverage::new();
     let shared_pool = Arc::new(Mutex::new(SeedPool::new(seeds)));
     let found: Arc<Mutex<Vec<FoundBug>>> = Arc::new(Mutex::new(Vec::new()));
@@ -165,9 +167,14 @@ pub fn run_field_experiment(
                     let compiler = base.with_options(sample_options(&mut rng));
                     let result = compiler.compile(&program);
                     *compiles.lock() += 1;
+                    telemetry.counter_add("fuzz_execs", 1);
                     if let Outcome::Crash(info) = &result.outcome {
                         let mut found = found.lock();
                         if !found.iter().any(|b| b.bug_id == info.bug_id) {
+                            telemetry.counter_add(
+                                &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
+                                1,
+                            );
                             found.push(FoundBug {
                                 bug_id: info.bug_id.to_string(),
                                 compiler: profile.name().to_string(),
@@ -182,6 +189,10 @@ pub fn run_field_experiment(
                     if shared_cov.would_grow(&result.coverage) {
                         shared_cov.merge(&result.coverage);
                         shared_pool.lock().push(program);
+                        if telemetry.enabled() {
+                            telemetry.gauge_set("fuzz_coverage", shared_cov.count() as f64);
+                            telemetry.gauge_set("fuzz_corpus", shared_pool.lock().len() as f64);
+                        }
                     }
                 }
             });

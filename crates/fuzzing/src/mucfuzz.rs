@@ -53,6 +53,7 @@ impl TestGenerator for MuCFuzz {
     }
 
     fn next_candidate(&mut self, rng: &mut MutRng) -> Candidate {
+        let telemetry = metamut_telemetry::handle();
         // Algorithm 1 line 4: P ← random_choice(pool).
         let (parent_idx, parent) = self.pool.pick(rng);
         let parent = parent.to_string();
@@ -67,17 +68,24 @@ impl TestGenerator for MuCFuzz {
                 .expect("index in range")
                 .mutator
                 .as_ref();
+            telemetry.counter_add("mutate_attempts", 1);
             match mutate_source(m, &parent, rng.next_u64()) {
                 Ok(MutationOutcome::Mutated(p)) => {
+                    telemetry.counter_add("mutate_applied", 1);
                     return Candidate {
                         program: p,
                         parent: Some(parent_idx),
                     };
                 }
-                Ok(MutationOutcome::NotApplicable) | Err(_) => continue,
+                Ok(MutationOutcome::NotApplicable) => continue,
+                Err(_) => {
+                    telemetry.counter_add("mutate_errors", 1);
+                    continue;
+                }
             }
         }
         // Nothing applied: re-emit the parent (cheap, counts as a dud).
+        telemetry.counter_add("mutate_duds", 1);
         Candidate {
             program: parent,
             parent: Some(parent_idx),
@@ -122,7 +130,10 @@ mod tests {
         let mut mutated = 0;
         for _ in 0..20 {
             let c = f.next_candidate(&mut rng);
-            if c.parent.map(|i| f.pool.get(i) != Some(c.program.as_str())).unwrap_or(true) {
+            if c.parent
+                .map(|i| f.pool.get(i) != Some(c.program.as_str()))
+                .unwrap_or(true)
+            {
                 mutated += 1;
             }
         }

@@ -1089,7 +1089,10 @@ mod tests {
     #[test]
     fn binop_tables_are_consistent() {
         use BinaryOp::*;
-        for op in [Mul, Div, Rem, Add, Sub, Shl, Shr, Lt, Gt, Le, Ge, Eq, Ne, BitAnd, BitXor, BitOr, LogAnd, LogOr] {
+        for op in [
+            Mul, Div, Rem, Add, Sub, Shl, Shr, Lt, Gt, Le, Ge, Eq, Ne, BitAnd, BitXor, BitOr,
+            LogAnd, LogOr,
+        ] {
             assert!(!op.spelling().is_empty());
             assert!(op.precedence() >= 1 && op.precedence() <= 10);
             if let Some(neg) = op.negated_comparison() {

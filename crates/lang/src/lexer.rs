@@ -78,7 +78,10 @@ impl<'s> Lexer<'s> {
     fn error(&mut self, lo: usize, msg: impl Into<String>) {
         self.diags.push(Diagnostic::error(
             Phase::Lex,
-            Span::new(lo as u32, self.pos.max(lo + 1).min(self.src.len().max(lo + 1)) as u32),
+            Span::new(
+                lo as u32,
+                self.pos.max(lo + 1).min(self.src.len().max(lo + 1)) as u32,
+            ),
             msg,
         ));
     }
@@ -446,14 +449,19 @@ mod tests {
     fn operators() {
         assert_eq!(
             kinds("a <<= b >> c != d->e ... ++f"),
-            vec![Ident, ShlEq, Ident, Shr, Ident, Ne, Ident, Arrow, Ident, Ellipsis, PlusPlus, Ident, Eof]
+            vec![
+                Ident, ShlEq, Ident, Shr, Ident, Ne, Ident, Arrow, Ident, Ellipsis, PlusPlus,
+                Ident, Eof
+            ]
         );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("0x1f 07 1.5 1e9 .5f 42u 42ull 3.0f"),
-            vec![IntLit, IntLit, FloatLit, FloatLit, FloatLit, IntLit, IntLit, FloatLit, Eof]);
+        assert_eq!(
+            kinds("0x1f 07 1.5 1e9 .5f 42u 42ull 3.0f"),
+            vec![IntLit, IntLit, FloatLit, FloatLit, FloatLit, IntLit, IntLit, FloatLit, Eof]
+        );
     }
 
     #[test]
@@ -467,7 +475,10 @@ mod tests {
     #[test]
     fn comments_and_directives() {
         let src = "#include <stdio.h>\nint /* c */ x; // tail\nint y;";
-        assert_eq!(kinds(src), vec![KwInt, Ident, Semi, KwInt, Ident, Semi, Eof]);
+        assert_eq!(
+            kinds(src),
+            vec![KwInt, Ident, Semi, KwInt, Ident, Semi, Eof]
+        );
     }
 
     #[test]

@@ -230,7 +230,10 @@ impl<'f> Parser<'f> {
     fn starts_type_name(&self) -> bool {
         let k = self.kind();
         k.is_type_specifier_keyword()
-            || matches!(k, TokenKind::KwConst | TokenKind::KwVolatile | TokenKind::KwRestrict)
+            || matches!(
+                k,
+                TokenKind::KwConst | TokenKind::KwVolatile | TokenKind::KwRestrict
+            )
             || (k == TokenKind::Ident && self.is_typedef_name(self.text()))
     }
 
@@ -1772,13 +1775,17 @@ mod tests {
         }
         match &decls[1] {
             ExternalDecl::Vars(g) => {
-                assert!(matches!(&g.vars[0].ty, TySyn::Pointer { pointee, .. } if pointee.is_array()));
+                assert!(
+                    matches!(&g.vars[0].ty, TySyn::Pointer { pointee, .. } if pointee.is_array())
+                );
             }
             _ => panic!(),
         }
         match &decls[2] {
             ExternalDecl::Vars(g) => {
-                assert!(matches!(&g.vars[0].ty, TySyn::Pointer { pointee, .. } if pointee.is_function()));
+                assert!(
+                    matches!(&g.vars[0].ty, TySyn::Pointer { pointee, .. } if pointee.is_function())
+                );
             }
             _ => panic!(),
         }
@@ -1812,7 +1819,9 @@ mod tests {
     #[test]
     fn struct_union_enum() {
         let ast = ok("struct P { int x, y; unsigned f : 3; }; union U { int i; float f; }; enum E { A, B = 5, C };");
-        assert!(matches!(&ast.unit.decls[0], ExternalDecl::Record(r) if !r.is_union && r.fields.as_ref().unwrap().len() == 3));
+        assert!(
+            matches!(&ast.unit.decls[0], ExternalDecl::Record(r) if !r.is_union && r.fields.as_ref().unwrap().len() == 3)
+        );
         assert!(matches!(&ast.unit.decls[1], ExternalDecl::Record(r) if r.is_union));
         match &ast.unit.decls[2] {
             ExternalDecl::Enum(e) => {
@@ -1885,7 +1894,8 @@ int f(int n) {
 
     #[test]
     fn expressions() {
-        let ast = ok("int g(int a, int b) { return a * b + (a ? b : 3) - sizeof(int) + sizeof a; }");
+        let ast =
+            ok("int g(int a, int b) { return a * b + (a ? b : 3) - sizeof(int) + sizeof a; }");
         assert!(ast.find_function("g").is_some());
     }
 

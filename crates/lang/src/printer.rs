@@ -83,10 +83,7 @@ fn build_declarator(ty: &TySyn, inner: String) -> (String, String) {
             build_declarator(pointee, d)
         }
         TySyn::Array { elem, size } => {
-            let sz = size
-                .as_ref()
-                .map(|e| print_expr(e))
-                .unwrap_or_default();
+            let sz = size.as_ref().map(|e| print_expr(e)).unwrap_or_default();
             build_declarator(elem, format!("{inner}[{sz}]"))
         }
         TySyn::Function {
@@ -300,7 +297,11 @@ pub fn print_expr(e: &Expr) -> String {
             format!("({}){}", format_as_decl(&ty.ty, ""), print_sub(expr, 13))
         }
         ExprKind::CompoundLit { ty, init } => {
-            format!("({}){}", format_as_decl(&ty.ty, ""), print_initializer(init))
+            format!(
+                "({}){}",
+                format_as_decl(&ty.ty, ""),
+                print_initializer(init)
+            )
         }
         ExprKind::SizeofExpr(inner) => format!("sizeof {}", print_sub(inner, 13)),
         ExprKind::SizeofType(ty) => format!("sizeof({})", format_as_decl(&ty.ty, "")),
@@ -541,9 +542,7 @@ mod tests {
         roundtrip("int main(void) { return 0; }");
         roundtrip("int a = 1, b; char *s = \"x\\n\";");
         roundtrip("struct P { int x; int y; }; struct P p;");
-        roundtrip(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        roundtrip("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         roundtrip("void g(void) { switch (1) { case 0: break; default: ; } }");
         roundtrip("enum E { A, B = 3 }; enum E e = B;");
         roundtrip("typedef unsigned u32; u32 v = 7;");

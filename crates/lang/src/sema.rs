@@ -217,28 +217,94 @@ impl<'a> Checker<'a> {
         let mstr = QType::char_ptr();
         let builtins: Vec<(&str, QType, Vec<QType>, bool)> = vec![
             ("printf", QType::int(), vec![cstr.clone()], true),
-            ("sprintf", QType::int(), vec![mstr.clone(), cstr.clone()], true),
-            ("snprintf", QType::int(), vec![mstr.clone(), ulong.clone(), cstr.clone()], true),
+            (
+                "sprintf",
+                QType::int(),
+                vec![mstr.clone(), cstr.clone()],
+                true,
+            ),
+            (
+                "snprintf",
+                QType::int(),
+                vec![mstr.clone(), ulong.clone(), cstr.clone()],
+                true,
+            ),
             ("puts", QType::int(), vec![cstr.clone()], false),
             ("putchar", QType::int(), vec![QType::int()], false),
             ("scanf", QType::int(), vec![cstr.clone()], true),
-            ("memset", vptr.clone(), vec![vptr.clone(), QType::int(), ulong.clone()], false),
-            ("memcpy", vptr.clone(), vec![vptr.clone(), vptr.clone(), ulong.clone()], false),
-            ("memcmp", QType::int(), vec![vptr.clone(), vptr.clone(), ulong.clone()], false),
+            (
+                "memset",
+                vptr.clone(),
+                vec![vptr.clone(), QType::int(), ulong.clone()],
+                false,
+            ),
+            (
+                "memcpy",
+                vptr.clone(),
+                vec![vptr.clone(), vptr.clone(), ulong.clone()],
+                false,
+            ),
+            (
+                "memcmp",
+                QType::int(),
+                vec![vptr.clone(), vptr.clone(), ulong.clone()],
+                false,
+            ),
             ("strlen", ulong.clone(), vec![cstr.clone()], false),
-            ("strcpy", mstr.clone(), vec![mstr.clone(), cstr.clone()], false),
-            ("strcmp", QType::int(), vec![cstr.clone(), cstr.clone()], false),
-            ("strcat", mstr.clone(), vec![mstr.clone(), cstr.clone()], false),
+            (
+                "strcpy",
+                mstr.clone(),
+                vec![mstr.clone(), cstr.clone()],
+                false,
+            ),
+            (
+                "strcmp",
+                QType::int(),
+                vec![cstr.clone(), cstr.clone()],
+                false,
+            ),
+            (
+                "strcat",
+                mstr.clone(),
+                vec![mstr.clone(), cstr.clone()],
+                false,
+            ),
             ("abort", QType::void(), vec![], false),
             ("exit", QType::void(), vec![QType::int()], false),
             ("malloc", vptr.clone(), vec![ulong.clone()], false),
-            ("calloc", vptr.clone(), vec![ulong.clone(), ulong.clone()], false),
-            ("realloc", vptr.clone(), vec![vptr.clone(), ulong.clone()], false),
+            (
+                "calloc",
+                vptr.clone(),
+                vec![ulong.clone(), ulong.clone()],
+                false,
+            ),
+            (
+                "realloc",
+                vptr.clone(),
+                vec![vptr.clone(), ulong.clone()],
+                false,
+            ),
             ("free", QType::void(), vec![vptr.clone()], false),
             ("abs", QType::int(), vec![QType::int()], false),
-            ("labs", QType::new(Type::Int { width: IntWidth::Long, signed: true }), vec![QType::new(Type::Int { width: IntWidth::Long, signed: true })], false),
+            (
+                "labs",
+                QType::new(Type::Int {
+                    width: IntWidth::Long,
+                    signed: true,
+                }),
+                vec![QType::new(Type::Int {
+                    width: IntWidth::Long,
+                    signed: true,
+                })],
+                false,
+            ),
             ("rand", QType::int(), vec![], false),
-            ("srand", QType::void(), vec![QType::new(Type::uint())], false),
+            (
+                "srand",
+                QType::void(),
+                vec![QType::new(Type::uint())],
+                false,
+            ),
             ("fabs", QType::double(), vec![QType::double()], false),
             ("sqrt", QType::double(), vec![QType::double()], false),
         ];
@@ -304,20 +370,14 @@ impl<'a> Checker<'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<&Symbol> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.symbols.get(name))
+        self.scopes.iter().rev().find_map(|s| s.symbols.get(name))
     }
 
     fn declare(&mut self, name: &str, sym: Symbol, span: Span) {
         let scope = self.scopes.last_mut().expect("scope stack nonempty");
         if scope.symbols.contains_key(name) {
             let is_file_scope = scope.id == ScopeId(0);
-            let existing_is_func = matches!(
-                scope.symbols[name].kind,
-                SymbolKind::Func
-            );
+            let existing_is_func = matches!(scope.symbols[name].kind, SymbolKind::Func);
             // Tolerate repeated file-scope declarations (tentative
             // definitions, redeclared prototypes); reject block-scope ones.
             if !is_file_scope && !existing_is_func {
@@ -795,10 +855,7 @@ impl<'a> Checker<'a> {
                     .map(|r| r.fields.is_some())
                     .unwrap_or(false);
                 if !complete {
-                    self.error(
-                        v.span,
-                        format!("variable '{}' has incomplete type", v.name),
-                    );
+                    self.error(v.span, format!("variable '{}' has incomplete type", v.name));
                 }
             }
             if qt.ty.is_function() {
@@ -872,13 +929,15 @@ impl<'a> Checker<'a> {
                 }
                 match assign_compat(&target.ty, &et.ty) {
                     Compat::Ok => {}
-                    Compat::Warn => self.warn(
-                        e.span,
-                        format!("initializing '{}' from '{}'", target, et),
-                    ),
+                    Compat::Warn => {
+                        self.warn(e.span, format!("initializing '{}' from '{}'", target, et))
+                    }
                     Compat::Error => self.error(
                         e.span,
-                        format!("cannot initialize '{}' with a value of type '{}'", target, et),
+                        format!(
+                            "cannot initialize '{}' with a value of type '{}'",
+                            target, et
+                        ),
                     ),
                 }
             }
@@ -894,11 +953,7 @@ impl<'a> Checker<'a> {
                     }
                 }
                 Type::Record { tag, .. } => {
-                    let fields = self
-                        .result
-                        .records
-                        .get(tag)
-                        .and_then(|r| r.fields.clone());
+                    let fields = self.result.records.get(tag).and_then(|r| r.fields.clone());
                     match fields {
                         Some(fields) => {
                             if items.len() > fields.len() {
@@ -1077,7 +1132,10 @@ impl<'a> Checker<'a> {
                                 Compat::Ok => {}
                                 Compat::Warn => self.warn(
                                     e.span,
-                                    format!("returning '{}' from a function returning '{}'", et, ret_ty),
+                                    format!(
+                                        "returning '{}' from a function returning '{}'",
+                                        et, ret_ty
+                                    ),
                                 ),
                                 Compat::Error => self.error(
                                     e.span,
@@ -1241,7 +1299,9 @@ impl<'a> Checker<'a> {
                                 if info.map(|r| r.fields.is_none()).unwrap_or(true) {
                                     self.error(
                                         *member_span,
-                                        format!("member access into incomplete type 'struct {tag}'"),
+                                        format!(
+                                            "member access into incomplete type 'struct {tag}'"
+                                        ),
                                     );
                                 } else {
                                     self.error(
@@ -1277,8 +1337,7 @@ impl<'a> Checker<'a> {
                     self.error(e.span, format!("cast to non-scalar type '{target}'"));
                 } else if src.ty.is_void() {
                     self.error(expr.span, "cast of void expression to non-void type");
-                } else if (target.ty.is_pointer()
-                    && (src.ty.is_floating() || src.ty.is_complex()))
+                } else if (target.ty.is_pointer() && (src.ty.is_floating() || src.ty.is_complex()))
                     || (src.ty.is_pointer() && (target.ty.is_floating() || target.ty.is_complex()))
                 {
                     self.error(e.span, "cast between pointer and floating type");
@@ -1363,7 +1422,14 @@ impl<'a> Checker<'a> {
                 let takes_fn = matches!(&ot.ty, Type::Function { .. });
                 if !inner.is_lvalue_shaped()
                     && !takes_fn
-                    && !matches!(inner.kind, ExprKind::CompoundLit { .. } | ExprKind::Unary { op: UnaryOp::Real | UnaryOp::Imag, .. })
+                    && !matches!(
+                        inner.kind,
+                        ExprKind::CompoundLit { .. }
+                            | ExprKind::Unary {
+                                op: UnaryOp::Real | UnaryOp::Imag,
+                                ..
+                            }
+                    )
                 {
                     self.error(e.span, "cannot take the address of an rvalue");
                 }
@@ -1506,13 +1572,7 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_assign(
-        &mut self,
-        e: &Expr,
-        op: Option<BinaryOp>,
-        lhs: &Expr,
-        rhs: &Expr,
-    ) -> QType {
+    fn check_assign(&mut self, e: &Expr, op: Option<BinaryOp>, lhs: &Expr, rhs: &Expr) -> QType {
         let lt = self.check_expr(lhs);
         let rt = self.check_expr(rhs).decayed();
         if !lhs.is_lvalue_shaped() {
@@ -1538,10 +1598,7 @@ impl<'a> Checker<'a> {
         };
         match assign_compat(&lt.ty, &value_ty.ty) {
             Compat::Ok => {}
-            Compat::Warn => self.warn(
-                e.span,
-                format!("assigning '{value_ty}' to '{lt}'"),
-            ),
+            Compat::Warn => self.warn(e.span, format!("assigning '{value_ty}' to '{lt}'")),
             Compat::Error => self.error(
                 e.span,
                 format!("assigning '{value_ty}' to incompatible type '{lt}'"),
@@ -1681,7 +1738,12 @@ impl<'a> Checker<'a> {
                     .map(|p| p.quals.is_const)
                     .unwrap_or(false)
             }
-            ExprKind::Member { base, member, arrow, .. } => {
+            ExprKind::Member {
+                base,
+                member,
+                arrow,
+                ..
+            } => {
                 let base_const = if *arrow {
                     self.result
                         .expr_types
@@ -1758,7 +1820,10 @@ mod tests {
     #[test]
     fn implicit_function_is_warning() {
         let r = ok("int f(void) { return g(); }");
-        assert!(r.warnings.iter().any(|d| d.message.contains("implicit declaration")));
+        assert!(r
+            .warnings
+            .iter()
+            .any(|d| d.message.contains("implicit declaration")));
     }
 
     #[test]
@@ -1771,10 +1836,7 @@ mod tests {
 
     #[test]
     fn return_value_in_void_function() {
-        errs(
-            "void f(void) { return 1; }",
-            "return with a value",
-        );
+        errs("void f(void) { return 1; }", "return with a value");
     }
 
     #[test]
@@ -1787,10 +1849,7 @@ mod tests {
 
     #[test]
     fn assign_through_const_pointer() {
-        errs(
-            "void f(const char *p) { *p = 'a'; }",
-            "const-qualified",
-        );
+        errs("void f(const char *p) { *p = 'a'; }", "const-qualified");
     }
 
     #[test]
@@ -1821,17 +1880,17 @@ mod tests {
 
     #[test]
     fn integer_only_ops() {
-        errs(
-            "int f(double d) { return d % 2; }",
-            "invalid operands",
-        );
+        errs("int f(double d) { return d % 2; }", "invalid operands");
         ok("int f(int a) { return a % 2 ^ (a << 1); }");
     }
 
     #[test]
     fn pointer_arithmetic() {
         ok("int f(int *p, int n) { return *(p + n); }");
-        errs("int f(int *p, int *q) { return *(p * q); }", "invalid operands");
+        errs(
+            "int f(int *p, int *q) { return *(p * q); }",
+            "invalid operands",
+        );
         ok("long f(int *p, int *q) { return p - q; }");
     }
 
@@ -1901,16 +1960,16 @@ mod tests {
         let ast = parse("t.c", src).unwrap();
         let r = analyze(&ast).unwrap();
         assert!(!r.expr_types.is_empty());
-        assert!(r
-            .expr_types
-            .values()
-            .any(|t| t.ty == Type::int()));
+        assert!(r.expr_types.values().any(|t| t.ty == Type::int()));
     }
 
     #[test]
     fn redefinition_checks() {
         errs("void f(void) { int x; int x; }", "redefinition");
-        errs("int f(void) { return 0; } int f(void) { return 1; }", "redefinition");
+        errs(
+            "int f(void) { return 0; } int f(void) { return 1; }",
+            "redefinition",
+        );
         ok("int f(void); int f(void); int f(void) { return 0; }");
     }
 

@@ -21,7 +21,9 @@ use std::fmt;
 /// assert!(s.contains(4));
 /// assert!(!s.contains(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Span {
     /// Inclusive start offset in bytes.
     pub lo: u32,

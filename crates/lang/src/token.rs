@@ -329,7 +329,10 @@ mod tests {
     fn keywords_resolve() {
         assert_eq!(keyword_from_str("int"), Some(TokenKind::KwInt));
         assert_eq!(keyword_from_str("_Complex"), Some(TokenKind::KwComplex));
-        assert_eq!(keyword_from_str("__restrict__"), Some(TokenKind::KwRestrict));
+        assert_eq!(
+            keyword_from_str("__restrict__"),
+            Some(TokenKind::KwRestrict)
+        );
         assert_eq!(keyword_from_str("foo"), None);
     }
 

@@ -505,10 +505,7 @@ mod tests {
             usual_arithmetic(&Type::char_(), &Type::char_()),
             Type::int()
         );
-        assert_eq!(
-            usual_arithmetic(&Type::uint(), &Type::int()),
-            Type::uint()
-        );
+        assert_eq!(usual_arithmetic(&Type::uint(), &Type::int()), Type::uint());
         assert_eq!(
             usual_arithmetic(&Type::Complex(FloatWidth::F64), &Type::int()),
             Type::Complex(FloatWidth::F64)

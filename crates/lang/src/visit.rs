@@ -373,7 +373,11 @@ mod tests {
 
     #[test]
     fn visits_inline_records() {
-        let ast = parse("t.c", "struct S { int a; } s; void f(void) { s.a = sizeof(struct S); }").unwrap();
+        let ast = parse(
+            "t.c",
+            "struct S { int a; } s; void f(void) { s.a = sizeof(struct S); }",
+        )
+        .unwrap();
         #[derive(Default)]
         struct Records(usize);
         impl Visitor for Records {

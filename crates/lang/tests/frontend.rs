@@ -40,10 +40,8 @@ int use_all(void) { return scalar + arr[0] + mat[1][2]; }
 
 #[test]
 fn comments_everywhere() {
-    compile_check(
-        "int /*a*/ f(/*b*/ int x /*c*/) { // line\n return /* mid */ x; /* tail */ }",
-    )
-    .unwrap();
+    compile_check("int /*a*/ f(/*b*/ int x /*c*/) { // line\n return /* mid */ x; /* tail */ }")
+        .unwrap();
 }
 
 #[test]
@@ -69,9 +67,9 @@ fn warning_vs_error_calibration() {
     // Warnings (compiles).
     for src in [
         "int f(void) { int *p = 0; return p == 1; }", // ptr/int comparison
-        "int *g(void) { return 5; }",                  // int → pointer return
-        "void h(int *p) { char *q = p; q = q; }",      // pointer mismatch
-        "int k(void) { return undeclared_fn(); }",     // implicit declaration
+        "int *g(void) { return 5; }",                 // int → pointer return
+        "void h(int *p) { char *q = p; q = q; }",     // pointer mismatch
+        "int k(void) { return undeclared_fn(); }",    // implicit declaration
     ] {
         let (ast, _) = (parse("w.c", src).unwrap(), ());
         let sema = analyze(&ast).unwrap_or_else(|e| panic!("{src} should warn, got {e}"));
@@ -106,9 +104,7 @@ int f(int x) {
     )
     .unwrap();
     // Three distinct declarations named x.
-    let n = sema
-        .decl_types
-        .len();
+    let n = sema.decl_types.len();
     assert!(n >= 3, "expected >=3 typed decls, got {n}");
 }
 

@@ -109,13 +109,15 @@ impl CostRecord {
         2 + self.qa_bugfix
     }
 
-    /// Dollar cost at the paper's ~US$0.06/1K-token blended GPT-4 rate
-    /// (8,600 tokens ≈ $0.50).
+    /// Dollar cost at the paper's blended GPT-4 rate
+    /// ([`DOLLARS_PER_1K_TOKENS`]; ~8,600 tokens ≈ $0.50).
     pub fn dollars(&self) -> f64 {
-        self.tokens_total() as f64 * 0.5 / 8600.0
+        self.tokens_total() as f64 / 1000.0 * DOLLARS_PER_1K_TOKENS
     }
 
-    /// Adds one interaction to the record.
+    /// Adds one interaction to the record, mirroring it into the
+    /// telemetry pipeline (one event set per interaction: call count,
+    /// tokens, and wall-time observations, labeled by step).
     pub fn add(&mut self, step: Step, i: Interaction) {
         match step {
             Step::Invention => self.tokens_invention += i.tokens,
@@ -128,8 +130,27 @@ impl CostRecord {
         self.time_s += i.wait_s + i.prepare_s;
         self.wait_s += i.wait_s;
         self.prepare_s += i.prepare_s;
+
+        let telemetry = metamut_telemetry::handle();
+        if telemetry.enabled() {
+            let label = step.label();
+            telemetry.counter_add(&metamut_telemetry::labeled("llm_calls", label), 1);
+            telemetry.counter_add(
+                &metamut_telemetry::labeled("llm_tokens", label),
+                u64::from(i.tokens),
+            );
+            telemetry.observe(&metamut_telemetry::labeled("llm_wait_s", label), i.wait_s);
+            telemetry.observe(
+                &metamut_telemetry::labeled("llm_prepare_s", label),
+                i.prepare_s,
+            );
+        }
     }
 }
+
+/// The paper's blended GPT-4 price: ~US$0.06 per 1K tokens, which makes
+/// the reported ~8,600-token mean generation cost ≈ US$0.50 (§4.2).
+pub const DOLLARS_PER_1K_TOKENS: f64 = 0.06;
 
 /// Min/max/median/mean summary of a sample (a Table 2/3 cell row).
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -185,13 +206,19 @@ mod tests {
     fn cost_record_accumulates() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut c = CostRecord::default();
-        c.add(Step::Invention, sample_interaction(&mut rng, Step::Invention));
+        c.add(
+            Step::Invention,
+            sample_interaction(&mut rng, Step::Invention),
+        );
         c.add(
             Step::Implementation,
             sample_interaction(&mut rng, Step::Implementation),
         );
         for _ in 0..4 {
-            c.add(Step::BugFixing, sample_interaction(&mut rng, Step::BugFixing));
+            c.add(
+                Step::BugFixing,
+                sample_interaction(&mut rng, Step::BugFixing),
+            );
         }
         assert_eq!(c.qa_total(), 6);
         assert_eq!(
@@ -211,18 +238,44 @@ mod tests {
         let n = 200;
         for _ in 0..n {
             let mut c = CostRecord::default();
-            c.add(Step::Invention, sample_interaction(&mut rng, Step::Invention));
+            c.add(
+                Step::Invention,
+                sample_interaction(&mut rng, Step::Invention),
+            );
             c.add(
                 Step::Implementation,
                 sample_interaction(&mut rng, Step::Implementation),
             );
             for _ in 0..4 {
-                c.add(Step::BugFixing, sample_interaction(&mut rng, Step::BugFixing));
+                c.add(
+                    Step::BugFixing,
+                    sample_interaction(&mut rng, Step::BugFixing),
+                );
             }
             total += c.dollars();
         }
         let mean = total / n as f64;
         assert!((0.2..0.9).contains(&mean), "mean ${mean:.2}");
+    }
+
+    #[test]
+    fn rate_pins_paper_cost_anchor() {
+        // §4.2's anchor: a ~8,600-token generation costs about $0.50 at
+        // the blended GPT-4 rate.
+        let c = CostRecord {
+            tokens_invention: 1130,
+            tokens_implementation: 2488,
+            tokens_bugfix: 8600 - 1130 - 2488,
+            ..Default::default()
+        };
+        assert_eq!(c.tokens_total(), 8600);
+        let dollars = c.dollars();
+        assert!(
+            (dollars - 0.5).abs() < 0.03,
+            "8,600 tokens should cost ~$0.50, got ${dollars:.4}"
+        );
+        // And the rate itself is the published per-1K price.
+        assert_eq!(DOLLARS_PER_1K_TOKENS, 0.06);
     }
 
     #[test]

@@ -119,6 +119,9 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         assert_eq!(Defect::SyntaxError.label(), "μ not compile");
-        assert_eq!(Defect::CompileErrorMutant.label(), "μ creates compile-error mutant");
+        assert_eq!(
+            Defect::CompileErrorMutant.label(),
+            "μ creates compile-error mutant"
+        );
     }
 }

@@ -297,9 +297,7 @@ impl SimLlm {
         let mut candidates: Vec<&String> = self
             .behaviors
             .iter()
-            .filter(|b| {
-                keyword.iter().any(|k| b.contains(k)) && verb.iter().any(|v| b.contains(v))
-            })
+            .filter(|b| keyword.iter().any(|k| b.contains(k)) && verb.iter().any(|v| b.contains(v)))
             .collect();
         if candidates.is_empty() {
             candidates = self
@@ -578,7 +576,9 @@ mod tests {
             metamut_lang::compile_check(p).unwrap_or_else(|e| panic!("test program {i}: {e}"));
         }
         let all = TEST_PROGRAMS.join("\n");
-        for needle in ["if", "for", "while", "switch", "struct", "return", "double", "["] {
+        for needle in [
+            "if", "for", "while", "switch", "struct", "return", "double", "[",
+        ] {
             assert!(all.contains(needle), "missing {needle}");
         }
     }

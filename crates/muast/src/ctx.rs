@@ -141,7 +141,11 @@ impl<'a> MutCtx<'a> {
     /// Returns `false` (and queues nothing) when the index is out of range.
     pub fn remove_param_from_func_decl(&mut self, f: &FunctionDef, index: usize) -> bool {
         let Some(span) = list_item_span_with_comma(
-            f.params.iter().map(|p| p.span).collect::<Vec<_>>().as_slice(),
+            f.params
+                .iter()
+                .map(|p| p.span)
+                .collect::<Vec<_>>()
+                .as_slice(),
             index,
         ) else {
             return false;
@@ -211,9 +215,7 @@ impl<'a> MutCtx<'a> {
     /// assignable). Used by swap-style mutators.
     pub fn types_interchangeable(&self, a: &Expr, b: &Expr) -> bool {
         match (self.type_of(a), self.type_of(b)) {
-            (Some(ta), Some(tb)) => {
-                self.check_assignment(ta, tb) && self.check_assignment(tb, ta)
-            }
+            (Some(ta), Some(tb)) => self.check_assignment(ta, tb) && self.check_assignment(tb, ta),
             _ => false,
         }
     }
@@ -348,7 +350,8 @@ mod tests {
 
     #[test]
     fn remove_arg() {
-        let (ast, sema) = ctx_for("int g(int a, int b) { return a; } int f(void) { return g(1, 2); }");
+        let (ast, sema) =
+            ctx_for("int g(int a, int b) { return a; } int f(void) { return g(1, 2); }");
         let call = crate::collect::calls_to(&ast, "g").pop().unwrap();
         let mut cx = MutCtx::new(&ast, &sema, 0);
         assert!(cx.remove_arg_from_call(&call, 0));
@@ -384,9 +387,17 @@ mod tests {
     fn default_values() {
         let (ast, sema) = ctx_for("double d; int *p; int i;");
         let cx = MutCtx::new(&ast, &sema, 0);
-        let d = sema.decl_types.values().find(|t| t.ty.is_floating()).unwrap();
+        let d = sema
+            .decl_types
+            .values()
+            .find(|t| t.ty.is_floating())
+            .unwrap();
         assert_eq!(cx.default_value_for(d), "0.0");
-        let p = sema.decl_types.values().find(|t| t.ty.is_pointer()).unwrap();
+        let p = sema
+            .decl_types
+            .values()
+            .find(|t| t.ty.is_pointer())
+            .unwrap();
         assert_eq!(cx.default_value_for(p), "0");
     }
 }

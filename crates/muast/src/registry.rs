@@ -120,8 +120,14 @@ mod tests {
     fn register_and_lookup() {
         let mut r = MutatorRegistry::new();
         assert!(r.is_empty());
-        assert!(r.register(Arc::new(Nop("A", Category::Expression)), Provenance::Supervised));
-        assert!(r.register(Arc::new(Nop("B", Category::Statement)), Provenance::Unsupervised));
+        assert!(r.register(
+            Arc::new(Nop("A", Category::Expression)),
+            Provenance::Supervised
+        ));
+        assert!(r.register(
+            Arc::new(Nop("B", Category::Statement)),
+            Provenance::Unsupervised
+        ));
         assert!(!r.register(Arc::new(Nop("A", Category::Type)), Provenance::Supervised));
         assert_eq!(r.len(), 2);
         assert!(r.get("A").is_some());
@@ -132,8 +138,14 @@ mod tests {
     #[test]
     fn census_counts() {
         let mut r = MutatorRegistry::new();
-        r.register(Arc::new(Nop("A", Category::Expression)), Provenance::Supervised);
-        r.register(Arc::new(Nop("B", Category::Expression)), Provenance::Supervised);
+        r.register(
+            Arc::new(Nop("A", Category::Expression)),
+            Provenance::Supervised,
+        );
+        r.register(
+            Arc::new(Nop("B", Category::Expression)),
+            Provenance::Supervised,
+        );
         r.register(Arc::new(Nop("C", Category::Type)), Provenance::Supervised);
         let census = r.category_census();
         assert_eq!(census.iter().map(|(_, n)| n).sum::<usize>(), 3);

@@ -75,9 +75,9 @@ pub fn global_var_names(ast: &Ast) -> HashSet<String> {
 /// commonly present in seeds).
 pub fn function_names(ast: &Ast) -> HashSet<String> {
     let mut out: HashSet<String> = [
-        "printf", "sprintf", "snprintf", "puts", "putchar", "scanf", "memset", "memcpy",
-        "memcmp", "strlen", "strcpy", "strcmp", "strcat", "abort", "exit", "malloc", "calloc",
-        "realloc", "free", "abs", "labs", "rand", "srand", "fabs", "sqrt",
+        "printf", "sprintf", "snprintf", "puts", "putchar", "scanf", "memset", "memcpy", "memcmp",
+        "strlen", "strcpy", "strcmp", "strcat", "abort", "exit", "malloc", "calloc", "realloc",
+        "free", "abs", "labs", "rand", "srand", "fabs", "sqrt",
     ]
     .into_iter()
     .map(String::from)
@@ -191,9 +191,7 @@ pub fn non_rvalue_spans(f: &FunctionDef) -> Vec<metamut_lang::source::Span> {
         fn visit_expr(&mut self, e: &Expr) {
             match &e.kind {
                 ExprKind::Assign { lhs, .. } => self.out.push(lhs.span),
-                ExprKind::Unary { op, operand }
-                    if op.is_inc_dec() || *op == UnaryOp::AddrOf =>
-                {
+                ExprKind::Unary { op, operand } if op.is_inc_dec() || *op == UnaryOp::AddrOf => {
                     self.out.push(operand.span)
                 }
                 ExprKind::Index { base, .. } => self.out.push(base.span),
@@ -212,7 +210,10 @@ pub fn non_rvalue_spans(f: &FunctionDef) -> Vec<metamut_lang::source::Span> {
 }
 
 /// Whether `span` lies inside any of the `excluded` spans.
-pub fn span_excluded(span: metamut_lang::source::Span, excluded: &[metamut_lang::source::Span]) -> bool {
+pub fn span_excluded(
+    span: metamut_lang::source::Span,
+    excluded: &[metamut_lang::source::Span],
+) -> bool {
     excluded.iter().any(|ex| ex.contains_span(span))
 }
 

@@ -561,7 +561,10 @@ impl InsertArithmeticIdentity {
             let excluded = common::non_rvalue_spans(f);
             let forbidden = literal_forbidden_spans(f);
             for e in common::exprs_in(f, |e| {
-                matches!(e.kind, ExprKind::Ident(_) | ExprKind::IntLit { .. } | ExprKind::Binary { .. })
+                matches!(
+                    e.kind,
+                    ExprKind::Ident(_) | ExprKind::IntLit { .. } | ExprKind::Binary { .. }
+                )
             }) {
                 let Some(t) = ctx.type_of(&e) else { continue };
                 if t.ty.decayed().is_arithmetic()
@@ -646,9 +649,7 @@ mutator!(
 
 impl SwapTernaryBranches {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let spots = collect::exprs_matching(ctx.ast(), |e| {
-            matches!(e.kind, ExprKind::Cond { .. })
-        });
+        let spots = collect::exprs_matching(ctx.ast(), |e| matches!(e.kind, ExprKind::Cond { .. }));
         let Some(e) = ctx.rng().pick(&spots) else {
             return false;
         };
@@ -680,9 +681,10 @@ mutator!(
 
 impl ReplaceCallWithArgument {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let calls = collect::exprs_matching(ctx.ast(), |e| {
-            matches!(&e.kind, ExprKind::Call { args, .. } if args.len() == 1)
-        });
+        let calls = collect::exprs_matching(
+            ctx.ast(),
+            |e| matches!(&e.kind, ExprKind::Call { args, .. } if args.len() == 1),
+        );
         let mut spots = Vec::new();
         for call in &calls {
             let ExprKind::Call { args, .. } = &call.kind else {
@@ -817,9 +819,7 @@ impl SizeofToLiteral {
         let mut resolved = Vec::new();
         for e in &spots {
             let size = match &e.kind {
-                ExprKind::SizeofExpr(inner) => {
-                    ctx.type_of(inner).map(|t| t.ty.size())
-                }
+                ExprKind::SizeofExpr(inner) => ctx.type_of(inner).map(|t| t.ty.size()),
                 // Sema does not retain the operand type of `sizeof(T)`;
                 // fall back to the pointer-width default.
                 ExprKind::SizeofType(_) => ctx.type_of(e).map(|_| 8),
@@ -914,7 +914,9 @@ int main(void) {
     #[test]
     fn inverse_unary() {
         let outs = exercise_compiling(&InverseUnaryOperator);
-        assert!(outs.iter().any(|s| s.contains("-(-v)") || s.contains("!(!result)")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("-(-v)") || s.contains("!(!result)")));
     }
 
     #[test]
@@ -930,7 +932,9 @@ int main(void) {
     #[test]
     fn negate_condition() {
         let outs = exercise_compiling(&NegateCondition);
-        assert!(outs.iter().any(|s| s.contains("!(v < 10)") || s.contains("!(!result)")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("!(v < 10)") || s.contains("!(!result)")));
     }
 
     #[test]
@@ -951,8 +955,10 @@ int main(void) {
     #[test]
     fn expand_compound() {
         let outs = exercise_compiling(&ExpandCompoundAssignment);
-        assert!(outs.iter().any(|s| s.contains("result = result + (v * (v + 1))")
-            || s.contains("result = result - ((int)sizeof(int))")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("result = result + (v * (v + 1))")
+                || s.contains("result = result - ((int)sizeof(int))")));
     }
 
     #[test]
@@ -988,7 +994,9 @@ int main(void) {
     #[test]
     fn relational_boundary() {
         let outs = exercise_compiling(&MutateRelationalBoundary);
-        assert!(outs.iter().any(|s| s.contains("v <= 10") || s.contains("result >= 100")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("v <= 10") || s.contains("result >= 100")));
     }
 
     #[test]
@@ -1011,7 +1019,9 @@ int main(void) {
     #[test]
     fn call_to_argument() {
         let outs = exercise_compiling(&ReplaceCallWithArgument);
-        assert!(outs.iter().any(|s| s.contains("(v)") && !s.contains("abs(v)")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("(v)") && !s.contains("abs(v)")));
     }
 
     #[test]
@@ -1103,11 +1113,7 @@ impl ConvertIfToTernary {
                     _ => return None,
                 };
                 match &inner.kind {
-                    ExprKind::Assign {
-                        op: None,
-                        lhs,
-                        rhs,
-                    } => Some((lhs.span, rhs.span)),
+                    ExprKind::Assign { op: None, lhs, rhs } => Some((lhs.span, rhs.span)),
                     _ => None,
                 }
             };
@@ -1167,9 +1173,8 @@ mutator!(
 impl NegateReturnValue {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
         let mut spots = Vec::new();
-        for s in collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Return(Some(_)))
-        }) {
+        for s in collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Return(Some(_))))
+        {
             let StmtKind::Return(Some(e)) = &s.kind else {
                 continue;
             };
@@ -1197,9 +1202,10 @@ mutator!(
 
 impl SwapCallArguments {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let calls = collect::exprs_matching(ctx.ast(), |e| {
-            matches!(&e.kind, ExprKind::Call { args, .. } if args.len() >= 2)
-        });
+        let calls = collect::exprs_matching(
+            ctx.ast(),
+            |e| matches!(&e.kind, ExprKind::Call { args, .. } if args.len() >= 2),
+        );
         let mut spots = Vec::new();
         for call in &calls {
             let ExprKind::Call { args, .. } = &call.kind else {
@@ -1324,20 +1330,29 @@ int main(void) { return pick(3, 4); }
     #[test]
     fn condition_pinned() {
         let outs = exercise(&ReplaceConditionWithConstant);
-        assert!(outs.iter().any(|s| s.contains("if (0)") || s.contains("if (1)")
-            || s.contains("while (0)") || s.contains("while (1)")));
+        assert!(outs.iter().any(|s| s.contains("if (0)")
+            || s.contains("if (1)")
+            || s.contains("while (0)")
+            || s.contains("while (1)")));
     }
 
     #[test]
     fn if_to_ternary() {
         let outs = exercise(&ConvertIfToTernary);
-        assert!(outs.iter().any(|s| s.contains("out = (a > b) ? (a) : (b);")), "{outs:?}");
+        assert!(
+            outs.iter()
+                .any(|s| s.contains("out = (a > b) ? (a) : (b);")),
+            "{outs:?}"
+        );
     }
 
     #[test]
     fn int_to_char() {
         let outs = exercise(&IntToCharLiteral);
-        assert!(outs.iter().any(|s| s.contains("'A'") || s.contains("'e'")), "{outs:?}");
+        assert!(
+            outs.iter().any(|s| s.contains("'A'") || s.contains("'e'")),
+            "{outs:?}"
+        );
     }
 
     #[test]

@@ -164,7 +164,10 @@ impl SimpleUninliner {
         };
         let fresh = ctx.generate_unique_name("extracted");
         let body = ctx.source_text(stmt_span).to_string();
-        ctx.insert_before(fn_span.lo, format!("static void {fresh}(void) {{ {body} }}\n"));
+        ctx.insert_before(
+            fn_span.lo,
+            format!("static void {fresh}(void) {{ {body} }}\n"),
+        );
         ctx.replace(stmt_span, format!("{fresh}();"));
         true
     }
@@ -517,7 +520,9 @@ int main(void) {
             assert!(s.contains("0.0 + magic()"), "float default: {s}");
         }
         assert!(
-            foo_void.is_some() || scale_void.is_some() || outs.iter().any(|s| s.contains("void magic")),
+            foo_void.is_some()
+                || scale_void.is_some()
+                || outs.iter().any(|s| s.contains("void magic")),
             "no function voided across seeds: {outs:?}"
         );
     }
@@ -525,19 +530,24 @@ int main(void) {
     #[test]
     fn change_param_scope() {
         let outs = exercise_compiling(&ChangeParamScope);
-        assert!(outs.iter().any(|s| {
-            (s.contains("int x = 0;") && s.contains("foo(2)"))
-                || (s.contains("int y = 0;") && s.contains("foo(1)"))
-                || (s.contains("double f = 0;") && s.contains("scale()"))
-        }), "{outs:?}");
+        assert!(
+            outs.iter().any(|s| {
+                (s.contains("int x = 0;") && s.contains("foo(2)"))
+                    || (s.contains("int y = 0;") && s.contains("foo(1)"))
+                    || (s.contains("double f = 0;") && s.contains("scale()"))
+            }),
+            "{outs:?}"
+        );
     }
 
     #[test]
     fn uninline_statement() {
         let outs = exercise_compiling(&SimpleUninliner);
         assert!(
-            outs.iter().any(|s| s.contains("static void extracted_0(void) { base = base + 1; }")
-                && s.contains("extracted_0();")),
+            outs.iter().any(
+                |s| s.contains("static void extracted_0(void) { base = base + 1; }")
+                    && s.contains("extracted_0();")
+            ),
             "{outs:?}"
         );
     }
@@ -551,7 +561,9 @@ int main(void) {
     #[test]
     fn add_parameter() {
         let outs = exercise_compiling(&AddFunctionParameter);
-        assert!(outs.iter().any(|s| s.contains(", int extra_0") || s.contains("(int extra_0)")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains(", int extra_0") || s.contains("(int extra_0)")));
         // Whenever foo was the target, its call site gained the extra 0.
         for s in outs.iter().filter(|s| s.contains("int y, int extra_0")) {
             assert!(s.contains("foo(1, 2, 0)"), "{s}");
@@ -585,7 +597,9 @@ int main(void) {
     #[test]
     fn guarded_early_return() {
         let outs = exercise_compiling(&InsertGuardedEarlyReturn);
-        assert!(outs.iter().any(|s| s.contains("if (0) return 0;") || s.contains("if (0) return;")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("if (0) return 0;") || s.contains("if (0) return;")));
     }
 
     #[test]
@@ -602,7 +616,9 @@ int main(void) {
         let src = "inline int f(void) { return 1; } int main(void) { return f(); }";
         let mut removed = false;
         for seed in 0..8 {
-            if let MutationOutcome::Mutated(s) = mutate_source(&ToggleInlineSpecifier, src, seed).unwrap() {
+            if let MutationOutcome::Mutated(s) =
+                mutate_source(&ToggleInlineSpecifier, src, seed).unwrap()
+            {
                 compile_check(&s).unwrap();
                 if !s.contains("inline") {
                     removed = true;
@@ -615,7 +631,10 @@ int main(void) {
     #[test]
     fn reorder_parameters() {
         let outs = exercise_compiling(&ReorderFunctionParameters);
-        assert!(outs.iter().any(|s| s.contains("foo(int y, int x)")), "{outs:?}");
+        assert!(
+            outs.iter().any(|s| s.contains("foo(int y, int x)")),
+            "{outs:?}"
+        );
     }
 }
 
@@ -730,14 +749,22 @@ int main(void) { return bump((int)half(8.0)); }
     #[test]
     fn return_via_temp() {
         let outs = exercise(&ReturnViaTemporary);
-        assert!(outs.iter().any(|s| s.contains("ret_tmp_0 = v + 1; return ret_tmp_0;")
-            || s.contains("double ret_tmp_0 = x / 2.0;")), "{outs:?}");
+        assert!(
+            outs.iter()
+                .any(|s| s.contains("ret_tmp_0 = v + 1; return ret_tmp_0;")
+                    || s.contains("double ret_tmp_0 = x / 2.0;")),
+            "{outs:?}"
+        );
     }
 
     #[test]
     fn prototype_added() {
         let outs = exercise(&AddFunctionPrototype);
-        assert!(outs.iter().any(|s| s.starts_with("double half(double x);")
-            || s.starts_with("int bump(int v);")), "{outs:?}");
+        assert!(
+            outs.iter()
+                .any(|s| s.starts_with("double half(double x);")
+                    || s.starts_with("int bump(int v);")),
+            "{outs:?}"
+        );
     }
 }

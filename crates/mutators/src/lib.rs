@@ -280,7 +280,11 @@ int main(void) {
         let full = full_registry();
         let mut names = std::collections::HashSet::new();
         for m in full.iter() {
-            assert!(names.insert(m.mutator.name().to_string()), "dup {}", m.mutator.name());
+            assert!(
+                names.insert(m.mutator.name().to_string()),
+                "dup {}",
+                m.mutator.name()
+            );
             assert!(m.mutator.description().len() > 20);
         }
     }

@@ -50,9 +50,8 @@ mutator!(
 
 impl TransformSwitchToIfElse {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let switches = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Switch { .. })
-        });
+        let switches =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Switch { .. }));
         let mut spots = Vec::new();
         for s in &switches {
             if let Some(plan) = self.plan(ctx, s) {
@@ -180,9 +179,8 @@ mutator!(
 
 impl UnrollLoopOnce {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let loops = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::While { .. })
-        });
+        let loops =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::While { .. }));
         let mut spots = Vec::new();
         for s in &loops {
             let StmtKind::While { cond, body } = &s.kind else {
@@ -252,9 +250,7 @@ impl DeleteStatement {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
         // Deleting the lone statement of an if/while body is still valid C
         // only if we leave a `;` — do that unconditionally.
-        let stmts = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Expr(_))
-        });
+        let stmts = collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Expr(_)));
         let Some(s) = ctx.rng().pick(&stmts) else {
             return false;
         };
@@ -293,10 +289,11 @@ mutator!(
 
 impl WrapStatementInDoWhile {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let stmts = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Expr(_))
-        });
-        let eligible: Vec<&Stmt> = stmts.iter().filter(|s| common::stmt_is_relocatable(s)).collect();
+        let stmts = collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Expr(_)));
+        let eligible: Vec<&Stmt> = stmts
+            .iter()
+            .filter(|s| common::stmt_is_relocatable(s))
+            .collect();
         let Some(s) = ctx.rng().pick(&eligible).copied() else {
             return false;
         };
@@ -353,9 +350,8 @@ mutator!(
 
 impl ConvertWhileToFor {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let loops = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::While { .. })
-        });
+        let loops =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::While { .. }));
         let Some(s) = ctx.rng().pick(&loops) else {
             return false;
         };
@@ -386,9 +382,7 @@ mutator!(
 
 impl ConvertForToWhile {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let loops = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::For { .. })
-        });
+        let loops = collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::For { .. }));
         let mut spots = Vec::new();
         for s in &loops {
             let StmtKind::For {
@@ -424,9 +418,7 @@ impl ConvertForToWhile {
             let body_text = ctx.source_text(body.span).to_string();
             // Inject the step before the body's closing brace.
             let inner = &body_text[1..body_text.len() - 1];
-            let new = format!(
-                "{{ {init_text} while ({cond_text}) {{ {inner} {step_text} }} }}"
-            );
+            let new = format!("{{ {init_text} while ({cond_text}) {{ {inner} {step_text} }} }}");
             spots.push((s.span, new));
         }
         let Some((span, new)) = ctx.rng().pick(&spots).cloned() else {
@@ -447,7 +439,10 @@ mutator!(
 impl InsertDeadBranch {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
         let stmts = block_expr_stmts(ctx.ast());
-        let eligible: Vec<&Stmt> = stmts.iter().filter(|s| common::stmt_is_relocatable(s)).collect();
+        let eligible: Vec<&Stmt> = stmts
+            .iter()
+            .filter(|s| common::stmt_is_relocatable(s))
+            .collect();
         let Some(s) = ctx.rng().pick(&eligible).copied() else {
             return false;
         };
@@ -561,9 +556,8 @@ mutator!(
 
 impl AddCaseToSwitch {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let switches = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Switch { .. })
-        });
+        let switches =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Switch { .. }));
         let mut spots = Vec::new();
         for s in &switches {
             let StmtKind::Switch { body, .. } = &s.kind else {
@@ -695,7 +689,8 @@ int main(void) { return work(9); }
         let outs = exercise_compiling(&DuplicateBranch);
         assert!(outs
             .iter()
-            .any(|s| s.matches("{ acc = n; }").count() == 2 || s.matches("{ acc = -n; }").count() == 2));
+            .any(|s| s.matches("{ acc = n; }").count() == 2
+                || s.matches("{ acc = -n; }").count() == 2));
     }
 
     #[test]
@@ -711,7 +706,9 @@ int main(void) { return work(9); }
     #[test]
     fn unroll_once() {
         let outs = exercise_compiling(&UnrollLoopOnce);
-        assert!(outs.iter().any(|s| s.contains("if (acc > 50) { acc /= 2; } while (acc > 50)")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("if (acc > 50) { acc /= 2; } while (acc > 50)")));
     }
 
     #[test]
@@ -732,25 +729,36 @@ int main(void) { return work(9); }
     #[test]
     fn wrap_in_do_while() {
         let outs = exercise_compiling(&WrapStatementInDoWhile);
-        assert!(outs.iter().any(|s| s.contains("do {") && s.contains("} while (0);")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("do {") && s.contains("} while (0);")));
     }
 
     #[test]
     fn inverse_if() {
         let outs = exercise_compiling(&InverseIfBranches);
-        assert!(outs.iter().any(|s| s.contains("if (!(n > 0)) { acc = -n; } else { acc = n; }")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("if (!(n > 0)) { acc = -n; } else { acc = n; }")));
     }
 
     #[test]
     fn while_to_for() {
         let outs = exercise_compiling(&ConvertWhileToFor);
-        assert!(outs.iter().any(|s| s.contains("for (; acc > 50; )")), "{outs:?}");
+        assert!(
+            outs.iter().any(|s| s.contains("for (; acc > 50; )")),
+            "{outs:?}"
+        );
     }
 
     #[test]
     fn for_to_while() {
         let outs = exercise_compiling(&ConvertForToWhile);
-        assert!(outs.iter().any(|s| s.contains("while (i < n)") && s.contains("i++;")), "{outs:?}");
+        assert!(
+            outs.iter()
+                .any(|s| s.contains("while (i < n)") && s.contains("i++;")),
+            "{outs:?}"
+        );
     }
 
     #[test]
@@ -800,9 +808,8 @@ mutator!(
 
 impl RemoveBreakFromSwitch {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let switches = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Switch { .. })
-        });
+        let switches =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Switch { .. }));
         let mut spots = Vec::new();
         for sw in &switches {
             let StmtKind::Switch { body, .. } = &sw.kind else {
@@ -836,9 +843,8 @@ mutator!(
 
 impl AddDefaultToSwitch {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let switches = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Switch { .. })
-        });
+        let switches =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Switch { .. }));
         let mut spots = Vec::new();
         for sw in &switches {
             let StmtKind::Switch { body, .. } = &sw.kind else {
@@ -872,9 +878,8 @@ mutator!(
 
 impl ShiftCaseValues {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let switches = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::Switch { .. })
-        });
+        let switches =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::Switch { .. }));
         let mut spots = Vec::new();
         for sw in &switches {
             let StmtKind::Switch { body, .. } = &sw.kind else {
@@ -917,9 +922,8 @@ mutator!(
 
 impl ConvertWhileToGotoLoop {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
-        let loops = collect::stmts_matching(ctx.ast(), |s| {
-            matches!(s.kind, StmtKind::While { .. })
-        });
+        let loops =
+            collect::stmts_matching(ctx.ast(), |s| matches!(s.kind, StmtKind::While { .. }));
         let mut spots = Vec::new();
         for s in &loops {
             let StmtKind::While { cond, body } = &s.kind else {
@@ -1038,20 +1042,27 @@ int main(void) { return route(2); }
     #[test]
     fn cases_shifted() {
         let outs = exercise(&ShiftCaseValues);
-        assert!(outs.iter().any(|s| s.contains("case 1001:") && s.contains("case 1002:")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("case 1001:") && s.contains("case 1002:")));
     }
 
     #[test]
     fn while_to_goto() {
         let outs = exercise(&ConvertWhileToGotoLoop);
-        assert!(outs
-            .iter()
-            .any(|s| s.contains("loop_head_0: if (a < b)") && s.contains("goto loop_head_0;")), "{outs:?}");
+        assert!(
+            outs.iter()
+                .any(|s| s.contains("loop_head_0: if (a < b)") && s.contains("goto loop_head_0;")),
+            "{outs:?}"
+        );
     }
 
     #[test]
     fn group_split() {
         let outs = exercise(&SplitDeclGroup);
-        assert!(outs.iter().any(|s| s.contains("int a = 1; int b = 2;")), "{outs:?}");
+        assert!(
+            outs.iter().any(|s| s.contains("int a = 1; int b = 2;")),
+            "{outs:?}"
+        );
     }
 }

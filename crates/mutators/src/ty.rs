@@ -66,7 +66,11 @@ impl ReduceArrayDimension {
         let vars = collect::all_var_decls(ctx.ast());
         let mut spots = Vec::new();
         for v in &vars {
-            let TySyn::Array { elem, size: Some(_) } = &v.ty else {
+            let TySyn::Array {
+                elem,
+                size: Some(_),
+            } = &v.ty
+            else {
                 continue;
             };
             if !matches!(**elem, TySyn::Base { .. }) {
@@ -277,10 +281,7 @@ impl DecaySmallStruct {
         ctx.replace(decl_span, format!("long long {combined};"));
         let ty_text = ctx.format_as_decl(&v.ty, "");
         for u in collect::uses_of(ctx.ast(), &v.name) {
-            ctx.replace(
-                u.span,
-                format!("(*({ty_text} *)((char *)&{combined} + 0))"),
-            );
+            ctx.replace(u.span, format!("(*({ty_text} *)((char *)&{combined} + 0))"));
         }
         true
     }
@@ -328,7 +329,10 @@ int main(void) {
         let outs = exercise(&StructToInt);
         for s in &outs {
             assert!(!s.contains("struct s2"), "{s}");
-            assert!(s.contains("int { int a; int b; };") || s.contains("int *ptr"), "{s}");
+            assert!(
+                s.contains("int { int a; int b; };") || s.contains("int *ptr"),
+                "{s}"
+            );
         }
         // Like the paper's Clang #69213 mutant, the result usually does NOT
         // compile — the mutator's value is reaching front-end corners.
@@ -337,8 +341,14 @@ int main(void) {
     #[test]
     fn reduce_array_dimension() {
         let outs = exercise(&ReduceArrayDimension);
-        let hit = outs.iter().find(|s| s.contains("int nums;")).expect("nums reduced");
-        assert!(hit.contains("nums = use_struct(&s)") || hit.contains("nums ="), "{hit}");
+        let hit = outs
+            .iter()
+            .find(|s| s.contains("int nums;"))
+            .expect("nums reduced");
+        assert!(
+            hit.contains("nums = use_struct(&s)") || hit.contains("nums ="),
+            "{hit}"
+        );
         compile_check(hit).unwrap_or_else(|e| panic!("reduced mutant must compile: {e}\n{hit}"));
     }
 
@@ -431,9 +441,7 @@ impl ConstifyPointee {
         let vars = collect::all_var_decls(ctx.ast());
         let spots: Vec<Span> = vars
             .iter()
-            .filter(|v| {
-                v.ty.is_pointer() && !ctx.source_text(v.specs_span).contains("const")
-            })
+            .filter(|v| v.ty.is_pointer() && !ctx.source_text(v.specs_span).contains("const"))
             .map(|v| v.specs_span)
             .collect();
         let Some(&span) = ctx.rng().pick(&spots) else {

@@ -73,10 +73,7 @@ mutator!(
 impl ChangeVarDeclQualifier {
     fn run(&self, ctx: &mut MutCtx<'_>) -> bool {
         let vars = collect::all_var_decls(ctx.ast());
-        let candidates: Vec<&VarDecl> = vars
-            .iter()
-            .filter(|v| !v.specs_span.is_empty())
-            .collect();
+        let candidates: Vec<&VarDecl> = vars.iter().filter(|v| !v.specs_span.is_empty()).collect();
         let Some(v) = ctx.rng().pick(&candidates).copied() else {
             return false;
         };
@@ -118,11 +115,18 @@ impl ModifyVarInitialValue {
             return false;
         };
         let current = ctx.source_text(span).to_string();
-        let boundary: Vec<&str> =
-            ["0", "1", "-1", "2147483647", "(-2147483647 - 1)", "255", "65536"]
-                .into_iter()
-                .filter(|b| *b != current)
-                .collect();
+        let boundary: Vec<&str> = [
+            "0",
+            "1",
+            "-1",
+            "2147483647",
+            "(-2147483647 - 1)",
+            "255",
+            "65536",
+        ]
+        .into_iter()
+        .filter(|b| *b != current)
+        .collect();
         let pick = *ctx.rng().pick(&boundary).expect("nonempty");
         ctx.replace(span, pick);
         true
@@ -142,8 +146,7 @@ impl RemoveVarInit {
         for g in common::local_decl_groups(ctx.ast()) {
             for v in &g.vars {
                 // Unsized arrays need their initializer to be complete.
-                let unsized_array =
-                    matches!(&v.ty, TySyn::Array { size: None, .. });
+                let unsized_array = matches!(&v.ty, TySyn::Array { size: None, .. });
                 if unsized_array || v.init.is_none() {
                     continue;
                 }
@@ -285,13 +288,16 @@ impl InlineVarInit {
                     };
                     if !matches!(
                         init.kind,
-                        ExprKind::IntLit { .. } | ExprKind::FloatLit { .. } | ExprKind::CharLit { .. }
+                        ExprKind::IntLit { .. }
+                            | ExprKind::FloatLit { .. }
+                            | ExprKind::CharLit { .. }
                     ) {
                         continue;
                     }
-                    for u in common::exprs_in(f, |e| {
-                        matches!(&e.kind, ExprKind::Ident(n) if *n == v.name)
-                    }) {
+                    for u in common::exprs_in(
+                        f,
+                        |e| matches!(&e.kind, ExprKind::Ident(n) if *n == v.name),
+                    ) {
                         if u.span.lo >= v.span.hi && !common::span_excluded(u.span, &excluded) {
                             spots.push((u.span, init.span));
                         }
@@ -548,7 +554,9 @@ int main(void) {
     #[test]
     fn switch_init_expr_swaps() {
         let outs = exercise(&SwitchInitExpr);
-        assert!(outs.iter().any(|s| s.contains("int x = 2") && s.contains("int y = 1")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("int x = 2") && s.contains("int y = 1")));
         for s in &outs {
             compile_check(s).expect("mutant must compile");
         }
@@ -570,7 +578,9 @@ int main(void) {
     #[test]
     fn init_removed() {
         let outs = exercise(&RemoveVarInit);
-        assert!(outs.iter().any(|s| s.contains("int x;") || s.contains("int y;")));
+        assert!(outs
+            .iter()
+            .any(|s| s.contains("int x;") || s.contains("int y;")));
         for s in &outs {
             compile_check(s).expect("mutant must compile");
         }

@@ -88,9 +88,15 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
     }
     for b in &f.blocks {
         let term_uses: Vec<Temp> = match &b.term {
-            Terminator::Branch { cond: Value::Temp(t), .. } => vec![*t],
+            Terminator::Branch {
+                cond: Value::Temp(t),
+                ..
+            } => vec![*t],
             Terminator::Return(Some(Value::Temp(t))) => vec![*t],
-            Terminator::Switch { value: Value::Temp(t), .. } => vec![*t],
+            Terminator::Switch {
+                value: Value::Temp(t),
+                ..
+            } => vec![*t],
             _ => vec![],
         };
         for t in term_uses {
@@ -208,13 +214,29 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
                 Inst::Bin { dst, op, a, b: rhs } => {
                     let ra = operand(a, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
                     let rb = operand(rhs, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
-                    let rd = alloc(*dst, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rd = alloc(
+                        *dst,
+                        idx,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::Alu(*op, rd, ra, rb));
                     out.features.push(feature_hash(&[201, op.code()]));
                 }
                 Inst::Un { dst, op, a } => {
                     let ra = operand(a, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
-                    let rd = alloc(*dst, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rd = alloc(
+                        *dst,
+                        idx,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     // Unary ops select to ALU forms against an immediate.
                     let selected = match op {
                         UnOp::Neg => AsmInst::Alu(BinOp::Sub, rd, 0, ra),
@@ -226,37 +248,104 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
                     out.features.push(feature_hash(&[202, *op as u64]));
                 }
                 Inst::Load { dst, slot, .. } => {
-                    let rd = alloc(*dst, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rd = alloc(
+                        *dst,
+                        idx,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::Ld(rd, slot.clone()));
                 }
                 Inst::Store { slot, value, .. } => {
-                    let rv = operand(value, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rv = operand(
+                        value,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::St(slot.clone(), rv));
                 }
                 Inst::LoadIdx { dst, base, index } => {
-                    let ri = operand(index, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
-                    let rd = alloc(*dst, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let ri = operand(
+                        index,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
+                    let rd = alloc(
+                        *dst,
+                        idx,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::LdIdx(rd, base.clone(), ri));
                     out.features.push(feature_hash(&[203]));
                 }
                 Inst::StoreIdx { base, index, value } => {
-                    let ri = operand(index, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
-                    let rv = operand(value, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let ri = operand(
+                        index,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
+                    let rv = operand(
+                        value,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::StIdx(base.clone(), ri, rv));
                 }
                 Inst::AddrOf { dst, slot } => {
-                    let rd = alloc(*dst, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rd = alloc(
+                        *dst,
+                        idx,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::Ld(rd, format!("&{slot}")));
                     out.features.push(feature_hash(&[204]));
                 }
                 Inst::LoadPtr { dst, ptr } => {
                     let rp = operand(ptr, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
-                    let rd = alloc(*dst, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rd = alloc(
+                        *dst,
+                        idx,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::LdIdx(rd, "*".into(), rp));
                 }
                 Inst::StorePtr { ptr, value } => {
                     let rp = operand(ptr, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
-                    let rv = operand(value, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
+                    let rv = operand(
+                        value,
+                        &mut free,
+                        &mut live,
+                        &mut reg_of,
+                        &mut spill_slot,
+                        out,
+                    );
                     out.insts.push(AsmInst::StIdx("*".into(), rp, rv));
                 }
                 Inst::Call { dst, callee, args } => {
@@ -264,19 +353,34 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
                         let _ = operand(a, &mut free, &mut live, &mut reg_of, &mut spill_slot, out);
                     }
                     let rd = match dst {
-                        Some(d) => alloc(*d, idx, &mut free, &mut live, &mut reg_of, &mut spill_slot, out),
+                        Some(d) => alloc(
+                            *d,
+                            idx,
+                            &mut free,
+                            &mut live,
+                            &mut reg_of,
+                            &mut spill_slot,
+                            out,
+                        ),
                         None => 0,
                     };
                     out.insts.push(AsmInst::CallSym(callee.clone(), rd));
-                    out.features
-                        .push(feature_hash(&[205, args.len() as u64, u64::from(dst.is_some())]));
+                    out.features.push(feature_hash(&[
+                        205,
+                        args.len() as u64,
+                        u64::from(dst.is_some()),
+                    ]));
                 }
             }
             idx += 1;
         }
         match &b.term {
             Terminator::Jump(t) => out.insts.push(AsmInst::Jmp(t.0)),
-            Terminator::Branch { cond, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let rc = match cond {
                     Value::Temp(t) => reg_of.get(t).copied().unwrap_or(0),
                     _ => 0,
@@ -288,7 +392,11 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
             Terminator::Switch { cases, default, .. } => {
                 // Dense switches select a jump table, sparse ones a chain.
                 let dense = cases.len() >= 4;
-                out.features.push(feature_hash(&[207, u64::from(dense), cases.len().min(32) as u64]));
+                out.features.push(feature_hash(&[
+                    207,
+                    u64::from(dense),
+                    cases.len().min(32) as u64,
+                ]));
                 for (_, t) in cases {
                     out.insts.push(AsmInst::Jnz(0, t.0));
                 }
@@ -299,8 +407,11 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
         }
     }
     out.peak_pressure = out.peak_pressure.max(pressure_peak);
-    out.features
-        .push(feature_hash(&[208, f.blocks.len().min(64) as u64, (f.temp_count / 8).min(32) as u64]));
+    out.features.push(feature_hash(&[
+        208,
+        f.blocks.len().min(64) as u64,
+        (f.temp_count / 8).min(32) as u64,
+    ]));
 }
 
 #[cfg(test)]
@@ -320,7 +431,10 @@ mod tests {
         let out = gen("int f(int a, int b) { return a + b * 2; }");
         assert!(out.insts.len() > 5);
         assert!(out.insts.iter().any(|i| matches!(i, AsmInst::Ret)));
-        assert!(out.insts.iter().any(|i| matches!(i, AsmInst::Alu(BinOp::Mul, ..))));
+        assert!(out
+            .insts
+            .iter()
+            .any(|i| matches!(i, AsmInst::Alu(BinOp::Mul, ..))));
         assert!(!out.features.is_empty());
     }
 

@@ -187,7 +187,8 @@ static CATALOG: [Bug; 41] = [
         ["verify_range", "handle_printf_call"],
         |cx| {
             cx.opt_level >= 2
-                && cx.opt
+                && cx
+                    .opt
                     .is_some_and(|o| o.strlen_reductions.iter().any(|(_, s)| *s))
         }
     ),
@@ -198,7 +199,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         BackEnd,
         AssertionFailure,
-        ["clang::CodeGen::EmitBranchThroughCleanup", "llvm::BasicBlock::eraseFromParent"],
+        [
+            "clang::CodeGen::EmitBranchThroughCleanup",
+            "llvm::BasicBlock::eraseFromParent"
+        ],
         |cx| {
             cx.ast.is_some_and(|a| {
                 a.functions
@@ -213,7 +217,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         FrontEnd,
         SegmentationFault,
-        ["InitListChecker::CheckScalarType", "clang::Sema::ActOnInitList"],
+        [
+            "InitListChecker::CheckScalarType",
+            "clang::Sema::ActOnInitList"
+        ],
         |cx| cx.ast.is_some_and(|a| a.compound_lit_empty_brace)
     ),
     // ------------------------------------------------------------------
@@ -232,7 +239,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         FrontEnd,
         SegmentationFault,
-        ["clang::Parser::ParseParenExpression", "clang::Parser::ParseCastExpression"],
+        [
+            "clang::Parser::ParseParenExpression",
+            "clang::Parser::ParseCastExpression"
+        ],
         |cx| cx.raw.max_paren_depth > 20
     ),
     bug!(
@@ -248,7 +258,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         FrontEnd,
         AssertionFailure,
-        ["clang::StringLiteralParser::init", "clang::Lexer::LexStringLiteral"],
+        [
+            "clang::StringLiteralParser::init",
+            "clang::Lexer::LexStringLiteral"
+        ],
         |cx| cx.raw.max_string_len > 64
     ),
     bug!(
@@ -256,7 +269,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         FrontEnd,
         AssertionFailure,
-        ["llvm::APInt::APInt", "clang::NumericLiteralParser::GetIntegerValue"],
+        [
+            "llvm::APInt::APInt",
+            "clang::NumericLiteralParser::GetIntegerValue"
+        ],
         |cx| cx.raw.max_digit_run > 19
     ),
     bug!(
@@ -264,7 +280,10 @@ static CATALOG: [Bug; 41] = [
         Gcc,
         FrontEnd,
         SegmentationFault,
-        ["c_parser_compound_statement", "c_parser_statement_after_labels"],
+        [
+            "c_parser_compound_statement",
+            "c_parser_statement_after_labels"
+        ],
         |cx| cx.raw.max_brace_depth > 14
     ),
     bug!(
@@ -288,7 +307,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         FrontEnd,
         AssertionFailure,
-        ["clang::Sema::VerifyBitField", "clang::ASTContext::getTypeSize"],
+        [
+            "clang::Sema::VerifyBitField",
+            "clang::ASTContext::getTypeSize"
+        ],
         |cx| cx.ast.is_some_and(|a| a.max_bitfield_width >= 31)
     ),
     // ------------------------------------------------------------------
@@ -307,7 +329,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         IrGen,
         AssertionFailure,
-        ["clang::CodeGen::EmitConditionalOperator", "clang::CodeGen::EmitScalarExpr"],
+        [
+            "clang::CodeGen::EmitConditionalOperator",
+            "clang::CodeGen::EmitScalarExpr"
+        ],
         |cx| cx.ast.is_some_and(|a| a.ternary_depth >= 6)
     ),
     bug!(
@@ -325,15 +350,23 @@ static CATALOG: [Bug; 41] = [
         Clang,
         IrGen,
         AssertionFailure,
-        ["clang::CodeGen::EmitCallArgs", "clang::CodeGen::EmitAnyExpr"],
-        |cx| cx.ast.is_some_and(|a| a.comma_in_call_arg && a.call_max_args >= 2)
+        [
+            "clang::CodeGen::EmitCallArgs",
+            "clang::CodeGen::EmitAnyExpr"
+        ],
+        |cx| cx
+            .ast
+            .is_some_and(|a| a.comma_in_call_arg && a.call_max_args >= 2)
     ),
     bug!(
         "clang-irgen-volatile-compound",
         Clang,
         IrGen,
         AssertionFailure,
-        ["clang::CodeGen::EmitCompoundAssignLValue", "clang::CodeGen::EmitLoadOfLValue"],
+        [
+            "clang::CodeGen::EmitCompoundAssignLValue",
+            "clang::CodeGen::EmitLoadOfLValue"
+        ],
         |cx| cx.ast.is_some_and(|a| a.volatile_compound_assign)
     ),
     bug!(
@@ -380,9 +413,9 @@ static CATALOG: [Bug; 41] = [
         |cx| {
             cx.opt_level >= 3
                 && cx.flags.unroll_loops
-                && cx.opt.is_some_and(|o| {
-                    o.loops.iter().any(|l| l.trip == TripCount::Infinite)
-                })
+                && cx
+                    .opt
+                    .is_some_and(|o| o.loops.iter().any(|l| l.trip == TripCount::Infinite))
         }
     ),
     bug!(
@@ -401,9 +434,9 @@ static CATALOG: [Bug; 41] = [
         ["llvm::LoopDeletion", "llvm::SCEV::isKnownPredicate"],
         |cx| {
             cx.opt_level >= 2
-                && cx.opt.is_some_and(|o| {
-                    o.loops.iter().any(|l| l.stores == 0 && l.body_blocks <= 3)
-                })
+                && cx
+                    .opt
+                    .is_some_and(|o| o.loops.iter().any(|l| l.stores == 0 && l.body_blocks <= 3))
         }
     ),
     bug!(
@@ -438,7 +471,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         BackEnd,
         AssertionFailure,
-        ["llvm::CCState::AnalyzeFormalArguments", "llvm::TargetLowering::LowerCall"],
+        [
+            "llvm::CCState::AnalyzeFormalArguments",
+            "llvm::TargetLowering::LowerCall"
+        ],
         |cx| cx.asm.is_some() && cx.ast.is_some_and(|a| a.param_max >= 6)
     ),
     bug!(
@@ -446,8 +482,13 @@ static CATALOG: [Bug; 41] = [
         Clang,
         BackEnd,
         Hang,
-        ["llvm::RegAllocGreedy::selectOrSplit", "llvm::LiveIntervals::computeLiveInRegUnits"],
-        |cx| cx.asm.is_some_and(|(_, pressure)| pressure >= crate::backend::NUM_REGS + 4)
+        [
+            "llvm::RegAllocGreedy::selectOrSplit",
+            "llvm::LiveIntervals::computeLiveInRegUnits"
+        ],
+        |cx| cx
+            .asm
+            .is_some_and(|(_, pressure)| pressure >= crate::backend::NUM_REGS + 4)
     ),
     // ------------------------------------------------------------------
     // Deep-pipeline bugs reachable by stacked semantic mutations
@@ -473,8 +514,14 @@ static CATALOG: [Bug; 41] = [
         Gcc,
         BackEnd,
         AssertionFailure,
-        ["thread_prologue_and_epilogue_insns", "emit_return_into_block"],
-        |cx| cx.asm.is_some() && cx.ast.is_some_and(|a| a.functions.iter().any(|f| f.returns >= 8))
+        [
+            "thread_prologue_and_epilogue_insns",
+            "emit_return_into_block"
+        ],
+        |cx| cx.asm.is_some()
+            && cx
+                .ast
+                .is_some_and(|a| a.functions.iter().any(|f| f.returns >= 8))
     ),
     bug!(
         "gcc-opt-dead-branch",
@@ -489,7 +536,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         Opt,
         AssertionFailure,
-        ["llvm::InstCombiner::visitAdd", "llvm::SimplifyAssociativeOrCommutative"],
+        [
+            "llvm::InstCombiner::visitAdd",
+            "llvm::SimplifyAssociativeOrCommutative"
+        ],
         |cx| cx.opt_level >= 1 && cx.ast.is_some_and(|a| a.identity_arith_count >= 3)
     ),
     bug!(
@@ -497,7 +547,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         IrGen,
         AssertionFailure,
-        ["clang::CodeGen::EmitIgnoredExpr", "clang::CodeGen::EmitAnyExprToTemp"],
+        [
+            "clang::CodeGen::EmitIgnoredExpr",
+            "clang::CodeGen::EmitAnyExprToTemp"
+        ],
         |cx| cx.ast.is_some_and(|a| a.comma_expr_count >= 3)
     ),
     bug!(
@@ -505,12 +558,15 @@ static CATALOG: [Bug; 41] = [
         Clang,
         BackEnd,
         SegmentationFault,
-        ["llvm::MachineBasicBlock::updateTerminator", "llvm::BranchFolder::OptimizeBlock"],
+        [
+            "llvm::MachineBasicBlock::updateTerminator",
+            "llvm::BranchFolder::OptimizeBlock"
+        ],
         |cx| {
             cx.asm.is_some()
-                && cx.ast.is_some_and(|a| {
-                    a.functions.iter().any(|f| f.labels >= 3 && f.gotos >= 1)
-                })
+                && cx
+                    .ast
+                    .is_some_and(|a| a.functions.iter().any(|f| f.labels >= 3 && f.gotos >= 1))
         }
     ),
     bug!(
@@ -518,7 +574,10 @@ static CATALOG: [Bug; 41] = [
         Clang,
         FrontEnd,
         AssertionFailure,
-        ["clang::Sema::ActOnTypedefDeclarator", "clang::ASTContext::getTypedefType"],
+        [
+            "clang::Sema::ActOnTypedefDeclarator",
+            "clang::ASTContext::getTypedefType"
+        ],
         |cx| cx.ast.is_some_and(|a| a.typedef_count >= 3)
     ),
     bug!(
@@ -571,7 +630,11 @@ mod tests {
         let mut sigs = std::collections::HashSet::new();
         for b in catalog() {
             assert!(ids.insert(b.id), "duplicate id {}", b.id);
-            assert!(sigs.insert(b.crash().signature()), "duplicate signature {}", b.id);
+            assert!(
+                sigs.insert(b.crash().signature()),
+                "duplicate signature {}",
+                b.id
+            );
         }
         // Both profiles, all stages populated.
         for p in [Profile::Gcc, Profile::Clang] {

@@ -271,7 +271,10 @@ impl Visitor for FeatureVisitor {
         }
         match &s.kind {
             c::StmtKind::If { cond, .. } => {
-                if matches!(cond.unparenthesized().kind, c::ExprKind::IntLit { value: 0, .. }) {
+                if matches!(
+                    cond.unparenthesized().kind,
+                    c::ExprKind::IntLit { value: 0, .. }
+                ) {
                     self.out.dead_if0_count += 1;
                 }
             }
@@ -342,10 +345,16 @@ impl FeatureVisitor {
             }
             c::ExprKind::Binary { op, lhs, rhs } => {
                 let lit_zero = |x: &c::Expr| {
-                    matches!(x.unparenthesized().kind, c::ExprKind::IntLit { value: 0, .. })
+                    matches!(
+                        x.unparenthesized().kind,
+                        c::ExprKind::IntLit { value: 0, .. }
+                    )
                 };
                 let lit_one = |x: &c::Expr| {
-                    matches!(x.unparenthesized().kind, c::ExprKind::IntLit { value: 1, .. })
+                    matches!(
+                        x.unparenthesized().kind,
+                        c::ExprKind::IntLit { value: 1, .. }
+                    )
                 };
                 let identity = match op {
                     c::BinaryOp::Add => lit_zero(lhs) || lit_zero(rhs),
@@ -381,10 +390,9 @@ impl FeatureVisitor {
             }
             c::ExprKind::CompoundLit { init, .. } => {
                 if let c::Initializer::List { items, .. } = init.as_ref() {
-                    if items
-                        .iter()
-                        .any(|i| matches!(i, c::Initializer::List { items, .. } if items.is_empty()))
-                    {
+                    if items.iter().any(
+                        |i| matches!(i, c::Initializer::List { items, .. } if items.is_empty()),
+                    ) {
                         self.out.compound_lit_empty_brace = true;
                     }
                 }
@@ -417,7 +425,9 @@ impl FeatureVisitor {
                     self.out.const_div_by_zero = true;
                 }
             }
-            c::ExprKind::Assign { op: Some(_), lhs, .. } => {
+            c::ExprKind::Assign {
+                op: Some(_), lhs, ..
+            } => {
                 if let c::ExprKind::Ident(n) = &lhs.unparenthesized().kind {
                     if self.volatile_names.contains(n) {
                         self.out.volatile_compound_assign = true;
@@ -428,7 +438,6 @@ impl FeatureVisitor {
         }
         visit::walk_expr(self, e);
     }
-
 }
 
 fn contains_cast(e: &c::Expr) -> bool {
@@ -445,7 +454,10 @@ fn count_switch_labels(s: &c::Stmt) -> usize {
     struct C(usize);
     impl Visitor for C {
         fn visit_stmt(&mut self, s: &c::Stmt) {
-            if matches!(s.kind, c::StmtKind::Case { .. } | c::StmtKind::Default { .. }) {
+            if matches!(
+                s.kind,
+                c::StmtKind::Case { .. } | c::StmtKind::Default { .. }
+            ) {
                 self.0 += 1;
             }
             visit::walk_stmt(self, s);

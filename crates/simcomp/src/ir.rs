@@ -246,9 +246,10 @@ impl Inst {
     /// Whether removing this instruction could change observable behavior.
     pub fn has_side_effects(&self) -> bool {
         match self {
-            Inst::Store { .. } | Inst::StoreIdx { .. } | Inst::StorePtr { .. } | Inst::Call { .. } => {
-                true
-            }
+            Inst::Store { .. }
+            | Inst::StoreIdx { .. }
+            | Inst::StorePtr { .. }
+            | Inst::Call { .. } => true,
             Inst::Load { volatile, .. } => *volatile,
             _ => false,
         }
@@ -501,7 +502,10 @@ mod tests {
     #[test]
     fn successors_and_preds() {
         let f = tiny_fn();
-        assert_eq!(f.block(BlockId(0)).term.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(
+            f.block(BlockId(0)).term.successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
         let preds = f.predecessors();
         assert_eq!(preds[&BlockId(1)], vec![BlockId(0)]);
         assert_eq!(preds[&BlockId(2)], vec![BlockId(0)]);

@@ -175,11 +175,26 @@ impl Compiler {
         // ---------------- Front end ----------------
         let raw = features::raw_features(src);
         // Raw lexical coverage: buckets of structural statistics.
-        cov.record(Stage::FrontEnd, feature_hash(&[1, raw.max_paren_depth.min(64) as u64]));
-        cov.record(Stage::FrontEnd, feature_hash(&[2, raw.max_brace_depth.min(64) as u64]));
-        cov.record(Stage::FrontEnd, feature_hash(&[3, (raw.source_len / 64).min(128) as u64]));
-        cov.record(Stage::FrontEnd, feature_hash(&[4, raw.max_ident_len.min(128) as u64]));
-        cov.record(Stage::FrontEnd, feature_hash(&[5, raw.max_string_len.min(512) as u64 / 8]));
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[1, raw.max_paren_depth.min(64) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[2, raw.max_brace_depth.min(64) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[3, (raw.source_len / 64).min(128) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[4, raw.max_ident_len.min(128) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[5, raw.max_string_len.min(512) as u64 / 8]),
+        );
 
         // Lexer-level coverage: every distinct adjacent token-kind pair is a
         // scanner/parser dispatch edge. Byte-level fuzzers live here.
@@ -230,7 +245,10 @@ impl Compiler {
                     let msg_class = feature_hash_str(&first.message) % 160;
                     cov.record(Stage::FrontEnd, feature_hash(&[24, msg_class]));
                 }
-                cov.record(Stage::FrontEnd, feature_hash(&[7, diags.len().min(32) as u64]));
+                cov.record(
+                    Stage::FrontEnd,
+                    feature_hash(&[7, diags.len().min(32) as u64]),
+                );
                 None
             }
         };
@@ -266,7 +284,10 @@ impl Compiler {
 
         let sema = match metamut_lang::analyze(&ast) {
             Ok(s) => {
-                cov.record(Stage::FrontEnd, feature_hash(&[8, s.records.len().min(32) as u64]));
+                cov.record(
+                    Stage::FrontEnd,
+                    feature_hash(&[8, s.records.len().min(32) as u64]),
+                );
                 cov.record(
                     Stage::FrontEnd,
                     feature_hash(&[9, s.functions.len().min(64) as u64]),
@@ -281,7 +302,10 @@ impl Compiler {
                 if let Some(first) = diags.first_error() {
                     cov.record(Stage::FrontEnd, feature_hash_str(&first.message));
                 }
-                cov.record(Stage::FrontEnd, feature_hash(&[10, diags.len().min(32) as u64]));
+                cov.record(
+                    Stage::FrontEnd,
+                    feature_hash(&[10, diags.len().min(32) as u64]),
+                );
                 return CompileResult {
                     outcome: Outcome::Rejected {
                         diagnostics: diags.len(),
@@ -322,7 +346,10 @@ impl Compiler {
             cov.record(Stage::Opt, *f);
         }
         for (name, n) in &report.pass_stats {
-            cov.record(Stage::Opt, feature_hash_str(&format!("{name}:{}", n.min(&16))));
+            cov.record(
+                Stage::Opt,
+                feature_hash_str(&format!("{name}:{}", n.min(&16))),
+            );
         }
         let cx = bugs::BugCtx {
             raw: &raw,
@@ -384,7 +411,8 @@ fn decl_code(d: &metamut_lang::ast::ExternalDecl) -> u64 {
 mod tests {
     use super::*;
 
-    const OK_SRC: &str = "int add(int a, int b) { return a + b; } int main(void) { return add(1, 2); }";
+    const OK_SRC: &str =
+        "int add(int a, int b) { return a + b; } int main(void) { return add(1, 2); }";
 
     #[test]
     fn success_produces_coverage() {
@@ -535,7 +563,9 @@ int main(void) { memset(buffer, 'A', 32); if (test4() != 3) abort(); return 0; }
         let r1 = c.compile(OK_SRC);
         acc.merge(&r1.coverage);
         let after_first = acc.count();
-        let r2 = c.compile("double mul(double x) { return x * 3.5; } int main(void) { return (int)mul(2.0); }");
+        let r2 = c.compile(
+            "double mul(double x) { return x * 3.5; } int main(void) { return (int)mul(2.0); }",
+        );
         acc.merge(&r2.coverage);
         assert!(acc.count() > after_first);
         // Recompiling the same source adds nothing.

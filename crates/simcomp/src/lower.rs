@@ -128,10 +128,13 @@ impl Lowering<'_> {
             .blocks
             .iter()
             .flat_map(|b| {
-                b.term
-                    .successors()
-                    .into_iter()
-                    .map(move |s| [2u64, b.insts.len() as u64, (s.0 as i64 - b.id.0 as i64).unsigned_abs()])
+                b.term.successors().into_iter().map(move |s| {
+                    [
+                        2u64,
+                        b.insts.len() as u64,
+                        (s.0 as i64 - b.id.0 as i64).unsigned_abs(),
+                    ]
+                })
             })
             .collect();
         for ef in edge_feats {
@@ -182,9 +185,13 @@ impl FnLowering<'_> {
             Inst::Bin { op, a, b, .. } => [10, op.code(), operand_code(a), operand_code(b)],
             Inst::Un { op, a, .. } => [11, *op as u64, operand_code(a), 0],
             Inst::Load { volatile, .. } => [12, u64::from(*volatile), 0, 0],
-            Inst::Store { volatile, value, .. } => [13, u64::from(*volatile), operand_code(value), 0],
+            Inst::Store {
+                volatile, value, ..
+            } => [13, u64::from(*volatile), operand_code(value), 0],
             Inst::LoadIdx { index, .. } => [14, operand_code(index), 0, 0],
-            Inst::StoreIdx { index, value, .. } => [15, operand_code(index), operand_code(value), 0],
+            Inst::StoreIdx { index, value, .. } => {
+                [15, operand_code(index), operand_code(value), 0]
+            }
             Inst::AddrOf { .. } => [16, 0, 0, 0],
             Inst::LoadPtr { .. } => [17, 0, 0, 0],
             Inst::StorePtr { .. } => [18, 0, 0, 0],
@@ -684,11 +691,19 @@ impl FnLowering<'_> {
                 let dst = self.new_temp();
                 let float = matches!(
                     ty.ty.base_spec(),
-                    Some(c::TypeSpecifier::Float | c::TypeSpecifier::Double | c::TypeSpecifier::LongDouble)
+                    Some(
+                        c::TypeSpecifier::Float
+                            | c::TypeSpecifier::Double
+                            | c::TypeSpecifier::LongDouble
+                    )
                 );
                 self.emit(Inst::Un {
                     dst,
-                    op: if float { UnOp::FloatCast } else { UnOp::IntCast },
+                    op: if float {
+                        UnOp::FloatCast
+                    } else {
+                        UnOp::IntCast
+                    },
                     a: v,
                 });
                 Value::Temp(dst)
@@ -890,12 +905,7 @@ impl FnLowering<'_> {
         Value::Temp(dst)
     }
 
-    fn lower_assign(
-        &mut self,
-        op: Option<c::BinaryOp>,
-        lhs: &c::Expr,
-        rhs: &c::Expr,
-    ) -> Value {
+    fn lower_assign(&mut self, op: Option<c::BinaryOp>, lhs: &c::Expr, rhs: &c::Expr) -> Value {
         let rv = self.lower_expr(rhs);
         // Compute the stored value (compound ops read the target first).
         let lhs_plain = lhs.unparenthesized();
@@ -933,9 +943,7 @@ impl FnLowering<'_> {
             }
             c::ExprKind::Index { base, index } => {
                 let idx = self.lower_expr(index);
-                let slot = self
-                    .slot_of(base)
-                    .unwrap_or_else(|| "anon.arr".to_string());
+                let slot = self.slot_of(base).unwrap_or_else(|| "anon.arr".to_string());
                 let value = match op {
                     None => rv,
                     Some(bop) => {
@@ -1053,8 +1061,11 @@ fn collect_switch_labels(s: &c::Stmt, plan: &mut SwitchPlan) {
             }
         }
         c::StmtKind::Case { expr, stmt } => {
-            plan.cases
-                .push(const_int_of(expr).or_else(|| eval_via_sema(expr)).unwrap_or(0));
+            plan.cases.push(
+                const_int_of(expr)
+                    .or_else(|| eval_via_sema(expr))
+                    .unwrap_or(0),
+            );
             collect_switch_labels(stmt, plan);
         }
         c::StmtKind::Default { stmt } => {
@@ -1197,9 +1208,7 @@ mod tests {
 
     #[test]
     fn lowers_calls_and_void() {
-        let l = lower_src(
-            "void log_it(int x) { } int f(int a) { log_it(a); return abs(a); }",
-        );
+        let l = lower_src("void log_it(int x) { } int f(int a) { log_it(a); return abs(a); }");
         let f = l.module.function("f").unwrap();
         let calls: Vec<&Inst> = f
             .blocks

@@ -191,7 +191,12 @@ pub fn const_fold(module: &mut Module, report: &mut OptReport) -> usize {
                 }
             }
             // Fold branch conditions.
-            if let Terminator::Branch { cond, then_bb, else_bb } = &mut b.term {
+            if let Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } = &mut b.term
+            {
                 if let Value::Temp(t) = cond {
                     if let Some(k) = known.get(t) {
                         *cond = k.clone();
@@ -219,7 +224,12 @@ pub fn const_fold(module: &mut Module, report: &mut OptReport) -> usize {
                 }
             }
             // Constant switch dispatch.
-            if let Terminator::Switch { value, cases, default } = &b.term {
+            if let Terminator::Switch {
+                value,
+                cases,
+                default,
+            } = &b.term
+            {
                 if let Some(v) = value.as_int() {
                     let target = cases
                         .iter()
@@ -269,13 +279,19 @@ pub fn dead_code_elim(module: &mut Module, report: &mut OptReport) -> usize {
                     }
                 }
                 match &b.term {
-                    Terminator::Branch { cond: Value::Temp(t), .. } => {
+                    Terminator::Branch {
+                        cond: Value::Temp(t),
+                        ..
+                    } => {
                         used.insert(*t);
                     }
                     Terminator::Return(Some(Value::Temp(t))) => {
                         used.insert(*t);
                     }
-                    Terminator::Switch { value: Value::Temp(t), .. } => {
+                    Terminator::Switch {
+                        value: Value::Temp(t),
+                        ..
+                    } => {
                         used.insert(*t);
                     }
                     _ => {}
@@ -344,7 +360,11 @@ pub fn simplify_cfg(module: &mut Module, report: &mut OptReport) -> usize {
                         changes += 1;
                     }
                 }
-                Terminator::Branch { then_bb, else_bb, cond } => {
+                Terminator::Branch {
+                    then_bb,
+                    else_bb,
+                    cond,
+                } => {
                     let rt = resolve(*then_bb);
                     let re = resolve(*else_bb);
                     if rt != *then_bb || re != *else_bb {
@@ -463,9 +483,10 @@ pub fn inline_trivial(module: &mut Module, report: &mut OptReport) -> usize {
                         // Bind the call result.
                         if let Some(d) = dst {
                             let rv = match ret {
-                                Some(Value::Temp(t)) => {
-                                    map.get(t).map(|nt| Value::Temp(*nt)).unwrap_or(Value::Undef)
-                                }
+                                Some(Value::Temp(t)) => map
+                                    .get(t)
+                                    .map(|nt| Value::Temp(*nt))
+                                    .unwrap_or(Value::Undef),
                                 Some(v) => v.clone(),
                                 None => Value::Undef,
                             };
@@ -718,9 +739,8 @@ mod tests {
 
     #[test]
     fn strlen_reduction_detects_self_sprintf() {
-        let mut m = build(
-            "char buffer[32]; int t(void) { return sprintf(buffer, \"%s\", buffer); }",
-        );
+        let mut m =
+            build("char buffer[32]; int t(void) { return sprintf(buffer, \"%s\", buffer); }");
         let mut r = OptReport::default();
         let n = strlen_reduce(&mut m, &mut r);
         assert_eq!(n, 1);

@@ -19,7 +19,10 @@ fn constant_switch_is_folded_away() {
         "int f(void) { switch (2) { case 1: return 10; case 2: return 20; default: return 0; } }",
     );
     let report = optimize(&mut m, 2, &OptFlags::default());
-    assert!(report.pass_stats.iter().any(|(n, c)| *n == "const-fold" && *c > 0));
+    assert!(report
+        .pass_stats
+        .iter()
+        .any(|(n, c)| *n == "const-fold" && *c > 0));
     let f = m.function("f").unwrap();
     // No Switch terminator survives constant dispatch.
     assert!(f

@@ -1,0 +1,34 @@
+//! The flat event record every sink receives.
+
+use serde::{Deserialize, Serialize};
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed; `value` is the elapsed milliseconds.
+    SpanEnd,
+    /// A counter was incremented; `value` is the delta.
+    CounterAdd,
+    /// A gauge was set; `value` is the new level.
+    GaugeSet,
+    /// A histogram observation; `value` is the observed sample.
+    HistObserve,
+}
+
+/// One telemetry event. Deliberately flat — a fixed shape keeps the JSONL
+/// log trivially parseable by ad-hoc scripts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Emission order, consecutive from zero per pipeline.
+    pub seq: u64,
+    /// Microseconds since the pipeline was created.
+    pub t_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Metric or span name (labels in `name{label}` form).
+    pub name: String,
+    /// Kind-dependent payload (delta, level, sample, or elapsed ms).
+    pub value: f64,
+}

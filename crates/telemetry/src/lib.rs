@@ -1,0 +1,393 @@
+//! Structured tracing, metrics, and live campaign status for the whole
+//! MetaMut pipeline.
+//!
+//! Three layers, all cheap enough to leave compiled into release builds:
+//!
+//! - **Spans** ([`Telemetry::span`]) time hierarchical pipeline phases
+//!   (invent → synthesize → validate → fix-loop → fuzz). A span emits a
+//!   start event, and on drop an end event plus a `<name>_ms` histogram
+//!   observation.
+//! - **Metrics** ([`Metrics`]) are a registry of named atomic counters,
+//!   gauges, and fixed-bucket histograms (`mutants_generated`,
+//!   `llm_tokens{invent}`, `validate_ms`, …). Labels use the
+//!   `name{label}` convention; see [`labeled`].
+//! - **Sinks** ([`Sink`]) receive every event. [`JsonlSink`] writes one
+//!   serde-serialized event per line; [`StatusSink`] renders an AFL-style
+//!   periodic status line (execs/sec, corpus size, coverage, unique
+//!   crashes, elapsed).
+//!
+//! A process-global handle ([`handle`]) starts disabled: every
+//! instrumentation call first checks one relaxed atomic load, so the
+//! instrumented hot loops pay almost nothing until `--telemetry` (or
+//! `METAMUT_TELEMETRY`) turns the pipeline on. [`Telemetry`] is cloneable
+//! and thread-safe; tests can build private instances with
+//! [`Telemetry::new`].
+
+mod event;
+mod metrics;
+mod sink;
+
+pub use event::{Event, EventKind};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, Snapshot, DEFAULT_MS_BOUNDS};
+pub use sink::{JsonlSink, Sink, SinkContext, StatusSink};
+
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Environment variable consulted by [`init_from_arg`] when no
+/// `--telemetry` flag is given.
+pub const ENV_VAR: &str = "METAMUT_TELEMETRY";
+
+struct Inner {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    start: Instant,
+    metrics: Metrics,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+}
+
+/// A cloneable, thread-safe telemetry pipeline handle.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, enabled pipeline (for tests and embedded use).
+    pub fn new() -> Self {
+        let t = Self::disabled();
+        t.set_enabled(true);
+        t
+    }
+
+    /// A fresh pipeline that drops everything until [`set_enabled`].
+    ///
+    /// [`set_enabled`]: Telemetry::set_enabled
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                seq: AtomicU64::new(0),
+                start: Instant::now(),
+                metrics: Metrics::new(),
+                sinks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Whether events are currently recorded. One relaxed atomic load —
+    /// this is the hot-path guard.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Microseconds since this pipeline was created.
+    fn now_us(&self) -> u64 {
+        self.inner.start.elapsed().as_micros() as u64
+    }
+
+    /// Attaches a sink; it receives every subsequent event.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.inner.sinks.lock().push(sink);
+    }
+
+    /// Attaches a [`JsonlSink`] writing to `path`.
+    pub fn add_jsonl_sink(&self, path: &Path) -> std::io::Result<()> {
+        self.add_sink(Box::new(JsonlSink::create(path)?));
+        Ok(())
+    }
+
+    /// Flushes all attached sinks.
+    pub fn flush(&self) {
+        for sink in self.inner.sinks.lock().iter_mut() {
+            sink.flush();
+        }
+    }
+
+    fn emit(&self, kind: EventKind, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let event = Event {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: self.now_us(),
+            kind,
+            name: name.to_string(),
+            value,
+        };
+        let ctx = SinkContext {
+            metrics: &self.inner.metrics,
+            elapsed: self.inner.start.elapsed(),
+        };
+        for sink in self.inner.sinks.lock().iter_mut() {
+            sink.record(&event, &ctx);
+        }
+    }
+
+    /// Increments the named counter, emitting a `CounterAdd` event.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner
+            .metrics
+            .counter(name)
+            .fetch_add(delta, Ordering::Relaxed);
+        self.emit(EventKind::CounterAdd, name, delta as f64);
+    }
+
+    /// Sets the named gauge, emitting a `GaugeSet` event.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.metrics.gauge_set(name, value);
+        self.emit(EventKind::GaugeSet, name, value);
+    }
+
+    /// Records `value` into the named histogram (default millisecond
+    /// buckets), emitting a `HistObserve` event.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.metrics.histogram(name).observe(value);
+        self.emit(EventKind::HistObserve, name, value);
+    }
+
+    /// Opens a timed span; the returned guard ends it on drop, recording
+    /// the elapsed time into the `<name>_ms` histogram.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard {
+                telemetry: None,
+                name: String::new(),
+                start: Instant::now(),
+            };
+        }
+        self.emit(EventKind::SpanStart, name, 0.0);
+        SpanGuard {
+            telemetry: Some(self.clone()),
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// A point-in-time export of every counter, gauge, and histogram.
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner.metrics.snapshot()
+    }
+}
+
+/// Ends its span on drop (see [`Telemetry::span`]).
+#[must_use = "dropping the guard immediately ends the span"]
+pub struct SpanGuard {
+    telemetry: Option<Telemetry>,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t) = self.telemetry.take() {
+            let ms = self.start.elapsed().as_secs_f64() * 1e3;
+            t.inner
+                .metrics
+                .histogram(&format!("{}_ms", self.name))
+                .observe(ms);
+            t.emit(EventKind::SpanEnd, &self.name, ms);
+        }
+    }
+}
+
+/// Renders the `name{label}` metric-naming convention.
+pub fn labeled(name: &str, label: &str) -> String {
+    format!("{name}{{{label}}}")
+}
+
+// ---- Process-global handle ----
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-global pipeline. Disabled until [`init_from_arg`] (or an
+/// explicit `set_enabled`) turns it on.
+pub fn handle() -> &'static Telemetry {
+    GLOBAL.get_or_init(Telemetry::disabled)
+}
+
+/// Wires the global pipeline from a `--telemetry <path>` argument,
+/// falling back to the `METAMUT_TELEMETRY` environment variable. On
+/// success the global handle is enabled with a JSONL sink at the path
+/// and a once-per-second status line on stderr; returns the path.
+pub fn init_from_arg(arg: Option<&str>) -> Option<PathBuf> {
+    let path = arg.map(PathBuf::from).or_else(|| {
+        std::env::var(ENV_VAR)
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })?;
+    let t = handle();
+    match t.add_jsonl_sink(&path) {
+        Ok(()) => {
+            t.add_sink(Box::new(StatusSink::stderr()));
+            t.set_enabled(true);
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("telemetry: cannot open {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Serializes the global snapshot as pretty JSON (for writing next to
+/// experiment reports). `None` when telemetry is disabled.
+pub fn global_snapshot_json() -> Option<String> {
+    let t = handle();
+    if !t.enabled() {
+        return None;
+    }
+    t.flush();
+    serde_json::to_string_pretty(&t.snapshot()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "metamut-telemetry-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn disabled_pipeline_records_nothing() {
+        let t = Telemetry::disabled();
+        t.counter_add("mutants_generated", 3);
+        t.gauge_set("fuzz_corpus", 7.0);
+        t.observe("validate_ms", 1.0);
+        drop(t.span("invent"));
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_and_spans_land_in_snapshot() {
+        let t = Telemetry::new();
+        t.counter_add("mutants_generated", 2);
+        t.counter_add("mutants_generated", 3);
+        t.gauge_set("fuzz_corpus", 11.0);
+        {
+            let _span = t.span("validate");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counters.get("mutants_generated"), Some(&5));
+        assert_eq!(snap.gauges.get("fuzz_corpus"), Some(&11.0));
+        let hist = snap.histograms.get("validate_ms").expect("span histogram");
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let t = Telemetry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        t.counter_add("fuzz_execs", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot().counters.get("fuzz_execs"), Some(&8000));
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_events_in_order() {
+        let path = temp_path("roundtrip");
+        let t = Telemetry::new();
+        t.add_jsonl_sink(&path).unwrap();
+        {
+            let _span = t.span("invent");
+            t.counter_add("llm_tokens{invent}", 420);
+        }
+        t.gauge_set("fuzz_coverage", 99.0);
+        t.observe("validate_ms", 0.25);
+        t.flush();
+
+        let mut text = String::new();
+        std::fs::File::open(&path)
+            .unwrap()
+            .read_to_string(&mut text)
+            .unwrap();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("every line parses"))
+            .collect();
+        std::fs::remove_file(&path).ok();
+
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SpanStart,
+                EventKind::CounterAdd,
+                EventKind::SpanEnd,
+                EventKind::GaugeSet,
+                EventKind::HistObserve,
+            ]
+        );
+        assert_eq!(events[1].name, "llm_tokens{invent}");
+        assert_eq!(events[1].value, 420.0);
+        assert_eq!(events[2].name, "invent");
+        // Sequence numbers are consecutive from zero and timestamps are
+        // monotone.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        for pair in events.windows(2) {
+            assert!(pair[0].t_us <= pair[1].t_us);
+        }
+    }
+
+    #[test]
+    fn labeled_renders_convention() {
+        assert_eq!(labeled("llm_tokens", "invent"), "llm_tokens{invent}");
+        assert_eq!(labeled("crashes_unique", "Opt"), "crashes_unique{Opt}");
+    }
+
+    #[test]
+    fn global_handle_starts_disabled() {
+        // Other tests must not enable the global handle; this pins the
+        // default.
+        assert!(!handle().enabled() || GLOBAL.get().is_some());
+    }
+}

@@ -1,0 +1,308 @@
+//! The metrics registry: named atomic counters, gauges, and fixed-bucket
+//! histograms, plus the serializable [`Snapshot`] export.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default histogram upper bounds, in milliseconds. A final implicit
+/// `+Inf` bucket catches everything above the last bound.
+pub const DEFAULT_MS_BOUNDS: [f64; 14] = [
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 500.0,
+];
+
+/// A fixed-bucket histogram with atomic per-bucket counts.
+///
+/// Bucket semantics match Prometheus: a sample `v` lands in the first
+/// bucket whose upper bound satisfies `v <= bound` (bounds inclusive),
+/// else in the overflow bucket.
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, value: f64) {
+        let idx = self.bounds.partition_point(|b| *b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Atomic f64 accumulation via compare-exchange on the bit pattern.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A serializable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Point-in-time histogram state; `counts` has one slot per bound plus
+/// the trailing overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+}
+
+/// Registry of named metrics. Lookups take a short mutex; the returned
+/// handles are lock-free atomics, so hot loops can cache them.
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(name) {
+            g.store(value.to_bits(), Ordering::Relaxed);
+        } else {
+            map.insert(name.to_string(), Arc::new(AtomicU64::new(value.to_bits())));
+        }
+    }
+
+    /// Current value of a gauge (`None` when never set).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .get(name)
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+
+    /// The named histogram with [`DEFAULT_MS_BOUNDS`], created on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, &DEFAULT_MS_BOUNDS)
+    }
+
+    /// The named histogram, created with `bounds` on first use (existing
+    /// histograms keep their original bounds).
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — used to
+    /// aggregate labeled families like `crashes_unique{...}`.
+    pub fn counter_family_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A serializable export of everything in the registry.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time export of a [`Metrics`] registry. Keys are sorted, so
+/// serialized snapshots diff cleanly across runs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let h = Histogram::new(&[1.0, 5.0, 10.0]);
+        // Exactly on a bound lands in that bound's bucket (v <= bound).
+        h.observe(1.0);
+        h.observe(5.0);
+        h.observe(10.0);
+        // Strictly between bounds.
+        h.observe(0.5);
+        h.observe(2.0);
+        // Above the last bound → overflow bucket.
+        h.observe(10.0001);
+        h.observe(1e9);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 2, 1, 2]);
+        assert_eq!(snap.count, 7);
+        assert!((snap.sum - (1.0 + 5.0 + 10.0 + 0.5 + 2.0 + 10.0001 + 1e9)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_rejects_unsorted_bounds() {
+        let result = std::panic::catch_unwind(|| Histogram::new(&[5.0, 1.0]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn concurrent_observations_sum_exactly() {
+        let h = std::sync::Arc::new(Histogram::new(&DEFAULT_MS_BOUNDS));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        h.observe(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 2000);
+        assert!((h.sum() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let m = Metrics::new();
+        let a = m.counter("execs");
+        let b = m.counter("execs");
+        a.fetch_add(2, Ordering::Relaxed);
+        b.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(m.counter_value("execs"), 5);
+        assert_eq!(m.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn counter_family_sum_aggregates_labels() {
+        let m = Metrics::new();
+        m.counter("crashes_unique{Parse}")
+            .fetch_add(1, Ordering::Relaxed);
+        m.counter("crashes_unique{Opt}")
+            .fetch_add(2, Ordering::Relaxed);
+        m.counter("other").fetch_add(10, Ordering::Relaxed);
+        assert_eq!(m.counter_family_sum("crashes_unique"), 3);
+    }
+
+    #[test]
+    fn snapshot_orders_keys() {
+        let m = Metrics::new();
+        m.counter("zeta").fetch_add(1, Ordering::Relaxed);
+        m.counter("alpha").fetch_add(1, Ordering::Relaxed);
+        let snap = m.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -17,7 +17,10 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
 
     let mutators = Arc::new(metamut_mutators::full_registry());
-    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let seeds: Vec<String> = corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let config = MacroConfig {
         iterations_per_worker: iterations,
         workers: 4,
@@ -43,10 +46,7 @@ fn main() {
         for bug in &report.bugs {
             println!(
                 "  - {} [{} / {}] with {}",
-                bug.bug_id,
-                bug.stage,
-                bug.consequence,
-                bug.flags
+                bug.bug_id, bug.stage, bug.consequence, bug.flags
             );
         }
         println!();

@@ -14,7 +14,10 @@ fn main() {
         .unwrap_or(300);
     println!("running 6 fuzzers x {iterations} iterations against gcc-sim -O2\n");
 
-    let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+    let seeds: Vec<String> = corpus::seed_corpus()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
 
     println!(

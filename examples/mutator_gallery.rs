@@ -82,7 +82,11 @@ fn main() {
                     }
                     println!(
                         "   mutant {}\n",
-                        if compiles { "compiles" } else { "does NOT compile" }
+                        if compiles {
+                            "compiles"
+                        } else {
+                            "does NOT compile"
+                        }
                     );
                     applied += 1;
                     shown = true;
@@ -95,5 +99,8 @@ fn main() {
             println!("== {} — not applicable to the demo program\n", m.name());
         }
     }
-    println!("{applied}/{} mutators applied to the demo program", registry.len());
+    println!(
+        "{applied}/{} mutators applied to the demo program",
+        registry.len()
+    );
 }

@@ -41,6 +41,6 @@ pub mod prelude {
     pub use metamut_lang::{compile, compile_check, parse};
     pub use metamut_llm::SimLlm;
     pub use metamut_muast::{mutate_source, MutCtx, MutationOutcome, Mutator};
-    pub use metamut_simcomp::{CompileOptions, Compiler, Outcome, Profile};
     pub use metamut_mutators as mutators;
+    pub use metamut_simcomp::{CompileOptions, Compiler, Outcome, Profile};
 }

@@ -18,7 +18,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     let rest = &args[1.min(args.len())..];
-    match cmd {
+    // Global flag: --telemetry PATH (or METAMUT_TELEMETRY=PATH) streams
+    // JSONL events to PATH and a status line to stderr for any subcommand.
+    let telemetry_path = metamut_telemetry::init_from_arg(opt(rest, "--telemetry").as_deref());
+    let code = match cmd {
         "list" => list(),
         "mutate" => mutate(rest),
         "compile" => compile_cmd(rest),
@@ -31,11 +34,23 @@ fn main() -> ExitCode {
                  \n  mutate FILE -m NAME [-s N]   apply one mutator to a C file\
                  \n  compile FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
                  \n  generate [-n N] [-s N]       run the MetaMut generation pipeline\
-                 \n  fuzz [-i N] [-s N] [-p gcc|clang]  run a μCFuzz campaign"
+                 \n  fuzz [-i N] [-s N] [-p gcc|clang]  run a μCFuzz campaign\
+                 \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH"
             );
             ExitCode::from(2)
         }
+    };
+    if let Some(path) = telemetry_path {
+        // Flush the event log and leave a metrics snapshot next to it.
+        if let Some(snapshot) = metamut_telemetry::global_snapshot_json() {
+            let snap_path = path.with_extension("snapshot.json");
+            if let Err(e) = std::fs::write(&snap_path, snapshot) {
+                eprintln!("telemetry: cannot write {}: {e}", snap_path.display());
+            }
+        }
+        metamut_telemetry::handle().flush();
     }
+    code
 }
 
 fn opt(rest: &[String], flag: &str) -> Option<String> {
@@ -46,7 +61,7 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
 }
 
 fn positional(rest: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 6] = ["-m", "-s", "-p", "-O", "-i", "-n"];
+    const VALUE_FLAGS: [&str; 7] = ["-m", "-s", "-p", "-O", "-i", "-n", "--telemetry"];
     let mut skip_next = false;
     for a in rest {
         if skip_next {
@@ -72,7 +87,12 @@ fn list() -> ExitCode {
             metamut::muast::Provenance::Supervised => "M_s",
             metamut::muast::Provenance::Unsupervised => "M_u",
         };
-        println!("  {:<34} [{:<10} {tag}]  {}", m.mutator.name(), m.mutator.category().to_string(), m.mutator.description());
+        println!(
+            "  {:<34} [{:<10} {tag}]  {}",
+            m.mutator.name(),
+            m.mutator.category().to_string(),
+            m.mutator.description()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -44,7 +44,12 @@ int main(void) { int a[64]; int b[64]; a[0] = 1; b[0] = 2; return (int)foo(a, b)
     compile_check(&mutant).expect("Ret2V mutant compiles");
 
     let clang = Compiler::new(Profile::Clang, CompileOptions::o2());
-    let crash = clang.compile(&mutant).outcome.crash().cloned().expect("clang crashes");
+    let crash = clang
+        .compile(&mutant)
+        .outcome
+        .crash()
+        .cloned()
+        .expect("clang crashes");
     assert_eq!(crash.bug_id, "clang-63762-label-codegen");
     assert_eq!(crash.stage, Stage::BackEnd);
     assert_eq!(crash.kind, CrashKind::AssertionFailure);
@@ -79,7 +84,12 @@ int main(void) { return 0; }
         },
     };
     let gcc = Compiler::new(Profile::Gcc, opts);
-    let crash = gcc.compile(mutant).outcome.crash().cloned().expect("gcc hangs");
+    let crash = gcc
+        .compile(mutant)
+        .outcome
+        .crash()
+        .cloned()
+        .expect("gcc hangs");
     assert_eq!(crash.bug_id, "gcc-111820-vectorizer-hang");
     assert_eq!(crash.kind, CrashKind::Hang);
     // Both knobs matter, exactly like the report's `-O3 -fno-tree-vrp`.
@@ -119,7 +129,12 @@ int main(void) { x = 0; return 0; }
     let mutant = mutate_until("DecaySmallStruct", seed, |s| s.contains("long long"));
     compile_check(&mutant).expect("decayed mutant compiles");
     let gcc = Compiler::new(Profile::Gcc, CompileOptions::o0());
-    let crash = gcc.compile(&mutant).outcome.crash().cloned().expect("gcc crashes at -O0");
+    let crash = gcc
+        .compile(&mutant)
+        .outcome
+        .crash()
+        .cloned()
+        .expect("gcc crashes at -O0");
     assert_eq!(crash.bug_id, "gcc-111819-fold-offsetof");
     assert_eq!(crash.stage, Stage::IrGen);
 }
@@ -130,7 +145,12 @@ int main(void) { x = 0; return 0; }
 fn clang_69213_struct_to_int_shape() {
     let mutant = "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }";
     let clang = Compiler::new(Profile::Clang, CompileOptions::o0());
-    let crash = clang.compile(mutant).outcome.crash().cloned().expect("clang crashes");
+    let crash = clang
+        .compile(mutant)
+        .outcome
+        .crash()
+        .cloned()
+        .expect("clang crashes");
     assert_eq!(crash.bug_id, "clang-69213-scalar-brace");
     assert_eq!(crash.stage, Stage::FrontEnd);
     let gcc = Compiler::new(Profile::Gcc, CompileOptions::o0());
@@ -155,7 +175,12 @@ int main(void) { main_test(); return 0; }
         s.contains("sprintf(buffer, \"%s\", buffer)")
     });
     let gcc = Compiler::new(Profile::Gcc, CompileOptions::o2());
-    let crash = gcc.compile(&mutant).outcome.crash().cloned().expect("gcc crashes at -O2");
+    let crash = gcc
+        .compile(&mutant)
+        .outcome
+        .crash()
+        .cloned()
+        .expect("gcc crashes at -O2");
     assert_eq!(crash.bug_id, "gcc-strlen-verify-range");
     // At -O0 the optimization never runs and the program is fine.
     assert!(Compiler::new(Profile::Gcc, CompileOptions::o0())

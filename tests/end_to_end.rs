@@ -23,9 +23,7 @@ fn generated_mutators_fuzz_real_seeds() {
     let mut compiled = 0;
     for (i, m) in mutators.iter().enumerate() {
         for (j, seed) in seed_corpus().iter().enumerate().take(6) {
-            if let Ok(MutationOutcome::Mutated(s)) =
-                mutate_source(m, seed, (i * 31 + j) as u64)
-            {
+            if let Ok(MutationOutcome::Mutated(s)) = mutate_source(m, seed, (i * 31 + j) as u64) {
                 produced += 1;
                 if compile_check(&s).is_ok() {
                     compiled += 1;
@@ -86,7 +84,10 @@ fn mucfuzz_reaches_deep_crashes() {
         sample_every: 300,
     };
     let report = run_campaign(&mut fuzzer, &compiler, &cfg);
-    assert!(!report.crashes.is_empty(), "no crashes found in 900 iterations");
+    assert!(
+        !report.crashes.is_empty(),
+        "no crashes found in 900 iterations"
+    );
     assert!(
         report
             .crashes
@@ -151,7 +152,11 @@ fn macro_fuzzer_flag_sampling_matters() {
     assert!(
         report.bugs.iter().any(|b| !b.flags.starts_with("-O2")),
         "{:?}",
-        report.bugs.iter().map(|b| b.flags.clone()).collect::<Vec<_>>()
+        report
+            .bugs
+            .iter()
+            .map(|b| b.flags.clone())
+            .collect::<Vec<_>>()
     );
 }
 

@@ -1,0 +1,98 @@
+//! Offline stand-in for `bytes`.
+//!
+//! `BytesMut` here is a thin wrapper over `Vec<u8>` exposing the mutation
+//! surface the fuzzing havoc loops use. The real crate's zero-copy
+//! buffer-sharing machinery is irrelevant to those call sites.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends the given bytes.
+    pub fn extend_from_slice(&mut self, other: &[u8]) {
+        self.vec.extend_from_slice(other);
+    }
+
+    /// Splits off and returns the bytes from `at` onward, leaving
+    /// `[0, at)` in `self`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            vec: self.vec.split_off(at),
+        }
+    }
+
+    /// Shortens the buffer to at most `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Consumes the buffer, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        BytesMut {
+            vec: slice.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn havoc_surface() {
+        let mut buf = BytesMut::from(b"hello world".as_slice());
+        assert_eq!(buf.len(), 11);
+        buf[0] = b'H';
+        let tail = buf.split_off(5);
+        assert_eq!(&buf[..], b"Hello");
+        assert_eq!(&tail[..], b" world");
+        buf.extend_from_slice(&tail[1..]);
+        assert_eq!(&buf[..], b"Helloworld");
+        buf.truncate(5);
+        assert_eq!(&buf[..], b"Hello");
+        assert!(!buf.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` backed by `std::thread::scope`. One
+//! behavioral difference: crossbeam collects worker panics into the `Err`
+//! arm, while `std::thread::scope` re-raises them when the scope closes —
+//! so a panicking worker aborts the calling test directly instead of
+//! surfacing through `.expect(..)`. Both end in the same test failure.
+
+use std::any::Any;
+
+/// Handle for spawning threads tied to an enclosing [`scope`] call.
+///
+/// `Copy` so that `scope.spawn(move |_| ...)` closures can capture it.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// workers may spawn sub-workers, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope handle; all threads spawned through the handle
+/// are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let count = AtomicUsize::new(0);
+        let result = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| count.fetch_add(1, Ordering::SeqCst));
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(result, "done");
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let count = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| count.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+}

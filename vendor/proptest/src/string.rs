@@ -1,0 +1,295 @@
+//! Regex-shaped string strategies.
+//!
+//! Supports the generator-friendly subset these tests use: literal
+//! characters, `.`, character classes (`[a-z0-9]`, `[ -~\n]`, negation),
+//! escapes, and the quantifiers `{m,n}` / `{m}` / `{m,}` / `*` / `+` / `?`.
+//! No alternation, grouping, or anchors.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error from [`string_regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// One regex atom with its repeat range: the alphabet it draws from and
+/// `[min, max]` inclusive repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled pattern; generates matching strings.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                out.push(piece.alphabet[rng.below(piece.alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// The `.` alphabet: printable ASCII (newline excluded, as in regex `.`).
+fn dot_alphabet() -> Vec<char> {
+    (' '..='~').collect()
+}
+
+fn escape_char(c: char) -> Result<char, RegexError> {
+    Ok(match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        '\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '*' | '+' | '?' | '-' | '^' | '$'
+        | '|' | '/' | ' ' => c,
+        other => return Err(RegexError(format!("unsupported escape '\\{other}'"))),
+    })
+}
+
+struct PatternParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl PatternParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_class(&mut self) -> Result<Vec<char>, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut members: Vec<char> = Vec::new();
+        loop {
+            let c = match self.next() {
+                Some(']') => break,
+                Some('\\') => {
+                    let esc = self
+                        .next()
+                        .ok_or_else(|| RegexError("dangling escape in class".into()))?;
+                    escape_char(esc)?
+                }
+                Some(c) => c,
+                None => return Err(RegexError("unterminated character class".into())),
+            };
+            // Range `a-z`: a '-' that is neither first nor last in the class.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let hi = match self.next() {
+                    Some('\\') => {
+                        let esc = self
+                            .next()
+                            .ok_or_else(|| RegexError("dangling escape in class".into()))?;
+                        escape_char(esc)?
+                    }
+                    Some(hi) => hi,
+                    None => return Err(RegexError("unterminated range in class".into())),
+                };
+                if hi < c {
+                    return Err(RegexError(format!("inverted range {c}-{hi}")));
+                }
+                members.extend(c..=hi);
+            } else {
+                members.push(c);
+            }
+        }
+        if negated {
+            let excluded: std::collections::BTreeSet<char> = members.into_iter().collect();
+            let mut domain = dot_alphabet();
+            domain.push('\n');
+            members = domain
+                .into_iter()
+                .filter(|c| !excluded.contains(c))
+                .collect();
+        }
+        if members.is_empty() {
+            return Err(RegexError("empty character class".into()));
+        }
+        Ok(members)
+    }
+
+    /// Parses an optional quantifier; defaults to exactly-once.
+    fn parse_quantifier(&mut self) -> Result<(usize, usize), RegexError> {
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Ok((0, 32))
+            }
+            Some('+') => {
+                self.pos += 1;
+                Ok((1, 32))
+            }
+            Some('?') => {
+                self.pos += 1;
+                Ok((0, 1))
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut min_text = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    min_text.push(self.next().unwrap());
+                }
+                let min: usize = min_text
+                    .parse()
+                    .map_err(|_| RegexError("bad {m,n} quantifier".into()))?;
+                let max = match self.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max_text = String::new();
+                        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                            max_text.push(self.next().unwrap());
+                        }
+                        if self.next() != Some('}') {
+                            return Err(RegexError("unterminated {m,n} quantifier".into()));
+                        }
+                        if max_text.is_empty() {
+                            min + 32 // open-ended `{m,}`
+                        } else {
+                            max_text
+                                .parse()
+                                .map_err(|_| RegexError("bad {m,n} quantifier".into()))?
+                        }
+                    }
+                    _ => return Err(RegexError("unterminated {m,n} quantifier".into())),
+                };
+                if max < min {
+                    return Err(RegexError(format!("quantifier {{{min},{max}}} inverted")));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn parse(mut self) -> Result<Vec<Piece>, RegexError> {
+        let mut pieces = Vec::new();
+        while let Some(c) = self.next() {
+            let alphabet = match c {
+                '.' => dot_alphabet(),
+                '[' => self.parse_class()?,
+                '\\' => {
+                    let esc = self
+                        .next()
+                        .ok_or_else(|| RegexError("dangling escape".into()))?;
+                    match esc {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(std::iter::once('_'))
+                            .collect(),
+                        's' => vec![' ', '\t', '\n'],
+                        other => vec![escape_char(other)?],
+                    }
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(RegexError(format!(
+                        "unsupported regex feature '{c}' (no groups/alternation/anchors)"
+                    )))
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = self.parse_quantifier()?;
+            pieces.push(Piece { alphabet, min, max });
+        }
+        Ok(pieces)
+    }
+}
+
+/// Compiles a pattern into a string-generating strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, RegexError> {
+    let parser = PatternParser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    Ok(RegexGeneratorStrategy {
+        pieces: parser.parse()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        string_regex(pattern)
+            .unwrap()
+            .new_value(&mut TestRng::from_seed(seed))
+    }
+
+    #[test]
+    fn fixed_counts() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{20,60}", seed);
+            assert!((20..=60).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_soup_with_newlines() {
+        for seed in 0..50 {
+            let s = gen("[ -~\\n]{0,300}", seed);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        for seed in 0..50 {
+            let s = gen(".{0,200}", seed);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn identifier_shape() {
+        for seed in 0..50 {
+            let s = gen("[a-z][a-z0-9]{0,6}", seed);
+            assert!((1..=7).contains(&s.len()));
+            assert!(s.starts_with(|c: char| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(string_regex("(ab|cd)").is_err());
+        assert!(string_regex("[z-a]").is_err());
+        assert!(string_regex("a{5,2}").is_err());
+    }
+}

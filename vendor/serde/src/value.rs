@@ -1,0 +1,154 @@
+//! The in-memory data model shared by the `serde` and `serde_json` stubs.
+
+/// A JSON-style number: signed, unsigned, or floating.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::I64(n) => *n as f64,
+            Number::U64(n) => *n as f64,
+            Number::F64(n) => *n,
+        }
+    }
+
+    /// The value as a `u64`, when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::I64(n) => u64::try_from(*n).ok(),
+            Number::U64(n) => Some(*n),
+            Number::F64(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as an `i64`, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::I64(n) => Some(*n),
+            Number::U64(n) => i64::try_from(*n).ok(),
+            Number::F64(n) if n.fract() == 0.0 => Some(*n as i64),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// A dynamically typed value tree — the pivot between Rust data and JSON
+/// text. Object member order is preserved (insertion order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, with member order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name for the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up an object member; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member, yielding [`Value::Null`] when absent —
+    /// the lookup used by derived `Deserialize` implementations so that
+    /// `Option` fields tolerate missing keys.
+    pub fn get_or_null(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// The object members, when this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+}
