@@ -27,6 +27,7 @@ fn bench_campaign_step(c: &mut Criterion) {
                     iterations: 25,
                     seed: 7,
                     sample_every: 25,
+                    ..Default::default()
                 };
                 black_box(run_campaign(fuzzer.as_mut(), &compiler, &cfg))
             })

@@ -47,9 +47,8 @@ fn main() {
     let seeds: Vec<String> = seed_corpus().iter().map(|s| s.to_string()).collect();
     let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
     let cfg = CampaignConfig {
-        iterations: opts.iterations,
-        seed: opts.seed,
         sample_every: opts.iterations,
+        ..opts.campaign_config()
     };
     let mut rows: Vec<AblationRow> = Vec::new();
     let push = |rows: &mut Vec<AblationRow>, config: &str, g: &mut dyn TestGenerator| {

@@ -51,6 +51,7 @@ fn main() {
                 iterations: per_run,
                 seed: opts.seed ^ (rep as u64 * 31 + fi as u64),
                 sample_every: per_run,
+                ..opts.campaign_config()
             };
             let report = run_campaign(fuzzer.as_mut(), &compiler, &cfg);
             assert_eq!(report.fuzzer, name, "fuzzer order drifted");

@@ -1,0 +1,241 @@
+//! Experiment: campaign engine throughput (execs/second).
+//!
+//! Measures the legacy serial engine — per-attempt parent re-parsing, no
+//! mutant dedup — against the current engine (parsed-AST seed cache +
+//! dedup cache) at several worker counts, and records the speedups in
+//! `BENCH_throughput.json` at the repository root.
+//!
+//! The enforced gate scales with the hardware, because the two speedup
+//! sources are different claims: on a host with ≥ 4 cores the parallel
+//! engine must clear 2× the legacy execs/second by 4 workers (cache +
+//! dedup + real parallelism); on a single-core host threads can only
+//! timeslice, so the gate is the serial-efficiency floor of 1.25× that
+//! cache + dedup deliver per core. Both the measured speedups and the
+//! host's `available_parallelism` are recorded so the committed JSON says
+//! which gate it cleared.
+//!
+//! Usage: `exp_throughput [--iterations N] [--seed N] [--repeats N]
+//! [--smoke]`. `--smoke` shrinks the budget and skips the assertion so
+//! CI can exercise the binary in seconds.
+
+use metamut_bench::{render_table, ExpOptions};
+use metamut_fuzzing::campaign::{run_campaign, CampaignConfig};
+use metamut_fuzzing::corpus::seed_corpus;
+use metamut_fuzzing::mucfuzz::MuCFuzz;
+use metamut_fuzzing::parallel::run_parallel_campaign;
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct EngineRow {
+    engine: String,
+    workers: usize,
+    execs: usize,
+    elapsed_s: f64,
+    execs_per_sec: f64,
+    speedup_vs_legacy: f64,
+    dedup_hit_rate_pct: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct ThroughputReport {
+    iterations: usize,
+    seed: u64,
+    repeats: usize,
+    available_parallelism: usize,
+    gate: String,
+    best_speedup_at_4_workers: f64,
+    best_speedup_any_workers: f64,
+    rows: Vec<EngineRow>,
+    note: String,
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut repeats = 3usize;
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--repeats" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                repeats = v;
+            }
+        }
+    }
+    let iterations = if smoke {
+        opts.iterations.min(200)
+    } else {
+        opts.iterations
+    };
+    println!(
+        "== Engine throughput ({iterations} iterations, best of {repeats} runs, seed {}) ==\n",
+        opts.seed
+    );
+
+    let seeds: Vec<String> = seed_corpus().iter().map(|s| s.to_string()).collect();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let reg = Arc::new(metamut_mutators::full_registry());
+
+    // Best-of-N wall time: the minimum is the least-noisy estimator for a
+    // deterministic workload on a shared machine.
+    let time_best = |run: &mut dyn FnMut() -> Option<f64>| -> (f64, Option<f64>) {
+        let mut best = f64::INFINITY;
+        let mut hit_rate = None;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            hit_rate = run();
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        (best, hit_rate)
+    };
+
+    // Legacy baseline: re-parse the parent on every mutation attempt,
+    // recompile every duplicate mutant.
+    let (legacy_s, _) = time_best(&mut || {
+        let mut fuzzer =
+            MuCFuzz::new("uCFuzz.s", reg.clone(), seeds.iter().cloned()).parse_cache(false);
+        let cfg = CampaignConfig {
+            iterations,
+            seed: opts.seed,
+            sample_every: iterations,
+            dedup: false,
+            ..Default::default()
+        };
+        run_campaign(&mut fuzzer, &compiler, &cfg);
+        None
+    });
+    let legacy_rate = iterations as f64 / legacy_s;
+    let mut rows = vec![EngineRow {
+        engine: "legacy (no AST cache, no dedup)".into(),
+        workers: 1,
+        execs: iterations,
+        elapsed_s: legacy_s,
+        execs_per_sec: legacy_rate,
+        speedup_vs_legacy: 1.0,
+        dedup_hit_rate_pct: None,
+    }];
+
+    for workers in [1usize, 2, 4, 8] {
+        let (elapsed, hit_rate) = time_best(&mut || {
+            let cfg = CampaignConfig {
+                iterations,
+                seed: opts.seed,
+                sample_every: iterations,
+                workers,
+                dedup: true,
+                ..Default::default()
+            };
+            let report = run_parallel_campaign(
+                &seeds,
+                |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+                &compiler,
+                &cfg,
+            );
+            report.dedup.map(|d| 100.0 * d.hit_rate())
+        });
+        let rate = iterations as f64 / elapsed;
+        rows.push(EngineRow {
+            engine: "cached+dedup".into(),
+            workers,
+            execs: iterations,
+            elapsed_s: elapsed,
+            execs_per_sec: rate,
+            speedup_vs_legacy: rate / legacy_rate,
+            dedup_hit_rate_pct: hit_rate,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                r.workers.to_string(),
+                format!("{:.0}", r.execs_per_sec),
+                format!("{:.2}x", r.speedup_vs_legacy),
+                r.dedup_hit_rate_pct
+                    .map(|h| format!("{h:.1}%"))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Engine", "Workers", "Execs/s", "Speedup", "Dedup hits"],
+            &table
+        )
+    );
+
+    let at_4 = rows
+        .iter()
+        .filter(|r| r.engine != "legacy (no AST cache, no dedup)" && r.workers >= 4)
+        .map(|r| r.speedup_vs_legacy)
+        .fold(0.0f64, f64::max);
+    let best = rows
+        .iter()
+        .filter(|r| r.engine != "legacy (no AST cache, no dedup)")
+        .map(|r| r.speedup_vs_legacy)
+        .fold(0.0f64, f64::max);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // On ≥4 cores, workers compile in parallel and the full 2× claim is
+    // testable at 4 workers. A single-core host can only demonstrate the
+    // per-exec efficiency of the cache + dedup path, which is measured
+    // cleanly at 1 worker — extra threads just timeslice and pay exchange
+    // costs there, and those rows are recorded but not gated on.
+    let (gated, gate_min, gate): (f64, f64, String) = if cores >= 4 {
+        (
+            at_4,
+            2.0,
+            format!("parallel: >=2.0x at 4 workers ({cores} cores)"),
+        )
+    } else {
+        (
+            best,
+            1.25,
+            format!("serial-efficiency: >=1.25x at best worker count ({cores} core(s))"),
+        )
+    };
+    let report = ThroughputReport {
+        iterations,
+        seed: opts.seed,
+        repeats,
+        available_parallelism: cores,
+        gate: gate.clone(),
+        best_speedup_at_4_workers: at_4,
+        best_speedup_any_workers: best,
+        rows,
+        note: "execs/s over a MuCFuzz.s campaign (full registry) vs GCC -O2; legacy = \
+               per-attempt re-parse + no dedup; best-of-N wall time"
+            .into(),
+    };
+
+    // The committed evidence lives at the repository root, next to the
+    // README that cites it; smoke runs park their miniature report in
+    // `target/` so CI never dirties the tree.
+    let path = if smoke {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        std::fs::create_dir_all(&dir).expect("create target/experiments");
+        dir.join("BENCH_throughput_smoke.json")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize throughput report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_throughput.json");
+    println!("report written to {}", path.display());
+
+    if smoke {
+        println!("(smoke run: gate skipped)");
+    } else {
+        assert!(
+            gated >= gate_min,
+            "cached engine reached only {gated:.2}x of legacy throughput (gate: {gate})"
+        );
+        println!("gate ok: {gated:.2}x >= {gate_min:.2}x — {gate}");
+    }
+}

@@ -22,6 +22,12 @@ pub struct ExpOptions {
     pub iterations: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Campaign worker threads (`0` = one per CPU; campaigns run through
+    /// the serial engine when 1).
+    pub workers: usize,
+    /// Mutant-dedup cache in front of the compiler (on unless
+    /// `--no-dedup`).
+    pub dedup: bool,
     /// Telemetry JSONL path, when `--telemetry` (or `METAMUT_TELEMETRY`)
     /// enabled the global pipeline.
     pub telemetry: Option<PathBuf>,
@@ -32,18 +38,22 @@ impl Default for ExpOptions {
         ExpOptions {
             iterations: 1500,
             seed: 20240427, // ASPLOS'24 opening day
+            workers: 1,
+            dedup: true,
             telemetry: None,
         }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--iterations N`, `--seed N`, and `--telemetry PATH` from
+    /// Parses `--iterations N`, `--seed N`, `--workers N`, `--no-dedup`,
+    /// `--status-every SECS`, and `--telemetry PATH` from
     /// `std::env::args`, enabling the global telemetry pipeline when a
     /// path is given (or `METAMUT_TELEMETRY` is set).
     pub fn from_args() -> Self {
         let mut opts = ExpOptions::default();
         let mut telemetry_arg: Option<String> = None;
+        let mut status_every: Option<f64> = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -56,6 +66,17 @@ impl ExpOptions {
                     opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
                     i += 1;
                 }
+                "--workers" | "-w" if i + 1 < args.len() => {
+                    opts.workers = args[i + 1].parse().unwrap_or(opts.workers);
+                    i += 1;
+                }
+                "--no-dedup" => {
+                    opts.dedup = false;
+                }
+                "--status-every" if i + 1 < args.len() => {
+                    status_every = args[i + 1].parse().ok();
+                    i += 1;
+                }
                 "--telemetry" if i + 1 < args.len() => {
                     telemetry_arg = Some(args[i + 1].clone());
                     i += 1;
@@ -64,8 +85,20 @@ impl ExpOptions {
             }
             i += 1;
         }
-        opts.telemetry = metamut_telemetry::init_from_arg(telemetry_arg.as_deref());
+        opts.telemetry = metamut_telemetry::init_from_args(telemetry_arg.as_deref(), status_every);
         opts
+    }
+
+    /// A campaign configuration seeded from these options.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            iterations: self.iterations,
+            seed: self.seed,
+            sample_every: (self.iterations / 24).max(1),
+            workers: self.workers,
+            dedup: self.dedup,
+            ..Default::default()
+        }
     }
 }
 
@@ -81,9 +114,8 @@ pub fn run_matrix(opts: &ExpOptions) -> Vec<CampaignReport> {
         let compiler = Compiler::new(profile, CompileOptions::o2());
         for (fi, mut fuzzer) in all_fuzzers(&seeds).into_iter().enumerate() {
             let cfg = CampaignConfig {
-                iterations: opts.iterations,
                 seed: opts.seed ^ ((fi as u64 + 1) * 0x0100_0000_01b3),
-                sample_every: (opts.iterations / 24).max(1),
+                ..opts.campaign_config()
             };
             reports.push(run_campaign(fuzzer.as_mut(), &compiler, &cfg));
         }

@@ -119,6 +119,14 @@ impl TestGenerator for AflPlusPlus {
     fn pool_len(&self) -> usize {
         self.pool.len()
     }
+
+    fn drain_new_seeds(&mut self) -> Vec<String> {
+        self.pool.take_new_seeds()
+    }
+
+    fn adopt_seeds(&mut self, seeds: Vec<String>) {
+        self.pool.adopt(seeds);
+    }
 }
 
 #[cfg(test)]

@@ -3,22 +3,42 @@
 //! quantities the paper's RQ1 evaluation reports — branch coverage over
 //! time (Figure 7), unique crashes over time (Figures 8/9, Table 4), and
 //! the compilable-mutant ratio (Table 5).
+//!
+//! Serial and parallel campaigns share one worker loop over a
+//! [`CampaignShared`] state block: [`run_campaign`] runs a single inline
+//! worker, [`crate::parallel::run_parallel_campaign`] spawns one thread
+//! per shard. With one worker the two are bit-for-bit identical.
 
 use crate::generator::TestGenerator;
+use crate::parallel::ExchangeHub;
 use metamut_muast::MutRng;
-use metamut_simcomp::{Compiler, CoverageMap, CrashInfo, Outcome, Stage};
+use metamut_simcomp::{AtomicCoverage, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict};
+use parking_lot::Mutex;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Number of fuzzing iterations (scaled stand-in for the paper's 24 h).
     pub iterations: usize,
-    /// RNG seed.
+    /// RNG seed. Worker `w` derives its stream from
+    /// `seed ^ (w * 0x9E37_79B9)`, so worker 0 fuzzes exactly the serial
+    /// stream.
     pub seed: u64,
     /// Record a coverage sample every this many iterations.
     pub sample_every: usize,
+    /// Worker threads for the parallel engine; `0` means one per available
+    /// CPU. [`run_campaign`] ignores this (always one inline worker).
+    pub workers: usize,
+    /// Skip recompilation of byte-identical mutants via a shared
+    /// [`DedupCache`]. Reports are unaffected either way — the compiler is
+    /// a pure function of its input — so this is purely a throughput knob.
+    pub dedup: bool,
+    /// Exchange newly discovered seeds across shards every this many
+    /// iterations per worker (`0` disables exchange).
+    pub exchange_every: usize,
 }
 
 impl Default for CampaignConfig {
@@ -27,6 +47,23 @@ impl Default for CampaignConfig {
             iterations: 500,
             seed: 0x4d45_5441,
             sample_every: 25,
+            workers: 0,
+            dedup: true,
+            exchange_every: 64,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The worker count with `0` resolved to the machine's available
+    /// parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
         }
     }
 }
@@ -43,7 +80,7 @@ pub struct SamplePoint {
 }
 
 /// A deduplicated crash with its discovery time.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct CrashRecord {
     /// The crash signature's bug.
     pub info: CrashInfo,
@@ -54,7 +91,7 @@ pub struct CrashRecord {
 }
 
 /// Mutant production statistics (Table 5).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct MutantStats {
     /// Total generated test programs.
     pub total: usize,
@@ -77,6 +114,13 @@ impl MutantStats {
         }
     }
 
+    /// Adds another worker's stats (telemetry counters were already bumped
+    /// by each `record` call).
+    pub fn absorb(&mut self, other: MutantStats) {
+        self.total += other.total;
+        self.compilable += other.compilable;
+    }
+
     /// The compilable ratio in percent.
     pub fn ratio(&self) -> f64 {
         if self.total == 0 {
@@ -87,8 +131,31 @@ impl MutantStats {
     }
 }
 
+/// Mutant-dedup cache statistics for one campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DedupStats {
+    /// Iterations that skipped recompilation of a byte-identical mutant.
+    pub hits: u64,
+    /// Iterations that compiled a first-seen source.
+    pub misses: u64,
+    /// Distinct sources compiled.
+    pub unique: usize,
+}
+
+impl DedupStats {
+    /// Hits as a fraction of all lookups (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = (self.hits + self.misses) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.hits as f64 / total
+        }
+    }
+}
+
 /// The full result of one campaign.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignReport {
     /// Fuzzer display name.
     pub fuzzer: String,
@@ -104,6 +171,10 @@ pub struct CampaignReport {
     pub final_coverage: usize,
     /// Final coverage per stage, in [`Stage::ALL`] order.
     pub stage_coverage: Vec<usize>,
+    /// Worker threads that ran the campaign.
+    pub workers: usize,
+    /// Dedup-cache statistics (`None` when dedup was disabled).
+    pub dedup: Option<DedupStats>,
 }
 
 impl CampaignReport {
@@ -122,7 +193,184 @@ impl CampaignReport {
     }
 }
 
-/// Runs one fuzzing campaign.
+/// State shared by every worker of one campaign: the atomic coverage
+/// bitmap, crash dedup, the sample series, the global iteration counter,
+/// and the optional mutant-dedup cache.
+pub(crate) struct CampaignShared<'a> {
+    compiler: &'a Compiler,
+    config: &'a CampaignConfig,
+    coverage: AtomicCoverage,
+    crashes: Mutex<(HashSet<u64>, Vec<CrashRecord>)>,
+    series: Mutex<Vec<SamplePoint>>,
+    next_iter: AtomicUsize,
+    dedup: Option<DedupCache>,
+}
+
+impl<'a> CampaignShared<'a> {
+    pub(crate) fn new(compiler: &'a Compiler, config: &'a CampaignConfig) -> Self {
+        CampaignShared {
+            compiler,
+            config,
+            coverage: AtomicCoverage::new(),
+            crashes: Mutex::new((HashSet::new(), Vec::new())),
+            series: Mutex::new(Vec::new()),
+            next_iter: AtomicUsize::new(0),
+            dedup: config.dedup.then(DedupCache::new),
+        }
+    }
+
+    /// Assembles the final report once all workers have joined. Series and
+    /// crash lists are canonicalized by iteration so the outcome does not
+    /// depend on worker finishing order; for a single worker every fix-up
+    /// below is the identity.
+    pub(crate) fn into_report(
+        self,
+        fuzzer: &str,
+        mutants: MutantStats,
+        workers: usize,
+    ) -> CampaignReport {
+        let (_, mut crashes) = self.crashes.into_inner();
+        crashes.sort_by_key(|c| c.first_iteration);
+        let mut series = self.series.into_inner();
+        series.sort_by_key(|s| s.iteration);
+        // Samples are snapshots of racy global state: enforce monotonicity
+        // and pin the last sample to the final totals, as a serial run
+        // observes by construction.
+        let mut max_cov = 0;
+        let mut max_crashes = 0;
+        for p in &mut series {
+            max_cov = max_cov.max(p.covered);
+            max_crashes = max_crashes.max(p.crashes);
+            p.covered = max_cov;
+            p.crashes = max_crashes;
+        }
+        let final_coverage = self.coverage.count();
+        if let Some(last) = series.last_mut() {
+            last.covered = final_coverage;
+            last.crashes = crashes.len();
+        }
+        let dedup = self.dedup.as_ref().map(|d| DedupStats {
+            hits: d.hits(),
+            misses: d.misses(),
+            unique: d.len(),
+        });
+        CampaignReport {
+            fuzzer: fuzzer.to_string(),
+            compiler: self.compiler.profile().name().to_string(),
+            final_coverage,
+            stage_coverage: Stage::ALL
+                .iter()
+                .map(|s| self.coverage.count_stage(*s))
+                .collect(),
+            series,
+            crashes,
+            mutants,
+            workers,
+            dedup,
+        }
+    }
+}
+
+/// One worker's fuzzing loop. Workers pull iteration indices from a shared
+/// counter until the budget is exhausted, so a single worker consumes
+/// exactly the serial sequence `0..iterations`.
+pub(crate) fn run_worker(
+    worker: usize,
+    generator: &mut dyn TestGenerator,
+    shared: &CampaignShared<'_>,
+    hub: Option<&ExchangeHub>,
+) -> MutantStats {
+    let telemetry = metamut_telemetry::handle();
+    let config = shared.config;
+    let mut rng = MutRng::new(config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9));
+    let mut mutants = MutantStats::default();
+    let mut local_done = 0usize;
+
+    loop {
+        let iter = shared.next_iter.fetch_add(1, Ordering::Relaxed);
+        if iter >= config.iterations {
+            break;
+        }
+        let candidate = generator.next_candidate(&mut rng);
+
+        // A byte-identical mutant was already compiled, its coverage merged
+        // and its crash (if any) registered — the stored verdict is all that
+        // is left to account for.
+        let cached = shared
+            .dedup
+            .as_ref()
+            .and_then(|c| c.lookup(&candidate.program));
+        let (compiled, new_bits) = match cached {
+            Some(verdict) => {
+                telemetry.counter_add("dedup_hits", 1);
+                (verdict.compiled, 0)
+            }
+            None => {
+                let result = shared.compiler.compile(&candidate.program);
+                let compiled = match &result.outcome {
+                    Outcome::Success { .. } => true,
+                    // A crash beyond the front end means it was accepted.
+                    Outcome::Crash(c) => c.stage != Stage::FrontEnd,
+                    Outcome::Rejected { .. } => false,
+                };
+                if let Outcome::Crash(info) = &result.outcome {
+                    let sig = info.signature();
+                    let mut crashes = shared.crashes.lock();
+                    if crashes.0.insert(sig) {
+                        telemetry.counter_add(
+                            &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
+                            1,
+                        );
+                        crashes.1.push(CrashRecord {
+                            info: info.clone(),
+                            signature: sig,
+                            first_iteration: iter,
+                        });
+                    }
+                }
+                let new_bits = shared.coverage.merge(&result.coverage);
+                // Publish the verdict only now: a concurrent worker that
+                // sees the cache entry may skip merging entirely.
+                if let Some(cache) = shared.dedup.as_ref() {
+                    cache.insert(&candidate.program, Verdict::of(&result));
+                }
+                (compiled, new_bits)
+            }
+        };
+        mutants.record(compiled);
+        telemetry.counter_add("fuzz_execs", 1);
+        generator.feedback(&candidate, new_bits > 0, compiled);
+
+        if iter.is_multiple_of(config.sample_every) || iter + 1 == config.iterations {
+            let covered = shared.coverage.count();
+            let crashes = shared.crashes.lock().1.len();
+            shared.series.lock().push(SamplePoint {
+                iteration: iter,
+                covered,
+                crashes,
+            });
+            if telemetry.enabled() {
+                telemetry.gauge_set("fuzz_corpus", generator.pool_len() as f64);
+                telemetry.gauge_set("fuzz_coverage", covered as f64);
+            }
+        }
+
+        local_done += 1;
+        if let Some(hub) = hub {
+            if config.exchange_every > 0 && local_done.is_multiple_of(config.exchange_every) {
+                hub.publish(worker, generator.drain_new_seeds());
+                let adopted = hub.collect(worker);
+                if !adopted.is_empty() {
+                    telemetry.counter_add("exchange_adopted", adopted.len() as u64);
+                    generator.adopt_seeds(adopted);
+                }
+            }
+        }
+    }
+    mutants
+}
+
+/// Runs one fuzzing campaign serially (a single inline worker).
 pub fn run_campaign(
     generator: &mut dyn TestGenerator,
     compiler: &Compiler,
@@ -130,63 +378,9 @@ pub fn run_campaign(
 ) -> CampaignReport {
     let telemetry = metamut_telemetry::handle();
     let _campaign_span = telemetry.span("fuzz");
-    let mut rng = MutRng::new(config.seed);
-    let mut global = CoverageMap::new();
-    let mut crashes: Vec<CrashRecord> = Vec::new();
-    let mut seen_sigs = std::collections::HashSet::new();
-    let mut mutants = MutantStats::default();
-    let mut series = Vec::new();
-
-    for iter in 0..config.iterations {
-        let candidate = generator.next_candidate(&mut rng);
-        let result = compiler.compile(&candidate.program);
-        let compiled = match &result.outcome {
-            Outcome::Success { .. } => true,
-            // A crash beyond the front end means the front end accepted it.
-            Outcome::Crash(c) => c.stage != Stage::FrontEnd,
-            Outcome::Rejected { .. } => false,
-        };
-        mutants.record(compiled);
-        telemetry.counter_add("fuzz_execs", 1);
-        if let Outcome::Crash(info) = &result.outcome {
-            let sig = info.signature();
-            if seen_sigs.insert(sig) {
-                telemetry.counter_add(
-                    &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
-                    1,
-                );
-                crashes.push(CrashRecord {
-                    info: info.clone(),
-                    signature: sig,
-                    first_iteration: iter,
-                });
-            }
-        }
-        let new_bits = global.merge(&result.coverage);
-        generator.feedback(&candidate, new_bits > 0, compiled);
-
-        if iter % config.sample_every == 0 || iter + 1 == config.iterations {
-            series.push(SamplePoint {
-                iteration: iter,
-                covered: global.count(),
-                crashes: crashes.len(),
-            });
-            if telemetry.enabled() {
-                telemetry.gauge_set("fuzz_corpus", generator.pool_len() as f64);
-                telemetry.gauge_set("fuzz_coverage", global.count() as f64);
-            }
-        }
-    }
-
-    CampaignReport {
-        fuzzer: generator.name().to_string(),
-        compiler: compiler.profile().name().to_string(),
-        final_coverage: global.count(),
-        stage_coverage: Stage::ALL.iter().map(|s| global.count_stage(*s)).collect(),
-        series,
-        crashes,
-        mutants,
-    }
+    let shared = CampaignShared::new(compiler, config);
+    let mutants = run_worker(0, generator, &shared, None);
+    shared.into_report(generator.name(), mutants, 1)
 }
 
 #[cfg(test)]
@@ -209,6 +403,7 @@ mod tests {
             iterations: 60,
             seed: 1,
             sample_every: 10,
+            ..Default::default()
         };
         let report = run_campaign(&mut f, &compiler, &cfg);
         assert_eq!(report.mutants.total, 60);
@@ -218,6 +413,41 @@ mod tests {
             assert!(w[1].crashes >= w[0].crashes);
         }
         assert_eq!(report.series.last().unwrap().covered, report.final_coverage);
+        assert_eq!(report.workers, 1);
+        // Dedup is on by default; hits + misses account for every iteration.
+        let dedup = report.dedup.expect("dedup on by default");
+        assert_eq!(dedup.hits + dedup.misses, 60);
+        assert_eq!(dedup.unique, dedup.misses as usize);
+    }
+
+    #[test]
+    fn dedup_does_not_change_the_report() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let run = |dedup: bool| {
+            let mut f = MuCFuzz::new(
+                "uCFuzz.s",
+                Arc::new(metamut_mutators::supervised_registry()),
+                seed_corpus().iter().map(|s| s.to_string()),
+            );
+            let cfg = CampaignConfig {
+                iterations: 80,
+                seed: 9,
+                sample_every: 16,
+                dedup,
+                ..Default::default()
+            };
+            run_campaign(&mut f, &compiler, &cfg)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(without.dedup.is_none());
+        assert_eq!(with.series, without.series);
+        assert_eq!(with.crashes, without.crashes);
+        assert_eq!(with.mutants, without.mutants);
+        assert_eq!(with.final_coverage, without.final_coverage);
+        assert_eq!(with.stage_coverage, without.stage_coverage);
+        let stats = with.dedup.unwrap();
+        assert!(stats.hits > 0, "80 iterations produced no duplicate mutant");
     }
 
     #[test]
@@ -246,11 +476,14 @@ mod tests {
                 iterations: 10,
                 seed: 3,
                 sample_every: 5,
+                ..Default::default()
             },
         );
         assert_eq!(report.crashes.len(), 1);
         assert_eq!(report.crashes[0].info.bug_id, "clang-69213-scalar-brace");
         assert_eq!(report.crashes[0].first_iteration, 0);
+        // Every repeat of the same crasher is a dedup hit.
+        assert_eq!(report.dedup.unwrap().hits, 9);
     }
 
     #[test]

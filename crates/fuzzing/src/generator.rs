@@ -2,7 +2,17 @@
 //! runner (§5.1's "coverage and crashes" experiment) can drive μCFuzz,
 //! AFL++, GrayC, Csmith and YARPGen identically.
 
-use metamut_muast::MutRng;
+use metamut_muast::{MutRng, ParsedProgram};
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn program_hash(program: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.hash(&mut h);
+    h.finish()
+}
 
 /// One produced test program plus bookkeeping for feedback.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,7 +25,10 @@ pub struct Candidate {
 
 /// A test-program source: either generation-based (Csmith, YARPGen) or
 /// mutation-based (μCFuzz, AFL++, GrayC).
-pub trait TestGenerator {
+///
+/// Generators are `Send` so the parallel campaign engine can move one into
+/// each worker thread.
+pub trait TestGenerator: Send {
     /// Short display name (`"uCFuzz.s"`, `"AFL++"`, ...).
     fn name(&self) -> &'static str;
 
@@ -31,19 +44,103 @@ pub trait TestGenerator {
     fn pool_len(&self) -> usize {
         1
     }
+
+    /// Seeds this generator discovered since the last drain, for cross-shard
+    /// exchange. Pure generators have nothing to share.
+    fn drain_new_seeds(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Adopts seeds discovered by other campaign shards. Adopted seeds are
+    /// never re-exported by [`TestGenerator::drain_new_seeds`], so exchange
+    /// rounds cannot echo programs back and forth. Pure generators ignore
+    /// them.
+    fn adopt_seeds(&mut self, seeds: Vec<String>) {
+        let _ = seeds;
+    }
+}
+
+/// A pooled program plus its lazily parsed AST.
+#[derive(Debug)]
+struct PoolEntry {
+    program: String,
+    /// `None` inside the lock means the program does not parse; the outer
+    /// `OnceLock` makes the (attempted) parse happen at most once.
+    parsed: OnceLock<Option<Arc<ParsedProgram>>>,
+    /// Adopted from another shard — excluded from future exports.
+    foreign: bool,
+}
+
+impl PoolEntry {
+    fn local(program: String) -> Self {
+        PoolEntry {
+            program,
+            parsed: OnceLock::new(),
+            foreign: false,
+        }
+    }
+}
+
+impl Clone for PoolEntry {
+    fn clone(&self) -> Self {
+        let parsed = OnceLock::new();
+        if let Some(v) = self.parsed.get() {
+            let _ = parsed.set(v.clone());
+        }
+        PoolEntry {
+            program: self.program.clone(),
+            parsed,
+            foreign: self.foreign,
+        }
+    }
 }
 
 /// A shared pool implementation for the mutation-based fuzzers.
-#[derive(Debug, Clone, Default)]
+///
+/// Each entry caches its parsed AST the first time [`SeedPool::parsed`]
+/// asks for it, so mutation-based fuzzers parse a parent at most once per
+/// pool lifetime instead of once per mutation attempt.
+#[derive(Debug)]
 pub struct SeedPool {
-    items: Vec<String>,
+    items: Vec<PoolEntry>,
+    /// Hashes of every pooled program, so [`SeedPool::adopt`] can reject
+    /// duplicates in O(1) instead of scanning the pool per adoption.
+    hashes: HashSet<u64>,
+    /// Entries below this index have already been exported via
+    /// [`SeedPool::take_new_seeds`] (or were initial seeds).
+    export_mark: usize,
+    /// Number of parses actually performed (cache misses).
+    parses: AtomicU64,
+}
+
+impl Default for SeedPool {
+    fn default() -> Self {
+        SeedPool::new([])
+    }
+}
+
+impl Clone for SeedPool {
+    fn clone(&self) -> Self {
+        SeedPool {
+            items: self.items.clone(),
+            hashes: self.hashes.clone(),
+            export_mark: self.export_mark,
+            parses: AtomicU64::new(self.parses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl SeedPool {
     /// Builds a pool from initial seeds.
     pub fn new(seeds: impl IntoIterator<Item = String>) -> Self {
+        let items: Vec<PoolEntry> = seeds.into_iter().map(PoolEntry::local).collect();
+        let hashes = items.iter().map(|e| program_hash(&e.program)).collect();
+        let export_mark = items.len();
         SeedPool {
-            items: seeds.into_iter().collect(),
+            items,
+            hashes,
+            export_mark,
+            parses: AtomicU64::new(0),
         }
     }
 
@@ -61,17 +158,72 @@ impl SeedPool {
     pub fn pick<'a>(&'a self, rng: &mut MutRng) -> (usize, &'a str) {
         assert!(!self.items.is_empty(), "seed pool must not be empty");
         let i = rng.index(self.items.len());
-        (i, &self.items[i])
+        (i, &self.items[i].program)
     }
 
     /// Entry by index.
     pub fn get(&self, i: usize) -> Option<&str> {
-        self.items.get(i).map(|s| s.as_str())
+        self.items.get(i).map(|e| e.program.as_str())
+    }
+
+    /// The cached parse of entry `i`: parses on first call (recorded in
+    /// [`SeedPool::parse_count`] and the `muast_parses` telemetry counter),
+    /// then reuses the result. `None` means the program does not parse —
+    /// that answer is cached too, so a bad seed costs one parse attempt
+    /// total rather than one per mutation attempt.
+    pub fn parsed(&self, i: usize) -> Option<Arc<ParsedProgram>> {
+        let entry = &self.items[i];
+        entry
+            .parsed
+            .get_or_init(|| {
+                self.parses.fetch_add(1, Ordering::Relaxed);
+                ParsedProgram::parse(&entry.program).ok().map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// How many parses this pool actually ran (== distinct entries whose
+    /// AST was requested; every repeat pick is a cache hit).
+    pub fn parse_count(&self) -> u64 {
+        self.parses.load(Ordering::Relaxed)
     }
 
     /// Adds a program that covered new branches (Algorithm 1, line 9).
     pub fn push(&mut self, program: String) {
-        self.items.push(program);
+        self.hashes.insert(program_hash(&program));
+        self.items.push(PoolEntry::local(program));
+    }
+
+    /// Locally discovered programs added since the last call (foreign
+    /// adoptions excluded), for publication to other shards.
+    pub fn take_new_seeds(&mut self) -> Vec<String> {
+        let new = self.items[self.export_mark..]
+            .iter()
+            .filter(|e| !e.foreign)
+            .map(|e| e.program.clone())
+            .collect();
+        self.export_mark = self.items.len();
+        new
+    }
+
+    /// Adopts programs discovered by other shards, skipping exact
+    /// duplicates of entries already pooled. Adopted entries are flagged
+    /// foreign and never re-exported.
+    pub fn adopt(&mut self, programs: impl IntoIterator<Item = String>) {
+        for p in programs {
+            let h = program_hash(&p);
+            // Hash-set fast path; on a hash hit, confirm with an exact scan
+            // so a collision can never drop a genuinely new seed.
+            if self.hashes.contains(&h) && self.items.iter().any(|e| e.program == p) {
+                continue;
+            }
+            self.hashes.insert(h);
+            self.items.push(PoolEntry {
+                program: p,
+                parsed: OnceLock::new(),
+                foreign: true,
+            });
+        }
     }
 }
 
@@ -96,5 +248,40 @@ mod tests {
         let pool = SeedPool::default();
         let mut rng = MutRng::new(1);
         let _ = pool.pick(&mut rng);
+    }
+
+    #[test]
+    fn parse_cache_parses_each_entry_once() {
+        let pool = SeedPool::new(["int x;".to_string(), "int f( {".to_string()]);
+        assert_eq!(pool.parse_count(), 0);
+        for _ in 0..5 {
+            assert!(pool.parsed(0).is_some());
+        }
+        assert_eq!(pool.parse_count(), 1, "repeat picks must hit the cache");
+        // A bad seed's failed parse is cached as None, not retried.
+        for _ in 0..5 {
+            assert!(pool.parsed(1).is_none());
+        }
+        assert_eq!(pool.parse_count(), 2);
+        // The cached AST reproduces the entry's source.
+        assert_eq!(pool.parsed(0).unwrap().source(), "int x;");
+    }
+
+    #[test]
+    fn exchange_exports_local_discoveries_only() {
+        let mut pool = SeedPool::new(["int a;".to_string()]);
+        // Initial seeds are never exported.
+        assert!(pool.take_new_seeds().is_empty());
+        pool.push("int b;".into());
+        pool.adopt(["int c;".to_string()]);
+        pool.push("int d;".into());
+        let exported = pool.take_new_seeds();
+        assert_eq!(exported, vec!["int b;".to_string(), "int d;".to_string()]);
+        // Drained once: nothing new until the next push.
+        assert!(pool.take_new_seeds().is_empty());
+        // Adoption dedups against pooled entries (no echo amplification).
+        assert_eq!(pool.len(), 4);
+        pool.adopt(["int c;".to_string(), "int e;".to_string()]);
+        assert_eq!(pool.len(), 5);
     }
 }

@@ -5,7 +5,7 @@
 //! generated library.
 
 use crate::generator::{Candidate, SeedPool, TestGenerator};
-use metamut_muast::{mutate_source, MutRng, MutationOutcome, Mutator};
+use metamut_muast::{mutate_parsed, MutRng, MutationOutcome, Mutator};
 use metamut_mutators::{expression, statement};
 use std::sync::Arc;
 
@@ -53,10 +53,18 @@ impl TestGenerator for GrayCLike {
     fn next_candidate(&mut self, rng: &mut MutRng) -> Candidate {
         let (parent_idx, parent) = self.pool.pick(rng);
         let parent = parent.to_string();
+        // Parse once per pool entry; every attempt reuses the cached AST.
+        let parsed = self.pool.parsed(parent_idx);
         let mut order: Vec<usize> = (0..self.mutators.len()).collect();
         rng.shuffle(&mut order);
         for &mi in &order {
-            match mutate_source(self.mutators[mi].as_ref(), &parent, rng.next_u64()) {
+            // Consume the attempt seed even when the parent never parsed,
+            // matching the per-attempt RNG stream of the re-parsing path.
+            let attempt_seed = rng.next_u64();
+            let Some(parsed) = parsed.as_deref() else {
+                continue;
+            };
+            match mutate_parsed(self.mutators[mi].as_ref(), parsed, attempt_seed) {
                 Ok(MutationOutcome::Mutated(p)) => {
                     return Candidate {
                         program: p,
@@ -80,6 +88,14 @@ impl TestGenerator for GrayCLike {
 
     fn pool_len(&self) -> usize {
         self.pool.len()
+    }
+
+    fn drain_new_seeds(&mut self) -> Vec<String> {
+        self.pool.take_new_seeds()
+    }
+
+    fn adopt_seeds(&mut self, seeds: Vec<String>) {
+        self.pool.adopt(seeds);
     }
 }
 

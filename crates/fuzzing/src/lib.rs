@@ -18,9 +18,34 @@
 //!     corpus::seed_corpus().iter().map(|s| s.to_string()),
 //! );
 //! let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
-//! let cfg = campaign::CampaignConfig { iterations: 25, seed: 7, sample_every: 5 };
+//! let cfg = campaign::CampaignConfig {
+//!     iterations: 25,
+//!     seed: 7,
+//!     sample_every: 5,
+//!     ..Default::default()
+//! };
 //! let report = campaign::run_campaign(&mut fuzzer, &compiler, &cfg);
 //! assert!(report.final_coverage > 0);
+//! ```
+//!
+//! The multi-threaded engine shards the seed corpus across workers:
+//!
+//! ```
+//! use metamut_fuzzing::{corpus, mucfuzz::MuCFuzz, parallel, CampaignConfig};
+//! use metamut_simcomp::{Compiler, CompileOptions, Profile};
+//! use std::sync::Arc;
+//!
+//! let seeds: Vec<String> = corpus::seed_corpus().iter().map(|s| s.to_string()).collect();
+//! let registry = Arc::new(metamut_mutators::supervised_registry());
+//! let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+//! let cfg = CampaignConfig { iterations: 25, seed: 7, workers: 2, ..Default::default() };
+//! let report = parallel::run_parallel_campaign(
+//!     &seeds,
+//!     |_w, shard| MuCFuzz::new("uCFuzz.s", registry.clone(), shard),
+//!     &compiler,
+//!     &cfg,
+//! );
+//! assert_eq!(report.mutants.total, 25);
 //! ```
 
 #![warn(missing_docs)]
@@ -33,11 +58,13 @@ pub mod generator;
 pub mod grayc;
 pub mod macro_fuzzer;
 pub mod mucfuzz;
+pub mod parallel;
 pub mod yarpgen;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, DedupStats};
 pub use generator::TestGenerator;
 pub use macro_fuzzer::{run_field_experiment, FieldReport, MacroConfig};
+pub use parallel::run_parallel_campaign;
 
 use std::sync::Arc;
 

@@ -2,7 +2,9 @@
 //! MetaMut-generated mutators into a minimal seed-pool loop.
 
 use crate::generator::{Candidate, SeedPool, TestGenerator};
-use metamut_muast::{mutate_source, MutRng, MutationOutcome, MutatorRegistry};
+use metamut_muast::{
+    mutate_parsed, mutate_source, MutRng, MutationOutcome, MutatorRegistry, ParsedProgram,
+};
 use std::sync::Arc;
 
 /// The micro fuzzer of §3.4, parameterized by a mutator registry (M_s,
@@ -14,6 +16,13 @@ pub struct MuCFuzz {
     /// How many mutators to try (in shuffled order) before giving up on a
     /// candidate (Algorithm 1's inner loop).
     attempts_per_step: usize,
+    /// Reuse each parent's cached AST across attempts (identical output,
+    /// one parse per pool entry instead of one per attempt). Off only for
+    /// the throughput baseline.
+    cache_parses: bool,
+    /// Scratch buffer for the per-candidate mutator shuffle, reused so the
+    /// hot loop does not allocate.
+    order: Vec<usize>,
 }
 
 impl std::fmt::Debug for MuCFuzz {
@@ -22,8 +31,19 @@ impl std::fmt::Debug for MuCFuzz {
             .field("name", &self.name)
             .field("mutators", &self.mutators.len())
             .field("pool", &self.pool.len())
+            .field("cache_parses", &self.cache_parses)
             .finish()
     }
+}
+
+/// The parent's AST as seen by one `next_candidate` call.
+enum ParentAst {
+    /// Parse caching disabled: each attempt re-parses the parent.
+    Uncached,
+    /// Cached AST, shared with the pool.
+    Cached(Arc<ParsedProgram>),
+    /// The parent does not parse (cached answer; every attempt fails).
+    Unparseable,
 }
 
 impl MuCFuzz {
@@ -38,12 +58,29 @@ impl MuCFuzz {
             mutators,
             pool: SeedPool::new(seeds),
             attempts_per_step: 4,
+            cache_parses: true,
+            order: Vec::new(),
         }
+    }
+
+    /// Enables or disables the parent-AST cache (on by default). The
+    /// output stream is bit-for-bit identical either way — mutation is a
+    /// pure function of the parsed parent and the per-attempt seed — so
+    /// turning it off only serves as a perf baseline.
+    pub fn parse_cache(mut self, enabled: bool) -> Self {
+        self.cache_parses = enabled;
+        self
     }
 
     /// The mutator registry in use.
     pub fn mutators(&self) -> &MutatorRegistry {
         &self.mutators
+    }
+
+    /// Parses the pool actually ran (cache misses; see
+    /// [`SeedPool::parse_count`]).
+    pub fn parse_count(&self) -> u64 {
+        self.pool.parse_count()
     }
 }
 
@@ -57,10 +94,19 @@ impl TestGenerator for MuCFuzz {
         // Algorithm 1 line 4: P ← random_choice(pool).
         let (parent_idx, parent) = self.pool.pick(rng);
         let parent = parent.to_string();
+        let parent_ast = if self.cache_parses {
+            match self.pool.parsed(parent_idx) {
+                Some(p) => ParentAst::Cached(p),
+                None => ParentAst::Unparseable,
+            }
+        } else {
+            ParentAst::Uncached
+        };
         // Line 5: M' ← random_shuffle(M); then try mutators in order.
-        let mut order: Vec<usize> = (0..self.mutators.len()).collect();
-        rng.shuffle(&mut order);
-        for &mi in order.iter().take(self.attempts_per_step.max(1)) {
+        self.order.clear();
+        self.order.extend(0..self.mutators.len());
+        rng.shuffle(&mut self.order);
+        for &mi in self.order.iter().take(self.attempts_per_step.max(1)) {
             let m = self
                 .mutators
                 .iter()
@@ -69,7 +115,18 @@ impl TestGenerator for MuCFuzz {
                 .mutator
                 .as_ref();
             telemetry.counter_add("mutate_attempts", 1);
-            match mutate_source(m, &parent, rng.next_u64()) {
+            // Draw the attempt seed unconditionally so the RNG stream (and
+            // hence every later decision) is independent of cache state.
+            let attempt_seed = rng.next_u64();
+            let outcome = match &parent_ast {
+                ParentAst::Uncached => mutate_source(m, &parent, attempt_seed),
+                ParentAst::Cached(p) => mutate_parsed(m, p, attempt_seed),
+                ParentAst::Unparseable => {
+                    telemetry.counter_add("mutate_errors", 1);
+                    continue;
+                }
+            };
+            match outcome {
                 Ok(MutationOutcome::Mutated(p)) => {
                     telemetry.counter_add("mutate_applied", 1);
                     return Candidate {
@@ -107,6 +164,14 @@ impl TestGenerator for MuCFuzz {
 
     fn pool_len(&self) -> usize {
         self.pool.len()
+    }
+
+    fn drain_new_seeds(&mut self) -> Vec<String> {
+        self.pool.take_new_seeds()
+    }
+
+    fn adopt_seeds(&mut self, seeds: Vec<String>) {
+        self.pool.adopt(seeds);
     }
 }
 
@@ -170,5 +235,56 @@ mod tests {
         for _ in 0..5 {
             assert_eq!(a.next_candidate(&mut ra), b.next_candidate(&mut rb));
         }
+    }
+
+    #[test]
+    fn parse_cache_is_transparent() {
+        // Cached and uncached runs emit the identical candidate stream.
+        let mut cached = fuzzer();
+        let mut legacy = fuzzer().parse_cache(false);
+        let mut rc = MutRng::new(0xCAFE);
+        let mut rl = MutRng::new(0xCAFE);
+        for _ in 0..30 {
+            let a = cached.next_candidate(&mut rc);
+            let b = legacy.next_candidate(&mut rl);
+            assert_eq!(a, b);
+            // Keep the pools in lockstep too.
+            cached.feedback(&a, false, true);
+            legacy.feedback(&b, false, true);
+        }
+        // The cached run parsed each picked parent at most once; with 30
+        // candidates × up to 4 attempts the uncached path would have parsed
+        // far more often.
+        assert!(cached.parse_count() <= 30);
+        assert!(cached.parse_count() < 30 * 2, "cache not effective");
+        assert_eq!(legacy.parse_count(), 0, "legacy path must bypass cache");
+    }
+
+    #[test]
+    fn unparseable_parent_degrades_to_dud() {
+        // A pool holding only an invalid program must still terminate and
+        // re-emit the parent, identically with and without the cache.
+        let bad = "int f( {".to_string();
+        let mut cached = MuCFuzz::new(
+            "uCFuzz.s",
+            Arc::new(metamut_mutators::supervised_registry()),
+            [bad.clone()],
+        );
+        let mut legacy = MuCFuzz::new(
+            "uCFuzz.s",
+            Arc::new(metamut_mutators::supervised_registry()),
+            [bad.clone()],
+        )
+        .parse_cache(false);
+        let mut rc = MutRng::new(5);
+        let mut rl = MutRng::new(5);
+        for _ in 0..3 {
+            let a = cached.next_candidate(&mut rc);
+            let b = legacy.next_candidate(&mut rl);
+            assert_eq!(a, b);
+            assert_eq!(a.program, bad);
+        }
+        // One failed parse cached, not one per attempt.
+        assert_eq!(cached.parse_count(), 1);
     }
 }

@@ -1,0 +1,201 @@
+//! Integration tests for the parallel campaign engine: the workers=1
+//! determinism contract, cross-shard seed exchange, and dedup accounting.
+//! (The telemetry-counter assertions live in `telemetry_counters.rs`,
+//! which owns its process-global handle.)
+
+use metamut_fuzzing::corpus::seed_corpus;
+use metamut_fuzzing::mucfuzz::MuCFuzz;
+use metamut_fuzzing::parallel::run_parallel_campaign;
+use metamut_fuzzing::{run_campaign, CampaignConfig};
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use std::sync::Arc;
+
+fn corpus() -> Vec<String> {
+    seed_corpus().iter().map(|s| s.to_string()).collect()
+}
+
+fn registry() -> Arc<metamut_muast::MutatorRegistry> {
+    Arc::new(metamut_mutators::supervised_registry())
+}
+
+/// The headline contract: one parallel worker reproduces the serial
+/// engine bit-for-bit — identical series, crashes, mutant stats, dedup
+/// stats, and coverage.
+#[test]
+fn one_worker_matches_serial_exactly() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations: 150,
+        seed: 0xD15C0,
+        sample_every: 25,
+        workers: 1,
+        ..Default::default()
+    };
+    let reg = registry();
+    let mut serial_fuzzer = MuCFuzz::new("uCFuzz.s", reg.clone(), seeds.iter().cloned());
+    let serial = run_campaign(&mut serial_fuzzer, &compiler, &config);
+    let parallel = run_parallel_campaign(
+        &seeds,
+        |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+        &compiler,
+        &config,
+    );
+    assert_eq!(serial, parallel);
+}
+
+/// Multi-worker campaigns use the full iteration budget, merge coverage
+/// without losing bits, and report sane, monotone series.
+#[test]
+fn multi_worker_campaign_accounts_exactly() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations: 200,
+        seed: 77,
+        sample_every: 40,
+        workers: 4,
+        exchange_every: 16,
+        ..Default::default()
+    };
+    let reg = registry();
+    let report = run_parallel_campaign(
+        &seeds,
+        |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+        &compiler,
+        &config,
+    );
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.mutants.total, 200, "budget must be exact");
+    assert!(report.final_coverage > 0);
+    for w in report.series.windows(2) {
+        assert!(w[1].iteration > w[0].iteration);
+        assert!(w[1].covered >= w[0].covered);
+        assert!(w[1].crashes >= w[0].crashes);
+    }
+    assert_eq!(report.series.last().unwrap().covered, report.final_coverage);
+    // Every iteration is either a dedup hit or a fresh compile.
+    let dedup = report.dedup.expect("dedup on by default");
+    assert_eq!(dedup.hits + dedup.misses, 200);
+    assert_eq!(dedup.unique, dedup.misses as usize);
+}
+
+/// Worker counts only redistribute the budget — coverage stays in the
+/// same ballpark and crash signatures remain a subset of what the seed
+/// space offers. (Different worker counts legitimately produce different
+/// mutants; this pins the accounting, not the RNG stream.)
+#[test]
+fn worker_count_preserves_budget_accounting() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Clang, CompileOptions::o2());
+    for workers in [2, 3, 8] {
+        let config = CampaignConfig {
+            iterations: 90,
+            seed: 5,
+            sample_every: 30,
+            workers,
+            ..Default::default()
+        };
+        let reg = registry();
+        let report = run_parallel_campaign(
+            &seeds,
+            |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+            &compiler,
+            &config,
+        );
+        assert_eq!(report.mutants.total, 90, "workers={workers}");
+        assert!(report.workers <= workers.max(1));
+        assert!(report.final_coverage > 0, "workers={workers}");
+    }
+}
+
+/// Cross-shard exchange: a generator that only discovers interesting
+/// seeds in shard 0 still grows shard 1's pool via the hub.
+#[test]
+fn exchange_propagates_seeds_across_shards() {
+    use metamut_fuzzing::generator::{Candidate, SeedPool, TestGenerator};
+    use metamut_muast::MutRng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Worker 0 "discovers" fresh programs (every candidate covers new
+    // ground); worker 1 never does. After exchange, worker 1's pool must
+    // contain worker 0's discoveries.
+    static ADOPTIONS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Discoverer {
+        worker: usize,
+        pool: SeedPool,
+        counter: usize,
+    }
+    impl TestGenerator for Discoverer {
+        fn name(&self) -> &'static str {
+            "discoverer"
+        }
+        fn next_candidate(&mut self, _rng: &mut MutRng) -> Candidate {
+            // Pace the loop so neither worker can drain the whole budget
+            // before the other is scheduled (single-core CI boxes).
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            self.counter += 1;
+            let program = if self.worker == 0 {
+                // Distinct small returns: tiny, valid, and fresh feature
+                // bits as the constants churn.
+                format!("int f(void) {{ return {}; }}", self.counter % 100)
+            } else {
+                "int g(void) { return 0; }".to_string()
+            };
+            Candidate {
+                program,
+                parent: None,
+            }
+        }
+        fn feedback(&mut self, candidate: &Candidate, new_coverage: bool, _compiled: bool) {
+            if new_coverage {
+                self.pool.push(candidate.program.clone());
+            }
+        }
+        fn pool_len(&self) -> usize {
+            self.pool.len()
+        }
+        fn drain_new_seeds(&mut self) -> Vec<String> {
+            self.pool.take_new_seeds()
+        }
+        fn adopt_seeds(&mut self, seeds: Vec<String>) {
+            // Only worker 0 discovers anything worth exporting, so every
+            // adoption seen here crossed from shard 0 into shard 1.
+            if self.worker == 1 {
+                assert!(
+                    seeds.iter().all(|s| s.starts_with("int f")),
+                    "unexpected exchange payload: {seeds:?}"
+                );
+                ADOPTIONS.fetch_add(seeds.len(), Ordering::Relaxed);
+            }
+            self.pool.adopt(seeds);
+        }
+    }
+
+    let seeds = vec!["int a;".to_string(), "int b;".to_string()];
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations: 240,
+        seed: 1,
+        sample_every: 60,
+        workers: 2,
+        exchange_every: 8,
+        ..Default::default()
+    };
+    let report = run_parallel_campaign(
+        &seeds,
+        |w, shard| Discoverer {
+            worker: w,
+            pool: SeedPool::new(shard),
+            counter: 0,
+        },
+        &compiler,
+        &config,
+    );
+    assert_eq!(report.mutants.total, 240);
+    assert!(
+        ADOPTIONS.load(Ordering::Relaxed) > 0,
+        "worker 1 never adopted worker 0's discoveries"
+    );
+}

@@ -26,6 +26,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod fxhash;
 pub mod lexer;
 pub mod parser;
 pub mod printer;

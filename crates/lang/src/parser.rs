@@ -9,10 +9,10 @@
 
 use crate::ast::*;
 use crate::error::{Diagnostic, Diagnostics, Phase};
+use crate::fxhash::FxHashSet;
 use crate::lexer::lex;
 use crate::source::{SourceFile, Span};
 use crate::token::{Token, TokenKind};
-use std::collections::HashSet;
 
 /// Parses `src` into an [`Ast`].
 ///
@@ -53,7 +53,7 @@ struct Parser<'f> {
     tokens: Vec<Token>,
     pos: usize,
     next_id: u32,
-    typedefs: HashSet<String>,
+    typedefs: FxHashSet<String>,
     diags: Diagnostics,
 }
 
@@ -125,7 +125,7 @@ impl<'f> Parser<'f> {
             tokens,
             pos: 0,
             next_id: 0,
-            typedefs: HashSet::new(),
+            typedefs: FxHashSet::default(),
             diags: Diagnostics::new(),
         }
     }

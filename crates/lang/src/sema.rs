@@ -11,9 +11,10 @@
 
 use crate::ast::*;
 use crate::error::{Diagnostic, Diagnostics, Phase};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::source::Span;
 use crate::types::{assign_compat, usual_arithmetic, Compat, FloatWidth, IntWidth, QType, Type};
-use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// Identifies a lexical scope; `ScopeId(0)` is file scope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,19 +81,19 @@ impl RecordInfo {
 #[derive(Debug, Clone, Default)]
 pub struct SemaResult {
     /// Checked type of every expression node.
-    pub expr_types: HashMap<NodeId, QType>,
+    pub expr_types: FxHashMap<NodeId, QType>,
     /// Checked type of every variable/parameter declaration node.
-    pub decl_types: HashMap<NodeId, QType>,
+    pub decl_types: FxHashMap<NodeId, QType>,
     /// Scope of each variable declaration node.
-    pub var_scopes: HashMap<NodeId, ScopeId>,
+    pub var_scopes: FxHashMap<NodeId, ScopeId>,
     /// Variable declaration nodes per scope, in declaration order.
-    pub scope_vars: HashMap<ScopeId, Vec<NodeId>>,
+    pub scope_vars: FxHashMap<ScopeId, Vec<NodeId>>,
     /// All function signatures by name (including builtins that were used).
-    pub functions: HashMap<String, FuncSig>,
+    pub functions: FxHashMap<String, FuncSig>,
     /// All resolved records by tag.
-    pub records: HashMap<String, RecordInfo>,
+    pub records: FxHashMap<String, RecordInfo>,
     /// Enumeration constants and their values.
-    pub enum_consts: HashMap<String, i64>,
+    pub enum_consts: FxHashMap<String, i64>,
     /// Non-fatal diagnostics.
     pub warnings: Diagnostics,
 }
@@ -165,7 +166,7 @@ struct Symbol {
 
 struct Scope {
     id: ScopeId,
-    symbols: HashMap<String, Symbol>,
+    symbols: FxHashMap<String, Symbol>,
 }
 
 struct Checker<'a> {
@@ -179,35 +180,18 @@ struct Checker<'a> {
     ret_ty: QType,
     loop_depth: u32,
     switch_depth: u32,
-    labels: HashSet<String>,
+    labels: FxHashSet<String>,
     gotos: Vec<(String, Span)>,
-    case_values: Vec<HashSet<i64>>,
+    case_values: Vec<FxHashSet<i64>>,
 }
 
-impl<'a> Checker<'a> {
-    fn new(ast: &'a Ast) -> Self {
-        let mut cx = Checker {
-            ast,
-            scopes: vec![Scope {
-                id: ScopeId(0),
-                symbols: HashMap::new(),
-            }],
-            next_scope: 1,
-            anon_tags: 0,
-            diags: Diagnostics::new(),
-            result: SemaResult::default(),
-            ret_ty: QType::void(),
-            loop_depth: 0,
-            switch_depth: 0,
-            labels: HashSet::new(),
-            gotos: Vec::new(),
-            case_values: Vec::new(),
-        };
-        cx.install_builtins();
-        cx
-    }
-
-    fn install_builtins(&mut self) {
+/// The builtin library, constructed once per process: name → (the symbol's
+/// function type, the signature recorded on first use). Keeping this out of
+/// `Checker::new` means analyzing a program costs nothing for builtins it
+/// never mentions — fuzzing campaigns analyze thousands of tiny programs.
+fn builtin_library() -> &'static FxHashMap<&'static str, (QType, FuncSig)> {
+    static LIB: OnceLock<FxHashMap<&'static str, (QType, FuncSig)>> = OnceLock::new();
+    LIB.get_or_init(|| {
         let ulong = QType::new(Type::Int {
             width: IntWidth::Long,
             signed: false,
@@ -308,33 +292,63 @@ impl<'a> Checker<'a> {
             ("fabs", QType::double(), vec![QType::double()], false),
             ("sqrt", QType::double(), vec![QType::double()], false),
         ];
-        for (name, ret, params, variadic) in builtins {
-            let sig = FuncSig {
-                name: name.to_string(),
-                ret: ret.clone(),
-                params: params.clone(),
-                param_names: vec![None; params.len()],
-                variadic,
-                unprototyped: false,
-                defined: false,
-                node: None,
-            };
-            let fty = Type::Function {
-                ret: Box::new(ret),
-                params,
-                variadic,
-                unprototyped: false,
-            };
-            self.result.functions.insert(name.to_string(), sig);
-            self.scopes[0].symbols.insert(
-                name.to_string(),
-                Symbol {
-                    qty: QType::new(fty),
-                    kind: SymbolKind::Func,
+        builtins
+            .into_iter()
+            .map(|(name, ret, params, variadic)| {
+                let sig = FuncSig {
+                    name: name.to_string(),
+                    ret: ret.clone(),
+                    params: params.clone(),
+                    param_names: vec![None; params.len()],
+                    variadic,
+                    unprototyped: false,
+                    defined: false,
                     node: None,
-                },
-            );
+                };
+                let fty = Type::Function {
+                    ret: Box::new(ret),
+                    params,
+                    variadic,
+                    unprototyped: false,
+                };
+                (name, (QType::new(fty), sig))
+            })
+            .collect()
+    })
+}
+
+impl<'a> Checker<'a> {
+    fn new(ast: &'a Ast) -> Self {
+        Checker {
+            ast,
+            scopes: vec![Scope {
+                id: ScopeId(0),
+                symbols: FxHashMap::default(),
+            }],
+            next_scope: 1,
+            anon_tags: 0,
+            diags: Diagnostics::new(),
+            result: SemaResult::default(),
+            ret_ty: QType::void(),
+            loop_depth: 0,
+            switch_depth: 0,
+            labels: FxHashSet::default(),
+            gotos: Vec::new(),
+            case_values: Vec::new(),
         }
+    }
+
+    /// Resolves `name` against the builtin library when the scope stack has
+    /// no binding. The signature is materialized into `result.functions` on
+    /// first use, so downstream consumers (IR lowering, μAST queries) see
+    /// exactly the builtins the program touched.
+    fn use_builtin(&mut self, name: &str) -> Option<QType> {
+        let (qty, sig) = builtin_library().get(name)?;
+        self.result
+            .functions
+            .entry(name.to_string())
+            .or_insert_with(|| sig.clone());
+        Some(qty.clone())
     }
 
     // ------------------------------------------------------------------
@@ -356,7 +370,7 @@ impl<'a> Checker<'a> {
         self.next_scope += 1;
         self.scopes.push(Scope {
             id,
-            symbols: HashMap::new(),
+            symbols: FxHashMap::default(),
         });
         id
     }
@@ -548,7 +562,7 @@ impl<'a> Checker<'a> {
         let tag = r.name.clone().unwrap_or_else(|| self.fresh_tag());
         let mut fields = Vec::new();
         if let Some(fs) = &r.fields {
-            let mut seen = HashSet::new();
+            let mut seen = FxHashSet::default();
             for f in fs {
                 let qt = self.lower_ty(&f.ty, f.span);
                 if qt.ty.is_void() {
@@ -708,10 +722,10 @@ impl<'a> Checker<'a> {
     // ------------------------------------------------------------------
 
     fn run(&mut self) {
-        // Work on a clone of the declaration list to keep borrows simple;
-        // ASTs are modest in size.
-        let decls = self.ast.unit.decls.clone();
-        for d in &decls {
+        // `self.ast` outlives the checker, so the declaration list can be
+        // walked in place — no deep clone of every function body.
+        let ast = self.ast;
+        for d in &ast.unit.decls {
             match d {
                 ExternalDecl::Function(f) => self.check_function(f),
                 ExternalDecl::Vars(g) => self.check_decl_group(g, true),
@@ -953,13 +967,29 @@ impl<'a> Checker<'a> {
                     }
                 }
                 Type::Record { tag, .. } => {
-                    let fields = self.result.records.get(tag).and_then(|r| r.fields.clone());
-                    match fields {
-                        Some(fields) => {
-                            if items.len() > fields.len() {
+                    // Clone only the field types the initializer actually
+                    // pairs with, not the whole record definition.
+                    let paired: Option<(usize, Vec<QType>)> = self
+                        .result
+                        .records
+                        .get(tag)
+                        .and_then(|r| r.fields.as_ref())
+                        .map(|fields| {
+                            (
+                                fields.len(),
+                                fields
+                                    .iter()
+                                    .take(items.len())
+                                    .map(|(_, t)| t.clone())
+                                    .collect(),
+                            )
+                        });
+                    match paired {
+                        Some((n_fields, field_tys)) => {
+                            if items.len() > n_fields {
                                 self.warn(*span, "excess elements in struct initializer");
                             }
-                            for (item, (_, fty)) in items.iter().zip(fields.iter()) {
+                            for (item, fty) in items.iter().zip(field_tys.iter()) {
                                 self.check_initializer(fty, item, _static_ctx);
                             }
                         }
@@ -1068,7 +1098,7 @@ impl<'a> Checker<'a> {
                     self.error(cond.span, "switch condition is not an integer");
                 }
                 self.switch_depth += 1;
-                self.case_values.push(HashSet::new());
+                self.case_values.push(FxHashSet::default());
                 self.check_stmt(body);
                 self.case_values.pop();
                 self.switch_depth -= 1;
@@ -1210,10 +1240,13 @@ impl<'a> Checker<'a> {
             )),
             ExprKind::Ident(n) => match self.lookup(n) {
                 Some(sym) => sym.qty.clone(),
-                None => {
-                    self.error(e.span, format!("use of undeclared identifier '{n}'"));
-                    QType::int()
-                }
+                None => match self.use_builtin(n) {
+                    Some(qt) => qt,
+                    None => {
+                        self.error(e.span, format!("use of undeclared identifier '{n}'"));
+                        QType::int()
+                    }
+                },
             },
             ExprKind::Unary { op, operand } => self.check_unary(e, *op, operand),
             ExprKind::Binary { op, lhs, rhs } => self.check_binary(e, *op, lhs, rhs),
@@ -1292,11 +1325,12 @@ impl<'a> Checker<'a> {
                 };
                 match &rec_ty {
                     Type::Record { tag, .. } => {
-                        let info = self.result.records.get(tag).cloned();
-                        match info.as_ref().and_then(|r| r.field(member).cloned()) {
+                        let info = self.result.records.get(tag);
+                        let incomplete = info.map(|r| r.fields.is_none()).unwrap_or(true);
+                        match info.and_then(|r| r.field(member).cloned()) {
                             Some(ft) => ft,
                             None => {
-                                if info.map(|r| r.fields.is_none()).unwrap_or(true) {
+                                if incomplete {
                                     self.error(
                                         *member_span,
                                         format!(
@@ -1610,9 +1644,12 @@ impl<'a> Checker<'a> {
     fn check_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> QType {
         // Implicit function declaration for unknown identifiers (C89-style).
         let callee_ty = if let ExprKind::Ident(name) = &callee.unparenthesized().kind {
-            match self.lookup(name) {
-                Some(sym) => {
-                    let qt = sym.qty.clone();
+            let scoped = self
+                .lookup(name)
+                .map(|sym| sym.qty.clone())
+                .or_else(|| self.use_builtin(name));
+            match scoped {
+                Some(qt) => {
                     self.remember(callee.id, qt.clone());
                     qt
                 }

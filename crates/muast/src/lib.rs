@@ -42,6 +42,9 @@ pub mod registry;
 pub mod rng;
 
 pub use ctx::MutCtx;
-pub use mutator::{mutate_source, Category, MutateError, MutationOutcome, Mutator, Provenance};
+pub use mutator::{
+    mutate_parsed, mutate_source, Category, MutateError, MutationOutcome, Mutator, ParsedProgram,
+    Provenance,
+};
 pub use registry::{MutatorRegistry, RegisteredMutator};
 pub use rng::MutRng;

@@ -115,10 +115,91 @@ impl fmt::Display for MutateError {
 
 impl std::error::Error for MutateError {}
 
+/// A parsed-and-checked program, ready for repeated mutation.
+///
+/// Parsing and semantic analysis dominate a mutation attempt's cost, yet
+/// μCFuzz's inner loop (Algorithm 1) tries several mutators against the
+/// *same* parent. A `ParsedProgram` front-loads that work once so every
+/// attempt reuses the AST and semantic tables — the seed-pool AST cache
+/// hands out shared `Arc<ParsedProgram>`s built through here.
+///
+/// Every construction bumps the `muast_parses` telemetry counter, which is
+/// how campaigns prove the re-parse count per candidate dropped to ≤ 1.
+#[derive(Debug)]
+pub struct ParsedProgram {
+    ast: metamut_lang::ast::Ast,
+    sema: metamut_lang::sema::SemaResult,
+}
+
+impl ParsedProgram {
+    /// Parses and semantically checks `src`.
+    ///
+    /// # Errors
+    ///
+    /// [`MutateError::BadInput`] if `src` does not compile.
+    pub fn parse(src: &str) -> Result<Self, MutateError> {
+        metamut_telemetry::handle().counter_add("muast_parses", 1);
+        let ast = parse("<seed>", src).map_err(MutateError::BadInput)?;
+        let sema = analyze(&ast).map_err(MutateError::BadInput)?;
+        Ok(ParsedProgram { ast, sema })
+    }
+
+    /// The parsed AST.
+    pub fn ast(&self) -> &metamut_lang::ast::Ast {
+        &self.ast
+    }
+
+    /// The semantic tables.
+    pub fn sema(&self) -> &metamut_lang::sema::SemaResult {
+        &self.sema
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        self.ast.source()
+    }
+}
+
+/// Applies `m` to an already-parsed program, returning the mutant text.
+///
+/// This is the cached fast path behind [`mutate_source`]: the outcome for a
+/// given `(mutator, program, seed)` triple is bit-for-bit identical whether
+/// the program was parsed freshly or fetched from a seed-pool cache,
+/// because the mutation RNG is seeded solely by `seed`.
+///
+/// Records the per-mutator `mutator_attempts{Name}` /
+/// `mutator_applied{Name}` telemetry counters.
+///
+/// # Errors
+///
+/// [`MutateError::Conflict`] if the mutator queued overlapping edits.
+pub fn mutate_parsed(
+    m: &dyn Mutator,
+    parsed: &ParsedProgram,
+    seed: u64,
+) -> Result<MutationOutcome, MutateError> {
+    let telemetry = metamut_telemetry::handle();
+    if telemetry.enabled() {
+        telemetry.counter_add(&metamut_telemetry::labeled("mutator_attempts", m.name()), 1);
+    }
+    let mut ctx = MutCtx::new(&parsed.ast, &parsed.sema, seed);
+    let changed = m.mutate(&mut ctx);
+    if !changed || !ctx.changed() {
+        return Ok(MutationOutcome::NotApplicable);
+    }
+    let out = ctx.finish().map_err(MutateError::Conflict)?;
+    if telemetry.enabled() {
+        telemetry.counter_add(&metamut_telemetry::labeled("mutator_applied", m.name()), 1);
+    }
+    Ok(MutationOutcome::Mutated(out))
+}
+
 /// Parses, checks and mutates `src` with `m`, returning the mutant text.
 ///
-/// This is the single-step driver used by μCFuzz's inner loop and by the
-/// validation harness.
+/// This is the single-step driver used by the validation harness and the
+/// CLI. Hot loops that retry several mutators against one parent should
+/// parse once with [`ParsedProgram::parse`] and call [`mutate_parsed`] per
+/// attempt instead.
 ///
 /// # Errors
 ///
@@ -129,15 +210,8 @@ pub fn mutate_source(
     src: &str,
     seed: u64,
 ) -> Result<MutationOutcome, MutateError> {
-    let ast = parse("<seed>", src).map_err(MutateError::BadInput)?;
-    let sema = analyze(&ast).map_err(MutateError::BadInput)?;
-    let mut ctx = MutCtx::new(&ast, &sema, seed);
-    let changed = m.mutate(&mut ctx);
-    if !changed || !ctx.changed() {
-        return Ok(MutationOutcome::NotApplicable);
-    }
-    let out = ctx.finish().map_err(MutateError::Conflict)?;
-    Ok(MutationOutcome::Mutated(out))
+    let parsed = ParsedProgram::parse(src)?;
+    mutate_parsed(m, &parsed, seed)
 }
 
 #[cfg(test)]
@@ -174,6 +248,28 @@ mod tests {
     fn driver_produces_mutant() {
         let out = mutate_source(&ZeroLiteral, "int f(void) { return 7; }", 1).unwrap();
         assert_eq!(out.mutant().unwrap(), "int f(void) { return 0; }");
+    }
+
+    #[test]
+    fn parsed_program_reuse_matches_fresh_parse() {
+        // One parse, many attempts: every (mutator, seed) outcome must be
+        // bit-for-bit identical to the parse-per-attempt driver.
+        let src = "int f(void) { return 7; } int g(int a) { return a + 7; }";
+        let parsed = ParsedProgram::parse(src).unwrap();
+        assert_eq!(parsed.source(), src);
+        for seed in 0..16u64 {
+            let cached = mutate_parsed(&ZeroLiteral, &parsed, seed).unwrap();
+            let fresh = mutate_source(&ZeroLiteral, src, seed).unwrap();
+            assert_eq!(cached, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parsed_program_rejects_bad_input() {
+        assert!(matches!(
+            ParsedProgram::parse("int f( {"),
+            Err(MutateError::BadInput(_))
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use crate::coverage::{feature_hash, feature_hash_str};
 use crate::ir::*;
-use std::collections::HashMap;
+use metamut_lang::fxhash::FxHashMap;
 
 /// A virtual machine instruction produced by instruction selection.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +75,7 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
             order.push((i, b.id));
         }
     }
-    let mut last_use: HashMap<Temp, usize> = HashMap::new();
+    let mut last_use: FxHashMap<Temp, usize> = FxHashMap::default();
     for (idx, (inst, _)) in order.iter().enumerate() {
         for v in inst.uses() {
             if let Value::Temp(t) = v {
@@ -105,8 +105,8 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
     }
 
     // Linear scan with NUM_REGS registers.
-    let mut reg_of: HashMap<Temp, u8> = HashMap::new();
-    let mut spill_slot: HashMap<Temp, u32> = HashMap::new();
+    let mut reg_of: FxHashMap<Temp, u8> = FxHashMap::default();
+    let mut spill_slot: FxHashMap<Temp, u32> = FxHashMap::default();
     let mut free: Vec<u8> = (0..NUM_REGS as u8).rev().collect();
     let mut live: Vec<(Temp, usize)> = Vec::new(); // (temp, last use)
     let mut next_spill = 0u32;
@@ -116,8 +116,8 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
                      idx: usize,
                      free: &mut Vec<u8>,
                      live: &mut Vec<(Temp, usize)>,
-                     reg_of: &mut HashMap<Temp, u8>,
-                     spill_slot: &mut HashMap<Temp, u32>,
+                     reg_of: &mut FxHashMap<Temp, u8>,
+                     spill_slot: &mut FxHashMap<Temp, u32>,
                      out: &mut AsmOutput|
      -> u8 {
         // Expire dead intervals.
@@ -169,8 +169,8 @@ fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {
             let mut operand = |v: &Value,
                                free: &mut Vec<u8>,
                                live: &mut Vec<(Temp, usize)>,
-                               reg_of: &mut HashMap<Temp, u8>,
-                               spill_slot: &mut HashMap<Temp, u32>,
+                               reg_of: &mut FxHashMap<Temp, u8>,
+                               spill_slot: &mut FxHashMap<Temp, u32>,
                                out: &mut AsmOutput|
              -> u8 {
                 match v {

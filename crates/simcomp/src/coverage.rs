@@ -6,6 +6,7 @@
 //! (Figure 7) is the population count of this map.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Compilation stages, which double as the compiler components that crashes
@@ -50,6 +51,10 @@ pub const MAP_BITS: usize = 1 << 16;
 #[derive(Clone)]
 pub struct CoverageMap {
     words: Vec<u64>,
+    /// Indices of non-zero words, in first-touch order. One compile sets a
+    /// few hundred bits in a 4096-word map, so merges walk this list
+    /// instead of scanning the whole map.
+    touched: Vec<u32>,
 }
 
 impl std::fmt::Debug for CoverageMap {
@@ -71,6 +76,7 @@ impl CoverageMap {
     pub fn new() -> Self {
         CoverageMap {
             words: vec![0u64; MAP_BITS * Stage::ALL.len() / 64],
+            touched: Vec::new(),
         }
     }
 
@@ -88,9 +94,12 @@ impl CoverageMap {
     /// Records one feature observation. Returns `true` if the bit was new.
     pub fn record(&mut self, stage: Stage, feature: u64) -> bool {
         let (word, mask) = Self::slot(stage, feature);
-        let new = self.words[word] & mask == 0;
-        self.words[word] |= mask;
-        new
+        let w = self.words[word];
+        if w == 0 {
+            self.touched.push(word as u32);
+        }
+        self.words[word] = w | mask;
+        w & mask == 0
     }
 
     /// Whether the feature's bit is already set.
@@ -123,19 +132,102 @@ impl CoverageMap {
     /// Merges `other` into `self`; returns the number of newly set bits.
     pub fn merge(&mut self, other: &CoverageMap) -> usize {
         let mut new = 0;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            new += (*b & !*a).count_ones() as usize;
-            *a |= *b;
+        for &wi in &other.touched {
+            let wi = wi as usize;
+            let b = other.words[wi];
+            let a = self.words[wi];
+            new += (b & !a).count_ones() as usize;
+            if a == 0 {
+                self.touched.push(wi as u32);
+            }
+            self.words[wi] = a | b;
         }
         new
     }
 
     /// Whether `other` covers at least one branch `self` does not.
     pub fn would_grow(&self, other: &CoverageMap) -> bool {
+        other
+            .touched
+            .iter()
+            .any(|&wi| other.words[wi as usize] & !self.words[wi as usize] != 0)
+    }
+}
+
+/// A lock-free coverage bitmap shared across parallel campaign workers.
+///
+/// Each word is an [`AtomicU64`]; merging a worker's local map is a series
+/// of `fetch_or` operations, so concurrent merges never block and — because
+/// `fetch_or` returns the previous word — every newly set bit is credited
+/// to *exactly one* merge call. Summing the returned `new_bits` over all
+/// workers therefore always equals [`AtomicCoverage::count`], which keeps
+/// `new_bits`-driven pool growth race-free.
+#[derive(Debug, Default)]
+pub struct AtomicCoverage {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicCoverage {
+    /// An empty shared map.
+    pub fn new() -> Self {
+        AtomicCoverage {
+            words: (0..MAP_BITS * Stage::ALL.len() / 64)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Merges a worker's local observations; returns the number of bits
+    /// this call newly set (each global bit is credited exactly once
+    /// across all concurrent merges).
+    pub fn merge(&self, local: &CoverageMap) -> usize {
+        let mut new = 0;
+        for &wi in &local.touched {
+            let b = local.words[wi as usize];
+            let prev = self.words[wi as usize].fetch_or(b, Ordering::Relaxed);
+            new += (b & !prev).count_ones() as usize;
+        }
+        new
+    }
+
+    /// Total covered branches across all stages.
+    pub fn count(&self) -> usize {
         self.words
             .iter()
-            .zip(&other.words)
-            .any(|(a, b)| *b & !*a != 0)
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Covered branches attributed to one stage.
+    pub fn count_stage(&self, stage: Stage) -> usize {
+        let stage_idx = match stage {
+            Stage::FrontEnd => 0usize,
+            Stage::IrGen => 1,
+            Stage::Opt => 2,
+            Stage::BackEnd => 3,
+        };
+        let lo = stage_idx * MAP_BITS / 64;
+        let hi = lo + MAP_BITS / 64;
+        self.words[lo..hi]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// A point-in-time copy as a plain [`CoverageMap`].
+    pub fn snapshot(&self) -> CoverageMap {
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
+        let touched = words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        CoverageMap { words, touched }
     }
 }
 
@@ -203,6 +295,26 @@ pub fn feature_hash_str(s: &str) -> u64 {
     h
 }
 
+/// Hashes anything `Display` into a feature id by streaming the formatted
+/// bytes straight through FNV-1a — byte-identical to
+/// `feature_hash_str(&format!(...))` without the intermediate `String`.
+pub fn feature_hash_display(args: std::fmt::Arguments<'_>) -> u64 {
+    use std::fmt::Write;
+    struct Fnv(u64);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut fnv = Fnv(0xcbf2_9ce4_8422_2325);
+    let _ = fnv.write_fmt(args);
+    fnv.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +363,53 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(shared.count(), 400);
+    }
+
+    #[test]
+    fn atomic_coverage_matches_serial_merge() {
+        let atomic = AtomicCoverage::new();
+        let mut serial = CoverageMap::new();
+        let mut local = CoverageMap::new();
+        local.record(Stage::Opt, 3);
+        local.record(Stage::BackEnd, 9);
+        assert_eq!(atomic.merge(&local), serial.merge(&local));
+        assert_eq!(atomic.merge(&local), 0);
+        assert_eq!(atomic.count(), serial.count());
+        assert_eq!(
+            atomic.count_stage(Stage::Opt),
+            serial.count_stage(Stage::Opt)
+        );
+        assert_eq!(atomic.snapshot().count(), serial.count());
+    }
+
+    #[test]
+    fn atomic_merge_credits_each_bit_once_under_contention() {
+        // Eight threads merge heavily overlapping maps; every global bit
+        // must be credited to exactly one merge call, so the sum of
+        // returned new-bit counts equals the final population count.
+        let shared = AtomicCoverage::new();
+        let total_new: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut new = 0;
+                        for round in 0..50u64 {
+                            let mut local = CoverageMap::new();
+                            // Overlapping range: threads race on most bits.
+                            for i in 0..64 {
+                                local.record(Stage::IrGen, (t % 4) * 32 + round + i);
+                            }
+                            new += shared.merge(&local);
+                        }
+                        new
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total_new, shared.count());
+        assert!(shared.count() > 0);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Mutant deduplication in front of [`Compiler::compile`].
+//!
+//! Mutation-based fuzzers regularly regenerate byte-identical programs — a
+//! dud re-emits its parent, popular mutators collapse different parents
+//! onto the same mutant — and the compiler is a pure function of
+//! `(profile, options, source)`, so recompiling a duplicate can only
+//! reproduce an outcome the campaign has already accounted for. A
+//! [`DedupCache`] remembers each compiled source's [`Verdict`] so the
+//! campaign engine skips the whole pipeline on a repeat.
+//!
+//! The cache stores full source texts (exact matching, no hash-collision
+//! risk) sharded across several locks so parallel workers rarely contend.
+//! One cache serves one `(profile, options)` configuration — campaigns
+//! create their own, which makes that invariant structural.
+
+use crate::{CompileResult, Compiler, Outcome};
+use metamut_lang::fxhash::FxHashMap;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the campaign needs to remember about a compiled mutant: enough to
+/// keep `MutantStats` and feedback accounting bit-for-bit identical when
+/// the recompilation is skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the front end accepted the program (the Table 5 numerator).
+    pub compiled: bool,
+}
+
+impl Verdict {
+    /// Derives the verdict recorded for a fresh compile result.
+    pub fn of(result: &CompileResult) -> Self {
+        Verdict {
+            compiled: result.outcome.front_end_accepted(),
+        }
+    }
+}
+
+const SHARD_BITS: usize = 5;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// A sharded source → [`Verdict`] cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct DedupCache {
+    shards: Vec<Mutex<FxHashMap<String, Verdict>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for DedupCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DedupCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DedupCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, src: &str) -> &Mutex<FxHashMap<String, Verdict>> {
+        let h = crate::coverage::feature_hash_str(src);
+        &self.shards[(h >> (64 - SHARD_BITS)) as usize]
+    }
+
+    /// Looks up a source, recording a hit or miss. `Some` means the
+    /// program was compiled before under this cache's configuration.
+    pub fn lookup(&self, src: &str) -> Option<Verdict> {
+        let found = self.shard(src).lock().get(src).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Records a fresh compile's verdict.
+    ///
+    /// The campaign engine calls this only *after* merging the result's
+    /// coverage and crash into the shared campaign state, so a concurrent
+    /// worker that observes the cache entry can safely skip both.
+    pub fn insert(&self, src: &str, verdict: Verdict) {
+        self.shard(src).lock().insert(src.to_string(), verdict);
+    }
+
+    /// Number of distinct sources cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits as a fraction of all lookups (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+}
+
+/// Outcome of a cache-fronted compile: either a fresh pipeline run or a
+/// skipped duplicate.
+#[derive(Debug)]
+pub enum CachedCompile {
+    /// First sighting: the full compile result (already recorded in the
+    /// cache).
+    Fresh(CompileResult),
+    /// Duplicate source: recompilation skipped, prior verdict returned.
+    Duplicate(Verdict),
+}
+
+impl Compiler {
+    /// Compiles `src` with a [`DedupCache`] in front: byte-identical
+    /// repeats skip the whole pipeline.
+    ///
+    /// The cache must be dedicated to this compiler's `(profile, options)`
+    /// configuration.
+    pub fn compile_cached(&self, src: &str, cache: &DedupCache) -> CachedCompile {
+        if let Some(verdict) = cache.lookup(src) {
+            return CachedCompile::Duplicate(verdict);
+        }
+        let result = self.compile(src);
+        cache.insert(src, Verdict::of(&result));
+        CachedCompile::Fresh(result)
+    }
+}
+
+impl Outcome {
+    /// Whether the front end accepted the program: a success, or a crash
+    /// beyond the front end (which implies the front end let it through).
+    pub fn front_end_accepted(&self) -> bool {
+        match self {
+            Outcome::Success { .. } => true,
+            Outcome::Crash(c) => c.stage != crate::Stage::FrontEnd,
+            Outcome::Rejected { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileOptions, Profile};
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = DedupCache::new();
+        assert_eq!(cache.lookup("int x;"), None);
+        cache.insert("int x;", Verdict { compiled: true });
+        assert_eq!(cache.lookup("int x;"), Some(Verdict { compiled: true }));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn compile_cached_skips_duplicates() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = DedupCache::new();
+        let src = "int main(void) { return 3; }";
+        let CachedCompile::Fresh(first) = c.compile_cached(src, &cache) else {
+            panic!("first compile must be fresh");
+        };
+        assert!(first.outcome.is_success());
+        let CachedCompile::Duplicate(v) = c.compile_cached(src, &cache) else {
+            panic!("second compile must dedup");
+        };
+        assert!(v.compiled);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn verdict_tracks_front_end_acceptance() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let ok = c.compile("int main(void) { return 0; }");
+        assert!(Verdict::of(&ok).compiled);
+        let bad = c.compile("int main(void) { return undeclared; }");
+        assert!(!Verdict::of(&bad).compiled);
+        // A mid-pipeline crash still counts as front-end accepted (Table 5):
+        // the GCC vectorizer-hang bug fires in the optimizer at -O3.
+        let opts = CompileOptions {
+            opt_level: 3,
+            flags: crate::OptFlags {
+                no_tree_vrp: true,
+                ..Default::default()
+            },
+        };
+        let crash = Compiler::new(Profile::Gcc, opts).compile(
+            "int r; int r_0;\n\
+             void f(void) { int n = 0; while (--n) { r_0 += r; r += r; r += r; r += r; r += r; } }",
+        );
+        assert!(crash.outcome.crash().is_some());
+        assert!(Verdict::of(&crash).compiled);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        let cache = DedupCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let src = format!("int x{};", i % 50);
+                        if cache.lookup(&src).is_none() {
+                            cache.insert(
+                                &src,
+                                Verdict {
+                                    compiled: t % 2 == 0,
+                                },
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.hits() + cache.misses(), 800);
+    }
+}

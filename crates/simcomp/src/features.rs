@@ -212,7 +212,7 @@ struct FeatureVisitor {
     unary_chain: usize,
     loop_depth: usize,
     cur_fn: Option<FnFeatures>,
-    volatile_names: std::collections::HashSet<String>,
+    volatile_names: metamut_lang::fxhash::FxHashSet<String>,
 }
 
 impl Visitor for FeatureVisitor {

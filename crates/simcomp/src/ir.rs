@@ -4,7 +4,7 @@
 //! named slots, block terminators — so the optimization passes and the back
 //! end exercise the same kinds of invariants real middle ends do.
 
-use std::collections::HashMap;
+use metamut_lang::fxhash::FxHashMap;
 use std::fmt;
 
 /// A virtual register.
@@ -383,8 +383,8 @@ impl IrFunction {
     }
 
     /// Predecessor map.
-    pub fn predecessors(&self) -> HashMap<BlockId, Vec<BlockId>> {
-        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    pub fn predecessors(&self) -> FxHashMap<BlockId, Vec<BlockId>> {
+        let mut preds: FxHashMap<BlockId, Vec<BlockId>> = FxHashMap::default();
         for b in &self.blocks {
             for s in b.term.successors() {
                 preds.entry(s).or_default().push(b.id);

@@ -23,16 +23,18 @@
 pub mod backend;
 pub mod bugs;
 pub mod coverage;
+pub mod dedup;
 pub mod features;
 pub mod ir;
 pub mod lower;
 pub mod passes;
 
 pub use bugs::{CrashInfo, CrashKind, Profile};
-pub use coverage::{CoverageMap, SharedCoverage, Stage};
+pub use coverage::{AtomicCoverage, CoverageMap, SharedCoverage, Stage};
+pub use dedup::{CachedCompile, DedupCache, Verdict};
 pub use passes::OptFlags;
 
-use coverage::{feature_hash, feature_hash_str};
+use coverage::{feature_hash, feature_hash_display, feature_hash_str};
 
 /// Command-line-equivalent options for one compilation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -168,9 +170,14 @@ impl Compiler {
     /// Crashes abort the pipeline at the stage whose planted bug fired, so
     /// later stages contribute no coverage — mirroring a real compiler
     /// process dying mid-run.
+    ///
+    /// With telemetry enabled, each completed stage records its wall time
+    /// into the `stage_ms{<Stage>}` histogram (and [`passes::optimize`]
+    /// times every individual pass into `pass_ms{<pass>}`).
     pub fn compile(&self, src: &str) -> CompileResult {
         let mut cov = CoverageMap::new();
         let opts = &self.options;
+        let t_front = stage_timer();
 
         // ---------------- Front end ----------------
         let raw = features::raw_features(src);
@@ -294,7 +301,10 @@ impl Compiler {
                 );
                 // Type-diversity coverage.
                 for qt in s.expr_types.values() {
-                    cov.record(Stage::FrontEnd, feature_hash_str(&format!("ty:{qt}")));
+                    cov.record(
+                        Stage::FrontEnd,
+                        feature_hash_display(format_args!("ty:{qt}")),
+                    );
                 }
                 s
             }
@@ -319,8 +329,12 @@ impl Compiler {
             }
         };
 
+        observe_stage(Stage::FrontEnd, t_front);
+
         // ---------------- IR generation ----------------
+        let t_irgen = stage_timer();
         let lowered = lower::lower(&ast, &sema);
+        observe_stage(Stage::IrGen, t_irgen);
         for f in &lowered.features {
             cov.record(Stage::IrGen, *f);
         }
@@ -340,15 +354,17 @@ impl Compiler {
         }
 
         // ---------------- Optimizer ----------------
+        let t_opt = stage_timer();
         let mut module = lowered.module;
         let report = passes::optimize(&mut module, opts.opt_level, flags);
+        observe_stage(Stage::Opt, t_opt);
         for f in &report.features {
             cov.record(Stage::Opt, *f);
         }
         for (name, n) in &report.pass_stats {
             cov.record(
                 Stage::Opt,
-                feature_hash_str(&format!("{name}:{}", n.min(&16))),
+                feature_hash_display(format_args!("{name}:{}", n.min(&16))),
             );
         }
         let cx = bugs::BugCtx {
@@ -367,7 +383,9 @@ impl Compiler {
         }
 
         // ---------------- Back end ----------------
+        let t_back = stage_timer();
         let asm = backend::codegen(&module);
+        observe_stage(Stage::BackEnd, t_back);
         for f in &asm.features {
             cov.record(Stage::BackEnd, *f);
         }
@@ -393,6 +411,24 @@ impl Compiler {
             },
             coverage: cov,
         }
+    }
+}
+
+/// `Some(now)` when telemetry is on — the guard keeps `Instant::now` off
+/// the hot path for untelemetered runs.
+fn stage_timer() -> Option<std::time::Instant> {
+    metamut_telemetry::handle()
+        .enabled()
+        .then(std::time::Instant::now)
+}
+
+/// Records a completed stage's wall time into `stage_ms{<Stage>}`.
+fn observe_stage(stage: Stage, start: Option<std::time::Instant>) {
+    if let Some(s) = start {
+        metamut_telemetry::handle().observe(
+            &metamut_telemetry::labeled("stage_ms", stage.label()),
+            s.elapsed().as_secs_f64() * 1e3,
+        );
     }
 }
 

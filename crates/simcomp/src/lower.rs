@@ -9,8 +9,8 @@
 use crate::coverage::feature_hash;
 use crate::ir::*;
 use metamut_lang::ast as c;
+use metamut_lang::fxhash::{FxHashMap, FxHashSet};
 use metamut_lang::sema::SemaResult;
-use std::collections::HashMap;
 
 /// Result of lowering a translation unit.
 #[derive(Debug)]
@@ -95,10 +95,10 @@ impl Lowering<'_> {
             },
             features: Vec::new(),
             cur: BlockId(0),
-            scopes: vec![HashMap::new()],
+            scopes: vec![FxHashMap::default()],
             volatile_slots: Default::default(),
             loop_stack: Vec::new(),
-            label_blocks: HashMap::new(),
+            label_blocks: FxHashMap::default(),
             next_slot: 0,
         };
         fx.new_block(); // entry
@@ -151,11 +151,11 @@ struct FnLowering<'a> {
     features: Vec<u64>,
     cur: BlockId,
     /// name → slot mapping per lexical scope.
-    scopes: Vec<HashMap<String, String>>,
-    volatile_slots: std::collections::HashSet<String>,
+    scopes: Vec<FxHashMap<String, String>>,
+    volatile_slots: FxHashSet<String>,
     /// (continue target, break target)
     loop_stack: Vec<(BlockId, BlockId)>,
-    label_blocks: HashMap<String, BlockId>,
+    label_blocks: FxHashMap<String, BlockId>,
     next_slot: u32,
 }
 
@@ -262,7 +262,7 @@ impl FnLowering<'_> {
     fn lower_stmt(&mut self, s: &c::Stmt) {
         match &s.kind {
             c::StmtKind::Compound(items) => {
-                self.scopes.push(HashMap::new());
+                self.scopes.push(FxHashMap::default());
                 for item in items {
                     match item {
                         c::BlockItem::Decl(g) => self.lower_decl_group(g),
@@ -346,7 +346,7 @@ impl FnLowering<'_> {
                 step,
                 body,
             } => {
-                self.scopes.push(HashMap::new());
+                self.scopes.push(FxHashMap::default());
                 if let Some(init) = init {
                     match init.as_ref() {
                         c::ForInit::Decl(g) => self.lower_decl_group(g),
@@ -470,7 +470,7 @@ impl FnLowering<'_> {
     fn lower_switch_body(&mut self, s: &c::Stmt, ctx: &mut SwitchLowerCtx) {
         match &s.kind {
             c::StmtKind::Compound(items) => {
-                self.scopes.push(HashMap::new());
+                self.scopes.push(FxHashMap::default());
                 for item in items {
                     match item {
                         c::BlockItem::Decl(g) => self.lower_decl_group(g),
@@ -1047,7 +1047,7 @@ struct SwitchPlan {
 }
 
 struct SwitchLowerCtx {
-    case_blocks: HashMap<i64, BlockId>,
+    case_blocks: FxHashMap<i64, BlockId>,
     default_bb: Option<BlockId>,
 }
 

@@ -6,7 +6,7 @@
 
 use crate::coverage::feature_hash;
 use crate::ir::*;
-use std::collections::{HashMap, HashSet};
+use metamut_lang::fxhash::{FxHashMap, FxHashSet};
 
 /// Optimization flags beyond the level (macro-fuzzer enhancement #1 samples
 /// these).
@@ -74,34 +74,55 @@ impl OptReport {
     }
 }
 
+/// Runs `f`, recording its wall time into the `pass_ms{<name>}` histogram
+/// when telemetry is on (no `Instant::now` otherwise).
+fn timed_pass<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = metamut_telemetry::handle()
+        .enabled()
+        .then(std::time::Instant::now);
+    let out = f();
+    if let Some(s) = start {
+        metamut_telemetry::handle().observe(
+            &metamut_telemetry::labeled("pass_ms", name),
+            s.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+    out
+}
+
 /// Runs the pipeline at the given `-O` level.
+///
+/// With telemetry enabled, each pass's wall time is recorded into a
+/// `pass_ms{<pass>}` histogram keyed by the same names as `pass_stats`.
 pub fn optimize(module: &mut Module, opt_level: u8, flags: &OptFlags) -> OptReport {
     let mut report = OptReport::default();
     if opt_level == 0 {
         return report;
     }
-    let folded = const_fold(module, &mut report);
+    let folded = timed_pass("const-fold", || const_fold(module, &mut report));
     report.pass_stats.push(("const-fold", folded));
-    let dce_removed = dead_code_elim(module, &mut report);
+    let dce_removed = timed_pass("dce", || dead_code_elim(module, &mut report));
     report.pass_stats.push(("dce", dce_removed));
     if opt_level >= 2 {
-        let merged = simplify_cfg(module, &mut report);
+        let merged = timed_pass("simplify-cfg", || simplify_cfg(module, &mut report));
         report.pass_stats.push(("simplify-cfg", merged));
-        let inlined = inline_trivial(module, &mut report);
+        let inlined = timed_pass("inline", || inline_trivial(module, &mut report));
         report.pass_stats.push(("inline", inlined));
         report.inlined = inlined;
-        let reduced = strlen_reduce(module, &mut report);
+        let reduced = timed_pass("strlen-opt", || strlen_reduce(module, &mut report));
         report.pass_stats.push(("strlen-opt", reduced));
         // Fold and clean again after inlining.
-        let folded2 = const_fold(module, &mut report);
+        let folded2 = timed_pass("const-fold-2", || const_fold(module, &mut report));
         report.pass_stats.push(("const-fold-2", folded2));
-        let dce2 = dead_code_elim(module, &mut report);
+        let dce2 = timed_pass("dce-2", || dead_code_elim(module, &mut report));
         report.pass_stats.push(("dce-2", dce2));
     }
     // Loop analysis runs at O2+; the vectorizer only at O3 (matching the
     // GCC bug's -O3 trigger).
     if opt_level >= 2 {
-        loop_analysis(module, opt_level, flags, &mut report);
+        timed_pass("loop-analysis", || {
+            loop_analysis(module, opt_level, flags, &mut report)
+        });
         report
             .pass_stats
             .push(("loop-analysis", report.loops.len()));
@@ -150,7 +171,7 @@ fn fold_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
 pub fn const_fold(module: &mut Module, report: &mut OptReport) -> usize {
     let mut folded = 0;
     for f in &mut module.functions {
-        let mut known: HashMap<Temp, Value> = HashMap::new();
+        let mut known: FxHashMap<Temp, Value> = FxHashMap::default();
         for b in &mut f.blocks {
             for inst in &mut b.insts {
                 // Substitute known temps into operands first.
@@ -269,7 +290,7 @@ pub fn dead_code_elim(module: &mut Module, report: &mut OptReport) -> usize {
         }
         // Fixpoint removal of unused pure defs.
         loop {
-            let mut used: HashSet<Temp> = HashSet::new();
+            let mut used: FxHashSet<Temp> = FxHashSet::default();
             for b in &f.blocks {
                 for i in &b.insts {
                     for v in i.uses() {
@@ -330,7 +351,7 @@ pub fn simplify_cfg(module: &mut Module, report: &mut OptReport) -> usize {
     let mut changes = 0;
     for f in &mut module.functions {
         // Forwarding map: empty block with a Jump terminator.
-        let mut forward: HashMap<BlockId, BlockId> = HashMap::new();
+        let mut forward: FxHashMap<BlockId, BlockId> = FxHashMap::default();
         for b in &f.blocks {
             if b.insts.is_empty() {
                 if let Terminator::Jump(t) = b.term {
@@ -412,7 +433,7 @@ pub fn simplify_cfg(module: &mut Module, report: &mut OptReport) -> usize {
 /// splicing their instructions; returns the number of inlined call sites.
 pub fn inline_trivial(module: &mut Module, report: &mut OptReport) -> usize {
     // Identify trivial callees first.
-    let mut trivial: HashMap<String, (Vec<Inst>, Option<Value>)> = HashMap::new();
+    let mut trivial: FxHashMap<String, (Vec<Inst>, Option<Value>)> = FxHashMap::default();
     for f in &module.functions {
         if !f.params.is_empty() {
             continue;
@@ -453,7 +474,7 @@ pub fn inline_trivial(module: &mut Module, report: &mut OptReport) -> usize {
                     {
                         let (body, ret) = &trivial[callee];
                         // Renumber callee temps into a fresh range.
-                        let mut map: HashMap<Temp, Temp> = HashMap::new();
+                        let mut map: FxHashMap<Temp, Temp> = FxHashMap::default();
                         for bi in body {
                             let mut ni = bi.clone();
                             if let Some(d) = bi.def() {

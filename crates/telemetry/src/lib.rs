@@ -41,6 +41,10 @@ use std::time::Instant;
 /// `--telemetry` flag is given.
 pub const ENV_VAR: &str = "METAMUT_TELEMETRY";
 
+/// Environment variable consulted by [`init_from_args`] when no
+/// `--status-every` flag is given (seconds between status lines).
+pub const STATUS_ENV_VAR: &str = "METAMUT_STATUS_EVERY";
+
 struct Inner {
     enabled: AtomicBool,
     seq: AtomicU64,
@@ -240,16 +244,36 @@ pub fn handle() -> &'static Telemetry {
 /// success the global handle is enabled with a JSONL sink at the path
 /// and a once-per-second status line on stderr; returns the path.
 pub fn init_from_arg(arg: Option<&str>) -> Option<PathBuf> {
+    init_from_args(arg, None)
+}
+
+/// Like [`init_from_arg`], with a `--status-every <secs>` override for
+/// the stderr status-line interval. `status_every` falls back to the
+/// `METAMUT_STATUS_EVERY` environment variable, then to one second; a
+/// value of `0` suppresses the status sink entirely (the JSONL sink is
+/// unaffected).
+pub fn init_from_args(arg: Option<&str>, status_every: Option<f64>) -> Option<PathBuf> {
     let path = arg.map(PathBuf::from).or_else(|| {
         std::env::var(ENV_VAR)
             .ok()
             .filter(|v| !v.is_empty())
             .map(PathBuf::from)
     })?;
+    let status_secs = status_every
+        .or_else(|| {
+            std::env::var(STATUS_ENV_VAR)
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1.0);
     let t = handle();
     match t.add_jsonl_sink(&path) {
         Ok(()) => {
-            t.add_sink(Box::new(StatusSink::stderr()));
+            if status_secs > 0.0 {
+                t.add_sink(Box::new(StatusSink::stderr_every(
+                    std::time::Duration::from_secs_f64(status_secs),
+                )));
+            }
             t.set_enabled(true);
             Some(path)
         }

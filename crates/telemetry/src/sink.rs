@@ -79,7 +79,13 @@ pub struct StatusSink<W: Write + Send = std::io::Stderr> {
 impl StatusSink<std::io::Stderr> {
     /// Status to stderr, at most once per second.
     pub fn stderr() -> Self {
-        StatusSink::new(std::io::stderr(), Duration::from_secs(1))
+        Self::stderr_every(Duration::from_secs(1))
+    }
+
+    /// Status to stderr at a caller-chosen interval (the CLI's
+    /// `--status-every <secs>` knob).
+    pub fn stderr_every(interval: Duration) -> Self {
+        StatusSink::new(std::io::stderr(), interval)
     }
 }
 

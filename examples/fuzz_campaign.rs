@@ -30,6 +30,7 @@ fn main() {
             iterations,
             seed: 42,
             sample_every: iterations.max(1),
+            ..Default::default()
         };
         let report = run_campaign(fuzzer.as_mut(), &compiler, &cfg);
         println!(

@@ -5,11 +5,12 @@
 //! metamut mutate FILE -m NAME [-s N]    # apply one mutator to a C file
 //! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
-//! metamut fuzz [-i N] [-s N] [-p gcc|clang]   # a μCFuzz campaign
+//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup]   # a μCFuzz campaign
 //! ```
 
 use metamut::prelude::*;
 use metamut_fuzzing::mucfuzz::MuCFuzz;
+use metamut_fuzzing::parallel::run_parallel_campaign;
 use metamut_simcomp::OptFlags;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -18,9 +19,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
     let rest = &args[1.min(args.len())..];
-    // Global flag: --telemetry PATH (or METAMUT_TELEMETRY=PATH) streams
-    // JSONL events to PATH and a status line to stderr for any subcommand.
-    let telemetry_path = metamut_telemetry::init_from_arg(opt(rest, "--telemetry").as_deref());
+    // Global flags: --telemetry PATH (or METAMUT_TELEMETRY=PATH) streams
+    // JSONL events to PATH plus a status line to stderr; --status-every
+    // SECS (or METAMUT_STATUS_EVERY) retunes the status cadence (0 = off).
+    let telemetry_path = metamut_telemetry::init_from_args(
+        opt(rest, "--telemetry").as_deref(),
+        opt(rest, "--status-every").and_then(|s| s.parse().ok()),
+    );
     let code = match cmd {
         "list" => list(),
         "mutate" => mutate(rest),
@@ -34,8 +39,10 @@ fn main() -> ExitCode {
                  \n  mutate FILE -m NAME [-s N]   apply one mutator to a C file\
                  \n  compile FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
                  \n  generate [-n N] [-s N]       run the MetaMut generation pipeline\
-                 \n  fuzz [-i N] [-s N] [-p gcc|clang]  run a μCFuzz campaign\
-                 \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH"
+                 \n  fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup]  run a μCFuzz campaign\
+                 \n                               -w N: worker threads (0 = one per CPU; default 1)\
+                 \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH\
+                 \n  (any subcommand) --status-every SECS  status-line cadence (0 = off)"
             );
             ExitCode::from(2)
         }
@@ -61,7 +68,18 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
 }
 
 fn positional(rest: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 7] = ["-m", "-s", "-p", "-O", "-i", "-n", "--telemetry"];
+    const VALUE_FLAGS: [&str; 10] = [
+        "-m",
+        "-s",
+        "-p",
+        "-O",
+        "-i",
+        "-n",
+        "-w",
+        "--workers",
+        "--telemetry",
+        "--status-every",
+    ];
     let mut skip_next = false;
     for a in rest {
         if skip_next {
@@ -207,33 +225,55 @@ fn generate(rest: &[String]) -> ExitCode {
 fn fuzz(rest: &[String]) -> ExitCode {
     let iterations: usize = opt(rest, "-i").and_then(|s| s.parse().ok()).unwrap_or(500);
     let seed: u64 = opt(rest, "-s").and_then(|s| s.parse().ok()).unwrap_or(7);
+    // Default to one worker: the serial engine is bit-for-bit reproducible
+    // for a given seed. `-w 0` asks for one worker per CPU.
+    let workers: usize = opt(rest, "-w")
+        .or_else(|| opt(rest, "--workers"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let seeds: Vec<String> = metamut::fuzzing::corpus::seed_corpus()
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut fuzzer = MuCFuzz::new(
-        "uCFuzz",
-        Arc::new(metamut::mutators::full_registry()),
-        seeds.iter().cloned(),
-    );
     let compiler = Compiler::new(parse_profile(rest), CompileOptions::o2());
-    let report = run_campaign(
-        &mut fuzzer,
-        &compiler,
-        &CampaignConfig {
-            iterations,
-            seed,
-            sample_every: (iterations / 10).max(1),
-        },
-    );
+    let config = CampaignConfig {
+        iterations,
+        seed,
+        sample_every: (iterations / 10).max(1),
+        workers,
+        dedup: !rest.iter().any(|a| a == "--no-dedup"),
+        ..Default::default()
+    };
+    let report = if config.resolved_workers() > 1 {
+        let registry = Arc::new(metamut::mutators::full_registry());
+        run_parallel_campaign(
+            &seeds,
+            |_w, shard| MuCFuzz::new("uCFuzz", registry.clone(), shard),
+            &compiler,
+            &config,
+        )
+    } else {
+        let mut fuzzer = MuCFuzz::new(
+            "uCFuzz",
+            Arc::new(metamut::mutators::full_registry()),
+            seeds.iter().cloned(),
+        );
+        run_campaign(&mut fuzzer, &compiler, &config)
+    };
+    let dedup_note = report
+        .dedup
+        .map(|d| format!(", {:.0}% dedup hits", 100.0 * d.hit_rate()))
+        .unwrap_or_default();
     println!(
-        "{} on {}: {} iterations, {} branches covered, {:.1}% compilable, {} unique crashes",
+        "{} on {}: {} iterations × {} workers, {} branches covered, {:.1}% compilable, {} unique crashes{}",
         report.fuzzer,
         report.compiler,
         report.mutants.total,
+        report.workers,
         report.final_coverage,
         report.mutants.ratio(),
-        report.crashes.len()
+        report.crashes.len(),
+        dedup_note
     );
     for c in &report.crashes {
         println!(

@@ -49,6 +49,7 @@ fn rq1_coverage_ordering_holds() {
         iterations: 220,
         seed: 9,
         sample_every: 55,
+        ..Default::default()
     };
     let mut finals = std::collections::HashMap::new();
     for mut f in metamut_fuzzing::all_fuzzers(&seeds) {
@@ -82,6 +83,7 @@ fn mucfuzz_reaches_deep_crashes() {
         iterations: 900,
         seed: 4,
         sample_every: 300,
+        ..Default::default()
     };
     let report = run_campaign(&mut fuzzer, &compiler, &cfg);
     assert!(
@@ -113,6 +115,7 @@ fn campaigns_are_deterministic() {
             iterations: 120,
             seed,
             sample_every: 30,
+            ..Default::default()
         };
         run_campaign(&mut f, &compiler, &cfg)
     };
@@ -178,6 +181,7 @@ fn both_profiles_reach_all_stages() {
                 iterations: 80,
                 seed: 6,
                 sample_every: 40,
+                ..Default::default()
             },
         );
         for (i, covered) in report.stage_coverage.iter().enumerate() {

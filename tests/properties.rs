@@ -182,6 +182,7 @@ proptest! {
             iterations: 40,
             seed,
             sample_every: 40,
+            ..Default::default()
         });
         for c in &report.crashes {
             let bug = metamut_simcomp::bugs::catalog()
