@@ -88,6 +88,8 @@ pub struct CrashRecord {
     pub signature: u64,
     /// Iteration of first discovery (Figure 9).
     pub first_iteration: usize,
+    /// The mutant that first triggered this crash (the reduction input).
+    pub witness: String,
 }
 
 /// Mutant production statistics (Table 5).
@@ -325,6 +327,7 @@ pub(crate) fn run_worker(
                             info: info.clone(),
                             signature: sig,
                             first_iteration: iter,
+                            witness: candidate.program.clone(),
                         });
                     }
                 }

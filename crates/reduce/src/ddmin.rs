@@ -1,0 +1,105 @@
+//! Delta debugging (ddmin) over an arbitrary item list.
+//!
+//! The classic Zeller/Hildebrandt algorithm specialized to the "minimize"
+//! direction used by test-case reducers: starting from a list that is known
+//! to reproduce, repeatedly try dropping complements of ever-finer chunks,
+//! keeping any smaller list that still passes the predicate. The result is
+//! 1-minimal with respect to chunk removal at the finest granularity.
+
+/// Minimizes `items` under `test`.
+///
+/// `test` receives a candidate sub-list (in original order) and returns
+/// `true` when it still reproduces the behaviour of interest. The caller
+/// guarantees `test(&items)` would be `true`; `test` is never invoked on
+/// the full list or on the empty list unless the list shrinks to it.
+///
+/// Returns the minimized list. The number of `test` calls is
+/// `O(n log n)` in the well-behaved case and `O(n²)` worst case, as in the
+/// original algorithm.
+pub fn ddmin<T: Clone>(items: Vec<T>, mut test: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current = items;
+    if current.len() < 2 {
+        return current;
+    }
+    let mut granularity = 2usize;
+    loop {
+        let n = current.len();
+        let chunk = n.div_ceil(granularity);
+        let mut shrunk = false;
+        let mut start = 0usize;
+        while start < n && current.len() == n {
+            let end = (start + chunk).min(n);
+            // Complement: everything except current[start..end].
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && test(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+            start = end;
+        }
+        if shrunk {
+            // Removal succeeded: coarsen one notch (never below 2) and
+            // rescan the smaller list.
+            granularity = granularity.saturating_sub(1).max(2);
+            if current.len() < 2 {
+                return current;
+            }
+            continue;
+        }
+        if granularity >= current.len() {
+            return current; // 1-minimal at the finest granularity
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_needle() {
+        let items: Vec<i32> = (0..64).collect();
+        let mut calls = 0usize;
+        let out = ddmin(items, |c| {
+            calls += 1;
+            c.contains(&37)
+        });
+        assert_eq!(out, vec![37]);
+        assert!(calls < 64 * 64, "call budget blown: {calls}");
+    }
+
+    #[test]
+    fn keeps_scattered_needles() {
+        let items: Vec<i32> = (0..40).collect();
+        let needles = [3, 17, 31];
+        let out = ddmin(items, |c| needles.iter().all(|n| c.contains(n)));
+        assert_eq!(out, needles.to_vec());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let items = vec!["a", "b", "c", "d", "e", "f"];
+        let out = ddmin(items, |c| c.contains(&"b") && c.contains(&"e"));
+        assert_eq!(out, vec!["b", "e"]);
+    }
+
+    #[test]
+    fn everything_needed_is_untouched() {
+        let items: Vec<i32> = (0..7).collect();
+        let all = items.clone();
+        let out = ddmin(items, |c| c.len() == all.len());
+        assert_eq!(out, all);
+    }
+
+    #[test]
+    fn tiny_lists_pass_through() {
+        assert_eq!(ddmin(Vec::<u8>::new(), |_| true), Vec::<u8>::new());
+        assert_eq!(ddmin(vec![1], |_| false), vec![1]);
+    }
+}

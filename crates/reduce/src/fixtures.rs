@@ -1,0 +1,218 @@
+//! Reconstructed case-study witnesses in pre-reduction shape.
+//!
+//! The paper reports each case study (§5) as a *minimal* program, but a
+//! campaign first sees the crash inside a full mutant: the trigger pattern
+//! buried in mutated seed code that has nothing to do with the bug. These
+//! fixtures rebuild that shape — the `exp_case_studies` trigger cores padded
+//! with the kind of bystander declarations, dead locals, and comments that
+//! stacked mutations leave behind — so `exp_reduction` and the integration
+//! test measure reduction on realistic inputs.
+//!
+//! Padding is chosen to stay clear of *other* catalog bugs (identifier
+//! lengths, paren/brace depth, decl/typedef counts, volatile/comma/ternary
+//! shapes all sit well under every unrelated threshold), so each fixture
+//! crashes with exactly its intended signature.
+
+use metamut_simcomp::{CompileOptions, OptFlags, Profile};
+
+/// One reconstructed case-study witness.
+pub struct CaseStudy {
+    /// The planted bug this witness triggers.
+    pub bug_id: &'static str,
+    /// Compiler profile it fires on.
+    pub profile: Profile,
+    /// Options (the "trigger flags" of the paper's reports).
+    pub options: CompileOptions,
+    /// The bloated witness source.
+    pub source: &'static str,
+}
+
+/// The paper's four case studies (GCC #111820/#111819, Clang #63762/#69213)
+/// as bloated campaign mutants.
+pub fn case_studies() -> Vec<CaseStudy> {
+    vec![
+        CaseStudy {
+            bug_id: "gcc-111820-vectorizer-hang",
+            profile: Profile::Gcc,
+            options: CompileOptions {
+                opt_level: 3,
+                flags: OptFlags {
+                    no_tree_vrp: true,
+                    ..Default::default()
+                },
+            },
+            source: GCC_111820,
+        },
+        CaseStudy {
+            bug_id: "gcc-111819-fold-offsetof",
+            profile: Profile::Gcc,
+            options: CompileOptions::o0(),
+            source: GCC_111819,
+        },
+        CaseStudy {
+            bug_id: "clang-63762-label-codegen",
+            profile: Profile::Clang,
+            options: CompileOptions::o2(),
+            source: CLANG_63762,
+        },
+        CaseStudy {
+            bug_id: "clang-69213-scalar-brace",
+            profile: Profile::Clang,
+            options: CompileOptions::o0(),
+            source: CLANG_69213,
+        },
+    ]
+}
+
+/// GCC #111820: the vectorizer hangs on a descending-from-zero loop under
+/// `-O3 -fno-tree-vrp`. The trigger is `f`; everything else is mutation
+/// residue.
+const GCC_111820: &str = r#"/* mutant 11384: seed loop-vect.c after CopyRange, StmtDup, SwapBranch,
+ * and two ExpandAssign rounds; flags sampled by the macro fuzzer. */
+int r;
+int r_0;
+int mix_state;
+int mix_accum[6] = {3, 1, 4, 1, 5, 9};
+int mix_two(int a, int b) { int t = a - b; return t * 3 + b; }
+int mix_fold(int a) { return mix_two(a, 2) + mix_two(2, a); }
+void mix_step(void) { mix_state = mix_fold(mix_state) + mix_accum[3]; }
+int mix_probe(int a, int b, int c) {
+    int acc = a + b;
+    if (acc > c) { acc = acc - c; } else { acc = c - acc; }
+    return acc;
+}
+void mix_drain(void) { mix_state = mix_probe(mix_state, 8, 3); }
+void f(void) {
+    int n = 0;
+    while (--n) {
+        r_0 += r;
+        r += r; r += r; r += r; r += r; r += r;
+    }
+}
+int mix_tail(void) {
+    mix_step();
+    mix_drain();
+    return mix_state + r_0;
+}
+int observe(void) { return mix_tail() + mix_accum[1]; }
+"#;
+
+/// GCC #111819: `fold_offsetof` assertion on `&__imag__ (cast)` at `-O0`.
+/// The trigger is `bar`.
+const GCC_111819: &str = r#"/* mutant 7952: seed complex-addr.c after ExpandCast, HoistExpr and
+ * CopyPropagation rounds. */
+long long combinedVar_1;
+long long shadow_ring[4] = {10, 20, 30, 40};
+int pad_scale(int v) { return v * 2 + 1; }
+int pad_blend(int v) { return pad_scale(v) + pad_scale(v + 1); }
+void pad_store(void) { shadow_ring[1] = pad_blend(7); }
+int pad_cmp(int a, int b) {
+    int d = a - b;
+    if (d > 0) { return d; }
+    return b - a;
+}
+void pad_shift(void) { shadow_ring[2] = pad_cmp(9, 4) + shadow_ring[0]; }
+int *bar(void) {
+    return (int *)&__imag__ (*(_Complex double *)((char *)&combinedVar_1 + 16));
+}
+long long pad_tail(void) {
+    pad_store();
+    pad_shift();
+    return shadow_ring[1] + shadow_ring[2] + combinedVar_1;
+}
+"#;
+
+/// Clang #63762: a void function whose body is a call followed only by
+/// labels, no returns, at `-O2` (the Ret2V mutant of Figure 5). The
+/// trigger is `helper` + `foo`.
+const CLANG_63762: &str = r#"/* mutant 4417: seed jump-web.c after Ret2V, DeadArg and SplitDecl
+ * rounds; labels left behind by a removed goto chain. */
+int bank_a;
+int bank_b[5] = {2, 7, 1, 8, 2};
+int churn_add(int u, int v) { int w = u + v; return w * 2; }
+int churn_mul(int u) { return churn_add(u, 3) - churn_add(3, u); }
+void churn_fill(void) { bank_a = churn_mul(bank_b[4]) + bank_b[0]; }
+int churn_pick(int u, int v) {
+    int best = u;
+    if (v > best) { best = v; }
+    return best;
+}
+void churn_settle(void) { bank_a = churn_pick(bank_a, bank_b[2]); }
+void helper(int *x, int *y) { }
+void foo(int x[64], int y[64]) {
+    helper(x, y);
+gt:
+    ;
+lt:
+    ;
+}
+int churn_tail(void) {
+    churn_fill();
+    churn_settle();
+    return bank_a;
+}
+int main(void) { return 0; }
+"#;
+
+/// Clang #69213: scalar compound literal with an empty brace member at
+/// `-O0`. The trigger is `foo`.
+const CLANG_69213: &str = r#"/* mutant 9201: seed init-forms.c after BraceInit, DupStmt and
+ * NarrowType rounds. */
+int spare_counter;
+int spare_grid[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int spare_sum(int a, int b) { int t = a + b; return t; }
+int spare_scale(int a) { return spare_sum(a, a) * 3; }
+void spare_touch(void) { spare_counter = spare_scale(spare_grid[2]); }
+int spare_clamp(int a) {
+    if (a > 100) { return 100; }
+    if (a < 2) { return 2; }
+    return a;
+}
+foo(int *ptr) {
+    int guard = 5;
+    if (guard > 1) { guard = guard - 1; }
+    *ptr = (int) {{}, 0};
+    return 0;
+}
+int spare_tail(void) {
+    spare_touch();
+    return spare_clamp(spare_counter);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamut_simcomp::Compiler;
+
+    #[test]
+    fn fixtures_trigger_their_intended_bugs() {
+        for cs in case_studies() {
+            let compiler = Compiler::new(cs.profile, cs.options.clone());
+            let result = compiler.compile(cs.source);
+            let crash = result
+                .outcome
+                .crash()
+                .unwrap_or_else(|| panic!("{} fixture does not crash", cs.bug_id));
+            assert_eq!(
+                crash.bug_id, cs.bug_id,
+                "{} fixture crashed with the wrong bug",
+                cs.bug_id
+            );
+        }
+    }
+
+    #[test]
+    fn fixtures_are_bloated_enough_to_reduce() {
+        // The 25% acceptance gate needs real padding: every fixture must be
+        // several times its trigger core.
+        for cs in case_studies() {
+            assert!(
+                cs.source.len() > 600,
+                "{} fixture is only {} bytes",
+                cs.bug_id,
+                cs.source.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The reduction oracle: "does this candidate still reproduce the *same*
+//! crash?"
+//!
+//! A candidate is accepted only if the instrumented compiler — same
+//! [`Profile`], same [`CompileOptions`] — still dies with the identical
+//! [`CrashInfo::signature`] (the paper's top-two-stack-frames unique-crash
+//! criterion from `metamut-simcomp::bugs`). Everything else (clean
+//! compiles, rejections, *different* crashes) is a failed candidate, so
+//! reduction can never silently slide from one bug onto another.
+//!
+//! Every distinct candidate costs one compiler invocation; byte-identical
+//! retries (ddmin revisits subsets across granularity levels) are answered
+//! from a verdict cache without recompiling.
+
+use metamut_lang::fxhash::FxHashMap;
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn source_hash(src: &str) -> u64 {
+    let mut h = metamut_lang::fxhash::FxHasher::default();
+    src.hash(&mut h);
+    h.finish()
+}
+
+/// A signature-preserving crash oracle over one compiler configuration.
+pub struct ReductionOracle {
+    compiler: Compiler,
+    target: u64,
+    calls: AtomicU64,
+    verdicts: Mutex<FxHashMap<u64, bool>>,
+}
+
+impl ReductionOracle {
+    /// An oracle that accepts exactly the crashes whose signature is
+    /// `target` under `profile`/`options`.
+    pub fn new(profile: Profile, options: CompileOptions, target: u64) -> Self {
+        ReductionOracle {
+            compiler: Compiler::new(profile, options),
+            target,
+            calls: AtomicU64::new(0),
+            verdicts: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Builds the oracle *from* a crashing witness: compiles `witness` and
+    /// locks onto the signature it produces. Returns `None` when the
+    /// witness does not crash this compiler configuration at all.
+    pub fn for_witness(profile: Profile, options: CompileOptions, witness: &str) -> Option<Self> {
+        let compiler = Compiler::new(profile, options.clone());
+        let crash = compiler.compile(witness).outcome.crash()?.clone();
+        Some(Self::new(profile, options, crash.signature()))
+    }
+
+    /// The crash signature this oracle preserves.
+    pub fn target_signature(&self) -> u64 {
+        self.target
+    }
+
+    /// The compiler configuration under reduction.
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// Compiler invocations so far (cache hits are free).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Whether `src` still reproduces the target crash signature.
+    pub fn reproduces(&self, src: &str) -> bool {
+        let key = source_hash(src);
+        if let Some(&v) = self.verdicts.lock().get(&key) {
+            return v;
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        metamut_telemetry::handle().counter_add("reduce_oracle_calls", 1);
+        let verdict = self
+            .compiler
+            .compile(src)
+            .outcome
+            .crash()
+            .is_some_and(|c| c.signature() == self.target);
+        self.verdicts.lock().insert(key, verdict);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WITNESS: &str = "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }";
+
+    #[test]
+    fn locks_onto_witness_signature() {
+        let oracle = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), WITNESS)
+            .expect("witness crashes clang-sim");
+        assert!(oracle.reproduces(WITNESS));
+        // A clean program is not the same crash.
+        assert!(!oracle.reproduces("int main(void) { return 0; }"));
+        // Neither is a parse error.
+        assert!(!oracle.reproduces("int main( {"));
+    }
+
+    #[test]
+    fn non_crashing_witness_yields_no_oracle() {
+        assert!(ReductionOracle::for_witness(
+            Profile::Gcc,
+            CompileOptions::o0(),
+            "int main(void) { return 0; }"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn verdict_cache_avoids_recompiles() {
+        let oracle = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), WITNESS)
+            .expect("witness crashes");
+        assert!(oracle.reproduces(WITNESS));
+        let after_first = oracle.calls();
+        for _ in 0..5 {
+            assert!(oracle.reproduces(WITNESS));
+        }
+        assert_eq!(oracle.calls(), after_first, "repeats must hit the cache");
+    }
+
+    #[test]
+    fn different_crash_is_rejected() {
+        // Lock onto the scalar-brace signature, then offer a paren-stack
+        // segfault: a crash, but the wrong one.
+        let oracle = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), WITNESS)
+            .expect("witness crashes");
+        let other = format!("int x = {}1;", "(".repeat(50));
+        assert!(oracle.compiler().compile(&other).outcome.crash().is_some());
+        assert!(!oracle.reproduces(&other));
+    }
+}

@@ -1,0 +1,322 @@
+//! Campaign triage: bucket crash records by signature, reduce the smallest
+//! witness of each bucket in parallel, and emit a per-bug report.
+//!
+//! The fan-out mirrors `run_parallel_campaign`: scoped std threads pulling
+//! bucket indices from a shared atomic counter. Reduction is embarrassingly
+//! parallel (each bucket owns its oracle), so the speedup is linear until
+//! the bucket count runs out.
+
+use crate::oracle::ReductionOracle;
+use crate::reducer::{reduce, ReduceConfig};
+use metamut_fuzzing::campaign::CrashRecord;
+use metamut_simcomp::{CompileOptions, Profile};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Triage parameters.
+#[derive(Debug, Clone, Default)]
+pub struct TriageConfig {
+    /// Reduction workers; `0` means one per available CPU (capped at the
+    /// bucket count).
+    pub workers: usize,
+    /// Per-witness reduction knobs.
+    pub reduce: ReduceConfig,
+}
+
+/// One triaged bug: the reduced witness plus its bookkeeping.
+#[derive(Debug, Clone, Serialize)]
+pub struct BugReport {
+    /// Planted-bug id (stable across runs).
+    pub bug_id: String,
+    /// Crash-consequence class label.
+    pub kind: String,
+    /// Pipeline stage label.
+    pub stage: String,
+    /// Top-two stack frames (the signature's preimage).
+    pub frames: Vec<String>,
+    /// The numeric top-two-frame signature.
+    pub signature: u64,
+    /// Compiler profile name.
+    pub compiler: String,
+    /// Flag string that triggers the crash.
+    pub flags: String,
+    /// Iteration the bucket's first record was discovered at.
+    pub first_iteration: usize,
+    /// How many crash records fell into this bucket.
+    pub records: usize,
+    /// Whether the chosen witness reproduced the signature under the
+    /// triage compiler configuration (reduction is skipped otherwise).
+    pub reproduced: bool,
+    /// The reduced witness program.
+    pub reduced: String,
+    /// Witness bytes before reduction.
+    pub original_bytes: usize,
+    /// Witness bytes after reduction.
+    pub reduced_bytes: usize,
+    /// `reduced_bytes / original_bytes`.
+    pub reduction_ratio: f64,
+    /// Oracle compiler invocations spent on this bucket.
+    pub oracle_calls: u64,
+    /// Bytes removed per reduction pass.
+    pub pass_bytes: BTreeMap<String, u64>,
+}
+
+/// The whole campaign's triage outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct TriageReport {
+    /// Compiler profile name.
+    pub compiler: String,
+    /// Flag string the campaign (and every oracle) ran under.
+    pub flags: String,
+    /// Per-bug reports, ordered by discovery iteration.
+    pub bugs: Vec<BugReport>,
+    /// Oracle calls across all buckets.
+    pub total_oracle_calls: u64,
+    /// Total witness bytes before reduction.
+    pub total_bytes_before: usize,
+    /// Total witness bytes after reduction.
+    pub total_bytes_after: usize,
+}
+
+impl TriageReport {
+    /// Pretty-printed JSON rendering of the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Renders the report as a markdown bug-list document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Triage report — {} ({})\n\n{} unique bug(s); {} → {} bytes across all witnesses; {} oracle calls.\n\n",
+            self.compiler,
+            self.flags,
+            self.bugs.len(),
+            self.total_bytes_before,
+            self.total_bytes_after,
+            self.total_oracle_calls,
+        ));
+        out.push_str("| bug | stage | kind | bytes | ratio | oracle calls |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for b in &self.bugs {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} → {} | {:.0}% | {} |\n",
+                b.bug_id,
+                b.stage,
+                b.kind,
+                b.original_bytes,
+                b.reduced_bytes,
+                b.reduction_ratio * 100.0,
+                b.oracle_calls,
+            ));
+        }
+        for b in &self.bugs {
+            out.push_str(&format!(
+                "\n## {}\n\n- crash: `{}` / `{}`\n- trigger flags: `{}`\n- first seen: iteration {}\n- records in bucket: {}\n\n```c\n{}\n```\n",
+                b.bug_id, b.frames[0], b.frames[1], b.flags, b.first_iteration, b.records, b.reduced,
+            ));
+        }
+        out
+    }
+}
+
+/// A signature bucket awaiting reduction.
+struct Bucket {
+    smallest: CrashRecord,
+    records: usize,
+    first_iteration: usize,
+}
+
+/// Groups records by signature, keeping the smallest witness per bucket and
+/// ordering buckets by first discovery.
+fn bucket_records(records: &[CrashRecord]) -> Vec<Bucket> {
+    let mut by_sig: BTreeMap<u64, Bucket> = BTreeMap::new();
+    for r in records {
+        match by_sig.get_mut(&r.signature) {
+            None => {
+                by_sig.insert(
+                    r.signature,
+                    Bucket {
+                        smallest: r.clone(),
+                        records: 1,
+                        first_iteration: r.first_iteration,
+                    },
+                );
+            }
+            Some(b) => {
+                b.records += 1;
+                b.first_iteration = b.first_iteration.min(r.first_iteration);
+                if r.witness.len() < b.smallest.witness.len() {
+                    b.smallest = r.clone();
+                }
+            }
+        }
+    }
+    let mut buckets: Vec<Bucket> = by_sig.into_values().collect();
+    buckets.sort_by_key(|b| b.first_iteration);
+    buckets
+}
+
+/// Reduces one bucket's smallest witness and writes its report row.
+fn triage_bucket(
+    bucket: &Bucket,
+    profile: Profile,
+    options: &CompileOptions,
+    config: &TriageConfig,
+) -> BugReport {
+    let record = &bucket.smallest;
+    let oracle = ReductionOracle::new(profile, options.clone(), record.signature);
+    let reproduced = oracle.reproduces(&record.witness);
+    let result = reduce(&oracle, &record.witness, &config.reduce);
+    BugReport {
+        bug_id: record.info.bug_id.to_string(),
+        kind: record.info.kind.label().to_string(),
+        stage: record.info.stage.label().to_string(),
+        frames: record.info.frames.iter().map(|f| f.to_string()).collect(),
+        signature: record.signature,
+        compiler: profile.name().to_string(),
+        flags: options.render(),
+        first_iteration: bucket.first_iteration,
+        records: bucket.records,
+        reproduced,
+        reduction_ratio: result.ratio(),
+        reduced: result.reduced,
+        original_bytes: result.original_bytes,
+        reduced_bytes: result.reduced_bytes,
+        oracle_calls: result.oracle_calls,
+        pass_bytes: result.pass_bytes,
+    }
+}
+
+/// Triages `records` from a campaign that ran `profile` under `options`:
+/// buckets by signature, reduces every bucket's smallest witness across
+/// `config.workers` threads, and assembles the [`TriageReport`].
+pub fn triage_crashes(
+    records: &[CrashRecord],
+    profile: Profile,
+    options: &CompileOptions,
+    config: &TriageConfig,
+) -> TriageReport {
+    let telemetry = metamut_telemetry::handle();
+    let _span = telemetry.span("triage");
+    let buckets = bucket_records(records);
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.workers
+    }
+    .min(buckets.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, BugReport)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= buckets.len() {
+                    break;
+                }
+                let report = triage_bucket(&buckets[i], profile, options, config);
+                done.lock().push((i, report));
+            });
+        }
+    });
+    let mut rows = done.into_inner();
+    rows.sort_by_key(|(i, _)| *i);
+    let bugs: Vec<BugReport> = rows.into_iter().map(|(_, b)| b).collect();
+
+    TriageReport {
+        compiler: profile.name().to_string(),
+        flags: options.render(),
+        total_oracle_calls: bugs.iter().map(|b| b.oracle_calls).sum(),
+        total_bytes_before: bugs.iter().map(|b| b.original_bytes).sum(),
+        total_bytes_after: bugs.iter().map(|b| b.reduced_bytes).sum(),
+        bugs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metamut_simcomp::Compiler;
+
+    fn record_for(witness: &str, profile: Profile, options: &CompileOptions) -> CrashRecord {
+        let info = Compiler::new(profile, options.clone())
+            .compile(witness)
+            .outcome
+            .crash()
+            .expect("witness must crash")
+            .clone();
+        CrashRecord {
+            signature: info.signature(),
+            info,
+            first_iteration: 0,
+            witness: witness.to_string(),
+        }
+    }
+
+    #[test]
+    fn buckets_keep_smallest_witness() {
+        let options = CompileOptions::o0();
+        let small = record_for(
+            "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }",
+            Profile::Clang,
+            &options,
+        );
+        let mut big = record_for(
+            "int pad(void) { return 7; }\nfoo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }",
+            Profile::Clang,
+            &options,
+        );
+        big.first_iteration = 5;
+        let buckets = bucket_records(&[big.clone(), small.clone()]);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].records, 2);
+        assert_eq!(buckets[0].smallest.witness, small.witness);
+        assert_eq!(buckets[0].first_iteration, 0);
+    }
+
+    #[test]
+    fn triage_reduces_and_reports() {
+        let options = CompileOptions::o0();
+        let witness = "\
+int filler_one(void) { return 11; }\n\
+int filler_two(void) { return filler_one() + 1; }\n\
+foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }\n";
+        let records = vec![record_for(witness, Profile::Clang, &options)];
+        let report = triage_crashes(&records, Profile::Clang, &options, &TriageConfig::default());
+        assert_eq!(report.bugs.len(), 1);
+        let bug = &report.bugs[0];
+        assert!(bug.reproduced);
+        assert_eq!(bug.bug_id, "clang-69213-scalar-brace");
+        assert!(bug.reduced_bytes < bug.original_bytes);
+        assert!(report.total_oracle_calls > 0);
+        let md = report.to_markdown();
+        assert!(md.contains("clang-69213-scalar-brace"));
+        assert!(md.contains("```c"));
+        // The reduced witness still crashes with the same signature.
+        let oracle = ReductionOracle::new(Profile::Clang, options.clone(), bug.signature);
+        assert!(oracle.reproduces(&bug.reduced));
+    }
+
+    #[test]
+    fn non_reproducing_record_is_flagged() {
+        let options = CompileOptions::o0();
+        let mut rec = record_for(
+            "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }",
+            Profile::Clang,
+            &options,
+        );
+        // Corrupt the witness so it no longer crashes.
+        rec.witness = "int main(void) { return 0; }".to_string();
+        let report = triage_crashes(&[rec], Profile::Clang, &options, &TriageConfig::default());
+        assert_eq!(report.bugs.len(), 1);
+        assert!(!report.bugs[0].reproduced);
+        assert_eq!(report.bugs[0].reduction_ratio, 1.0);
+    }
+}

@@ -10,6 +10,7 @@
 //! - [`core`] — the MetaMut framework (invent → synthesize → validate).
 //! - [`simcomp`] — the instrumented compiler under test.
 //! - [`fuzzing`] — μCFuzz, the macro fuzzer and the four baselines.
+//! - [`reduce`] — crash triage and signature-preserving reduction.
 //!
 //! ```
 //! use metamut::prelude::*;
@@ -32,6 +33,7 @@ pub use metamut_lang as lang;
 pub use metamut_llm as llm;
 pub use metamut_muast as muast;
 pub use metamut_mutators as mutators;
+pub use metamut_reduce as reduce;
 pub use metamut_simcomp as simcomp;
 
 /// The most commonly used items in one import.

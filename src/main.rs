@@ -5,7 +5,9 @@
 //! metamut mutate FILE -m NAME [-s N]    # apply one mutator to a C file
 //! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
-//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup]   # a μCFuzz campaign
+//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--reduce]
+//! metamut reduce FILE [-p gcc|clang] [-O N] [--flags ...]   # minimize one crasher
+//! metamut triage FILE... [-p gcc|clang] [-O N] [--out DIR]  # bucket + reduce crashers
 //! ```
 
 use metamut::prelude::*;
@@ -32,15 +34,23 @@ fn main() -> ExitCode {
         "compile" => compile_cmd(rest),
         "generate" => generate(rest),
         "fuzz" => fuzz(rest),
+        "reduce" => reduce_cmd(rest),
+        "triage" => triage_cmd(rest),
         _ => {
             eprintln!(
-                "usage: metamut <list|mutate|compile|generate|fuzz> [options]\n\
+                "usage: metamut <list|mutate|compile|generate|fuzz|reduce|triage> [options]\n\
                  \n  list                         list the mutator library\
                  \n  mutate FILE -m NAME [-s N]   apply one mutator to a C file\
                  \n  compile FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
                  \n  generate [-n N] [-s N]       run the MetaMut generation pipeline\
                  \n  fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup]  run a μCFuzz campaign\
                  \n                               -w N: worker threads (0 = one per CPU; default 1)\
+                 \n                               --reduce: triage + reduce discovered crashes\
+                 \n                               --reduce-out DIR: write triage.json/.md to DIR\
+                 \n  reduce FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
+                 \n                               minimize one crashing program (stdout)\
+                 \n  triage FILE... [-p gcc|clang] [-O N] [-w N] [--out DIR]\
+                 \n                               bucket crashing files by signature and reduce each\
                  \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH\
                  \n  (any subcommand) --status-every SECS  status-line cadence (0 = off)"
             );
@@ -67,19 +77,23 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-fn positional(rest: &[String]) -> Option<&String> {
-    const VALUE_FLAGS: [&str; 10] = [
-        "-m",
-        "-s",
-        "-p",
-        "-O",
-        "-i",
-        "-n",
-        "-w",
-        "--workers",
-        "--telemetry",
-        "--status-every",
-    ];
+const VALUE_FLAGS: [&str; 12] = [
+    "-m",
+    "-s",
+    "-p",
+    "-O",
+    "-i",
+    "-n",
+    "-w",
+    "--workers",
+    "--telemetry",
+    "--status-every",
+    "--out",
+    "--reduce-out",
+];
+
+fn positionals(rest: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
     let mut skip_next = false;
     for a in rest {
         if skip_next {
@@ -91,10 +105,14 @@ fn positional(rest: &[String]) -> Option<&String> {
             continue;
         }
         if !a.starts_with('-') {
-            return Some(a);
+            out.push(a);
         }
     }
-    None
+    out
+}
+
+fn positional(rest: &[String]) -> Option<&String> {
+    positionals(rest).into_iter().next()
 }
 
 fn list() -> ExitCode {
@@ -162,6 +180,19 @@ fn parse_profile(rest: &[String]) -> Profile {
     }
 }
 
+fn parse_options(rest: &[String], default_opt: u8) -> CompileOptions {
+    CompileOptions {
+        opt_level: opt(rest, "-O")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_opt),
+        flags: OptFlags {
+            no_tree_vrp: rest.iter().any(|a| a == "--no-tree-vrp"),
+            unroll_loops: rest.iter().any(|a| a == "--unroll-loops"),
+            strict_aliasing: true,
+        },
+    }
+}
+
 fn compile_cmd(rest: &[String]) -> ExitCode {
     let Some(file) = positional(rest) else {
         eprintln!("compile: missing FILE");
@@ -174,15 +205,7 @@ fn compile_cmd(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let options = CompileOptions {
-        opt_level: opt(rest, "-O").and_then(|s| s.parse().ok()).unwrap_or(2),
-        flags: OptFlags {
-            no_tree_vrp: rest.iter().any(|a| a == "--no-tree-vrp"),
-            unroll_loops: rest.iter().any(|a| a == "--unroll-loops"),
-            strict_aliasing: true,
-        },
-    };
-    let compiler = Compiler::new(parse_profile(rest), options);
+    let compiler = Compiler::new(parse_profile(rest), parse_options(rest, 2));
     let r = compiler.compile(&src);
     println!(
         "{} {} → {:?} ({} branches covered)",
@@ -222,6 +245,124 @@ fn generate(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn reduce_cmd(rest: &[String]) -> ExitCode {
+    use metamut::reduce::{reduce, ReduceConfig, ReductionOracle};
+    let Some(file) = positional(rest) else {
+        eprintln!("reduce: missing FILE");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("reduce: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = parse_profile(rest);
+    let options = parse_options(rest, 2);
+    let Some(oracle) = ReductionOracle::for_witness(profile, options.clone(), &src) else {
+        eprintln!(
+            "reduce: {file} does not crash {} {}",
+            profile.name(),
+            options.render()
+        );
+        return ExitCode::FAILURE;
+    };
+    let result = reduce(&oracle, &src, &ReduceConfig::default());
+    eprintln!(
+        "reduce: {} → {} bytes ({:.0}%), {} oracle calls, {} rounds",
+        result.original_bytes,
+        result.reduced_bytes,
+        result.ratio() * 100.0,
+        result.oracle_calls,
+        result.rounds
+    );
+    for (pass, bytes) in &result.pass_bytes {
+        eprintln!("  {pass:<16} -{bytes} bytes");
+    }
+    print!("{}", result.reduced);
+    if !result.reduced.ends_with('\n') {
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn triage_cmd(rest: &[String]) -> ExitCode {
+    use metamut::fuzzing::campaign::CrashRecord;
+    use metamut::reduce::{triage_crashes, TriageConfig};
+    let files = positionals(rest);
+    if files.is_empty() {
+        eprintln!("triage: missing FILE...");
+        return ExitCode::from(2);
+    }
+    let profile = parse_profile(rest);
+    let options = parse_options(rest, 2);
+    let compiler = Compiler::new(profile, options.clone());
+    let mut records = Vec::new();
+    for file in files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("triage: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compiler.compile(&src).outcome.crash() {
+            Some(info) => records.push(CrashRecord {
+                signature: info.signature(),
+                info: info.clone(),
+                first_iteration: records.len(),
+                witness: src,
+            }),
+            None => eprintln!(
+                "triage: {file} does not crash {} {} — skipped",
+                profile.name(),
+                options.render()
+            ),
+        }
+    }
+    if records.is_empty() {
+        eprintln!("triage: no crashing inputs");
+        return ExitCode::FAILURE;
+    }
+    let workers: usize = opt(rest, "-w")
+        .or_else(|| opt(rest, "--workers"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let config = TriageConfig {
+        workers,
+        ..Default::default()
+    };
+    let report = triage_crashes(&records, profile, &options, &config);
+    emit_triage(&report, opt(rest, "--out").as_deref())
+}
+
+/// Prints a triage report (markdown to stdout), optionally also writing
+/// `triage.json` and `triage.md` into a directory.
+fn emit_triage(report: &metamut::reduce::TriageReport, out_dir: Option<&str>) -> ExitCode {
+    if let Some(dir) = out_dir {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("triage: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, contents) in [
+            ("triage.json", report.to_json()),
+            ("triage.md", report.to_markdown()),
+        ] {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("triage: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("triage: wrote {}", path.display());
+        }
+    } else {
+        print!("{}", report.to_markdown());
+    }
+    ExitCode::SUCCESS
+}
+
 fn fuzz(rest: &[String]) -> ExitCode {
     let iterations: usize = opt(rest, "-i").and_then(|s| s.parse().ok()).unwrap_or(500);
     let seed: u64 = opt(rest, "-s").and_then(|s| s.parse().ok()).unwrap_or(7);
@@ -235,7 +376,9 @@ fn fuzz(rest: &[String]) -> ExitCode {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let compiler = Compiler::new(parse_profile(rest), CompileOptions::o2());
+    let profile = parse_profile(rest);
+    let options = CompileOptions::o2();
+    let compiler = Compiler::new(profile, options.clone());
     let config = CampaignConfig {
         iterations,
         seed,
@@ -285,6 +428,32 @@ fn fuzz(rest: &[String]) -> ExitCode {
             c.info.frames[0],
             c.info.frames[1]
         );
+    }
+    if rest.iter().any(|a| a == "--reduce") && !report.crashes.is_empty() {
+        use metamut::reduce::{triage_crashes, TriageConfig};
+        let config = TriageConfig {
+            workers,
+            ..Default::default()
+        };
+        let triage = triage_crashes(&report.crashes, profile, &options, &config);
+        println!(
+            "triage: {} bug(s), {} → {} witness bytes, {} oracle calls",
+            triage.bugs.len(),
+            triage.total_bytes_before,
+            triage.total_bytes_after,
+            triage.total_oracle_calls
+        );
+        for b in &triage.bugs {
+            println!(
+                "  {}: {} → {} bytes ({:.0}%), {} oracle calls",
+                b.bug_id,
+                b.original_bytes,
+                b.reduced_bytes,
+                b.reduction_ratio * 100.0,
+                b.oracle_calls
+            );
+        }
+        return emit_triage(&triage, opt(rest, "--reduce-out").as_deref());
     }
     ExitCode::SUCCESS
 }

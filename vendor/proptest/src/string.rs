@@ -2,8 +2,9 @@
 //!
 //! Supports the generator-friendly subset these tests use: literal
 //! characters, `.`, character classes (`[a-z0-9]`, `[ -~\n]`, negation),
-//! escapes, and the quantifiers `{m,n}` / `{m}` / `{m,}` / `*` / `+` / `?`.
-//! No alternation, grouping, or anchors.
+//! escapes, groups `(...)`, alternation `a|b` (top-level and inside
+//! groups), and the quantifiers `{m,n}` / `{m}` / `{m,}` / `*` / `+` /
+//! `?` on atoms and groups alike. No anchors or backreferences.
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
@@ -20,19 +21,47 @@ impl std::fmt::Display for RegexError {
 
 impl std::error::Error for RegexError {}
 
-/// One regex atom with its repeat range: the alphabet it draws from and
-/// `[min, max]` inclusive repetition bounds.
+/// One parsed regex term with its `[min, max]` inclusive repetition
+/// bounds: either a character atom drawing from an alphabet, or a group
+/// of alternative branches (each a term sequence) re-chosen per repeat.
 #[derive(Debug, Clone)]
-struct Piece {
-    alphabet: Vec<char>,
-    min: usize,
-    max: usize,
+enum Node {
+    Atom {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    },
+    Group {
+        branches: Vec<Vec<Node>>,
+        min: usize,
+        max: usize,
+    },
+}
+
+fn generate_sequence(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        match node {
+            Node::Atom { alphabet, min, max } => {
+                let count = min + rng.below(max - min + 1);
+                for _ in 0..count {
+                    out.push(alphabet[rng.below(alphabet.len())]);
+                }
+            }
+            Node::Group { branches, min, max } => {
+                let count = min + rng.below(max - min + 1);
+                for _ in 0..count {
+                    let branch = &branches[rng.below(branches.len())];
+                    generate_sequence(branch, rng, out);
+                }
+            }
+        }
+    }
 }
 
 /// A compiled pattern; generates matching strings.
 #[derive(Debug, Clone)]
 pub struct RegexGeneratorStrategy {
-    pieces: Vec<Piece>,
+    branches: Vec<Vec<Node>>,
 }
 
 impl Strategy for RegexGeneratorStrategy {
@@ -40,12 +69,8 @@ impl Strategy for RegexGeneratorStrategy {
 
     fn new_value(&self, rng: &mut TestRng) -> String {
         let mut out = String::new();
-        for piece in &self.pieces {
-            let count = piece.min + rng.below(piece.max - piece.min + 1);
-            for _ in 0..count {
-                out.push(piece.alphabet[rng.below(piece.alphabet.len())]);
-            }
-        }
+        let branch = &self.branches[rng.below(self.branches.len())];
+        generate_sequence(branch, rng, &mut out);
         out
     }
 }
@@ -194,9 +219,33 @@ impl PatternParser {
         }
     }
 
-    fn parse(mut self) -> Result<Vec<Piece>, RegexError> {
-        let mut pieces = Vec::new();
-        while let Some(c) = self.next() {
+    /// Parses `seq ('|' seq)*`, stopping before an unconsumed `)`.
+    fn parse_alternation(&mut self) -> Result<Vec<Vec<Node>>, RegexError> {
+        let mut branches = vec![self.parse_sequence()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.parse_sequence()?);
+        }
+        Ok(branches)
+    }
+
+    /// Parses quantified terms until `|`, `)`, or the end of the pattern.
+    fn parse_sequence(&mut self) -> Result<Vec<Node>, RegexError> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            self.pos += 1;
+            if c == '(' {
+                let branches = self.parse_alternation()?;
+                if self.next() != Some(')') {
+                    return Err(RegexError("unterminated group".into()));
+                }
+                let (min, max) = self.parse_quantifier()?;
+                nodes.push(Node::Group { branches, min, max });
+                continue;
+            }
             let alphabet = match c {
                 '.' => dot_alphabet(),
                 '[' => self.parse_class()?,
@@ -215,17 +264,25 @@ impl PatternParser {
                         other => vec![escape_char(other)?],
                     }
                 }
-                '(' | ')' | '|' | '^' | '$' => {
+                '^' | '$' => {
                     return Err(RegexError(format!(
-                        "unsupported regex feature '{c}' (no groups/alternation/anchors)"
+                        "unsupported regex feature '{c}' (no anchors)"
                     )))
                 }
                 literal => vec![literal],
             };
             let (min, max) = self.parse_quantifier()?;
-            pieces.push(Piece { alphabet, min, max });
+            nodes.push(Node::Atom { alphabet, min, max });
         }
-        Ok(pieces)
+        Ok(nodes)
+    }
+
+    fn parse(mut self) -> Result<Vec<Vec<Node>>, RegexError> {
+        let branches = self.parse_alternation()?;
+        if let Some(c) = self.peek() {
+            return Err(RegexError(format!("unmatched '{c}' in pattern")));
+        }
+        Ok(branches)
     }
 }
 
@@ -236,7 +293,7 @@ pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, RegexError>
         pos: 0,
     };
     Ok(RegexGeneratorStrategy {
-        pieces: parser.parse()?,
+        branches: parser.parse()?,
     })
 }
 
@@ -287,8 +344,70 @@ mod tests {
     }
 
     #[test]
+    fn alternation_picks_a_branch() {
+        for seed in 0..50 {
+            let s = gen("foo|bar|baz", seed);
+            assert!(["foo", "bar", "baz"].contains(&s.as_str()), "{s:?}");
+        }
+        // Both sides show up over enough seeds.
+        let seen: std::collections::BTreeSet<String> = (0..50).map(|s| gen("ab|cd", s)).collect();
+        assert_eq!(seen.len(), 2, "{seen:?}");
+    }
+
+    #[test]
+    fn groups_concatenate() {
+        for seed in 0..50 {
+            let s = gen("(ab|cd)e", seed);
+            assert!(s == "abe" || s == "cde", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn quantified_group_rechooses_per_repeat() {
+        for seed in 0..50 {
+            let s = gen("(ab|cd){2,3}", seed);
+            assert!(s.len() == 4 || s.len() == 6, "{s:?}");
+            for chunk in s.as_bytes().chunks(2) {
+                assert!(chunk == b"ab" || chunk == b"cd", "{s:?}");
+            }
+        }
+        // Mixed repeats like "abcd" require a fresh branch choice per repeat.
+        assert!((0..50).any(|seed| {
+            let s = gen("(a|b){4}", seed);
+            s.contains('a') && s.contains('b')
+        }));
+    }
+
+    #[test]
+    fn nested_groups() {
+        for seed in 0..50 {
+            let s = gen("((x|y)z){1,2}", seed);
+            assert!(s.len() == 2 || s.len() == 4, "{s:?}");
+            for chunk in s.as_bytes().chunks(2) {
+                assert!(chunk == b"xz" || chunk == b"yz", "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn optional_group_and_empty_branch() {
+        let seen: std::collections::BTreeSet<String> = (0..50).map(|s| gen("(ab)?c", s)).collect();
+        assert_eq!(
+            seen,
+            ["c".to_string(), "abc".to_string()].into_iter().collect()
+        );
+        for seed in 0..50 {
+            let s = gen("(a|)b", seed);
+            assert!(s == "ab" || s == "b", "{s:?}");
+        }
+    }
+
+    #[test]
     fn rejects_unsupported() {
-        assert!(string_regex("(ab|cd)").is_err());
+        assert!(string_regex("^ab").is_err());
+        assert!(string_regex("ab$").is_err());
+        assert!(string_regex("(ab").is_err());
+        assert!(string_regex("ab)").is_err());
         assert!(string_regex("[z-a]").is_err());
         assert!(string_regex("a{5,2}").is_err());
     }
