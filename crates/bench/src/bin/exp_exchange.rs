@@ -65,6 +65,7 @@ fn main() {
             workers,
             exchange_every,
             dedup: opts.dedup,
+            ..Default::default()
         };
         let started = Instant::now();
         let report = run_parallel_campaign(

@@ -1,0 +1,255 @@
+//! Experiment: incremental mutant compilation vs cold compilation.
+//!
+//! A fuzzing campaign compiles thousands of mutants per seed, and almost
+//! every mutant differs from its parent in exactly one top-level
+//! declaration. Incremental compilation (`metamut_simcomp::incremental`)
+//! exploits that: the seed's per-declaration pipeline artifacts are built
+//! once, and each mutant re-runs the full pipeline only for its edited
+//! declaration, stitching the rest from cache — bit-identical to a cold
+//! compile by construction.
+//!
+//! This bin measures mutant-compile throughput on campaign-shaped
+//! workloads (many-function seeds, single-function mutants) at several
+//! seed sizes, cross-checks every mutant's incremental result against its
+//! cold result (outcome equality + coverage-set equality), and records
+//! everything in `BENCH_incremental.json` at the repository root. The
+//! enforced gate: at the largest (campaign-shaped) seed size, incremental
+//! compilation must clear **3×** cold throughput, with **zero**
+//! cross-check mismatches at every size. The incremental timing includes
+//! the one-time baseline build, exactly as a campaign pays it.
+//!
+//! Usage: `exp_incremental [--mutants N] [--repeats N] [--smoke]`.
+//! `--smoke` shrinks the workload, skips the throughput gate (the
+//! cross-check still must be clean), and parks its report under
+//! `target/experiments/` so CI never dirties the tree.
+
+use metamut_bench::render_table;
+use metamut_simcomp::{coverage_equal, Baseline, CompileOptions, Compiler, Profile};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct IncrementalRow {
+    functions: usize,
+    seed_bytes: usize,
+    mutants: usize,
+    cold_s: f64,
+    incremental_s: f64,
+    cold_per_sec: f64,
+    incremental_per_sec: f64,
+    speedup: f64,
+    fast_path_rate_pct: f64,
+    cross_check_mismatches: usize,
+}
+
+#[derive(Serialize)]
+struct IncrementalReport {
+    mutants_per_size: usize,
+    repeats: usize,
+    gate: String,
+    speedup_at_largest: f64,
+    rows: Vec<IncrementalRow>,
+    note: String,
+}
+
+/// One function of the synthetic seed. `tweak != 0` models a campaign
+/// mutant: a single-declaration body edit leaving every other chunk
+/// byte-identical.
+fn func_src(i: usize, tweak: usize) -> String {
+    format!(
+        "int fn_{i}(int n) {{\n    \
+         int acc = {init};\n    \
+         int lim = n + {pad};\n    \
+         for (int j = 0; j < lim; j = j + 1) {{ acc = acc + j * 3 + g; }}\n    \
+         vg = acc;\n    \
+         return acc;\n}}\n",
+        init = i + tweak * 13,
+        pad = (i * 7) % 5,
+    )
+}
+
+/// A campaign-shaped program: globals plus `funcs` loop-carrying
+/// functions plus a `main` that calls them all. `tweaks[i] != 0` rewrites
+/// function `i`'s body.
+fn make_program(funcs: usize, tweaks: &[usize]) -> String {
+    let mut s = String::from("int g = 3;\nvolatile int vg;\n");
+    for i in 0..funcs {
+        s.push_str(&func_src(i, tweaks.get(i).copied().unwrap_or(0)));
+    }
+    s.push_str("int main(void) {\n    int t = 0;\n");
+    for i in 0..funcs {
+        s.push_str(&format!("    t = t + fn_{i}({});\n", 2 + i % 5));
+    }
+    s.push_str("    return t;\n}\n");
+    s
+}
+
+/// Round-robin single-function mutants of the `funcs`-function seed.
+fn make_mutants(funcs: usize, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|m| {
+            let mut tweaks = vec![0usize; funcs];
+            tweaks[m % funcs] = 1 + m / funcs;
+            make_program(funcs, &tweaks)
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    let mutants_per_size = arg("--mutants").unwrap_or(if smoke { 40 } else { 240 });
+    let repeats = arg("--repeats").unwrap_or(if smoke { 1 } else { 3 });
+    let sizes: &[usize] = if smoke { &[8, 16] } else { &[8, 16, 32] };
+
+    println!(
+        "== Incremental mutant compilation ({mutants_per_size} mutants per size, best of {repeats}) ==\n"
+    );
+
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let mut rows = Vec::new();
+    for &funcs in sizes {
+        let seed = make_program(funcs, &[]);
+        assert!(
+            compiler.compile(&seed).outcome.is_success(),
+            "the {funcs}-function seed must compile cleanly"
+        );
+        let mutants = make_mutants(funcs, mutants_per_size);
+
+        // Correctness first: every mutant's incremental result must be
+        // bit-identical to cold, and campaign-shaped mutants must take the
+        // fast path (a 100% fallback rate would make the timing a lie).
+        let baseline = Baseline::build(&compiler, &seed).expect("seed must be cacheable");
+        let mut mismatches = 0usize;
+        let mut fast_hits = 0usize;
+        for m in &mutants {
+            let cold = compiler.compile(m);
+            let (inc, fast) = compiler.compile_incremental_traced(m, &baseline);
+            fast_hits += fast as usize;
+            if inc.outcome != cold.outcome || !coverage_equal(&inc.coverage, &cold.coverage) {
+                mismatches += 1;
+            }
+        }
+
+        // Best-of-N wall time; the incremental run pays the baseline
+        // build inside the clock, as a campaign worker would.
+        let mut cold_s = f64::INFINITY;
+        let mut inc_s = f64::INFINITY;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            for m in &mutants {
+                std::hint::black_box(compiler.compile(m));
+            }
+            cold_s = cold_s.min(started.elapsed().as_secs_f64());
+
+            let started = Instant::now();
+            let b = Baseline::build(&compiler, &seed).expect("seed must be cacheable");
+            for m in &mutants {
+                std::hint::black_box(compiler.compile_incremental(m, &b));
+            }
+            inc_s = inc_s.min(started.elapsed().as_secs_f64());
+        }
+
+        rows.push(IncrementalRow {
+            functions: funcs,
+            seed_bytes: seed.len(),
+            mutants: mutants.len(),
+            cold_s,
+            incremental_s: inc_s,
+            cold_per_sec: mutants.len() as f64 / cold_s,
+            incremental_per_sec: mutants.len() as f64 / inc_s,
+            speedup: cold_s / inc_s,
+            fast_path_rate_pct: 100.0 * fast_hits as f64 / mutants.len() as f64,
+            cross_check_mismatches: mismatches,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.functions.to_string(),
+                format!("{:.0}", r.cold_per_sec),
+                format!("{:.0}", r.incremental_per_sec),
+                format!("{:.2}x", r.speedup),
+                format!("{:.0}%", r.fast_path_rate_pct),
+                r.cross_check_mismatches.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Functions",
+                "Cold/s",
+                "Incremental/s",
+                "Speedup",
+                "Fast path",
+                "Mismatches"
+            ],
+            &table
+        )
+    );
+
+    let speedup_at_largest = rows.last().map(|r| r.speedup).unwrap_or(0.0);
+    let gate = "incremental >= 3.0x cold mutant-compile throughput at the largest seed size, \
+                0 cross-check mismatches at every size"
+        .to_string();
+    let report = IncrementalReport {
+        mutants_per_size,
+        repeats,
+        gate: gate.clone(),
+        speedup_at_largest,
+        rows,
+        note: "single-function mutants of synthetic many-function seeds vs gcc-sim -O2; \
+               incremental timing includes the one-time Baseline build; cross-check = \
+               outcome equality + coverage-set equality against a cold compile per mutant"
+            .into(),
+    };
+
+    // The committed evidence lives at the repository root, next to the
+    // README that cites it; smoke runs park their miniature report in
+    // `target/` so CI never dirties the tree.
+    let path = if smoke {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        std::fs::create_dir_all(&dir).expect("create target/experiments");
+        dir.join("BENCH_incremental_smoke.json")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_incremental.json")
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize incremental report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_incremental.json");
+    println!("report written to {}", path.display());
+
+    // The correctness gate holds even in smoke mode: a wrong result is
+    // wrong at any scale.
+    for r in &report.rows {
+        assert_eq!(
+            r.cross_check_mismatches, 0,
+            "incremental diverged from cold at {} functions",
+            r.functions
+        );
+        assert_eq!(
+            r.fast_path_rate_pct, 100.0,
+            "campaign-shaped mutants fell off the fast path at {} functions",
+            r.functions
+        );
+    }
+    if smoke {
+        println!("(smoke run: throughput gate skipped, cross-check enforced)");
+    } else {
+        assert!(
+            speedup_at_largest >= 3.0,
+            "incremental reached only {speedup_at_largest:.2}x of cold throughput (gate: {gate})"
+        );
+        println!("gate ok: {speedup_at_largest:.2}x >= 3.0x — {gate}");
+    }
+}

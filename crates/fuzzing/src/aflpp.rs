@@ -120,6 +120,10 @@ impl TestGenerator for AflPlusPlus {
         self.pool.len()
     }
 
+    fn seed_source(&self, index: usize) -> Option<&str> {
+        self.pool.get(index)
+    }
+
     fn drain_new_seeds(&mut self) -> Vec<String> {
         self.pool.take_new_seeds()
     }

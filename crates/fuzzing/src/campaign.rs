@@ -12,7 +12,9 @@
 use crate::generator::TestGenerator;
 use crate::parallel::ExchangeHub;
 use metamut_muast::MutRng;
-use metamut_simcomp::{AtomicCoverage, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict};
+use metamut_simcomp::{
+    AtomicCoverage, BaselineCache, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict,
+};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -39,6 +41,17 @@ pub struct CampaignConfig {
     /// Exchange newly discovered seeds across shards every this many
     /// iterations per worker (`0` disables exchange).
     pub exchange_every: usize,
+    /// Compile mutants incrementally against their parent seed's cached
+    /// per-declaration artifacts (see `metamut_simcomp::incremental`).
+    /// Results are bit-identical to cold compiles — a pure throughput
+    /// knob, like [`CampaignConfig::dedup`]. `--no-incremental` turns it
+    /// off.
+    pub incremental: bool,
+    /// Cross-check every Nth incremental compile against a cold compile
+    /// (`0` disables). A correctness belt for experiments; mismatches
+    /// surface through `BaselineCache::mismatches` and the
+    /// `incremental_mismatches` telemetry counter.
+    pub cross_check_every: usize,
 }
 
 impl Default for CampaignConfig {
@@ -50,6 +63,8 @@ impl Default for CampaignConfig {
             workers: 0,
             dedup: true,
             exchange_every: 64,
+            incremental: true,
+            cross_check_every: 0,
         }
     }
 }
@@ -206,6 +221,10 @@ pub(crate) struct CampaignShared<'a> {
     series: Mutex<Vec<SamplePoint>>,
     next_iter: AtomicUsize,
     dedup: Option<DedupCache>,
+    /// Seed-baseline cache for incremental mutant compilation, shared
+    /// across every worker/shard so a seed's baseline builds once per
+    /// campaign.
+    incremental: Option<BaselineCache>,
 }
 
 impl<'a> CampaignShared<'a> {
@@ -218,6 +237,9 @@ impl<'a> CampaignShared<'a> {
             series: Mutex::new(Vec::new()),
             next_iter: AtomicUsize::new(0),
             dedup: config.dedup.then(DedupCache::new),
+            incremental: config
+                .incremental
+                .then(|| BaselineCache::with_cross_check(config.cross_check_every)),
         }
     }
 
@@ -308,7 +330,23 @@ pub(crate) fn run_worker(
                 (verdict.compiled, 0)
             }
             None => {
-                let result = shared.compiler.compile(&candidate.program);
+                if shared.dedup.is_some() {
+                    telemetry.counter_add("dedup_misses", 1);
+                }
+                // Mutants of a pooled parent compile incrementally against
+                // the parent's cached baseline (bit-identical to cold, so
+                // nothing downstream can tell); parentless candidates and
+                // incremental guard failures compile cold.
+                let seed = candidate
+                    .parent
+                    .and_then(|i| generator.seed_source(i))
+                    .map(str::to_owned);
+                let result = match (&shared.incremental, seed) {
+                    (Some(cache), Some(seed)) => {
+                        cache.compile(shared.compiler, &seed, &candidate.program)
+                    }
+                    _ => shared.compiler.compile(&candidate.program),
+                };
                 let compiled = match &result.outcome {
                     Outcome::Success { .. } => true,
                     // A crash beyond the front end means it was accepted.
@@ -451,6 +489,56 @@ mod tests {
         assert_eq!(with.stage_coverage, without.stage_coverage);
         let stats = with.dedup.unwrap();
         assert!(stats.hits > 0, "80 iterations produced no duplicate mutant");
+    }
+
+    #[test]
+    fn incremental_does_not_change_the_report() {
+        // The `--no-incremental` escape hatch must reproduce campaign
+        // results bit-for-bit: incremental compilation is a throughput
+        // knob, never a behavior change. Cross-checking every incremental
+        // compile against a cold one must observe zero mismatches.
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let run = |incremental: bool| {
+            let mut f = MuCFuzz::new(
+                "uCFuzz.s",
+                Arc::new(metamut_mutators::supervised_registry()),
+                seed_corpus().iter().map(|s| s.to_string()),
+            );
+            let cfg = CampaignConfig {
+                iterations: 120,
+                seed: 7,
+                sample_every: 20,
+                incremental,
+                cross_check_every: 1,
+                ..Default::default()
+            };
+            run_campaign(&mut f, &compiler, &cfg)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with, without, "incremental compilation changed a report");
+    }
+
+    #[test]
+    fn incremental_takes_fast_paths_and_cross_checks_cleanly() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let mut f = MuCFuzz::new(
+            "uCFuzz.s",
+            Arc::new(metamut_mutators::supervised_registry()),
+            seed_corpus().iter().map(|s| s.to_string()),
+        );
+        let cfg = CampaignConfig {
+            iterations: 120,
+            seed: 7,
+            sample_every: 20,
+            cross_check_every: 1,
+            ..Default::default()
+        };
+        let shared = CampaignShared::new(&compiler, &cfg);
+        let _ = run_worker(0, &mut f, &shared, None);
+        let cache = shared.incremental.as_ref().expect("incremental on");
+        assert!(cache.hits() > 0, "no mutant took the incremental fast path");
+        assert_eq!(cache.mismatches(), 0, "incremental diverged from cold");
     }
 
     #[test]

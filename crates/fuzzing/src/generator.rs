@@ -45,6 +45,16 @@ pub trait TestGenerator: Send {
         1
     }
 
+    /// The source text of pool entry `index` — the program a candidate's
+    /// [`Candidate::parent`] refers to. The campaign engine keys
+    /// incremental-compilation baselines off it, so mutants compile
+    /// against their seed's cached artifacts. Generation-based fuzzers
+    /// (no pool, no parents) return `None` and always compile cold.
+    fn seed_source(&self, index: usize) -> Option<&str> {
+        let _ = index;
+        None
+    }
+
     /// Seeds this generator discovered since the last drain, for cross-shard
     /// exchange. Pure generators have nothing to share.
     fn drain_new_seeds(&mut self) -> Vec<String> {

@@ -28,9 +28,30 @@ use crate::token::{Token, TokenKind};
 /// # Ok::<(), metamut_lang::error::Diagnostics>(())
 /// ```
 pub fn parse(name: &str, src: &str) -> Result<Ast, Diagnostics> {
+    parse_with_typedefs(name, src, &FxHashSet::default())
+}
+
+/// Like [`parse`], but with `typedefs` pre-seeded into the parser's typedef
+/// table.
+///
+/// This is the entry point for parsing a single declaration excised from a
+/// larger translation unit: the lexer hack needs the typedef names the
+/// earlier declarations introduced, and nothing else from them (this subset
+/// only admits file-scope typedefs, so the seeded set fully reproduces the
+/// parser state at any declaration boundary).
+///
+/// # Errors
+///
+/// Returns the accumulated diagnostics if lexing or parsing fails.
+pub fn parse_with_typedefs(
+    name: &str,
+    src: &str,
+    typedefs: &FxHashSet<String>,
+) -> Result<Ast, Diagnostics> {
     let tokens = lex(src)?;
     let file = SourceFile::new(name, src);
     let mut p = Parser::new(&file, tokens);
+    p.typedefs = typedefs.clone();
     match p.parse_translation_unit() {
         Ok(unit) => {
             let node_count = p.next_id;

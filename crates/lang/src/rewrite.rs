@@ -87,6 +87,20 @@ impl Rewriter {
         !self.edits.is_empty()
     }
 
+    /// The smallest span of the *original* source covering every queued
+    /// edit, or `None` when nothing has been queued. Incremental consumers
+    /// use this to locate the declaration a mutation touched.
+    pub fn edited_span(&self) -> Option<Span> {
+        let mut it = self.edits.iter();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first.span.lo, first.span.hi);
+        for e in it {
+            lo = lo.min(e.span.lo);
+            hi = hi.max(e.span.hi);
+        }
+        Some(Span::new(lo, hi))
+    }
+
     /// Queues a replacement of the text at `span` with `text`.
     pub fn replace(&mut self, span: Span, text: impl Into<String>) {
         let seq = self.edits.len();
@@ -252,6 +266,18 @@ mod tests {
         rw.replace(Span::new(0, 2), "X");
         rw.replace(Span::new(2, 4), "Y");
         assert_eq!(rw.apply().unwrap(), "XY");
+    }
+
+    #[test]
+    fn edited_span_covers_all_edits() {
+        let mut rw = Rewriter::new("aaa bbb ccc");
+        assert_eq!(rw.edited_span(), None);
+        rw.replace(Span::new(4, 7), "XYZ");
+        assert_eq!(rw.edited_span(), Some(Span::new(4, 7)));
+        rw.insert_before(9, "!");
+        assert_eq!(rw.edited_span(), Some(Span::new(4, 9)));
+        rw.remove(Span::new(0, 2));
+        assert_eq!(rw.edited_span(), Some(Span::new(0, 9)));
     }
 
     #[test]

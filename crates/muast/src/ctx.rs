@@ -135,6 +135,14 @@ impl<'a> MutCtx<'a> {
         self.rewriter.has_edits()
     }
 
+    /// The smallest span of the *original* source covering every rewrite
+    /// queued so far, or `None` when nothing has been queued. Incremental
+    /// mutant compilation uses it to confirm a mutation stayed inside one
+    /// top-level declaration.
+    pub fn edited_span(&self) -> Option<Span> {
+        self.rewriter.edited_span()
+    }
+
     /// Removes parameter `index` from a function's declaration, including
     /// the separating comma (μAST `removeParmFromFuncDecl`).
     ///

@@ -8,15 +8,28 @@
 //! compiles, rejections, *different* crashes) is a failed candidate, so
 //! reduction can never silently slide from one bug onto another.
 //!
-//! Every distinct candidate costs one compiler invocation; byte-identical
-//! retries (ddmin revisits subsets across granularity levels) are answered
-//! from a verdict cache without recompiling.
+//! Three layers keep the oracle cheap, checked in order:
+//!
+//! 1. **Verdict cache** — byte-identical retries (ddmin revisits subsets
+//!    across granularity levels) are answered without recompiling.
+//! 2. **Syntactic pre-filter** — when the target crash fires *past* the
+//!    front end, a candidate our parser rejects can never reach it: the
+//!    pipeline stops at the front end, so any crash it produces has a
+//!    front-end signature, never the target's. One parse replaces a full
+//!    compile. Front-end targets skip this filter entirely — raw-byte bugs
+//!    (paren storms, identifier overflows) fire on unparseable input.
+//! 3. **Incremental compile** — candidates that still have to compile run
+//!    against a [`Baseline`] of the current best witness, so single-
+//!    function edits (statement ddmin, expression shrinking) reuse the
+//!    witness's cached per-declaration artifacts. Incremental compilation
+//!    is bit-identical to cold, so verdicts are unaffected.
 
 use metamut_lang::fxhash::FxHashMap;
-use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use metamut_simcomp::{Baseline, CompileOptions, Compiler, CrashInfo, Profile, Stage};
 use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn source_hash(src: &str) -> u64 {
     let mut h = metamut_lang::fxhash::FxHasher::default();
@@ -28,29 +41,55 @@ fn source_hash(src: &str) -> u64 {
 pub struct ReductionOracle {
     compiler: Compiler,
     target: u64,
+    /// Pipeline stage of the target crash, when known. `Some(stage)` with
+    /// `stage != FrontEnd` enables the syntactic pre-filter; `None`
+    /// (signature-only construction via [`ReductionOracle::new`]) keeps
+    /// every candidate on the compile path.
+    target_stage: Option<Stage>,
     calls: AtomicU64,
+    prefilter_skips: AtomicU64,
     verdicts: Mutex<FxHashMap<u64, bool>>,
+    /// Incremental-compilation baseline of the current best witness; kept
+    /// fresh by [`ReductionOracle::rebase`]. `None` means candidates
+    /// compile cold.
+    baseline: Mutex<Option<Arc<Baseline>>>,
 }
 
 impl ReductionOracle {
     /// An oracle that accepts exactly the crashes whose signature is
-    /// `target` under `profile`/`options`.
+    /// `target` under `profile`/`options`. The crash stage is unknown, so
+    /// the syntactic pre-filter stays off; prefer
+    /// [`ReductionOracle::for_witness`] when a crashing witness is at hand.
     pub fn new(profile: Profile, options: CompileOptions, target: u64) -> Self {
         ReductionOracle {
             compiler: Compiler::new(profile, options),
             target,
+            target_stage: None,
             calls: AtomicU64::new(0),
+            prefilter_skips: AtomicU64::new(0),
             verdicts: Mutex::new(FxHashMap::default()),
+            baseline: Mutex::new(None),
         }
     }
 
-    /// Builds the oracle *from* a crashing witness: compiles `witness` and
-    /// locks onto the signature it produces. Returns `None` when the
-    /// witness does not crash this compiler configuration at all.
+    /// Builds the oracle *from* a crashing witness: compiles `witness`,
+    /// locks onto the signature it produces, arms the syntactic pre-filter
+    /// with the crash's stage, and builds the witness's incremental
+    /// baseline. Returns `None` when the witness does not crash this
+    /// compiler configuration at all.
     pub fn for_witness(profile: Profile, options: CompileOptions, witness: &str) -> Option<Self> {
-        let compiler = Compiler::new(profile, options.clone());
-        let crash = compiler.compile(witness).outcome.crash()?.clone();
-        Some(Self::new(profile, options, crash.signature()))
+        let compiler = Compiler::new(profile, options);
+        let crash: CrashInfo = compiler.compile(witness).outcome.crash()?.clone();
+        let baseline = Baseline::build(&compiler, witness).map(Arc::new);
+        Some(ReductionOracle {
+            target: crash.signature(),
+            target_stage: Some(crash.stage),
+            calls: AtomicU64::new(0),
+            prefilter_skips: AtomicU64::new(0),
+            verdicts: Mutex::new(FxHashMap::default()),
+            baseline: Mutex::new(baseline),
+            compiler,
+        })
     }
 
     /// The crash signature this oracle preserves.
@@ -58,14 +97,37 @@ impl ReductionOracle {
         self.target
     }
 
+    /// The pipeline stage of the target crash, when known.
+    pub fn target_stage(&self) -> Option<Stage> {
+        self.target_stage
+    }
+
     /// The compiler configuration under reduction.
     pub fn compiler(&self) -> &Compiler {
         &self.compiler
     }
 
-    /// Compiler invocations so far (cache hits are free).
+    /// Compiler invocations so far (cache hits and pre-filter skips are
+    /// free; [`ReductionOracle::rebase`] is not counted either).
     pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Candidates answered by the syntactic pre-filter instead of a
+    /// compile.
+    pub fn prefilter_skips(&self) -> u64 {
+        self.prefilter_skips.load(Ordering::Relaxed)
+    }
+
+    /// Re-anchors the incremental baseline on `witness` (the reducer's
+    /// current best). Costs one cold compile plus the artifact build; every
+    /// subsequent single-declaration candidate compiles incrementally
+    /// against it. A witness the baseline builder cannot digest (e.g. an
+    /// unparseable raw-byte crasher) clears the baseline, so candidates
+    /// fall back to cold compiles.
+    pub fn rebase(&self, witness: &str) {
+        let baseline = Baseline::build(&self.compiler, witness).map(Arc::new);
+        *self.baseline.lock() = baseline;
     }
 
     /// Whether `src` still reproduces the target crash signature.
@@ -74,11 +136,26 @@ impl ReductionOracle {
         if let Some(&v) = self.verdicts.lock().get(&key) {
             return v;
         }
+        // Syntactic pre-filter: a post-front-end crash needs a candidate
+        // the front end accepts, so a failed parse settles the verdict
+        // without compiling. Unsound for front-end targets (raw-byte bugs
+        // crash on unparseable input), hence the stage gate.
+        if self.target_stage.is_some_and(|s| s != Stage::FrontEnd)
+            && metamut_lang::parse("<red>", src).is_err()
+        {
+            self.prefilter_skips.fetch_add(1, Ordering::Relaxed);
+            metamut_telemetry::handle().counter_add("reduce_prefilter_skips", 1);
+            self.verdicts.lock().insert(key, false);
+            return false;
+        }
         self.calls.fetch_add(1, Ordering::Relaxed);
         metamut_telemetry::handle().counter_add("reduce_oracle_calls", 1);
-        let verdict = self
-            .compiler
-            .compile(src)
+        let baseline = self.baseline.lock().clone();
+        let result = match &baseline {
+            Some(b) => self.compiler.compile_incremental(src, b),
+            None => self.compiler.compile(src),
+        };
+        let verdict = result
             .outcome
             .crash()
             .is_some_and(|c| c.signature() == self.target);
@@ -92,6 +169,18 @@ mod tests {
     use super::*;
 
     const WITNESS: &str = "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }";
+
+    /// The Clang #63762 shape (back-end stage): a void function whose body
+    /// is a call followed only by labels, with every return removed.
+    const BACKEND_WITNESS: &str = "\
+void helper(int *x, int *y) { }\n\
+void foo(int x[64], int y[64]) {\n\
+    helper(x, y);\n\
+gt:\n\
+    ;\n\
+lt:\n\
+    ;\n\
+}\n";
 
     #[test]
     fn locks_onto_witness_signature() {
@@ -135,5 +224,108 @@ mod tests {
         let other = format!("int x = {}1;", "(".repeat(50));
         assert!(oracle.compiler().compile(&other).outcome.crash().is_some());
         assert!(!oracle.reproduces(&other));
+    }
+
+    #[test]
+    fn prefilter_skips_unparseable_candidates_for_backend_target() {
+        let oracle =
+            ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), BACKEND_WITNESS)
+                .expect("witness crashes clang-sim in the back end");
+        assert_eq!(oracle.target_stage(), Some(Stage::BackEnd));
+        let calls_before = oracle.calls();
+        assert!(!oracle.reproduces("void foo( {"));
+        assert!(!oracle.reproduces("@@@ garbage @@@"));
+        assert_eq!(oracle.prefilter_skips(), 2);
+        assert_eq!(
+            oracle.calls(),
+            calls_before,
+            "pre-filtered candidates must not compile"
+        );
+        // Skipped verdicts are cached like any other.
+        assert!(!oracle.reproduces("void foo( {"));
+        assert_eq!(oracle.prefilter_skips(), 2);
+        // Parseable candidates still go through the compiler.
+        assert!(oracle.reproduces(BACKEND_WITNESS));
+        assert!(oracle.calls() > calls_before);
+    }
+
+    #[test]
+    fn front_end_target_disables_prefilter() {
+        // A raw-byte paren storm crashes the front end *without* parsing;
+        // pre-filtering would wrongly reject the witness itself.
+        let storm = format!("int x = {}1;", "(".repeat(50));
+        let oracle = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), &storm)
+            .expect("paren storm crashes clang-sim");
+        assert_eq!(oracle.target_stage(), Some(Stage::FrontEnd));
+        let shorter = format!("int x = {}1;", "(".repeat(30));
+        assert!(oracle.reproduces(&shorter));
+        assert_eq!(oracle.prefilter_skips(), 0);
+    }
+
+    #[test]
+    fn signature_only_oracle_never_prefilters() {
+        let target = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), WITNESS)
+            .expect("witness crashes")
+            .target_signature();
+        let oracle = ReductionOracle::new(Profile::Clang, CompileOptions::o0(), target);
+        assert!(oracle.target_stage().is_none());
+        assert!(!oracle.reproduces("not a program"));
+        assert_eq!(oracle.prefilter_skips(), 0);
+        assert_eq!(oracle.calls(), 1, "unknown stage must compile to decide");
+    }
+
+    #[test]
+    fn incremental_oracle_agrees_with_cold() {
+        // Same configuration, one oracle with a baseline (for_witness) and
+        // one without (new + signature): identical verdicts on candidates
+        // that take the incremental fast path and ones that fall back.
+        let with = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o2(), WITNESS)
+            .expect("witness crashes at -O2 too");
+        let cold = ReductionOracle::new(Profile::Clang, CompileOptions::o2(), with.target);
+        let candidates = [
+            WITNESS.to_string(),
+            // Single-declaration edit of the witness: fast path.
+            "foo(int *ptr) { *ptr = (int) {{}, 0}; }".to_string(),
+            // Crash expression removed: clean compile, verdict false.
+            "foo(int *ptr) { *ptr = 0; return 0; }".to_string(),
+            // Different shape entirely.
+            "int main(void) { return 1; }".to_string(),
+        ];
+        for c in &candidates {
+            assert_eq!(with.reproduces(c), cold.reproduces(c), "candidate {c:?}");
+        }
+    }
+
+    #[test]
+    fn rebase_tracks_the_current_best() {
+        let oracle =
+            ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), BACKEND_WITNESS)
+                .expect("witness crashes");
+        // Shrink the witness, re-anchor, and keep answering correctly.
+        let smaller = "\
+void helper(int *x, int *y) { }\n\
+void foo(int x[64], int y[64]) {\n\
+    helper(x, y);\n\
+gt:\n\
+    ;\n\
+lt:\n\
+    ;\n\
+}";
+        assert!(oracle.reproduces(smaller));
+        oracle.rebase(smaller);
+        assert!(oracle.reproduces(
+            "\
+void helper(int *x, int *y) { }\n\
+void foo(int x[8], int y[8]) {\n\
+    helper(x, y);\n\
+gt:\n\
+    ;\n\
+lt:\n\
+    ;\n\
+}"
+        ));
+        // An unparseable rebase clears the baseline instead of lying.
+        oracle.rebase("@@@");
+        assert!(oracle.reproduces(smaller));
     }
 }

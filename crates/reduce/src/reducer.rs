@@ -154,11 +154,14 @@ fn record(pass_bytes: &mut BTreeMap<String, u64>, pass: &str, removed: u64) {
 }
 
 /// Accepts `candidate` if it is smaller and still reproduces; returns the
-/// bytes it removed.
+/// bytes it removed. Each accepted candidate re-anchors the oracle's
+/// incremental baseline, so the probes that follow (mostly rejected
+/// single-declaration edits of the new best) compile incrementally.
 fn try_candidate(oracle: &ReductionOracle, best: &mut String, candidate: String) -> u64 {
     if candidate.len() < best.len() && oracle.reproduces(&candidate) {
         let removed = (best.len() - candidate.len()) as u64;
         *best = candidate;
+        oracle.rebase(best);
         removed
     } else {
         0

@@ -60,10 +60,30 @@ pub const NUM_REGS: usize = 8;
 pub fn codegen(module: &Module) -> AsmOutput {
     let mut out = AsmOutput::default();
     for f in &module.functions {
-        out.features.push(feature_hash_str(&f.name));
-        codegen_function(f, &mut out);
+        merge_asm(&mut out, codegen_one(f));
     }
     out
+}
+
+/// Code generation for a single function into a fresh output.
+///
+/// Codegen state (registers, spill slots, liveness) is entirely
+/// function-local, so whole-module [`codegen`] is exactly the in-order
+/// merge of these partials — the invariant the incremental compiler's
+/// per-function artifact cache relies on.
+pub(crate) fn codegen_one(f: &IrFunction) -> AsmOutput {
+    let mut out = AsmOutput::default();
+    out.features.push(feature_hash_str(&f.name));
+    codegen_function(f, &mut out);
+    out
+}
+
+/// Appends one function's partial output onto an accumulating module output.
+pub(crate) fn merge_asm(out: &mut AsmOutput, part: AsmOutput) {
+    out.insts.extend(part.insts);
+    out.spills += part.spills;
+    out.peak_pressure = out.peak_pressure.max(part.peak_pressure);
+    out.features.extend(part.features);
 }
 
 fn codegen_function(f: &IrFunction, out: &mut AsmOutput) {

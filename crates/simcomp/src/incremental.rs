@@ -1,0 +1,1090 @@
+//! Incremental mutant compilation: function-granular artifact caching.
+//!
+//! A fuzzing campaign compiles thousands of mutants per seed, and almost
+//! every mutant is its seed with exactly one declaration edited. Cold
+//! compilation re-runs the whole four-stage pipeline on the unchanged
+//! 90-something percent of the program every time. This module caches the
+//! per-declaration artifacts of a seed's *baseline* compile — semantic
+//! tables, lowered IR, per-function optimizer output, per-function
+//! assembly — and, for a mutant that edits a single function definition,
+//! re-runs the pipeline only on the edited function, stitching cached
+//! artifacts back into a [`CompileResult`] that is bit-identical (outcome,
+//! coverage set, crash signature, planted-bug features) to a cold compile.
+//!
+//! # Soundness
+//!
+//! The fast path is guarded, never assumed. Every guard failure falls back
+//! to a cold compile, so incremental compilation can only ever be a
+//! performance optimization, not a behavior change:
+//!
+//! 1. the mutant lexes, and token-level [`metamut_lang::split_source`]
+//!    yields the same number of declaration chunks as the seed;
+//! 2. at most one chunk's content hash differs from the baseline;
+//! 3. the changed chunk was a function *definition* in the seed, and
+//!    re-parses (seeded with the typedefs visible at that boundary) to
+//!    exactly one function definition;
+//! 4. re-checking the declaration against the seed's environment snapshot
+//!    succeeds, and the post-state environment fingerprint equals the
+//!    seed's — proving nothing later declarations observe has changed;
+//! 5. the volatile-name set and the trivial-inline-candidate entry of the
+//!    edited function are unchanged, so cached feature partials and cached
+//!    inlining decisions in *other* functions remain valid.
+//!
+//! The seed-side decomposition (per-declaration sema, lowering, features,
+//! per-function passes and codegen) is additionally self-checked against
+//! the whole-program pipeline when the baseline is built; any disagreement
+//! makes the seed permanently uncacheable instead of unsound. A campaign
+//! can also cross-check every Nth incremental result against a cold
+//! compile at runtime ([`BaselineCache::with_cross_check`]).
+
+use crate::backend;
+use crate::bugs;
+use crate::coverage::{feature_hash, feature_hash_display, feature_hash_str, CoverageMap, Stage};
+use crate::features::{self, AstFeatures};
+use crate::ir::{Inst, IrFunction, Value};
+use crate::lower;
+use crate::passes::{self, LoopInfo, OptReport};
+use crate::{CompileOptions, CompileResult, Compiler, Outcome};
+use metamut_lang::fxhash::{FxHashMap, FxHashSet};
+use metamut_lang::sema::{FuncSig, RecordInfo};
+use metamut_lang::token::Token;
+use metamut_lang::{ast as c, check_decl, SemaResult, SemaSnapshot};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Per-function optimizer stages
+// ----------------------------------------------------------------------
+
+/// Pass names in execution order for a given `-O` level, excluding the
+/// trailing loop-analysis entry (whose count is the global loop total).
+fn pass_names(opt_level: u8) -> &'static [&'static str] {
+    match opt_level {
+        0 => &[],
+        1 => &["const-fold", "dce"],
+        _ => &[
+            "const-fold",
+            "dce",
+            "simplify-cfg",
+            "inline",
+            "strlen-opt",
+            "const-fold-2",
+            "dce-2",
+        ],
+    }
+}
+
+/// Index of the `inline` pass in [`pass_names`] at `-O2`+.
+const INLINE_IDX: usize = 3;
+
+/// Runs the pre-inlining passes on one function, pushing per-pass change
+/// counts in [`pass_names`] order.
+fn opt_stage_a(f: &mut IrFunction, opt_level: u8, report: &mut OptReport, counts: &mut Vec<usize>) {
+    if opt_level == 0 {
+        return;
+    }
+    counts.push(passes::const_fold_fn(f, report));
+    counts.push(passes::dead_code_elim_fn(f, report));
+    if opt_level >= 2 {
+        counts.push(passes::simplify_cfg_fn(f, report));
+    }
+}
+
+/// Runs the inlining-and-later passes on one function. `trivial` must be
+/// the module-wide trivial-body map computed *between* the stages, exactly
+/// as [`passes::optimize`] computes it between `simplify-cfg` and `inline`.
+fn opt_stage_b(
+    f: &mut IrFunction,
+    trivial: &FxHashMap<String, (Vec<Inst>, Option<Value>)>,
+    opt_level: u8,
+    flags: &passes::OptFlags,
+    report: &mut OptReport,
+    counts: &mut Vec<usize>,
+) {
+    if opt_level < 2 {
+        return;
+    }
+    counts.push(passes::inline_trivial_fn(f, trivial, report));
+    counts.push(passes::strlen_reduce_fn(f, report));
+    counts.push(passes::const_fold_fn(f, report));
+    counts.push(passes::dead_code_elim_fn(f, report));
+    passes::loop_analysis_fn(f, opt_level, flags, report);
+}
+
+// ----------------------------------------------------------------------
+// Baseline artifacts
+// ----------------------------------------------------------------------
+
+/// Cached pipeline artifacts of one function definition.
+#[derive(Debug, Clone)]
+struct FnArtifacts {
+    /// Optimizer coverage features this function contributed.
+    opt_features: Vec<u64>,
+    /// Per-pass change counts, in [`pass_names`] order.
+    counts: Vec<usize>,
+    /// Loops discovered in this function.
+    loops: Vec<LoopInfo>,
+    /// strlen-reduction observations from this function.
+    strlen: Vec<(String, bool)>,
+    /// Calls inlined away inside this function.
+    inlined: usize,
+    /// Back-end coverage features of this function's assembly.
+    asm_features: Vec<u64>,
+    /// Emitted instruction count.
+    asm_len: usize,
+    /// Spills inserted by register allocation.
+    asm_spills: usize,
+    /// Peak register pressure.
+    asm_peak: usize,
+}
+
+/// Cached pipeline artifacts of one top-level declaration.
+#[derive(Debug, Clone)]
+struct DeclArtifacts {
+    /// The front end's declaration-shape coverage code (tag 6).
+    code6: u64,
+    /// Type-diversity coverage features from this declaration's
+    /// expression types.
+    ty_feats: Vec<u64>,
+    /// This declaration's [`AstFeatures`] partial.
+    feats: AstFeatures,
+    /// Volatile declarator names visible before this declaration.
+    volatile_before: FxHashSet<String>,
+    /// Volatile declarator names visible after it.
+    volatile_after: FxHashSet<String>,
+    /// IR-generation coverage features from lowering this declaration.
+    lower_features: Vec<u64>,
+    /// Optimizer/back-end artifacts when the declaration is a function
+    /// definition.
+    func: Option<FnArtifacts>,
+}
+
+/// The cached baseline compile of one seed program, decomposed per
+/// declaration so a single-declaration mutant can reuse everything else.
+///
+/// Built by [`Baseline::build`]; only seeds whose cold compile succeeds
+/// (and whose per-declaration decomposition verifiably reproduces the
+/// whole-program pipeline) get a baseline.
+#[derive(Debug)]
+pub struct Baseline {
+    profile: bugs::Profile,
+    options: CompileOptions,
+    chunk_hashes: Vec<u64>,
+    decls: Vec<DeclArtifacts>,
+    /// Environment fingerprint at every declaration boundary
+    /// (`fingerprints[k]` = before declaration `k`).
+    fingerprints: Vec<u64>,
+    /// Environment snapshots at every declaration boundary.
+    snapshots: Vec<SemaSnapshot>,
+    /// Final whole-program function signatures (what lowering consults).
+    final_functions: FxHashMap<String, FuncSig>,
+    /// Final whole-program record table.
+    final_records: FxHashMap<String, RecordInfo>,
+    /// Final whole-program enumeration constants.
+    final_enum_consts: FxHashMap<String, i64>,
+    /// Front-end coverage tag 8 (record-count bucket).
+    tag8: u64,
+    /// Front-end coverage tag 9 (function-count bucket).
+    tag9: u64,
+    /// Module-wide trivial-inline candidate map (post pre-inlining
+    /// passes), keyed by function name.
+    trivial: FxHashMap<String, (Vec<Inst>, Option<Value>)>,
+    /// The seed's own cold compile result.
+    seed_result: CompileResult,
+    /// Wall time of the seed's cold compile, for saved-time telemetry.
+    cold_ms: f64,
+}
+
+impl Baseline {
+    /// Builds the per-declaration baseline for `src`, or `None` when the
+    /// seed is not cacheable (lexes or splits oddly, fails to parse or
+    /// analyze, or any decomposition self-check fails). `None` means the
+    /// seed's mutants always compile cold — never that they compile wrong.
+    ///
+    /// Crashing seeds are cacheable: planted bugs only fire in the bug
+    /// checks that `compile`/`stitch` replay, never in the per-declaration
+    /// pipeline cores used here, so the artifacts below are well defined
+    /// for any seed that parses and analyzes cleanly. This is what lets
+    /// the reduction oracle compile candidates incrementally against a
+    /// crashing witness.
+    pub fn build(compiler: &Compiler, src: &str) -> Option<Baseline> {
+        let t0 = std::time::Instant::now();
+        let seed_result = compiler.compile(src);
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let opt_level = compiler.options().opt_level;
+        let flags = compiler.options().flags.clone();
+
+        let (_tokens, chunks) = metamut_lang::split_source(src)?;
+        let ast = metamut_lang::parse("<seed>", src).ok()?;
+        if chunks.len() != ast.unit.decls.len() {
+            return None;
+        }
+        for (ch, d) in chunks.iter().zip(&ast.unit.decls) {
+            let ds = d.span();
+            if !(ch.span.lo <= ds.lo && ds.hi <= ch.span.hi) {
+                return None;
+            }
+        }
+        let inc = metamut_lang::analyze_decls(&ast).ok()?;
+        let full = metamut_lang::analyze(&ast).ok()?;
+
+        // Per-declaration front-end artifacts, with the volatile-name set
+        // (the only feature state that crosses declarations) threaded
+        // explicitly.
+        let mut decls = Vec::with_capacity(ast.unit.decls.len());
+        let mut partials = Vec::with_capacity(ast.unit.decls.len());
+        let mut pending: Vec<(usize, IrFunction, OptReport, Vec<usize>)> = Vec::new();
+        let mut volatile = FxHashSet::default();
+        let mut ty_union: FxHashSet<u64> = FxHashSet::default();
+        for (k, d) in ast.unit.decls.iter().enumerate() {
+            let df = features::decl_features(d, &volatile);
+            let ty_feats: Vec<u64> = inc.decls[k]
+                .sema
+                .expr_types
+                .values()
+                .map(|qt| feature_hash_display(format_args!("ty:{qt}")))
+                .collect();
+            ty_union.extend(ty_feats.iter().copied());
+            let ld = lower::lower_decl(d, &full);
+            if let Some(mut f) = ld.function {
+                let mut report = OptReport::default();
+                let mut counts = Vec::new();
+                opt_stage_a(&mut f, opt_level, &mut report, &mut counts);
+                pending.push((k, f, report, counts));
+            }
+            decls.push(DeclArtifacts {
+                code6: crate::decl_code(d),
+                ty_feats,
+                feats: df.features.clone(),
+                volatile_before: volatile.clone(),
+                volatile_after: df.volatile_after.clone(),
+                lower_features: ld.features,
+                func: None,
+            });
+            partials.push(df.features);
+            volatile = df.volatile_after;
+        }
+
+        // Self-check: the per-declaration decomposition must reproduce the
+        // whole-program front end exactly.
+        if features::merge_decl_features(&partials) != features::ast_features(&ast) {
+            return None;
+        }
+        let full_ty: FxHashSet<u64> = full
+            .expr_types
+            .values()
+            .map(|qt| feature_hash_display(format_args!("ty:{qt}")))
+            .collect();
+        if ty_union != full_ty {
+            return None;
+        }
+
+        // The trivial-inline map is computed between the optimizer's two
+        // stages, from every function's pre-inlining state.
+        let trivial: FxHashMap<String, (Vec<Inst>, Option<Value>)> = if opt_level >= 2 {
+            pending
+                .iter()
+                .filter_map(|(_, f, _, _)| passes::trivial_body_of(f).map(|b| (f.name.clone(), b)))
+                .collect()
+        } else {
+            FxHashMap::default()
+        };
+        for (k, f, report, counts) in &mut pending {
+            opt_stage_b(f, &trivial, opt_level, &flags, report, counts);
+            let asm = backend::codegen_one(f);
+            decls[*k].func = Some(FnArtifacts {
+                opt_features: std::mem::take(&mut report.features),
+                counts: counts.clone(),
+                loops: std::mem::take(&mut report.loops),
+                strlen: std::mem::take(&mut report.strlen_reductions),
+                inlined: if opt_level >= 2 {
+                    counts[INLINE_IDX]
+                } else {
+                    0
+                },
+                asm_features: asm.features,
+                asm_len: asm.insts.len(),
+                asm_spills: asm.spills,
+                asm_peak: asm.peak_pressure,
+            });
+        }
+
+        // Self-check: stitching the per-function optimizer and back-end
+        // artifacts must reproduce the whole-module pipeline exactly.
+        let mut cold_module = lower::lower(&ast, &full).module;
+        let cold_report = passes::optimize(&mut cold_module, opt_level, &flags);
+        let stitched = stitch_opt_report(decls.iter().collect::<Vec<_>>().as_slice(), opt_level);
+        if stitched.pass_stats != cold_report.pass_stats
+            || stitched.loops != cold_report.loops
+            || stitched.strlen_reductions != cold_report.strlen_reductions
+            || stitched.inlined != cold_report.inlined
+            || sorted(&stitched.features) != sorted(&cold_report.features)
+        {
+            return None;
+        }
+        let cold_asm = backend::codegen(&cold_module);
+        let funcs: Vec<&FnArtifacts> = decls.iter().filter_map(|d| d.func.as_ref()).collect();
+        let stitched_len: usize = funcs.iter().map(|f| f.asm_len).sum();
+        let stitched_spills: usize = funcs.iter().map(|f| f.asm_spills).sum();
+        let stitched_peak = funcs.iter().map(|f| f.asm_peak).max().unwrap_or(0);
+        let stitched_asm_feats: Vec<u64> = funcs
+            .iter()
+            .flat_map(|f| f.asm_features.iter().copied())
+            .collect();
+        if stitched_len != cold_asm.insts.len()
+            || stitched_spills != cold_asm.spills
+            || stitched_peak != cold_asm.peak_pressure
+            || stitched_asm_feats != cold_asm.features
+        {
+            return None;
+        }
+
+        let tag8 = full.records.len().min(32) as u64;
+        let tag9 = full.functions.len().min(64) as u64;
+        Some(Baseline {
+            profile: compiler.profile(),
+            options: compiler.options().clone(),
+            chunk_hashes: chunks.iter().map(|ch| ch.hash).collect(),
+            decls,
+            fingerprints: inc.snapshots.iter().map(|s| s.fingerprint()).collect(),
+            snapshots: inc.snapshots,
+            final_functions: full.functions,
+            final_records: full.records,
+            final_enum_consts: full.enum_consts,
+            tag8,
+            tag9,
+            trivial,
+            seed_result,
+            cold_ms,
+        })
+    }
+
+    /// The seed's own cold compile result (reusable verbatim when a
+    /// "mutant" is byte-identical to its seed).
+    pub fn seed_result(&self) -> &CompileResult {
+        &self.seed_result
+    }
+}
+
+fn sorted(v: &[u64]) -> Vec<u64> {
+    let mut s = v.to_vec();
+    s.sort_unstable();
+    s
+}
+
+/// Rebuilds the whole-module [`OptReport`] from per-declaration artifacts:
+/// per-pass counts sum, loops and strlen observations concatenate in
+/// function order, and the loop-analysis entry carries the global total.
+fn stitch_opt_report(arts: &[&DeclArtifacts], opt_level: u8) -> OptReport {
+    let names = pass_names(opt_level);
+    let mut report = OptReport::default();
+    let mut sums = vec![0usize; names.len()];
+    for a in arts {
+        if let Some(fa) = &a.func {
+            report.features.extend_from_slice(&fa.opt_features);
+            for (i, c) in fa.counts.iter().enumerate() {
+                sums[i] += c;
+            }
+            report.loops.extend(fa.loops.iter().cloned());
+            report.strlen_reductions.extend(fa.strlen.iter().cloned());
+            report.inlined += fa.inlined;
+        }
+    }
+    report.pass_stats = names.iter().copied().zip(sums).collect();
+    if opt_level >= 2 {
+        report
+            .pass_stats
+            .push(("loop-analysis", report.loops.len()));
+    }
+    report
+}
+
+// ----------------------------------------------------------------------
+// The incremental compile itself
+// ----------------------------------------------------------------------
+
+/// Whether two coverage maps record exactly the same branch set.
+pub fn coverage_equal(a: &CoverageMap, b: &CoverageMap) -> bool {
+    a.count() == b.count() && !a.would_grow(b) && !b.would_grow(a)
+}
+
+impl Compiler {
+    /// Compiles `mutant` against a seed [`Baseline`], reusing cached
+    /// per-declaration artifacts when the mutant edits at most one
+    /// function definition; falls back to a cold [`Compiler::compile`]
+    /// otherwise. The result is bit-identical to a cold compile either
+    /// way.
+    pub fn compile_incremental(&self, mutant: &str, baseline: &Baseline) -> CompileResult {
+        self.compile_incremental_traced(mutant, baseline).0
+    }
+
+    /// Like [`Compiler::compile_incremental`], also reporting whether the
+    /// incremental fast path was taken (`false` = cold fallback).
+    pub fn compile_incremental_traced(
+        &self,
+        mutant: &str,
+        baseline: &Baseline,
+    ) -> (CompileResult, bool) {
+        let handle = metamut_telemetry::handle();
+        let t0 = handle.enabled().then(std::time::Instant::now);
+        match self.try_incremental(mutant, baseline) {
+            Ok(result) => {
+                if handle.enabled() {
+                    for stage in Stage::ALL {
+                        handle.counter_add(
+                            &metamut_telemetry::labeled("incremental_hits", stage.label()),
+                            1,
+                        );
+                    }
+                    if let Some(t) = t0 {
+                        let spent = t.elapsed().as_secs_f64() * 1e3;
+                        handle.observe("incremental_saved_ms", (baseline.cold_ms - spent).max(0.0));
+                    }
+                }
+                (result, true)
+            }
+            Err(stage) => {
+                if handle.enabled() {
+                    handle.counter_add(&metamut_telemetry::labeled("incremental_misses", stage), 1);
+                }
+                (self.compile(mutant), false)
+            }
+        }
+    }
+
+    /// The guarded fast path. `Err` carries the pipeline-stage label at
+    /// which the guard chain bailed (telemetry's `incremental_misses`
+    /// family).
+    fn try_incremental(
+        &self,
+        mutant: &str,
+        baseline: &Baseline,
+    ) -> Result<CompileResult, &'static str> {
+        if self.profile != baseline.profile || self.options != baseline.options {
+            return Err("config");
+        }
+        let Some((tokens, chunks)) = metamut_lang::split_source(mutant) else {
+            return Err(Stage::FrontEnd.label());
+        };
+        if chunks.len() != baseline.chunk_hashes.len() {
+            return Err(Stage::FrontEnd.label());
+        }
+        let mut diffs = chunks
+            .iter()
+            .enumerate()
+            .filter(|(i, ch)| ch.hash != baseline.chunk_hashes[*i])
+            .map(|(i, _)| i);
+        let changed = match (diffs.next(), diffs.next()) {
+            (None, _) => None,
+            (Some(k), None) => Some(k),
+            _ => return Err(Stage::FrontEnd.label()),
+        };
+
+        let recomputed = match changed {
+            None => None,
+            Some(k) => {
+                let base_decl = &baseline.decls[k];
+                // Only function-definition edits keep every other cached
+                // artifact valid: globals, typedefs, records and enum
+                // constants all change what later declarations see.
+                if base_decl.func.is_none() {
+                    return Err(Stage::FrontEnd.label());
+                }
+                let mini_src = chunks[k].text(mutant);
+                let typedefs = baseline.snapshots[k].typedef_names();
+                let Ok(mini) = metamut_lang::parse_with_typedefs("<inc>", mini_src, &typedefs)
+                else {
+                    return Err(Stage::FrontEnd.label());
+                };
+                if mini.unit.decls.len() != 1 {
+                    return Err(Stage::FrontEnd.label());
+                }
+                match &mini.unit.decls[0] {
+                    c::ExternalDecl::Function(f) if f.is_definition() => {}
+                    _ => return Err(Stage::FrontEnd.label()),
+                }
+                let Ok(dc) = check_decl(&baseline.snapshots[k], &mini, 0) else {
+                    return Err(Stage::FrontEnd.label());
+                };
+                // The edit must leave the environment later declarations
+                // observe untouched, or their cached sema is stale.
+                if dc.after.fingerprint() != baseline.fingerprints[k + 1] {
+                    return Err(Stage::FrontEnd.label());
+                }
+                let df = features::decl_features(&mini.unit.decls[0], &base_decl.volatile_before);
+                if df.volatile_after != base_decl.volatile_after {
+                    return Err(Stage::FrontEnd.label());
+                }
+                let ty_feats: Vec<u64> = dc
+                    .sema
+                    .expr_types
+                    .values()
+                    .map(|qt| feature_hash_display(format_args!("ty:{qt}")))
+                    .collect();
+                // Lowering consults only the *final* semantic tables for
+                // cross-declaration facts (signatures, enum constants),
+                // plus this declaration's own expression/declaration
+                // types — splice the two together. The fingerprint guard
+                // proves the final tables are still the baseline's.
+                let hybrid = SemaResult {
+                    functions: baseline.final_functions.clone(),
+                    records: baseline.final_records.clone(),
+                    enum_consts: baseline.final_enum_consts.clone(),
+                    ..dc.sema
+                };
+                let ld = lower::lower_decl(&mini.unit.decls[0], &hybrid);
+                let Some(mut f) = ld.function else {
+                    return Err(Stage::IrGen.label());
+                };
+                let opt_level = self.options.opt_level;
+                let mut report = OptReport::default();
+                let mut counts = Vec::new();
+                opt_stage_a(&mut f, opt_level, &mut report, &mut counts);
+                if opt_level >= 2 {
+                    // Cached inlining decisions in *other* functions used
+                    // the seed's trivial-body map; the edit must not have
+                    // changed this function's entry in it.
+                    if passes::trivial_body_of(&f) != baseline.trivial.get(&f.name).cloned() {
+                        return Err(Stage::Opt.label());
+                    }
+                    opt_stage_b(
+                        &mut f,
+                        &baseline.trivial,
+                        opt_level,
+                        &self.options.flags,
+                        &mut report,
+                        &mut counts,
+                    );
+                }
+                let asm = backend::codegen_one(&f);
+                Some((
+                    k,
+                    DeclArtifacts {
+                        code6: crate::decl_code(&mini.unit.decls[0]),
+                        ty_feats,
+                        feats: df.features,
+                        volatile_before: base_decl.volatile_before.clone(),
+                        volatile_after: df.volatile_after,
+                        lower_features: ld.features,
+                        func: Some(FnArtifacts {
+                            opt_features: report.features,
+                            counts: counts.clone(),
+                            loops: report.loops,
+                            strlen: report.strlen_reductions,
+                            inlined: if opt_level >= 2 {
+                                counts[INLINE_IDX]
+                            } else {
+                                0
+                            },
+                            asm_features: asm.features,
+                            asm_len: asm.insts.len(),
+                            asm_spills: asm.spills,
+                            asm_peak: asm.peak_pressure,
+                        }),
+                    },
+                ))
+            }
+        };
+
+        let arts: Vec<&DeclArtifacts> = (0..baseline.decls.len())
+            .map(|i| match &recomputed {
+                Some((k, art)) if *k == i => art,
+                _ => &baseline.decls[i],
+            })
+            .collect();
+        Ok(self.stitch(mutant, &tokens, baseline, &arts))
+    }
+
+    /// Replays the cold pipeline's coverage recording and per-stage bug
+    /// checks over stitched artifacts, in the cold order — including the
+    /// early return (coverage truncation) when a planted bug fires.
+    fn stitch(
+        &self,
+        mutant: &str,
+        tokens: &[Token],
+        baseline: &Baseline,
+        arts: &[&DeclArtifacts],
+    ) -> CompileResult {
+        let opts = &self.options;
+        let flags = &opts.flags;
+        let mut cov = CoverageMap::new();
+
+        // ---------------- Front end ----------------
+        // Raw and lexical coverage depend on the mutant's exact text, so
+        // they are always recomputed (they are also the cheap part).
+        let raw = features::raw_features(mutant);
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[1, raw.max_paren_depth.min(64) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[2, raw.max_brace_depth.min(64) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[3, (raw.source_len / 64).min(128) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[4, raw.max_ident_len.min(128) as u64]),
+        );
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[5, raw.max_string_len.min(512) as u64 / 8]),
+        );
+        for w in tokens.windows(2) {
+            let pair = (w[0].kind as u64) * 96 + w[1].kind as u64;
+            cov.record(Stage::FrontEnd, feature_hash(&[20, pair % 331]));
+        }
+        cov.record(
+            Stage::FrontEnd,
+            feature_hash(&[22, (tokens.len() / 16).min(64) as u64]),
+        );
+        for a in arts {
+            cov.record(Stage::FrontEnd, feature_hash(&[6, a.code6]));
+        }
+        let partials: Vec<AstFeatures> = arts.iter().map(|a| a.feats.clone()).collect();
+        let merged = features::merge_decl_features(&partials);
+
+        let cx = bugs::BugCtx {
+            raw: &raw,
+            ast: Some(&merged),
+            opt: None,
+            asm: None,
+            opt_level: opts.opt_level,
+            flags,
+        };
+        if let Some(crash) = bugs::check_stage(self.profile, Stage::FrontEnd, &cx) {
+            return CompileResult {
+                outcome: Outcome::Crash(crash),
+                coverage: cov,
+            };
+        }
+
+        cov.record(Stage::FrontEnd, feature_hash(&[8, baseline.tag8]));
+        cov.record(Stage::FrontEnd, feature_hash(&[9, baseline.tag9]));
+        for a in arts {
+            for t in &a.ty_feats {
+                cov.record(Stage::FrontEnd, *t);
+            }
+        }
+
+        // ---------------- IR generation ----------------
+        for a in arts {
+            for f in &a.lower_features {
+                cov.record(Stage::IrGen, *f);
+            }
+        }
+        let cx = bugs::BugCtx {
+            raw: &raw,
+            ast: Some(&merged),
+            opt: None,
+            asm: None,
+            opt_level: opts.opt_level,
+            flags,
+        };
+        if let Some(crash) = bugs::check_stage(self.profile, Stage::IrGen, &cx) {
+            return CompileResult {
+                outcome: Outcome::Crash(crash),
+                coverage: cov,
+            };
+        }
+
+        // ---------------- Optimizer ----------------
+        let report = stitch_opt_report(arts, opts.opt_level);
+        for f in &report.features {
+            cov.record(Stage::Opt, *f);
+        }
+        for (name, n) in &report.pass_stats {
+            cov.record(
+                Stage::Opt,
+                feature_hash_display(format_args!("{name}:{}", n.min(&16))),
+            );
+        }
+        let cx = bugs::BugCtx {
+            raw: &raw,
+            ast: Some(&merged),
+            opt: Some(&report),
+            asm: None,
+            opt_level: opts.opt_level,
+            flags,
+        };
+        if let Some(crash) = bugs::check_stage(self.profile, Stage::Opt, &cx) {
+            return CompileResult {
+                outcome: Outcome::Crash(crash),
+                coverage: cov,
+            };
+        }
+
+        // ---------------- Back end ----------------
+        let funcs: Vec<&FnArtifacts> = arts.iter().filter_map(|a| a.func.as_ref()).collect();
+        let asm_len: usize = funcs.iter().map(|f| f.asm_len).sum();
+        let spills: usize = funcs.iter().map(|f| f.asm_spills).sum();
+        let peak = funcs.iter().map(|f| f.asm_peak).max().unwrap_or(0);
+        for fa in &funcs {
+            for f in &fa.asm_features {
+                cov.record(Stage::BackEnd, *f);
+            }
+        }
+        let cx = bugs::BugCtx {
+            raw: &raw,
+            ast: Some(&merged),
+            opt: Some(&report),
+            asm: Some((spills, peak)),
+            opt_level: opts.opt_level,
+            flags,
+        };
+        if let Some(crash) = bugs::check_stage(self.profile, Stage::BackEnd, &cx) {
+            return CompileResult {
+                outcome: Outcome::Crash(crash),
+                coverage: cov,
+            };
+        }
+
+        CompileResult {
+            outcome: Outcome::Success { asm_len, spills },
+            coverage: cov,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// BaselineCache
+// ----------------------------------------------------------------------
+
+const SHARD_BITS: usize = 5;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// A sharded seed → [`Baseline`] cache, the campaign-facing entry point of
+/// incremental compilation.
+///
+/// One cache can serve any number of `(profile, options)` configurations —
+/// the configuration is part of the key — and any number of parallel
+/// workers. `None` entries remember seeds whose baseline cannot be built,
+/// so uncacheable seeds pay the (failed) analysis once.
+#[derive(Debug)]
+pub struct BaselineCache {
+    shards: Vec<Mutex<FxHashMap<String, Option<Arc<Baseline>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    mismatches: AtomicU64,
+    compiles: AtomicU64,
+    cross_check_every: usize,
+}
+
+impl Default for BaselineCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineCache {
+    /// An empty cache with cross-checking off.
+    pub fn new() -> Self {
+        Self::with_cross_check(0)
+    }
+
+    /// An empty cache that recompiles every `every`-th incremental result
+    /// cold and compares bit-for-bit (`0` disables). A mismatch bumps the
+    /// [`BaselineCache::mismatches`] counter (and the telemetry counter of
+    /// the same name) and returns the cold result — correctness first.
+    pub fn with_cross_check(every: usize) -> Self {
+        BaselineCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            cross_check_every: every,
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<FxHashMap<String, Option<Arc<Baseline>>>> {
+        let h = feature_hash_str(key);
+        &self.shards[(h >> (64 - SHARD_BITS as u32)) as usize]
+    }
+
+    /// Returns the baseline for `seed` under `compiler`'s configuration,
+    /// building (and caching) it on first sight. `None` = uncacheable.
+    pub fn baseline(&self, compiler: &Compiler, seed: &str) -> Option<Arc<Baseline>> {
+        let key = format!(
+            "{:?}|{}|{seed}",
+            compiler.profile(),
+            compiler.options().render()
+        );
+        let shard = self.shard(&key);
+        if let Some(entry) = shard.lock().get(&key) {
+            return entry.clone();
+        }
+        // Build outside the lock: baseline construction runs the whole
+        // cold pipeline plus the decomposition self-checks, and other
+        // seeds hashing to this shard should not wait for it. A racing
+        // duplicate build is idempotent.
+        let built = Baseline::build(compiler, seed).map(Arc::new);
+        shard.lock().insert(key, built.clone());
+        built
+    }
+
+    /// Compiles `mutant` as an edit of `seed`: incrementally when the seed
+    /// has a baseline and the mutant stays on the fast path, cold
+    /// otherwise. Counts a hit only when cached artifacts were actually
+    /// reused.
+    pub fn compile(&self, compiler: &Compiler, seed: &str, mutant: &str) -> CompileResult {
+        let Some(baseline) = self.baseline(compiler, seed) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compiler.compile(mutant);
+        };
+        // Dud mutations re-emit their parent byte-for-byte; the compiler
+        // is a pure function of its input, so the seed's stored result is
+        // the mutant's result.
+        if mutant == seed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return baseline.seed_result().clone();
+        }
+        let (result, incremental) = compiler.compile_incremental_traced(mutant, &baseline);
+        if incremental {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let n = self.compiles.fetch_add(1, Ordering::Relaxed);
+            if self.cross_check_every > 0 && n.is_multiple_of(self.cross_check_every as u64) {
+                let cold = compiler.compile(mutant);
+                if result.outcome != cold.outcome
+                    || !coverage_equal(&result.coverage, &cold.coverage)
+                {
+                    self.mismatches.fetch_add(1, Ordering::Relaxed);
+                    metamut_telemetry::handle().counter_add("incremental_mismatches", 1);
+                    return cold;
+                }
+            }
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Incremental fast-path compiles served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cold-fallback compiles (including uncacheable seeds).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cross-check disagreements observed (should stay zero).
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches.load(Ordering::Relaxed)
+    }
+
+    /// Fast-path rate over all compiles served so far.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+
+    /// Number of cached seed entries (including uncacheable markers).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no seed has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profile;
+
+    const SEED: &str = r#"
+typedef int T;
+int g = 3;
+volatile int vg;
+struct P { int x; int y; };
+static int helper(T a, T b) { return a * b + g; }
+int fold(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + helper(i, i + 1); }
+    return acc;
+}
+int main(void) { struct P p; p.x = fold(4); p.y = helper(2, 3); vg = p.x; return p.x + p.y; }
+"#;
+
+    fn assert_equivalent(c: &Compiler, mutant: &str, baseline: &Baseline, want_fast: bool) {
+        let cold = c.compile(mutant);
+        let (inc, fast) = c.compile_incremental_traced(mutant, baseline);
+        assert_eq!(fast, want_fast, "fast-path expectation for {mutant:?}");
+        assert_eq!(inc.outcome, cold.outcome);
+        assert!(
+            coverage_equal(&inc.coverage, &cold.coverage),
+            "coverage diverged ({} vs {} branches)",
+            inc.coverage.count(),
+            cold.coverage.count()
+        );
+    }
+
+    #[test]
+    fn single_function_edit_takes_fast_path_and_matches_cold() {
+        for opts in [
+            CompileOptions::o0(),
+            CompileOptions::o2(),
+            CompileOptions::o3(),
+        ] {
+            for profile in [Profile::Gcc, Profile::Clang] {
+                let c = Compiler::new(profile, opts.clone());
+                let b = Baseline::build(&c, SEED).expect("seed must be cacheable");
+                let mutant = SEED.replace("acc + helper(i, i + 1)", "acc * helper(i + 1, i)");
+                assert_ne!(mutant, SEED);
+                assert_equivalent(&c, &mutant, &b, true);
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_source_takes_fast_path() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let b = Baseline::build(&c, SEED).expect("cacheable");
+        // Whitespace/comment edits keep every chunk hash identical.
+        let mutant = format!("{SEED}\n/* trailing comment */\n");
+        assert_equivalent(&c, &mutant, &b, true);
+    }
+
+    #[test]
+    fn non_function_edit_falls_back_cold() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let b = Baseline::build(&c, SEED).expect("cacheable");
+        let mutant = SEED.replace("int g = 3;", "int g = 4;");
+        assert_equivalent(&c, &mutant, &b, false);
+    }
+
+    #[test]
+    fn signature_changing_edit_falls_back_cold() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let b = Baseline::build(&c, SEED).expect("cacheable");
+        // Renaming a function changes what later declarations observe;
+        // the fingerprint guard must force a cold compile.
+        let mutant = SEED.replace(
+            "static int helper(T a, T b) { return a * b + g; }",
+            "static int helper2(T a, T b) { return a * b + g; }",
+        );
+        assert_equivalent(&c, &mutant, &b, false);
+    }
+
+    #[test]
+    fn multi_decl_edit_falls_back_cold() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let b = Baseline::build(&c, SEED).expect("cacheable");
+        let mutant = SEED
+            .replace("return a * b + g;", "return a * b - g;")
+            .replace(
+                "acc = acc + helper(i, i + 1);",
+                "acc = acc - helper(i, i + 1);",
+            );
+        assert_equivalent(&c, &mutant, &b, false);
+    }
+
+    #[test]
+    fn rejected_mutant_falls_back_and_matches_cold() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let b = Baseline::build(&c, SEED).expect("cacheable");
+        let mutant = SEED.replace("return acc;", "return undeclared;");
+        assert_equivalent(&c, &mutant, &b, false);
+    }
+
+    #[test]
+    fn crashing_mutant_reproduces_cold_crash_and_truncation() {
+        // Seed: the Clang #63762 shape, defused by a return statement.
+        let seed = r#"
+void helper(int *x, int *y) { }
+void foo(int x[64], int y[64]) {
+    helper(x, y);
+gt:
+    ;
+lt:
+    ;
+    return;
+}
+int main(void) { return 0; }
+"#;
+        let c = Compiler::new(Profile::Clang, CompileOptions::o2());
+        assert!(c.compile(seed).outcome.is_success());
+        let b = Baseline::build(&c, seed).expect("cacheable");
+        // Removing the return restores the crashing shape with a single
+        // function-definition edit.
+        let mutant = seed.replace("    ;\n    return;\n}", "    ;\n}");
+        assert_ne!(mutant, seed);
+        let cold = c.compile(&mutant);
+        let crash = cold.outcome.crash().expect("mutant must crash cold");
+        assert_eq!(crash.bug_id, "clang-63762-label-codegen");
+        let (inc, fast) = c.compile_incremental_traced(&mutant, &b);
+        assert!(fast, "single-function edit should stay incremental");
+        assert_eq!(inc.outcome, cold.outcome);
+        assert!(coverage_equal(&inc.coverage, &cold.coverage));
+        // The crash aborts the pipeline at the same stage either way, so
+        // the per-stage truncation pattern matches cold exactly.
+        for stage in Stage::ALL {
+            assert_eq!(
+                inc.coverage.count_stage(stage),
+                cold.coverage.count_stage(stage),
+                "{}",
+                stage.label()
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_cache_counts_hits_and_cross_checks_cleanly() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = BaselineCache::with_cross_check(1);
+        let mutants = [
+            SEED.replace("return a * b + g;", "return a + b + g;"),
+            SEED.replace("p.y = helper(2, 3);", "p.y = helper(3, 2);"),
+            SEED.replace("int acc = 0;", "int acc = 1;"),
+        ];
+        for m in &mutants {
+            let r = cache.compile(&c, SEED, m);
+            let cold = c.compile(m);
+            assert_eq!(r.outcome, cold.outcome);
+            assert!(coverage_equal(&r.coverage, &cold.coverage));
+        }
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.mismatches(), 0, "cross-check must agree");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn uncacheable_seed_compiles_cold() {
+        let c = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        // A seed that does not even parse has no baseline.
+        let seed = "int main(void { return 0; }";
+        assert!(Baseline::build(&c, seed).is_none());
+        let cache = BaselineCache::new();
+        let r = cache.compile(&c, seed, seed);
+        let cold = c.compile(seed);
+        assert_eq!(r.outcome, cold.outcome);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn options_mismatch_falls_back() {
+        let c2 = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let c3 = Compiler::new(Profile::Gcc, CompileOptions::o3());
+        let b = Baseline::build(&c2, SEED).expect("cacheable");
+        let mutant = SEED.replace("return a * b + g;", "return a + b + g;");
+        // A baseline built at -O2 must not serve a -O3 compile.
+        assert_equivalent(&c3, &mutant, &b, false);
+    }
+}

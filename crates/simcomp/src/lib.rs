@@ -25,6 +25,7 @@ pub mod bugs;
 pub mod coverage;
 pub mod dedup;
 pub mod features;
+pub mod incremental;
 pub mod ir;
 pub mod lower;
 pub mod passes;
@@ -32,6 +33,7 @@ pub mod passes;
 pub use bugs::{CrashInfo, CrashKind, Profile};
 pub use coverage::{AtomicCoverage, CoverageMap, SharedCoverage, Stage};
 pub use dedup::{CachedCompile, DedupCache, Verdict};
+pub use incremental::{coverage_equal, Baseline, BaselineCache};
 pub use passes::OptFlags;
 
 use coverage::{feature_hash, feature_hash_display, feature_hash_str};

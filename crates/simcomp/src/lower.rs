@@ -22,36 +22,70 @@ pub struct Lowered {
     pub features: Vec<u64>,
 }
 
-/// Lowers a checked AST to IR.
-pub fn lower(ast: &c::Ast, sema: &SemaResult) -> Lowered {
+/// Result of lowering one external declaration in isolation.
+///
+/// The whole-unit [`lower`] is exactly the concatenation of per-declaration
+/// results in source order, which is what lets the incremental compiler
+/// cache lowering per declaration and replay only the edited one.
+#[derive(Debug, Clone)]
+pub struct LoweredDecl {
+    /// Globals the declaration introduces (from a `Vars` group).
+    pub globals: Vec<(String, Option<i64>)>,
+    /// The lowered body, when the declaration is a function definition.
+    pub function: Option<IrFunction>,
+    /// IR-generation features this declaration contributed.
+    pub features: Vec<u64>,
+}
+
+/// Lowers a single external declaration against `sema`.
+///
+/// Lowering consults only the *final* semantic tables (`decl_type`,
+/// `expr_type`, `functions`, `enum_consts`), never other declarations'
+/// IR — so per-declaration results compose into [`lower`]'s output by plain
+/// concatenation.
+pub fn lower_decl(d: &c::ExternalDecl, sema: &SemaResult) -> LoweredDecl {
     let mut lw = Lowering {
         sema,
         module: Module::default(),
         features: Vec::new(),
     };
-    for d in &ast.unit.decls {
-        match d {
-            c::ExternalDecl::Vars(g) => {
-                for v in &g.vars {
-                    let init = match &v.init {
-                        Some(c::Initializer::Expr(e)) => const_int_of(e),
-                        _ => None,
-                    };
-                    lw.module.globals.push((v.name.clone(), init));
-                    lw.feature(&[1, v.name.len() as u64]);
-                }
+    let mut function = None;
+    match d {
+        c::ExternalDecl::Vars(g) => {
+            for v in &g.vars {
+                let init = match &v.init {
+                    Some(c::Initializer::Expr(e)) => const_int_of(e),
+                    _ => None,
+                };
+                lw.module.globals.push((v.name.clone(), init));
+                lw.feature(&[1, v.name.len() as u64]);
             }
-            c::ExternalDecl::Function(f) if f.is_definition() => {
-                let func = lw.lower_function(f);
-                lw.module.functions.push(func);
-            }
-            _ => {}
         }
+        c::ExternalDecl::Function(f) if f.is_definition() => {
+            function = Some(lw.lower_function(f));
+        }
+        _ => {}
     }
-    Lowered {
-        module: lw.module,
+    LoweredDecl {
+        globals: lw.module.globals,
+        function,
         features: lw.features,
     }
+}
+
+/// Lowers a checked AST to IR.
+pub fn lower(ast: &c::Ast, sema: &SemaResult) -> Lowered {
+    let mut module = Module::default();
+    let mut features = Vec::new();
+    for d in &ast.unit.decls {
+        let mut ld = lower_decl(d, sema);
+        module.globals.append(&mut ld.globals);
+        if let Some(f) = ld.function {
+            module.functions.push(f);
+        }
+        features.extend(ld.features);
+    }
+    Lowered { module, features }
 }
 
 fn const_int_of(e: &c::Expr) -> Option<i64> {

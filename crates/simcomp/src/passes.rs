@@ -171,6 +171,16 @@ fn fold_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
 pub fn const_fold(module: &mut Module, report: &mut OptReport) -> usize {
     let mut folded = 0;
     for f in &mut module.functions {
+        folded += const_fold_fn(f, report);
+    }
+    folded
+}
+
+/// Per-function constant folding — the unit of work the incremental
+/// compiler replays for a single changed definition.
+pub(crate) fn const_fold_fn(f: &mut IrFunction, report: &mut OptReport) -> usize {
+    let mut folded = 0;
+    {
         let mut known: FxHashMap<Temp, Value> = FxHashMap::default();
         for b in &mut f.blocks {
             for inst in &mut b.insts {
@@ -276,6 +286,16 @@ pub fn const_fold(module: &mut Module, report: &mut OptReport) -> usize {
 pub fn dead_code_elim(module: &mut Module, report: &mut OptReport) -> usize {
     let mut removed = 0;
     for f in &mut module.functions {
+        removed += dead_code_elim_fn(f, report);
+    }
+    removed
+}
+
+/// Per-function DCE. The `[111]` feature carries the per-function removal
+/// count, so replaying one function reproduces its cold features exactly.
+pub(crate) fn dead_code_elim_fn(f: &mut IrFunction, report: &mut OptReport) -> usize {
+    let mut removed = 0;
+    {
         // Unreachable blocks become empty shells (keeping ids stable).
         let reach = f.reachable();
         for (idx, r) in reach.iter().enumerate() {
@@ -350,6 +370,15 @@ pub fn dead_code_elim(module: &mut Module, report: &mut OptReport) -> usize {
 pub fn simplify_cfg(module: &mut Module, report: &mut OptReport) -> usize {
     let mut changes = 0;
     for f in &mut module.functions {
+        changes += simplify_cfg_fn(f, report);
+    }
+    changes
+}
+
+/// Per-function CFG simplification with a per-function `[121]` change count.
+pub(crate) fn simplify_cfg_fn(f: &mut IrFunction, report: &mut OptReport) -> usize {
+    let mut changes = 0;
+    {
         // Forwarding map: empty block with a Jump terminator.
         let mut forward: FxHashMap<BlockId, BlockId> = FxHashMap::default();
         for b in &f.blocks {
@@ -433,36 +462,65 @@ pub fn simplify_cfg(module: &mut Module, report: &mut OptReport) -> usize {
 /// splicing their instructions; returns the number of inlined call sites.
 pub fn inline_trivial(module: &mut Module, report: &mut OptReport) -> usize {
     // Identify trivial callees first.
-    let mut trivial: FxHashMap<String, (Vec<Inst>, Option<Value>)> = FxHashMap::default();
-    for f in &module.functions {
-        if !f.params.is_empty() {
-            continue;
-        }
-        // Exactly one *reachable* block (lowering appends dead shells).
-        let reach = f.reachable();
-        let reachable_count = reach.iter().filter(|r| **r).count();
-        if reachable_count != 1 {
-            continue;
-        }
-        let b = &f.blocks[0];
-        if b.insts.len() > 4 {
-            continue;
-        }
-        let recursive = b
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Call { callee, .. } if *callee == f.name));
-        if recursive {
-            continue;
-        }
-        let ret = match &b.term {
-            Terminator::Return(v) => v.clone(),
-            _ => continue,
-        };
-        trivial.insert(f.name.clone(), (b.insts.clone(), ret));
-    }
+    let trivial = trivial_bodies(module);
     let mut inlined = 0;
     for f in &mut module.functions {
+        inlined += inline_trivial_fn(f, &trivial, report);
+    }
+    inlined
+}
+
+/// The trivial-callee map the inliner consults: every function whose body
+/// qualifies under [`trivial_body_of`], keyed by name.
+pub(crate) fn trivial_bodies(module: &Module) -> FxHashMap<String, (Vec<Inst>, Option<Value>)> {
+    let mut trivial: FxHashMap<String, (Vec<Inst>, Option<Value>)> = FxHashMap::default();
+    for f in &module.functions {
+        if let Some(body) = trivial_body_of(f) {
+            trivial.insert(f.name.clone(), body);
+        }
+    }
+    trivial
+}
+
+/// Whether `f` is a trivial inline candidate: parameterless, exactly one
+/// reachable block of at most four instructions, non-recursive, ending in a
+/// plain return. Returns the spliceable body and return value when it is.
+pub(crate) fn trivial_body_of(f: &IrFunction) -> Option<(Vec<Inst>, Option<Value>)> {
+    if !f.params.is_empty() {
+        return None;
+    }
+    // Exactly one *reachable* block (lowering appends dead shells).
+    let reach = f.reachable();
+    let reachable_count = reach.iter().filter(|r| **r).count();
+    if reachable_count != 1 {
+        return None;
+    }
+    let b = &f.blocks[0];
+    if b.insts.len() > 4 {
+        return None;
+    }
+    let recursive = b
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::Call { callee, .. } if *callee == f.name));
+    if recursive {
+        return None;
+    }
+    let ret = match &b.term {
+        Terminator::Return(v) => v.clone(),
+        _ => return None,
+    };
+    Some((b.insts.clone(), ret))
+}
+
+/// Splices trivial callee bodies into one function's call sites.
+pub(crate) fn inline_trivial_fn(
+    f: &mut IrFunction,
+    trivial: &FxHashMap<String, (Vec<Inst>, Option<Value>)>,
+    report: &mut OptReport,
+) -> usize {
+    let mut inlined = 0;
+    {
         let base_temp = f.temp_count;
         let mut extra_temps = 0u32;
         for b in &mut f.blocks {
@@ -539,8 +597,18 @@ pub fn inline_trivial(module: &mut Module, report: &mut OptReport) -> usize {
 /// self-referential (the shape that crashed GCC's verify_range).
 pub fn strlen_reduce(module: &mut Module, report: &mut OptReport) -> usize {
     let mut reduced = 0;
-    let mut observations = Vec::new();
     for f in &mut module.functions {
+        reduced += strlen_reduce_fn(f, report);
+    }
+    reduced
+}
+
+/// Per-function sprintf→strlen strength reduction; observations land in
+/// `report.strlen_reductions` in call-site order within the function.
+pub(crate) fn strlen_reduce_fn(f: &mut IrFunction, report: &mut OptReport) -> usize {
+    let mut reduced = 0;
+    let mut observations = Vec::new();
+    {
         for b in &mut f.blocks {
             for inst in &mut b.insts {
                 let Inst::Call { dst, callee, args } = inst else {
@@ -582,6 +650,18 @@ pub fn strlen_reduce(module: &mut Module, report: &mut OptReport) -> usize {
 /// miscomputed unless value-range pruning (`tree-vrp`) intervenes.
 pub fn loop_analysis(module: &Module, opt_level: u8, flags: &OptFlags, report: &mut OptReport) {
     for f in &module.functions {
+        loop_analysis_fn(f, opt_level, flags, report);
+    }
+}
+
+/// Loop discovery and the model vectorizer for a single function.
+pub(crate) fn loop_analysis_fn(
+    f: &IrFunction,
+    opt_level: u8,
+    flags: &OptFlags,
+    report: &mut OptReport,
+) {
+    {
         let preds = f.predecessors();
         for b in &f.blocks {
             // Back edge heuristic: successor with a smaller id that can reach

@@ -1,0 +1,135 @@
+//! Property: incremental mutant compilation is bit-identical to cold.
+//!
+//! For randomly mutated seeds — statement splices, line deletions, line
+//! duplications, whole-line rewrites — and every supported configuration
+//! (Gcc/Clang × O0/O2/O3), compiling the mutant against its seed's
+//! [`Baseline`] must reproduce the cold [`Compiler::compile`] result
+//! exactly: same outcome (success stats, rejection, or crash identity)
+//! and the same coverage *set*. The mutations deliberately produce a mix
+//! of fast-path edits (single-function body changes), guard-chain
+//! fallbacks (signature changes, multi-declaration edits, parse and sema
+//! failures), and crashing mutants, so both sides of every soundness
+//! guard are exercised.
+
+use metamut_simcomp::{coverage_equal, Baseline, CompileOptions, Compiler, Profile};
+use proptest::collection::vec;
+use proptest::proptest;
+use proptest::test_runner::ProptestConfig;
+use std::sync::OnceLock;
+
+/// A campaign-shaped seed: typedef, globals, a record, helpers, loops.
+/// Cacheable (all baseline self-checks pass) under every configuration.
+const SEED: &str = "\
+typedef int T;
+int g = 3;
+volatile int vg;
+struct P { int x; int y; };
+static int helper(T a, T b) { return a * b + g; }
+int fold(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + helper(i, i + 1); }
+    return acc;
+}
+int weigh(int n) {
+    int w = n;
+    while (w > 1) { w = w - 2; vg = w; }
+    return w + g;
+}
+int main(void) { struct P p; p.x = fold(4); p.y = helper(2, 3); vg = p.x; return p.x + p.y + weigh(9); }
+";
+
+/// Replacement fragments: single-function edits, crash triggers (deep
+/// ternaries, volatile floods), signature changes, and outright garbage.
+const FRAGMENTS: &[&str] = &[
+    "    g = g + 1;",
+    "    return 0;",
+    "    vg = vg + 1; vg = vg + 1;",
+    "    int q = a ? b ? 1 : 2 : a ? 3 : b ? 4 : 5 ? 6 : 7;",
+    "volatile int extra_a; volatile int extra_b; volatile int extra_c;",
+    "static long helper(T a, T b) { return a - b; }",
+    "int fold(int n, int m) { return n + m; }",
+    "    while (1) { }",
+    "    syntax error here",
+    "    p.x = no_such_symbol;",
+    "",
+];
+
+/// Applies `(selector, line)` edits one after another. Each edit rewrites,
+/// duplicates, deletes, or splices a fragment after one line of the
+/// current text, so successive edits compound into multi-line mutants.
+fn mutate(seed: &str, edits: &[(usize, usize)]) -> String {
+    let mut lines: Vec<String> = seed.lines().map(str::to_string).collect();
+    for &(selector, slot) in edits {
+        if lines.is_empty() {
+            break;
+        }
+        let line = slot % lines.len();
+        let fragment = FRAGMENTS[selector % FRAGMENTS.len()];
+        match (selector / FRAGMENTS.len()) % 4 {
+            0 => lines[line] = fragment.to_string(),
+            1 => lines.insert(line, fragment.to_string()),
+            2 => {
+                let dup = lines[line].clone();
+                lines.insert(line, dup);
+            }
+            _ => {
+                lines.remove(line);
+            }
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+fn configurations() -> &'static [(Compiler, Baseline)] {
+    static CONFIGS: OnceLock<Vec<(Compiler, Baseline)>> = OnceLock::new();
+    CONFIGS.get_or_init(|| {
+        let mut out = Vec::new();
+        for profile in [Profile::Gcc, Profile::Clang] {
+            for options in [
+                CompileOptions::o0(),
+                CompileOptions::o2(),
+                CompileOptions::o3(),
+            ] {
+                let compiler = Compiler::new(profile, options);
+                let baseline =
+                    Baseline::build(&compiler, SEED).expect("the seed must be cacheable");
+                out.push((compiler, baseline));
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn incremental_equals_cold_on_random_mutants(
+        selectors in vec(0usize..10_000, 1..5),
+        slots in vec(0usize..10_000, 1..5),
+    ) {
+        let edits: Vec<(usize, usize)> = selectors
+            .iter()
+            .copied()
+            .zip(slots.iter().copied())
+            .collect();
+        let mutant = mutate(SEED, &edits);
+        for (compiler, baseline) in configurations() {
+            let cold = compiler.compile(&mutant);
+            let inc = compiler.compile_incremental(&mutant, baseline);
+            assert_eq!(
+                inc.outcome, cold.outcome,
+                "outcome diverged under {:?} {:?}:\n{mutant}",
+                compiler.profile(),
+                compiler.options(),
+            );
+            assert!(
+                coverage_equal(&inc.coverage, &cold.coverage),
+                "coverage diverged ({} vs {} branches) under {:?} {:?}:\n{mutant}",
+                inc.coverage.count(),
+                cold.coverage.count(),
+                compiler.profile(),
+                compiler.options(),
+            );
+        }
+    }
+}

@@ -64,12 +64,15 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
 /// `interval`:
 ///
 /// ```text
-/// [metamut]   12.3s | execs 40960 (3330.1/s) | corpus 57 | cov 1234 | crashes 3
+/// [metamut]   12.3s | execs 40960 (3330.1/s) | corpus 57 | cov 1234 | crashes 3 | dedup 18%
 /// ```
 ///
 /// The fields read well-known metric names: the `fuzz_execs` counter, the
 /// `fuzz_corpus` and `fuzz_coverage` gauges, and the sum of the
-/// `crashes_unique` counter family.
+/// `crashes_unique` counter family. The `dedup` field is the mutant-dedup
+/// cache hit rate (`dedup_hits` over `dedup_hits + dedup_misses`); it is
+/// omitted while neither counter has fired (dedup disabled, or no lookups
+/// yet).
 pub struct StatusSink<W: Write + Send = std::io::Stderr> {
     writer: W,
     interval: Duration,
@@ -106,8 +109,18 @@ impl<W: Write + Send> StatusSink<W> {
         let corpus = metrics.gauge_value("fuzz_corpus").unwrap_or(0.0);
         let coverage = metrics.gauge_value("fuzz_coverage").unwrap_or(0.0);
         let crashes = metrics.counter_family_sum("crashes_unique");
+        let dedup_hits = metrics.counter_value("dedup_hits");
+        let dedup_lookups = dedup_hits + metrics.counter_value("dedup_misses");
+        let dedup = if dedup_lookups > 0 {
+            format!(
+                " | dedup {:.0}%",
+                100.0 * dedup_hits as f64 / dedup_lookups as f64
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "[metamut] {:>7.1}s | execs {execs} ({:.1}/s) | corpus {corpus:.0} | cov {coverage:.0} | crashes {crashes}",
+            "[metamut] {:>7.1}s | execs {execs} ({:.1}/s) | corpus {corpus:.0} | cov {coverage:.0} | crashes {crashes}{dedup}",
             elapsed.as_secs_f64(),
             execs as f64 / secs,
         )
@@ -166,6 +179,21 @@ mod tests {
         assert!(line.contains("cov 1234"), "{line}");
         assert!(line.contains("crashes 3"), "{line}");
         assert!(line.contains("2.0s"), "{line}");
+        // No dedup lookups yet: the field stays off the line.
+        assert!(!line.contains("dedup"), "{line}");
+    }
+
+    #[test]
+    fn status_line_shows_dedup_hit_rate() {
+        let metrics = Metrics::new();
+        metrics
+            .counter("dedup_hits")
+            .fetch_add(30, Ordering::Relaxed);
+        metrics
+            .counter("dedup_misses")
+            .fetch_add(70, Ordering::Relaxed);
+        let line = StatusSink::<Vec<u8>>::render(&metrics, Duration::from_secs(1));
+        assert!(line.contains("dedup 30%"), "{line}");
     }
 
     #[test]

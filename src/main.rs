@@ -5,7 +5,7 @@
 //! metamut mutate FILE -m NAME [-s N]    # apply one mutator to a C file
 //! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
-//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--reduce]
+//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--no-incremental] [--reduce]
 //! metamut reduce FILE [-p gcc|clang] [-O N] [--flags ...]   # minimize one crasher
 //! metamut triage FILE... [-p gcc|clang] [-O N] [--out DIR]  # bucket + reduce crashers
 //! ```
@@ -45,6 +45,7 @@ fn main() -> ExitCode {
                  \n  generate [-n N] [-s N]       run the MetaMut generation pipeline\
                  \n  fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup]  run a μCFuzz campaign\
                  \n                               -w N: worker threads (0 = one per CPU; default 1)\
+                 \n                               --no-incremental: compile every mutant cold\
                  \n                               --reduce: triage + reduce discovered crashes\
                  \n                               --reduce-out DIR: write triage.json/.md to DIR\
                  \n  reduce FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
@@ -385,6 +386,7 @@ fn fuzz(rest: &[String]) -> ExitCode {
         sample_every: (iterations / 10).max(1),
         workers,
         dedup: !rest.iter().any(|a| a == "--no-dedup"),
+        incremental: !rest.iter().any(|a| a == "--no-incremental"),
         ..Default::default()
     };
     let report = if config.resolved_workers() > 1 {
