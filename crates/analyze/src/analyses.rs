@@ -1,0 +1,1200 @@
+//! The analysis suite: uninitialized reads, constant-lattice UB checks
+//! (division by zero, out-of-bounds constant indexing, null-pointer
+//! dereference), unreachable code, and infinite loops without side
+//! effects.
+//!
+//! Everything here is parse-only — no sema required — and deliberately
+//! conservative: a finding must survive reformatting (keys are
+//! span-insensitive) and the clean-corpus gate (`exp_analyze` enforces
+//! zero findings on known-good programs). Precision tricks that trade
+//! false positives for recall are out of bounds; see the per-analysis
+//! notes for the deliberate imprecision.
+
+use crate::cfg::{syntactic_const, Action, Cfg};
+use crate::dataflow::{forward, Lattice};
+use crate::findings::{Finding, Severity};
+use metamut_lang::ast::{
+    BinaryOp, BlockItem, Expr, ExprKind, ExternalDecl, ForInit, FunctionDef, Initializer, Stmt,
+    StmtKind, Storage, TranslationUnit, TySyn, UnaryOp, VarDecl,
+};
+use metamut_lang::fxhash::{FxHashMap, FxHashSet};
+use metamut_lang::Span;
+use std::collections::BTreeMap;
+
+/// File-scope facts every function analysis needs: which globals are
+/// volatile (observable side-effect channel for the infinite-loop check)
+/// and the constant sizes of global arrays (for the indexing check).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalInfo {
+    /// Names of file-scope variables declared `volatile`.
+    pub volatile: FxHashSet<String>,
+    /// First-dimension sizes of file-scope arrays with constant extents.
+    pub array_sizes: FxHashMap<String, i128>,
+}
+
+/// Collects [`GlobalInfo`] from a translation unit's file-scope decls.
+pub fn collect_globals(unit: &TranslationUnit) -> GlobalInfo {
+    let mut info = GlobalInfo::default();
+    for decl in &unit.decls {
+        if let ExternalDecl::Vars(group) = decl {
+            for v in &group.vars {
+                if ty_is_volatile(&v.ty) {
+                    info.volatile.insert(v.name.clone());
+                }
+                if let TySyn::Array {
+                    size: Some(size), ..
+                } = &v.ty
+                {
+                    if let Some(n) = syntactic_const(size) {
+                        info.array_sizes.insert(v.name.clone(), n);
+                    }
+                }
+            }
+        }
+    }
+    info
+}
+
+fn ty_is_volatile(ty: &TySyn) -> bool {
+    match ty {
+        TySyn::Base { quals, .. } => quals.is_volatile,
+        TySyn::Pointer { pointee, quals } => quals.is_volatile || ty_is_volatile(pointee),
+        TySyn::Array { elem, .. } => ty_is_volatile(elem),
+        TySyn::Function { .. } => false,
+    }
+}
+
+/// Analyzes every function definition of `unit`, findings in source order.
+pub fn analyze_unit(unit: &TranslationUnit) -> Vec<Finding> {
+    let globals = collect_globals(unit);
+    let mut findings = Vec::new();
+    for decl in &unit.decls {
+        if let ExternalDecl::Function(f) = decl {
+            if f.body.is_some() {
+                findings.extend(analyze_function(f, &globals));
+            }
+        }
+    }
+    findings
+}
+
+/// How a local is classified for tracking purposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarKind {
+    Scalar,
+    Pointer,
+    Array(Option<i128>),
+    Other,
+}
+
+fn var_kind(ty: &TySyn) -> VarKind {
+    match ty {
+        // Only arithmetic types are "scalars" for tracking: aggregates
+        // are written member-wise (which the flat map can't see), and
+        // typedef names may alias aggregates.
+        TySyn::Base { spec, .. } if spec.is_arithmetic() => VarKind::Scalar,
+        TySyn::Base { .. } => VarKind::Other,
+        TySyn::Pointer { .. } => VarKind::Pointer,
+        TySyn::Array { size, .. } => VarKind::Array(size.as_deref().and_then(syntactic_const)),
+        TySyn::Function { .. } => VarKind::Other,
+    }
+}
+
+/// Per-function facts shared by all passes.
+struct FnInfo<'a> {
+    func: &'a str,
+    /// Flat name → kind map over locals and parameters. Names declared
+    /// more than once (shadowing) are excluded from *all* tracking — the
+    /// flow-insensitive map can't tell the scopes apart, and a missed
+    /// finding is always preferred over a false one.
+    kinds: FxHashMap<String, VarKind>,
+    /// Locals whose address is taken anywhere in the body: writable
+    /// through pointers, so never tracked.
+    address_taken: FxHashSet<String>,
+    /// Volatile names visible in the body (locals and globals).
+    volatile: FxHashSet<String>,
+    /// Array sizes: globals overlaid with locals.
+    array_sizes: FxHashMap<String, i128>,
+}
+
+impl FnInfo<'_> {
+    fn trackable(&self, name: &str) -> Option<VarKind> {
+        if self.address_taken.contains(name) || self.volatile.contains(name) {
+            return None;
+        }
+        match self.kinds.get(name) {
+            Some(k @ (VarKind::Scalar | VarKind::Pointer)) => Some(*k),
+            _ => None,
+        }
+    }
+
+    fn finding(
+        &self,
+        analysis: &'static str,
+        severity: Severity,
+        span: Span,
+        msg: String,
+    ) -> Finding {
+        Finding {
+            analysis,
+            severity,
+            function: self.func.to_owned(),
+            span,
+            message: msg,
+        }
+    }
+}
+
+/// Runs the full per-function suite.
+pub fn analyze_function(fun: &FunctionDef, globals: &GlobalInfo) -> Vec<Finding> {
+    let Some(cfg) = Cfg::build(fun) else {
+        return Vec::new();
+    };
+    let body = fun.body.as_ref().expect("CFG implies a body");
+
+    // -- prepass: classify every name the body can mention ---------------
+    let mut kinds: FxHashMap<String, VarKind> = FxHashMap::default();
+    let mut dupes: FxHashSet<String> = FxHashSet::default();
+    let mut volatile = globals.volatile.clone();
+    let mut array_sizes = globals.array_sizes.clone();
+    let mut note_decl = |name: &str, ty: &TySyn, vol_extra: bool| {
+        if kinds.insert(name.to_owned(), var_kind(ty)).is_some() {
+            dupes.insert(name.to_owned());
+        }
+        if vol_extra || ty_is_volatile(ty) {
+            volatile.insert(name.to_owned());
+        }
+        if let VarKind::Array(Some(n)) = var_kind(ty) {
+            array_sizes.insert(name.to_owned(), n);
+        }
+    };
+    for p in &fun.params {
+        if let Some(name) = &p.name {
+            note_decl(name, &p.ty, false);
+        }
+    }
+    for_each_decl(body, &mut |v| note_decl(&v.name, &v.ty, false));
+    for name in &dupes {
+        kinds.remove(name);
+    }
+
+    let mut address_taken = FxHashSet::default();
+    for_each_expr(body, &mut |e| collect_address_taken(e, &mut address_taken));
+
+    let info = FnInfo {
+        func: &fun.name,
+        kinds,
+        address_taken,
+        volatile,
+        array_sizes,
+    };
+
+    let mut findings = Vec::new();
+    uninit_pass(&cfg, &info, &mut findings);
+    const_pass(&cfg, &info, &mut findings);
+    unreachable_pass(&cfg, &info, &mut findings);
+    infinite_loop_pass(body, &info, &mut findings);
+    findings.sort_by_key(|f| (f.span.lo, f.span.hi, f.analysis));
+    findings.dedup();
+    findings
+}
+
+// ======================================================================
+// Uninitialized-read analysis
+// ======================================================================
+
+/// Three-point initialization lattice per variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    Uninit,
+    Maybe,
+    Init,
+}
+
+impl Tri {
+    fn join(self, other: Tri) -> Tri {
+        if self == other {
+            self
+        } else {
+            Tri::Maybe
+        }
+    }
+}
+
+/// Variable → initialization state. `BTreeMap` keeps joins and equality
+/// deterministic; a missing key means "untracked" and joins as `Init`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InitMap(BTreeMap<String, Tri>);
+
+impl Lattice for InitMap {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (k, v) in &other.0 {
+            let joined = match self.0.get(k) {
+                Some(cur) => cur.join(*v),
+                None => Tri::Init.join(*v),
+            };
+            if self.0.get(k) != Some(&joined) {
+                self.0.insert(k.clone(), joined);
+                changed = true;
+            }
+        }
+        let other_map = &other.0;
+        for (k, v) in self.0.iter_mut() {
+            if !other_map.contains_key(k) {
+                let joined = v.join(Tri::Init);
+                if *v != joined {
+                    *v = joined;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+struct UninitWalk<'i, 'f> {
+    info: &'i FnInfo<'i>,
+    st: BTreeMap<String, Tri>,
+    sink: Option<&'f mut Vec<Finding>>,
+}
+
+impl UninitWalk<'_, '_> {
+    fn read(&mut self, name: &str, span: Span, guarded: bool) {
+        let Some(&tri) = self.st.get(name) else {
+            return;
+        };
+        if tri != Tri::Init {
+            if self.sink.is_some() {
+                let f = if tri == Tri::Uninit && !guarded {
+                    self.info.finding(
+                        "uninit-read",
+                        Severity::Ub,
+                        span,
+                        format!("read of uninitialized variable `{name}`"),
+                    )
+                } else {
+                    self.info.finding(
+                        "possible-uninit-read",
+                        Severity::Lint,
+                        span,
+                        format!("variable `{name}` may be read before it is initialized"),
+                    )
+                };
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.push(f);
+                }
+            }
+            // One report per defect: promote after the first read so a
+            // cascade of uses yields a single finding (and the transfer
+            // stays monotone — the promoted value is constant `Init`).
+            self.st.insert(name.to_owned(), Tri::Init);
+        }
+    }
+
+    fn write(&mut self, name: &str) {
+        if self.info.trackable(name).is_some() {
+            self.st.insert(name.to_owned(), Tri::Init);
+        }
+    }
+
+    fn decl(&mut self, v: &VarDecl, guarded: bool) {
+        if let Some(init) = &v.init {
+            self.init_reads(init, guarded);
+        }
+        if self.info.trackable(&v.name).is_none() {
+            self.st.remove(&v.name);
+            return;
+        }
+        let state = if v.init.is_some() || v.storage == Storage::Static {
+            Tri::Init
+        } else {
+            Tri::Uninit
+        };
+        self.st.insert(v.name.clone(), state);
+    }
+
+    fn init_reads(&mut self, init: &Initializer, guarded: bool) {
+        match init {
+            Initializer::Expr(e) => self.expr(e, guarded),
+            Initializer::List { items, .. } => {
+                for item in items {
+                    self.init_reads(item, guarded);
+                }
+            }
+        }
+    }
+
+    /// Reads and writes of one expression, in evaluation order.
+    fn expr(&mut self, e: &Expr, guarded: bool) {
+        match &e.kind {
+            ExprKind::IntLit { .. }
+            | ExprKind::FloatLit { .. }
+            | ExprKind::CharLit { .. }
+            | ExprKind::StrLit { .. }
+            | ExprKind::SizeofExpr(_)
+            | ExprKind::SizeofType(_) => {}
+            ExprKind::Ident(name) => self.read(name, e.span, guarded),
+            ExprKind::Paren(inner) => self.expr(inner, guarded),
+            ExprKind::Unary { op, operand } => match op {
+                UnaryOp::AddrOf => {
+                    // `&x` doesn't read `x`'s value (and address-taken
+                    // names are untracked anyway); `&a[i]` still reads `i`.
+                    if !matches!(operand.unparenthesized().kind, ExprKind::Ident(_)) {
+                        self.expr(operand, guarded);
+                    }
+                }
+                _ if op.is_inc_dec() => {
+                    if let ExprKind::Ident(name) = &operand.unparenthesized().kind {
+                        self.read(name, operand.span, guarded);
+                        self.write(&name.clone());
+                    } else {
+                        self.expr(operand, guarded);
+                    }
+                }
+                _ => self.expr(operand, guarded),
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.expr(lhs, guarded);
+                // The RHS of `&&`/`||` may never execute: an uninit read
+                // there is only *possible*.
+                self.expr(rhs, guarded || op.is_logical());
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                self.expr(rhs, guarded);
+                if let ExprKind::Ident(name) = &lhs.unparenthesized().kind {
+                    let name = name.clone();
+                    if op.is_some() {
+                        self.read(&name, lhs.span, guarded);
+                    }
+                    self.write(&name);
+                } else {
+                    self.write_target(lhs, guarded);
+                }
+            }
+            ExprKind::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.expr(cond, guarded);
+                self.expr(then_expr, true);
+                self.expr(else_expr, true);
+            }
+            ExprKind::Call { callee, args } => {
+                // A plain-identifier callee is a function designator, not
+                // a variable read — unless it names a tracked local
+                // (a function pointer).
+                match &callee.unparenthesized().kind {
+                    ExprKind::Ident(name) if !self.info.kinds.contains_key(name) => {}
+                    _ => self.expr(callee, guarded),
+                }
+                for a in args {
+                    self.expr(a, guarded);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.expr(index, guarded);
+                self.base_read(base, guarded);
+            }
+            ExprKind::Member { base, arrow, .. } => {
+                if *arrow {
+                    self.expr(base, guarded);
+                } else {
+                    self.base_read(base, guarded);
+                }
+            }
+            ExprKind::Cast { expr, .. } => self.expr(expr, guarded),
+            ExprKind::CompoundLit { init, .. } => self.init_reads(init, guarded),
+            ExprKind::Comma { lhs, rhs } => {
+                self.expr(lhs, guarded);
+                self.expr(rhs, guarded);
+            }
+        }
+    }
+
+    /// A base expression in a place where an *array* designator would not
+    /// be a value read (`a[i]`, `s.f`) but a pointer or anything more
+    /// complex still is.
+    fn base_read(&mut self, base: &Expr, guarded: bool) {
+        match &base.unparenthesized().kind {
+            ExprKind::Ident(name) => {
+                if matches!(self.info.kinds.get(name), Some(VarKind::Pointer)) {
+                    self.read(&name.clone(), base.span, guarded);
+                }
+            }
+            _ => self.expr(base, guarded),
+        }
+    }
+
+    /// Evaluation effects of a non-identifier assignment target: the
+    /// stored-to location isn't read, but every address computation is.
+    fn write_target(&mut self, lhs: &Expr, guarded: bool) {
+        match &lhs.unparenthesized().kind {
+            ExprKind::Ident(_) => {}
+            ExprKind::Index { base, index } => {
+                self.expr(index, guarded);
+                self.base_read(base, guarded);
+            }
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+            } => self.expr(operand, guarded),
+            ExprKind::Member { base, arrow, .. } => {
+                if *arrow {
+                    self.expr(base, guarded);
+                } else {
+                    self.write_target(base, guarded);
+                }
+            }
+            _ => self.expr(lhs, guarded),
+        }
+    }
+}
+
+fn uninit_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
+    let entry = InitMap(BTreeMap::new());
+    let apply = |node: usize, st: &InitMap, sink: Option<&mut Vec<Finding>>, info: &FnInfo<'_>| {
+        let mut w = UninitWalk {
+            info,
+            st: st.0.clone(),
+            sink,
+        };
+        match cfg.nodes[node].action {
+            Action::Decl(v) => w.decl(v, false),
+            Action::Eval(e) | Action::Branch(e) => w.expr(e, false),
+            Action::Return(Some(e)) => w.expr(e, false),
+            _ => {}
+        }
+        InitMap(w.st)
+    };
+    let in_states = forward(cfg, entry, |node, st| apply(node, st, None, info));
+    for (node, st) in in_states.iter().enumerate() {
+        if let Some(st) = st {
+            apply(node, st, Some(findings), info);
+        }
+    }
+}
+
+// ======================================================================
+// Constant-propagation checks: div/mod by zero, OOB indexing, null deref
+// ======================================================================
+
+/// Variable → known constant value (pointers use `0` for null). Join is
+/// set intersection with value agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ConstMap(BTreeMap<String, i128>);
+
+impl Lattice for ConstMap {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.retain(|k, v| other.0.get(k) == Some(v));
+        before != self.0.len()
+    }
+}
+
+struct ConstWalk<'i, 'f> {
+    info: &'i FnInfo<'i>,
+    st: BTreeMap<String, i128>,
+    sink: Option<&'f mut Vec<Finding>>,
+}
+
+impl ConstWalk<'_, '_> {
+    fn eval(&self, e: &Expr) -> Option<i128> {
+        match &e.kind {
+            ExprKind::IntLit { value, .. } => Some(*value),
+            ExprKind::CharLit { value } => Some(*value as i128),
+            ExprKind::Ident(name) => self.st.get(name).copied(),
+            ExprKind::Paren(inner) => self.eval(inner),
+            ExprKind::Unary { op, operand } => {
+                let v = self.eval(operand)?;
+                match op {
+                    UnaryOp::Plus => Some(v),
+                    UnaryOp::Minus => v.checked_neg(),
+                    UnaryOp::Not => Some((v == 0) as i128),
+                    UnaryOp::BitNot => Some(!v),
+                    _ => None,
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                crate::cfg::eval_binary(*op, l, r)
+            }
+            ExprKind::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let c = self.eval(cond)?;
+                if c != 0 {
+                    self.eval(then_expr)
+                } else {
+                    self.eval(else_expr)
+                }
+            }
+            // Casts may narrow and sizeof is platform-shaped: modeling
+            // either risks a false positive, so neither folds.
+            _ => None,
+        }
+    }
+
+    fn emit(&mut self, analysis: &'static str, span: Span, msg: String) {
+        if self.sink.is_some() {
+            let f = self.info.finding(analysis, Severity::Ub, span, msg);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.push(f);
+            }
+        }
+    }
+
+    fn set(&mut self, name: &str, val: Option<i128>) {
+        if self.info.trackable(name).is_none() {
+            return;
+        }
+        match val {
+            Some(v) => {
+                self.st.insert(name.to_owned(), v);
+            }
+            None => {
+                self.st.remove(name);
+            }
+        }
+    }
+
+    fn decl(&mut self, v: &VarDecl) {
+        match &v.init {
+            Some(Initializer::Expr(e)) => {
+                self.expr(e, false);
+                let val = self.eval(e);
+                self.set(&v.name, val);
+            }
+            Some(Initializer::List { items, .. }) => {
+                for item in items {
+                    self.init_effects(item);
+                }
+                self.set(&v.name, None);
+            }
+            None => {
+                // Statics are zero-initialized; automatics are unknown.
+                let val = (v.storage == Storage::Static).then_some(0);
+                self.set(&v.name, val);
+            }
+        }
+    }
+
+    fn init_effects(&mut self, init: &Initializer) {
+        match init {
+            Initializer::Expr(e) => self.expr(e, false),
+            Initializer::List { items, .. } => {
+                for i in items {
+                    self.init_effects(i);
+                }
+            }
+        }
+    }
+
+    /// Checks and effects of one expression, in evaluation order. In
+    /// `guarded` position (a `?:` arm, a short-circuit RHS) the walk
+    /// still applies writes but reports nothing: whether the arm executes
+    /// is exactly what the guard decides, and the lattice carries no
+    /// relational facts to decide it with.
+    fn expr(&mut self, e: &Expr, guarded: bool) {
+        match &e.kind {
+            ExprKind::IntLit { .. }
+            | ExprKind::FloatLit { .. }
+            | ExprKind::CharLit { .. }
+            | ExprKind::StrLit { .. }
+            | ExprKind::SizeofExpr(_)
+            | ExprKind::SizeofType(_)
+            | ExprKind::Ident(_) => {}
+            ExprKind::Paren(inner) => self.expr(inner, guarded),
+            ExprKind::Unary { op, operand } => match op {
+                UnaryOp::Deref => {
+                    self.expr(operand, guarded);
+                    self.null_check(operand, e.span, guarded);
+                }
+                UnaryOp::AddrOf => {
+                    if !matches!(operand.unparenthesized().kind, ExprKind::Ident(_)) {
+                        self.expr(operand, guarded);
+                    }
+                }
+                _ if op.is_inc_dec() => {
+                    if let ExprKind::Ident(name) = &operand.unparenthesized().kind {
+                        let name = name.clone();
+                        let delta = if matches!(op, UnaryOp::PreInc | UnaryOp::PostInc) {
+                            1
+                        } else {
+                            -1
+                        };
+                        let val = self.st.get(&name).and_then(|v| v.checked_add(delta));
+                        self.set(&name, val);
+                    } else {
+                        self.expr(operand, guarded);
+                    }
+                }
+                _ => self.expr(operand, guarded),
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.expr(lhs, guarded);
+                if op.is_logical() {
+                    // Vars tested by the LHS may be refined inside the
+                    // RHS (`p && *p`): drop them before walking it.
+                    let saved = self.kill_mentioned(lhs);
+                    self.expr(rhs, true);
+                    self.restore(saved);
+                } else {
+                    self.expr(rhs, guarded);
+                    if matches!(op, BinaryOp::Div | BinaryOp::Rem) && self.eval(rhs) == Some(0) {
+                        let what = if *op == BinaryOp::Div {
+                            "division"
+                        } else {
+                            "modulo"
+                        };
+                        if !guarded {
+                            self.emit(
+                                "div-by-zero",
+                                e.span,
+                                format!("{what} by zero: the divisor is always 0"),
+                            );
+                        }
+                    }
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                self.expr(rhs, guarded);
+                if let ExprKind::Ident(name) = &lhs.unparenthesized().kind {
+                    let name = name.clone();
+                    let val = match op {
+                        None => self.eval(rhs),
+                        Some(bop) => {
+                            if matches!(bop, BinaryOp::Div | BinaryOp::Rem)
+                                && self.eval(rhs) == Some(0)
+                                && !guarded
+                            {
+                                let what = if *bop == BinaryOp::Div {
+                                    "division"
+                                } else {
+                                    "modulo"
+                                };
+                                self.emit(
+                                    "div-by-zero",
+                                    e.span,
+                                    format!("{what} by zero: the divisor is always 0"),
+                                );
+                            }
+                            match (self.st.get(&name).copied(), self.eval(rhs)) {
+                                (Some(l), Some(r)) => crate::cfg::eval_binary(*bop, l, r),
+                                _ => None,
+                            }
+                        }
+                    };
+                    self.set(&name, val);
+                } else {
+                    self.write_target(lhs, guarded);
+                }
+            }
+            ExprKind::Cond {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                self.expr(cond, guarded);
+                let saved = self.kill_mentioned(cond);
+                self.expr(then_expr, true);
+                self.expr(else_expr, true);
+                self.restore(saved);
+            }
+            ExprKind::Call { callee, args } => {
+                match &callee.unparenthesized().kind {
+                    ExprKind::Ident(_) => {}
+                    _ => self.expr(callee, guarded),
+                }
+                for a in args {
+                    self.expr(a, guarded);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.expr(index, guarded);
+                self.expr_base(base, guarded);
+                self.index_check(base, index, e.span, guarded);
+            }
+            ExprKind::Member { base, arrow, .. } => {
+                if *arrow {
+                    self.expr(base, guarded);
+                    self.null_check(base, e.span, guarded);
+                } else {
+                    self.expr_base(base, guarded);
+                }
+            }
+            ExprKind::Cast { expr, .. } => self.expr(expr, guarded),
+            ExprKind::CompoundLit { init, .. } => self.init_effects(init),
+            ExprKind::Comma { lhs, rhs } => {
+                self.expr(lhs, guarded);
+                self.expr(rhs, guarded);
+            }
+        }
+    }
+
+    fn expr_base(&mut self, base: &Expr, guarded: bool) {
+        if !matches!(base.unparenthesized().kind, ExprKind::Ident(_)) {
+            self.expr(base, guarded);
+        }
+    }
+
+    fn null_check(&mut self, pointer: &Expr, span: Span, guarded: bool) {
+        if guarded {
+            return;
+        }
+        if let ExprKind::Ident(name) = &pointer.unparenthesized().kind {
+            if matches!(self.info.kinds.get(name), Some(VarKind::Pointer))
+                && self.st.get(name) == Some(&0)
+            {
+                let name = name.clone();
+                self.emit(
+                    "null-deref",
+                    span,
+                    format!("dereference of null pointer `{name}`"),
+                );
+            }
+        }
+    }
+
+    fn index_check(&mut self, base: &Expr, index: &Expr, span: Span, guarded: bool) {
+        if guarded {
+            return;
+        }
+        let ExprKind::Ident(name) = &base.unparenthesized().kind else {
+            return;
+        };
+        if matches!(self.info.kinds.get(name), Some(VarKind::Pointer)) {
+            self.null_check(base, span, guarded);
+            return;
+        }
+        let Some(&size) = self.info.array_sizes.get(name) else {
+            return;
+        };
+        let Some(i) = self.eval(index) else {
+            return;
+        };
+        if i < 0 || i >= size {
+            let name = name.clone();
+            self.emit(
+                "oob-index",
+                span,
+                format!("index {i} is out of bounds for array `{name}` of {size} elements"),
+            );
+        }
+    }
+
+    fn write_target(&mut self, lhs: &Expr, guarded: bool) {
+        match &lhs.unparenthesized().kind {
+            ExprKind::Ident(_) => {}
+            ExprKind::Index { base, index } => {
+                self.expr(index, guarded);
+                self.expr_base(base, guarded);
+                self.index_check(base, index, lhs.span, guarded);
+            }
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+            } => {
+                self.expr(operand, guarded);
+                self.null_check(operand, lhs.span, guarded);
+            }
+            ExprKind::Member { base, arrow, .. } => {
+                if *arrow {
+                    self.expr(base, guarded);
+                    self.null_check(base, lhs.span, guarded);
+                } else {
+                    self.write_target(base, guarded);
+                }
+            }
+            _ => self.expr(lhs, guarded),
+        }
+    }
+
+    /// Drops every tracked variable mentioned in `e` from the state,
+    /// returning the removed entries for [`Self::restore`].
+    fn kill_mentioned(&mut self, e: &Expr) -> Vec<(String, i128)> {
+        let mut names = FxHashSet::default();
+        collect_idents(e, &mut names);
+        let mut saved = Vec::new();
+        for n in names {
+            if let Some(v) = self.st.remove(&n) {
+                saved.push((n, v));
+            }
+        }
+        saved
+    }
+
+    fn restore(&mut self, saved: Vec<(String, i128)>) {
+        for (n, v) in saved {
+            // Writes inside the guarded region win over the saved value.
+            self.st.entry(n).or_insert(v);
+        }
+    }
+}
+
+fn const_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
+    let apply = |node: usize, st: &ConstMap, sink: Option<&mut Vec<Finding>>, info: &FnInfo<'_>| {
+        let mut w = ConstWalk {
+            info,
+            st: st.0.clone(),
+            sink,
+        };
+        match cfg.nodes[node].action {
+            Action::Decl(v) => w.decl(v),
+            Action::Eval(e) => w.expr(e, false),
+            Action::Branch(e) => {
+                w.expr(e, false);
+                // Path-insensitive refinement: a branch *distinguishes*
+                // the values it tests, so constancy of any mentioned
+                // variable no longer holds uniformly on the out-edges.
+                // Dropping them trades recall for zero guarded false
+                // positives (`if (x != 0) y = 5 / x;`).
+                let _ = w.kill_mentioned(e);
+            }
+            Action::Return(Some(e)) => w.expr(e, false),
+            _ => {}
+        }
+        ConstMap(w.st)
+    };
+    let in_states = forward(cfg, ConstMap(BTreeMap::new()), |node, st| {
+        apply(node, st, None, info)
+    });
+    for (node, st) in in_states.iter().enumerate() {
+        if let Some(st) = st {
+            apply(node, st, Some(findings), info);
+        }
+    }
+}
+
+// ======================================================================
+// Unreachable code
+// ======================================================================
+
+fn unreachable_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
+    let reach = cfg.reachable();
+    let mut dead: Vec<Span> = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| !reach[*i] && n.action.is_source())
+        .map(|(_, n)| n.span)
+        .collect();
+    if dead.is_empty() {
+        return;
+    }
+    dead.sort_by_key(|s| (s.lo, s.hi));
+    let count = dead.len();
+    let plural = if count == 1 { "" } else { "s" };
+    findings.push(info.finding(
+        "unreachable-code",
+        Severity::Lint,
+        dead[0],
+        format!("unreachable code: {count} statement{plural} can never execute"),
+    ));
+}
+
+// ======================================================================
+// Infinite loops without side effects
+// ======================================================================
+
+fn infinite_loop_pass(body: &Stmt, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
+    walk_stmts(body, &mut |s| {
+        let (cond, loop_body) = match &s.kind {
+            StmtKind::While { cond, body } => (Some(cond), body),
+            StmtKind::DoWhile { body, cond } => (Some(cond), body),
+            StmtKind::For { cond, body, .. } => (cond.as_ref(), body),
+            _ => return,
+        };
+        let const_true = match cond {
+            None => true,
+            Some(c) => matches!(syntactic_const(c), Some(v) if v != 0),
+        };
+        if const_true && !makes_progress(loop_body, info, true) {
+            findings.push(
+                info.finding(
+                    "infinite-loop",
+                    Severity::Ub,
+                    s.span,
+                    "infinite loop with a constant-true condition and no observable side effects"
+                        .to_owned(),
+                ),
+            );
+        }
+    });
+}
+
+/// Whether executing `s` could let a constant-true loop terminate or be
+/// observed: a call, a volatile access, a `return`, a `goto`, or — when
+/// `breakable` (not inside a nested loop or switch) — a `break`.
+fn makes_progress(s: &Stmt, info: &FnInfo<'_>, breakable: bool) -> bool {
+    let expr_has_progress = |e: &Expr| -> bool {
+        let mut found = false;
+        walk_exprs(e, &mut |sub| match &sub.kind {
+            ExprKind::Call { .. } => found = true,
+            ExprKind::Ident(name) if info.volatile.contains(name) => found = true,
+            _ => {}
+        });
+        found
+    };
+    let init_has_progress = |init: &Initializer| -> bool {
+        let mut stack = vec![init];
+        while let Some(i) = stack.pop() {
+            match i {
+                Initializer::Expr(e) => {
+                    if expr_has_progress(e) {
+                        return true;
+                    }
+                }
+                Initializer::List { items, .. } => stack.extend(items.iter()),
+            }
+        }
+        false
+    };
+    match &s.kind {
+        StmtKind::Compound(items) => items.iter().any(|item| match item {
+            BlockItem::Decl(group) => group
+                .vars
+                .iter()
+                .any(|v| v.init.as_ref().is_some_and(init_has_progress)),
+            BlockItem::Stmt(st) => makes_progress(st, info, breakable),
+        }),
+        StmtKind::Expr(e) => expr_has_progress(e),
+        StmtKind::Null => false,
+        StmtKind::If {
+            cond,
+            then_stmt,
+            else_stmt,
+        } => {
+            expr_has_progress(cond)
+                || makes_progress(then_stmt, info, breakable)
+                || else_stmt
+                    .as_ref()
+                    .is_some_and(|e| makes_progress(e, info, breakable))
+        }
+        StmtKind::While { cond, body } => {
+            expr_has_progress(cond) || makes_progress(body, info, false)
+        }
+        StmtKind::DoWhile { body, cond } => {
+            expr_has_progress(cond) || makes_progress(body, info, false)
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            init.as_ref().is_some_and(|i| match i.as_ref() {
+                ForInit::Decl(group) => group
+                    .vars
+                    .iter()
+                    .any(|v| v.init.as_ref().is_some_and(init_has_progress)),
+                ForInit::Expr(e) => expr_has_progress(e),
+            }) || cond.as_ref().is_some_and(&expr_has_progress)
+                || step.as_ref().is_some_and(&expr_has_progress)
+                || makes_progress(body, info, false)
+        }
+        StmtKind::Switch { cond, body } => {
+            expr_has_progress(cond) || makes_progress(body, info, false)
+        }
+        StmtKind::Case { stmt, .. } | StmtKind::Default { stmt } | StmtKind::Label { stmt, .. } => {
+            makes_progress(stmt, info, breakable)
+        }
+        // A goto can leave the loop; resolving whether its target is
+        // inside would need label analysis, so assume it escapes.
+        StmtKind::Goto { .. } => true,
+        StmtKind::Break => breakable,
+        StmtKind::Continue => false,
+        StmtKind::Return(_) => true,
+    }
+}
+
+// ======================================================================
+// AST walking helpers
+// ======================================================================
+
+fn collect_address_taken(e: &Expr, out: &mut FxHashSet<String>) {
+    walk_exprs(e, &mut |sub| {
+        if let ExprKind::Unary {
+            op: UnaryOp::AddrOf,
+            operand,
+        } = &sub.kind
+        {
+            if let ExprKind::Ident(name) = &operand.unparenthesized().kind {
+                out.insert(name.clone());
+            }
+        }
+    });
+}
+
+fn collect_idents(e: &Expr, out: &mut FxHashSet<String>) {
+    walk_exprs(e, &mut |sub| {
+        if let ExprKind::Ident(name) = &sub.kind {
+            out.insert(name.clone());
+        }
+    });
+}
+
+/// Calls `f` on `e` and every sub-expression (including unevaluated
+/// `sizeof` operands — callers that care filter themselves).
+fn walk_exprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::IntLit { .. }
+        | ExprKind::FloatLit { .. }
+        | ExprKind::CharLit { .. }
+        | ExprKind::StrLit { .. }
+        | ExprKind::Ident(_)
+        | ExprKind::SizeofType(_) => {}
+        ExprKind::Unary { operand, .. } => walk_exprs(operand, f),
+        ExprKind::Binary { lhs, rhs, .. }
+        | ExprKind::Assign { lhs, rhs, .. }
+        | ExprKind::Comma { lhs, rhs } => {
+            walk_exprs(lhs, f);
+            walk_exprs(rhs, f);
+        }
+        ExprKind::Cond {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            walk_exprs(cond, f);
+            walk_exprs(then_expr, f);
+            walk_exprs(else_expr, f);
+        }
+        ExprKind::Call { callee, args } => {
+            walk_exprs(callee, f);
+            for a in args {
+                walk_exprs(a, f);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            walk_exprs(base, f);
+            walk_exprs(index, f);
+        }
+        ExprKind::Member { base, .. } => walk_exprs(base, f),
+        ExprKind::Cast { expr, .. } => walk_exprs(expr, f),
+        ExprKind::CompoundLit { init, .. } => walk_init_exprs(init, f),
+        ExprKind::SizeofExpr(inner) => walk_exprs(inner, f),
+        ExprKind::Paren(inner) => walk_exprs(inner, f),
+    }
+}
+
+fn walk_init_exprs(init: &Initializer, f: &mut impl FnMut(&Expr)) {
+    match init {
+        Initializer::Expr(e) => walk_exprs(e, f),
+        Initializer::List { items, .. } => {
+            for i in items {
+                walk_init_exprs(i, f);
+            }
+        }
+    }
+}
+
+/// Calls `f` on `s` and every nested statement.
+fn walk_stmts(s: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(s);
+    match &s.kind {
+        StmtKind::Compound(items) => {
+            for item in items {
+                if let BlockItem::Stmt(st) = item {
+                    walk_stmts(st, f);
+                }
+            }
+        }
+        StmtKind::If {
+            then_stmt,
+            else_stmt,
+            ..
+        } => {
+            walk_stmts(then_stmt, f);
+            if let Some(e) = else_stmt {
+                walk_stmts(e, f);
+            }
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. }
+        | StmtKind::For { body, .. }
+        | StmtKind::Switch { body, .. } => walk_stmts(body, f),
+        StmtKind::Case { stmt, .. } | StmtKind::Default { stmt } | StmtKind::Label { stmt, .. } => {
+            walk_stmts(stmt, f)
+        }
+        _ => {}
+    }
+}
+
+/// Calls `f` on every [`VarDecl`] in `s` (block decls and `for` inits).
+fn for_each_decl(s: &Stmt, f: &mut impl FnMut(&VarDecl)) {
+    walk_stmts(s, &mut |st| match &st.kind {
+        StmtKind::Compound(items) => {
+            for item in items {
+                if let BlockItem::Decl(group) = item {
+                    for v in &group.vars {
+                        f(v);
+                    }
+                }
+            }
+        }
+        StmtKind::For {
+            init: Some(init), ..
+        } => {
+            if let ForInit::Decl(group) = init.as_ref() {
+                for v in &group.vars {
+                    f(v);
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// Calls `f` on every top-level expression in `s`, including declaration
+/// initializers.
+fn for_each_expr(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    fn on_decl(v: &VarDecl, f: &mut impl FnMut(&Expr)) {
+        if let Some(init) = &v.init {
+            walk_init_exprs(init, f);
+        }
+    }
+    walk_stmts(s, &mut |st| match &st.kind {
+        StmtKind::Expr(e) | StmtKind::Return(Some(e)) => f(e),
+        StmtKind::If { cond, .. }
+        | StmtKind::While { cond, .. }
+        | StmtKind::DoWhile { cond, .. }
+        | StmtKind::Switch { cond, .. }
+        | StmtKind::Case { expr: cond, .. } => f(cond),
+        StmtKind::For {
+            init, cond, step, ..
+        } => {
+            if let Some(init) = init {
+                match init.as_ref() {
+                    ForInit::Decl(group) => {
+                        for v in &group.vars {
+                            on_decl(v, f);
+                        }
+                    }
+                    ForInit::Expr(e) => f(e),
+                }
+            }
+            if let Some(c) = cond {
+                f(c);
+            }
+            if let Some(st) = step {
+                f(st);
+            }
+        }
+        StmtKind::Compound(items) => {
+            for item in items {
+                if let BlockItem::Decl(group) = item {
+                    for v in &group.vars {
+                        on_decl(v, f);
+                    }
+                }
+            }
+        }
+        _ => {}
+    });
+}

@@ -1,0 +1,66 @@
+//! A small forward worklist dataflow engine over [`crate::cfg::Cfg`].
+//!
+//! States are join-semilattice elements; unreachable nodes are represented
+//! as `None` (bottom), which joins as the identity. The engine iterates to
+//! a fixpoint and returns the *in*-state of every node, so analyses can do
+//! a single reporting pass afterwards with final states — transfer
+//! functions run many times during iteration and must not emit findings
+//! themselves.
+
+use crate::cfg::Cfg;
+use std::collections::VecDeque;
+
+/// A join-semilattice dataflow state.
+pub trait Lattice: Clone + PartialEq {
+    /// In-place least upper bound; returns whether `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+}
+
+/// Runs a forward dataflow to fixpoint.
+///
+/// `entry_state` seeds the CFG entry node; `transfer(node, in_state)`
+/// computes the node's out-state. Returns each node's final in-state
+/// (`None` = the node is unreachable, no state ever flowed into it).
+pub fn forward<L, F>(cfg: &Cfg<'_>, entry_state: L, mut transfer: F) -> Vec<Option<L>>
+where
+    L: Lattice,
+    F: FnMut(usize, &L) -> L,
+{
+    let n = cfg.nodes.len();
+    let mut in_states: Vec<Option<L>> = vec![None; n];
+    in_states[cfg.entry] = Some(entry_state);
+
+    let mut queued = vec![false; n];
+    let mut work = VecDeque::with_capacity(n);
+    work.push_back(cfg.entry);
+    queued[cfg.entry] = true;
+
+    // Monotone transfers over finite-height lattices converge; the budget
+    // is a safety net against a non-monotone bug turning into a hang.
+    let mut budget = n.saturating_mul(256).max(4096);
+    while let Some(node) = work.pop_front() {
+        queued[node] = false;
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let out = match &in_states[node] {
+            Some(state) => transfer(node, state),
+            None => continue,
+        };
+        for &succ in &cfg.nodes[node].succs {
+            let changed = match &mut in_states[succ] {
+                Some(existing) => existing.join_with(&out),
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+    in_states
+}

@@ -1,0 +1,78 @@
+//! Finding types shared by every analysis.
+
+use metamut_lang::fxhash::FxHasher;
+use metamut_lang::Span;
+use serde::Serialize;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// How serious a finding is.
+///
+/// `Ub` findings gate mutants (campaign filter, validation goal #7, the
+/// reduction oracle); `Lint` findings are advisory and only surface in the
+/// CLI and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// The program executes undefined behavior on at least one path (or
+    /// can never make observable progress): its output is meaningless to a
+    /// differential or crash oracle.
+    Ub,
+    /// Suspicious but well-defined: worth reporting, never worth gating.
+    Lint,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Ub => write!(f, "UB"),
+            Severity::Lint => write!(f, "lint"),
+        }
+    }
+}
+
+/// One diagnostic produced by an analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Stable analysis name, e.g. `"uninit-read"` (see the README catalog).
+    pub analysis: &'static str,
+    /// [`Severity::Ub`] gates; [`Severity::Lint`] reports.
+    pub severity: Severity,
+    /// Enclosing function, or `"<global>"` for file-scope findings.
+    pub function: String,
+    /// Source span of the offending expression or statement.
+    pub span: Span,
+    /// Human-readable description (span-free, so keys survive reprints).
+    pub message: String,
+}
+
+impl Finding {
+    /// Span-insensitive identity of a finding: two findings with the same
+    /// key describe the same defect even if the source was reformatted or
+    /// reprinted. This is what "introduces *new* UB" compares.
+    pub fn key(&self) -> FindingKey {
+        let mut h = FxHasher::default();
+        self.analysis.hash(&mut h);
+        self.severity.hash(&mut h);
+        self.function.hash(&mut h);
+        self.message.hash(&mut h);
+        FindingKey(h.finish())
+    }
+
+    /// Whether this finding participates in UB gating.
+    pub fn is_ub(&self) -> bool {
+        self.severity == Severity::Ub
+    }
+}
+
+/// Hash identity of a [`Finding`] modulo spans; see [`Finding::key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FindingKey(pub u64);
+
+/// The span-insensitive key set of the `Ub` findings in `findings`.
+pub fn ub_keys(findings: &[Finding]) -> std::collections::BTreeSet<FindingKey> {
+    findings
+        .iter()
+        .filter(|f| f.is_ub())
+        .map(Finding::key)
+        .collect()
+}

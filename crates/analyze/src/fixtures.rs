@@ -1,0 +1,180 @@
+//! Fixture corpus shared by the crate's tests and the `exp_analyze`
+//! bench gate: programs with one seeded UB defect each (the analyzer
+//! must flag 100% of them with the expected analysis) and known-clean
+//! programs (the analyzer must stay silent on every one).
+
+/// Programs with exactly one seeded `Ub`-severity defect:
+/// `(name, expected_analysis, source)`.
+pub const UB_FIXTURES: &[(&str, &str, &str)] = &[
+    (
+        "uninit-simple",
+        "uninit-read",
+        "int f(void) { int x; return x + 1; }\n",
+    ),
+    (
+        "uninit-expr",
+        "uninit-read",
+        "int f(void) { int a; int b = a * 2; return b; }\n",
+    ),
+    (
+        "uninit-pointer",
+        "uninit-read",
+        "int f(void) { int *p; return *p; }\n",
+    ),
+    (
+        "uninit-one-branch",
+        "uninit-read",
+        "int f(int c) { int x; if (c) { return x; } return 0; }\n",
+    ),
+    (
+        "div-zero-literal",
+        "div-by-zero",
+        "int f(int a) { return a / 0; }\n",
+    ),
+    (
+        "div-zero-var",
+        "div-by-zero",
+        "int f(int a) { int d = 0; return a / d; }\n",
+    ),
+    (
+        "mod-zero-folded",
+        "div-by-zero",
+        "int f(int a) { int m = 5 - 5; return a % m; }\n",
+    ),
+    (
+        "oob-read",
+        "oob-index",
+        "int f(void) { int a[4]; a[1] = 2; return a[7]; }\n",
+    ),
+    (
+        "oob-global",
+        "oob-index",
+        "int g[3];\nint f(void) { return g[3]; }\n",
+    ),
+    (
+        "oob-write",
+        "oob-index",
+        "int f(void) { int a[2]; int i = 5; a[i] = 1; return 0; }\n",
+    ),
+    (
+        "null-deref-read",
+        "null-deref",
+        "int f(void) { int *p = 0; return *p; }\n",
+    ),
+    (
+        "null-deref-arrow",
+        "null-deref",
+        "struct S { int v; };\nint f(void) { struct S *p = 0; return p->v; }\n",
+    ),
+    (
+        "null-deref-write",
+        "null-deref",
+        "void f(void) { int *p = 0; *p = 3; }\n",
+    ),
+    (
+        "null-deref-index",
+        "null-deref",
+        "int f(void) { int *p = 0; return p[2]; }\n",
+    ),
+    (
+        "infinite-while",
+        "infinite-loop",
+        "int f(void) { int x = 0; while (1) { x = x + 1; } return x; }\n",
+    ),
+    (
+        "infinite-for",
+        "infinite-loop",
+        "int f(void) { for (;;) { } return 1; }\n",
+    ),
+];
+
+/// Programs with a `Lint`-severity defect: `(name, expected_analysis,
+/// source)`. These must be flagged, but must *not* gate a mutant.
+pub const LINT_FIXTURES: &[(&str, &str, &str)] = &[
+    (
+        "maybe-uninit",
+        "possible-uninit-read",
+        "int f(int c) { int x; if (c) { x = 1; } return x; }\n",
+    ),
+    (
+        "maybe-uninit-loop",
+        "possible-uninit-read",
+        "int f(int n) { int s; for (int i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n",
+    ),
+    (
+        "unreachable-after-return",
+        "unreachable-code",
+        "int f(void) { return 1; return 2; }\n",
+    ),
+    (
+        "unreachable-if-zero",
+        "unreachable-code",
+        "int f(void) { if (0) { return 5; } return 1; }\n",
+    ),
+];
+
+/// Known-good programs: the analyzer must report **zero** findings of any
+/// severity on every one of these. `(name, source)`.
+pub const CLEAN_FIXTURES: &[(&str, &str)] = &[
+    ("add", "int add(int a, int b) { return a + b; }\n"),
+    (
+        "locals",
+        "int f(void) { int x = 3; int y = x * 2; return x + y; }\n",
+    ),
+    (
+        "for-sum",
+        "int sum(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n",
+    ),
+    (
+        "while-true-break",
+        "int f(void) { int i = 0; while (1) { i = i + 1; if (i > 10) { break; } } return i; }\n",
+    ),
+    (
+        "guarded-div",
+        "int divide(int a, int b) { if (b != 0) { return a / b; } return 0; }\n",
+    ),
+    (
+        "reassigned-divisor",
+        "int f(void) { int d = 0; d = 7; return 10 / d; }\n",
+    ),
+    (
+        "pointer-to-local",
+        "int f(void) { int x = 5; int *p = &x; return *p; }\n",
+    ),
+    (
+        "array-walk",
+        "int f(void) { int a[4]; int t = 0; for (int i = 0; i < 4; i = i + 1) { a[i] = i; t = t + a[i]; } return t; }\n",
+    ),
+    (
+        "switch-cases",
+        "int f(int c) { int r = 0; switch (c) { case 1: r = 1; break; case 2: r = 2; break; default: r = 3; } return r; }\n",
+    ),
+    (
+        "do-while",
+        "int f(void) { int i = 0; do { i = i + 1; } while (i < 3); return i; }\n",
+    ),
+    (
+        "goto-loop",
+        "int f(int n) { int s = 0; loop: s = s + n; n = n - 1; if (n > 0) { goto loop; } return s; }\n",
+    ),
+    (
+        "struct-members",
+        "struct P { int x; int y; };\nint f(void) { struct P p; p.x = 1; p.y = 2; return p.x + p.y; }\n",
+    ),
+    (
+        "typedef-use",
+        "typedef int i32;\ni32 twice(i32 v) { return v * 2; }\n",
+    ),
+    (
+        "string-walk",
+        "int len(void) { char *s = \"hi\"; int n = 0; while (s[n] != 0) { n = n + 1; } return n; }\n",
+    ),
+    (
+        "guarded-null",
+        "int f(int *p) { if (p) { return *p; } return -1; }\n",
+    ),
+    (
+        "volatile-spin",
+        "volatile int ready;\nint f(void) { while (ready == 0) { } return ready; }\n",
+    ),
+];

@@ -1,0 +1,239 @@
+//! The campaign UB gate: decides — cheaply — whether a mutant introduces
+//! undefined behavior its parent seed did not already have.
+//!
+//! Cost is the whole game here. A campaign compiles mutants through the
+//! *incremental* engine (one mini-parse of the edited declaration), so a
+//! gate that fully re-parses and re-analyzes every mutant would dominate
+//! the iteration. The gate therefore mirrors the incremental compiler's
+//! structure:
+//!
+//! 1. The parent seed is fully analyzed **once** and cached: per-chunk
+//!    content hashes (via [`metamut_lang::split_source`]), the set of UB
+//!    finding keys, its typedef names, and its [`GlobalInfo`].
+//! 2. A mutant is lexed and chunk-hashed. If exactly one chunk differs
+//!    and it mini-parses to a single function definition, only that
+//!    function is re-analyzed (against the parent's globals — valid
+//!    because every other chunk is byte-identical to the parent).
+//! 3. Anything else — multi-chunk edits, non-function edits, parse
+//!    failures of the fast path — falls back to a full parse + analyze.
+//!
+//! A mutant that does not parse is **never** gated: the compiler must see
+//! it and reject it so compilable-ratio accounting stays truthful.
+//! Verdicts are cached per `(parent, mutant)` content hash.
+
+use crate::analyses::{analyze_function, analyze_unit, collect_globals, GlobalInfo};
+use crate::findings::{ub_keys, Finding, FindingKey};
+use metamut_lang::ast::ExternalDecl;
+use metamut_lang::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use metamut_lang::{parse, parse_with_typedefs, split_source};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cached full analysis of one parent seed.
+struct ParentInfo {
+    /// Per-chunk content hashes from `split_source`, or `None` when the
+    /// parent does not lex (every mutant then takes the full path).
+    chunk_hashes: Option<Vec<u64>>,
+    /// Span-insensitive keys of every `Ub` finding in the parent. A
+    /// mutant finding matching any of these is not *new*.
+    ub: BTreeSet<FindingKey>,
+    /// Typedef names, so single-declaration mutants mini-parse correctly.
+    typedefs: FxHashSet<String>,
+    /// File-scope facts for analyzing a lone edited function.
+    globals: GlobalInfo,
+    /// Whether the parent parsed (if not, `ub` is empty and the baseline
+    /// for "new" is the empty set).
+    parsed: bool,
+}
+
+fn content_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// Bumps the `analyze_findings{analysis}` counter family for one freshly
+/// analyzed mutant.
+fn count_findings(findings: &[Finding]) {
+    let telemetry = metamut_telemetry::handle();
+    if !telemetry.enabled() {
+        return;
+    }
+    for f in findings {
+        telemetry.counter_add(
+            &metamut_telemetry::labeled("analyze_findings", f.analysis),
+            1,
+        );
+    }
+}
+
+/// Shared, thread-safe UB gate for a fuzzing campaign.
+#[derive(Default)]
+pub struct UbGate {
+    parents: Mutex<FxHashMap<u64, Arc<ParentInfo>>>,
+    verdicts: Mutex<FxHashMap<u64, bool>>,
+    checked: AtomicU64,
+    filtered: AtomicU64,
+    fast_path: AtomicU64,
+}
+
+impl UbGate {
+    /// Creates an empty gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gate queries so far (including verdict-cache hits).
+    pub fn checked(&self) -> u64 {
+        self.checked.load(Ordering::Relaxed)
+    }
+
+    /// Queries that answered "introduces new UB".
+    pub fn filtered(&self) -> u64 {
+        self.filtered.load(Ordering::Relaxed)
+    }
+
+    /// Fresh verdicts that took the single-function fast path.
+    pub fn fast_path(&self) -> u64 {
+        self.fast_path.load(Ordering::Relaxed)
+    }
+
+    /// Whether `mutant` has a `Ub` finding its parent does not.
+    ///
+    /// `parent = None` means the candidate has no seed lineage (e.g. a
+    /// generative fuzzer); the baseline is then the empty set, so *any*
+    /// UB finding gates. Unparseable mutants always return `false`.
+    pub fn introduces_new_ub(&self, parent: Option<&str>, mutant: &str) -> bool {
+        let telemetry = metamut_telemetry::handle();
+        self.checked.fetch_add(1, Ordering::Relaxed);
+        telemetry.counter_add("ub_checked", 1);
+
+        let mut key = FxHasher::default();
+        key.write_u64(parent.map_or(0, content_hash));
+        key.write_u64(content_hash(mutant));
+        let key = key.finish();
+        if let Some(&verdict) = self.verdicts.lock().get(&key) {
+            if verdict {
+                self.filtered.fetch_add(1, Ordering::Relaxed);
+                telemetry.counter_add("ub_filtered", 1);
+            }
+            return verdict;
+        }
+
+        let started = std::time::Instant::now();
+        let verdict = self.decide(parent, mutant);
+        if telemetry.enabled() {
+            telemetry.observe("analyze_ms", started.elapsed().as_secs_f64() * 1e3);
+        }
+        self.verdicts.lock().insert(key, verdict);
+        if verdict {
+            self.filtered.fetch_add(1, Ordering::Relaxed);
+            telemetry.counter_add("ub_filtered", 1);
+        }
+        verdict
+    }
+
+    fn decide(&self, parent: Option<&str>, mutant: &str) -> bool {
+        let info = parent.map(|p| self.parent_info(p));
+        let baseline: &BTreeSet<FindingKey> = match &info {
+            Some(i) => &i.ub,
+            None => {
+                static EMPTY: std::sync::OnceLock<BTreeSet<FindingKey>> =
+                    std::sync::OnceLock::new();
+                EMPTY.get_or_init(BTreeSet::new)
+            }
+        };
+
+        // Fast path: exactly one edited chunk that is a lone function.
+        if let Some(i) = &info {
+            if let (Some(parent_hashes), Some((_, chunks))) =
+                (&i.chunk_hashes, split_source(mutant))
+            {
+                if i.parsed && chunks.len() == parent_hashes.len() {
+                    let edited: Vec<usize> = (0..chunks.len())
+                        .filter(|&c| chunks[c].hash != parent_hashes[c])
+                        .collect();
+                    if let [only] = edited[..] {
+                        if let Some(new_ub) =
+                            self.fast_check(chunks[only].text(mutant), i, baseline)
+                        {
+                            self.fast_path.fetch_add(1, Ordering::Relaxed);
+                            return new_ub;
+                        }
+                    }
+                    if edited.is_empty() {
+                        // Byte-shuffled but chunk-identical: nothing new.
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // Full path: parse and analyze the whole mutant.
+        let Ok(ast) = parse("<ub-gate>", mutant) else {
+            return false;
+        };
+        let findings = analyze_unit(&ast.unit);
+        count_findings(&findings);
+        let keys = ub_keys(&findings);
+        !keys.is_subset(baseline)
+    }
+
+    /// Analyzes one edited chunk as a stand-alone function definition.
+    /// Returns `None` when the chunk is not a lone function (caller falls
+    /// back to the full path).
+    fn fast_check(
+        &self,
+        chunk_src: &str,
+        parent: &ParentInfo,
+        baseline: &BTreeSet<FindingKey>,
+    ) -> Option<bool> {
+        let ast = parse_with_typedefs("<ub-gate-chunk>", chunk_src, &parent.typedefs).ok()?;
+        let [ExternalDecl::Function(f)] = &ast.unit.decls[..] else {
+            return None;
+        };
+        f.body.as_ref()?;
+        let findings = analyze_function(f, &parent.globals);
+        count_findings(&findings);
+        let keys = ub_keys(&findings);
+        Some(!keys.is_subset(baseline))
+    }
+
+    fn parent_info(&self, parent: &str) -> Arc<ParentInfo> {
+        let key = content_hash(parent);
+        if let Some(info) = self.parents.lock().get(&key) {
+            return Arc::clone(info);
+        }
+        let chunk_hashes =
+            split_source(parent).map(|(_, chunks)| chunks.iter().map(|c| c.hash).collect());
+        let info = match parse("<ub-gate-parent>", parent) {
+            Ok(ast) => {
+                let mut typedefs = FxHashSet::default();
+                for d in &ast.unit.decls {
+                    if let ExternalDecl::Typedef(t) = d {
+                        typedefs.insert(t.name.clone());
+                    }
+                }
+                Arc::new(ParentInfo {
+                    chunk_hashes,
+                    ub: ub_keys(&analyze_unit(&ast.unit)),
+                    typedefs,
+                    globals: collect_globals(&ast.unit),
+                    parsed: true,
+                })
+            }
+            Err(_) => Arc::new(ParentInfo {
+                chunk_hashes,
+                ub: BTreeSet::new(),
+                typedefs: FxHashSet::default(),
+                globals: GlobalInfo::default(),
+                parsed: false,
+            }),
+        };
+        self.parents.lock().insert(key, Arc::clone(&info));
+        info
+    }
+}

@@ -1,0 +1,69 @@
+//! # metamut-analyze
+//!
+//! Dataflow-based UB and validity analysis over `metamut-lang` programs.
+//!
+//! The paper's validator asks only "does the mutant compile?"; this crate
+//! adds the next question — "is the mutant a *meaningful* program?" — and
+//! answers it cheaply enough to sit in the campaign hot path:
+//!
+//! - [`cfg`] builds a statement-level control-flow graph per function,
+//!   pruning edges behind syntactically-constant conditions.
+//! - [`dataflow`] is a forward worklist engine over join semilattices.
+//! - [`analyses`] implements the individual checks: definite and possible
+//!   uninitialized reads, division/modulo by a known zero, constant
+//!   out-of-bounds indexing, null-pointer dereference of locals,
+//!   unreachable code, and infinite loops without observable effects.
+//! - [`alpha`] detects no-op mutants via α-equivalence of reprints.
+//! - [`gate`] packages it all as a thread-safe campaign filter with an
+//!   incremental single-function fast path.
+//! - [`fixtures`] is the seeded-UB / known-clean corpus the tests and the
+//!   `exp_analyze` bench gate run against.
+//!
+//! Findings carry a source [`Span`](metamut_lang::Span), a [`Severity`]
+//! ([`Ub`](Severity::Ub) gates mutants; [`Lint`](Severity::Lint) only
+//! informs), and the name of the analysis that produced them.
+
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod analyses;
+pub mod cfg;
+pub mod dataflow;
+pub mod findings;
+pub mod fixtures;
+pub mod gate;
+
+pub use alpha::{alpha_equivalent, check_noop_mutant};
+pub use analyses::{analyze_function, analyze_unit, collect_globals, GlobalInfo};
+pub use findings::{ub_keys, Finding, FindingKey, Severity};
+pub use gate::UbGate;
+
+use metamut_lang::{parse, Diagnostics};
+use std::collections::BTreeSet;
+
+/// Parses and analyzes a whole source file, returning every finding in
+/// source order. `Err` carries the parser diagnostics when the program
+/// does not parse (analysis is then meaningless).
+pub fn analyze_source(src: &str) -> Result<Vec<Finding>, Diagnostics> {
+    let ast = parse("<analyze>", src)?;
+    Ok(analyze_unit(&ast.unit))
+}
+
+/// Span-insensitive keys of every `Ub`-severity finding in `src`, or
+/// `None` when `src` does not parse.
+pub fn ub_keys_of(src: &str) -> Option<BTreeSet<FindingKey>> {
+    analyze_source(src).ok().map(|f| ub_keys(&f))
+}
+
+/// The first `Ub` finding in `mutant` that its `parent` does not share
+/// (validation goal #7). Returns `None` when the mutant parses clean,
+/// only repeats UB already present in the parent, or does not parse at
+/// all (goal #6 owns that case). An unparseable parent contributes an
+/// empty baseline, so any mutant UB counts as new.
+pub fn first_new_ub(parent: &str, mutant: &str) -> Option<Finding> {
+    let findings = analyze_source(mutant).ok()?;
+    let baseline = ub_keys_of(parent).unwrap_or_default();
+    findings
+        .into_iter()
+        .find(|f| f.is_ub() && !baseline.contains(&f.key()))
+}

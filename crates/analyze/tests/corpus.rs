@@ -1,0 +1,69 @@
+//! The precision/recall contract on the fixture corpus: every seeded-UB
+//! fixture is flagged with the expected analysis at `Ub` severity, every
+//! lint fixture at `Lint`, and the clean corpus produces zero findings.
+
+use metamut_analyze::fixtures::{CLEAN_FIXTURES, LINT_FIXTURES, UB_FIXTURES};
+use metamut_analyze::{analyze_source, Severity};
+
+#[test]
+fn corpus_is_large_enough() {
+    assert!(UB_FIXTURES.len() >= 12, "need >= 12 seeded-UB fixtures");
+    assert!(CLEAN_FIXTURES.len() >= 12, "need >= 12 clean fixtures");
+}
+
+#[test]
+fn every_ub_fixture_is_flagged() {
+    for (name, analysis, src) in UB_FIXTURES {
+        let findings =
+            analyze_source(src).unwrap_or_else(|e| panic!("fixture {name} failed to parse: {e:?}"));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.analysis == *analysis && f.severity == Severity::Ub),
+            "fixture {name}: expected a Ub `{analysis}` finding, got {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn every_lint_fixture_is_flagged_as_lint_only() {
+    for (name, analysis, src) in LINT_FIXTURES {
+        let findings =
+            analyze_source(src).unwrap_or_else(|e| panic!("fixture {name} failed to parse: {e:?}"));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.analysis == *analysis && f.severity == Severity::Lint),
+            "fixture {name}: expected a Lint `{analysis}` finding, got {findings:#?}"
+        );
+        assert!(
+            findings.iter().all(|f| !f.is_ub()),
+            "fixture {name}: lint fixtures must not trip the UB gate, got {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn clean_corpus_has_zero_findings() {
+    for (name, src) in CLEAN_FIXTURES {
+        let findings =
+            analyze_source(src).unwrap_or_else(|e| panic!("fixture {name} failed to parse: {e:?}"));
+        assert!(
+            findings.is_empty(),
+            "fixture {name}: expected no findings, got {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn findings_carry_spans_and_functions() {
+    for (name, _, src) in UB_FIXTURES {
+        for f in analyze_source(src).unwrap() {
+            assert!(
+                f.span.hi > f.span.lo,
+                "fixture {name}: finding {f:?} has an empty span"
+            );
+            assert!(!f.function.is_empty(), "fixture {name}: empty function");
+        }
+    }
+}

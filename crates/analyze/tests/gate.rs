@@ -1,0 +1,120 @@
+//! Behavioral contract of the campaign [`UbGate`] and the no-op lint.
+
+use metamut_analyze::{alpha_equivalent, check_noop_mutant, first_new_ub, UbGate};
+
+const PARENT: &str = "\
+typedef int T;
+int g = 3;
+volatile int vg;
+static T helper(T a, T b) { return a * b + g; }
+int fold(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + helper(i, i + 1); }
+    return acc;
+}
+int main(void) { vg = fold(4); return vg + g; }
+";
+
+#[test]
+fn clean_mutant_passes() {
+    let gate = UbGate::new();
+    let mutant = PARENT.replace("a * b + g", "a + b * g");
+    assert!(!gate.introduces_new_ub(Some(PARENT), &mutant));
+}
+
+#[test]
+fn new_ub_is_gated_via_fast_path() {
+    let gate = UbGate::new();
+    let mutant = PARENT.replace("acc = acc + helper(i, i + 1);", "acc = acc / 0;");
+    assert_ne!(mutant, PARENT);
+    assert!(gate.introduces_new_ub(Some(PARENT), &mutant));
+    assert_eq!(
+        gate.fast_path(),
+        1,
+        "a single-function body edit must take the incremental path"
+    );
+    assert_eq!(gate.filtered(), 1);
+}
+
+#[test]
+fn parent_ub_is_not_new() {
+    let parent = "int f(void) { int x; return x; }\nint main(void) { return f(); }\n";
+    // The mutant still has the parent's uninit read, but nothing new.
+    let mutant = "int f(void) { int x; return x; }\nint main(void) { return f() + 1; }\n";
+    let gate = UbGate::new();
+    assert!(!gate.introduces_new_ub(Some(parent), mutant));
+    // A *different* fresh UB in main still gates.
+    let worse = "int f(void) { int x; return x; }\nint main(void) { return f() / 0; }\n";
+    assert!(gate.introduces_new_ub(Some(parent), worse));
+}
+
+#[test]
+fn unparseable_mutant_is_never_gated() {
+    let gate = UbGate::new();
+    let mutant = PARENT.replace("int fold(int n) {", "int fold(int n) { ) (");
+    assert!(
+        !gate.introduces_new_ub(Some(PARENT), &mutant),
+        "the compiler must see and reject unparseable mutants itself"
+    );
+}
+
+#[test]
+fn parentless_candidate_gates_on_any_ub() {
+    let gate = UbGate::new();
+    assert!(gate.introduces_new_ub(None, "int f(void) { return 1 / 0; }\n"));
+    assert!(!gate.introduces_new_ub(None, "int f(void) { return 1; }\n"));
+}
+
+#[test]
+fn verdicts_are_cached() {
+    let gate = UbGate::new();
+    let mutant = PARENT.replace("return acc;", "return acc / 0;");
+    assert!(gate.introduces_new_ub(Some(PARENT), &mutant));
+    assert!(gate.introduces_new_ub(Some(PARENT), &mutant));
+    assert_eq!(gate.checked(), 2);
+    assert_eq!(gate.filtered(), 2);
+    assert_eq!(
+        gate.fast_path(),
+        1,
+        "second query must hit the verdict cache"
+    );
+}
+
+#[test]
+fn multi_chunk_edits_fall_back_to_full_analysis() {
+    let gate = UbGate::new();
+    let mutant = PARENT
+        .replace("int g = 3;", "int g = 4;")
+        .replace("return acc;", "return acc / 0;");
+    assert!(gate.introduces_new_ub(Some(PARENT), &mutant));
+    assert_eq!(gate.fast_path(), 0);
+}
+
+#[test]
+fn first_new_ub_reports_the_offending_finding() {
+    let mutant = PARENT.replace("return acc;", "return acc / 0;");
+    let f = first_new_ub(PARENT, &mutant).expect("division by zero is new UB");
+    assert_eq!(f.analysis, "div-by-zero");
+    assert_eq!(f.function, "fold");
+    assert!(first_new_ub(PARENT, PARENT).is_none());
+}
+
+#[test]
+fn noop_mutants_are_detected() {
+    // Pure whitespace / formatting change.
+    let reformatted = PARENT.replace("int acc = 0;", "int  acc  =  0 ;");
+    let f = check_noop_mutant(PARENT, &reformatted).expect("formatting is a no-op");
+    assert_eq!(f.analysis, "noop-mutant");
+
+    // Consistent renaming is a no-op too.
+    let renamed = PARENT.replace("acc", "total");
+    assert_eq!(alpha_equivalent(PARENT, &renamed), Some(true));
+
+    // A real change is not.
+    let changed = PARENT.replace("int acc = 0;", "int acc = 1;");
+    assert!(check_noop_mutant(PARENT, &changed).is_none());
+
+    // Inconsistent renaming (collision with another variable) is not.
+    let collided = PARENT.replace("int acc = 0;", "int n = 0;");
+    assert_ne!(alpha_equivalent(PARENT, &collided), Some(true));
+}

@@ -1,0 +1,308 @@
+//! Experiment: the dataflow UB analyzer — precision, recall, and what the
+//! campaign UB gate costs.
+//!
+//! The analyzer (`metamut-analyze`) earns its place in the pipeline on two
+//! conditions. It must be *right*: every seeded-UB fixture flagged (100%
+//! recall), zero findings on the clean corpus (no false positives — a
+//! gate that rejects valid mutants silently shrinks the campaign's reach).
+//! And it must be *cheap*: with the pre-compile UB gate armed, campaign
+//! mutant throughput may drop by at most **10%** versus the same campaign
+//! with `--no-ub-filter`, thanks to the gate's incremental
+//! single-chunk fast path and verdict cache.
+//!
+//! This bin checks both. The precision/recall sweep over the committed
+//! fixture corpus is enforced at every scale — a wrong verdict is wrong in
+//! smoke mode too. The throughput comparison runs the real serial campaign
+//! engine (`run_campaign` + `MuCFuzz` over the seed corpus) with the gate
+//! on and off; the ≤10% overhead gate is enforced only in full runs, where
+//! the workload is big enough for the ratio to be stable.
+//!
+//! Usage: `exp_analyze [--iterations N] [--repeats N] [--smoke]`.
+//! `--smoke` shrinks the campaign, skips the overhead gate, and parks its
+//! report under `target/experiments/` so CI never dirties the tree.
+
+use metamut_analyze::fixtures::{CLEAN_FIXTURES, LINT_FIXTURES, UB_FIXTURES};
+use metamut_analyze::{analyze_source, Severity};
+use metamut_bench::render_table;
+use metamut_fuzzing::corpus::seed_corpus;
+use metamut_fuzzing::mucfuzz::MuCFuzz;
+use metamut_fuzzing::{run_campaign, CampaignConfig, CampaignReport};
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CorpusStats {
+    ub_fixtures: usize,
+    ub_flagged: usize,
+    lint_fixtures: usize,
+    lint_flagged: usize,
+    clean_fixtures: usize,
+    clean_false_positives: usize,
+    analyses_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct GateStats {
+    iterations: usize,
+    unfiltered_s: f64,
+    gated_s: f64,
+    unfiltered_per_sec: f64,
+    gated_per_sec: f64,
+    overhead_pct: f64,
+    mutants_checked: u64,
+    mutants_filtered: u64,
+    fast_path_rate_pct: f64,
+}
+
+#[derive(Serialize)]
+struct AnalyzeReport {
+    repeats: usize,
+    gate: String,
+    corpus: CorpusStats,
+    campaign: GateStats,
+    note: String,
+}
+
+/// One serial campaign over the seed corpus; `ub_filter` toggles the gate.
+fn campaign(iterations: usize, ub_filter: bool) -> CampaignReport {
+    let seeds: Vec<String> = seed_corpus().iter().map(|s| s.to_string()).collect();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations,
+        seed: 0xA11A,
+        sample_every: (iterations / 10).max(1),
+        ub_filter,
+        ..Default::default()
+    };
+    let mut fuzzer = MuCFuzz::new(
+        "uCFuzz",
+        Arc::new(metamut_mutators::full_registry()),
+        seeds.iter().cloned(),
+    );
+    run_campaign(&mut fuzzer, &compiler, &config)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    let iterations = arg("--iterations").unwrap_or(if smoke { 300 } else { 3000 });
+    let repeats = arg("--repeats").unwrap_or(if smoke { 1 } else { 3 });
+
+    println!("== UB analyzer precision/recall + campaign gate cost (best of {repeats}) ==\n");
+
+    // -- Corpus sweep: recall on seeded UB, precision on clean programs --
+    let mut ub_flagged = 0usize;
+    let mut missed = Vec::new();
+    for (name, expected_analysis, src) in UB_FIXTURES {
+        let findings = analyze_source(src).expect("UB fixtures must parse");
+        if findings
+            .iter()
+            .any(|f| f.severity == Severity::Ub && f.analysis == *expected_analysis)
+        {
+            ub_flagged += 1;
+        } else {
+            missed.push(*name);
+        }
+    }
+    let mut lint_flagged = 0usize;
+    for (name, expected_analysis, src) in LINT_FIXTURES {
+        let findings = analyze_source(src).expect("lint fixtures must parse");
+        assert!(
+            findings.iter().all(|f| f.severity != Severity::Ub),
+            "lint fixture {name} must not be reported as UB"
+        );
+        if findings.iter().any(|f| f.analysis == *expected_analysis) {
+            lint_flagged += 1;
+        }
+    }
+    let mut false_positives = Vec::new();
+    for (name, src) in CLEAN_FIXTURES {
+        let findings = analyze_source(src).expect("clean fixtures must parse");
+        if !findings.is_empty() {
+            false_positives.push((*name, findings));
+        }
+    }
+
+    // Raw analyzer throughput over the whole corpus.
+    let corpus_srcs: Vec<&str> = UB_FIXTURES
+        .iter()
+        .map(|(_, _, s)| *s)
+        .chain(LINT_FIXTURES.iter().map(|(_, _, s)| *s))
+        .chain(CLEAN_FIXTURES.iter().map(|(_, s)| *s))
+        .collect();
+    let mut sweep_s = f64::INFINITY;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        for src in &corpus_srcs {
+            std::hint::black_box(analyze_source(src).expect("corpus parses"));
+        }
+        sweep_s = sweep_s.min(started.elapsed().as_secs_f64());
+    }
+    let corpus = CorpusStats {
+        ub_fixtures: UB_FIXTURES.len(),
+        ub_flagged,
+        lint_fixtures: LINT_FIXTURES.len(),
+        lint_flagged,
+        clean_fixtures: CLEAN_FIXTURES.len(),
+        clean_false_positives: false_positives.len(),
+        analyses_per_sec: corpus_srcs.len() as f64 / sweep_s.max(1e-9),
+    };
+
+    // -- Campaign gate cost: same serial campaign, gate on vs off --
+    let mut unfiltered_s = f64::INFINITY;
+    let mut gated_s = f64::INFINITY;
+    let mut gated_report = None;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        std::hint::black_box(campaign(iterations, false));
+        unfiltered_s = unfiltered_s.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let report = campaign(iterations, true);
+        gated_s = gated_s.min(started.elapsed().as_secs_f64());
+        gated_report = Some(report);
+    }
+    let ub = gated_report
+        .as_ref()
+        .and_then(|r| r.ub)
+        .expect("gated campaign must carry UB stats");
+    let overhead_pct = 100.0 * (gated_s - unfiltered_s) / unfiltered_s;
+    let campaign_stats = GateStats {
+        iterations,
+        unfiltered_s,
+        gated_s,
+        unfiltered_per_sec: iterations as f64 / unfiltered_s,
+        gated_per_sec: iterations as f64 / gated_s,
+        overhead_pct,
+        mutants_checked: ub.checked,
+        mutants_filtered: ub.filtered,
+        fast_path_rate_pct: if ub.checked > 0 {
+            100.0 * ub.fast_path as f64 / ub.checked as f64
+        } else {
+            0.0
+        },
+    };
+
+    println!(
+        "{}",
+        render_table(
+            &["Corpus", "Programs", "Flagged", "False positives"],
+            &[
+                vec![
+                    "seeded UB".into(),
+                    corpus.ub_fixtures.to_string(),
+                    corpus.ub_flagged.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "lint-only".into(),
+                    corpus.lint_fixtures.to_string(),
+                    corpus.lint_flagged.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "clean".into(),
+                    corpus.clean_fixtures.to_string(),
+                    "-".into(),
+                    corpus.clean_false_positives.to_string(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Campaign",
+                "Mutants/s",
+                "Checked",
+                "Filtered",
+                "Fast path",
+                "Overhead"
+            ],
+            &[
+                vec![
+                    "no gate".into(),
+                    format!("{:.0}", campaign_stats.unfiltered_per_sec),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ],
+                vec![
+                    "UB gate".into(),
+                    format!("{:.0}", campaign_stats.gated_per_sec),
+                    campaign_stats.mutants_checked.to_string(),
+                    campaign_stats.mutants_filtered.to_string(),
+                    format!("{:.0}%", campaign_stats.fast_path_rate_pct),
+                    format!("{:+.1}%", campaign_stats.overhead_pct),
+                ],
+            ],
+        )
+    );
+
+    let gate = "100% of seeded-UB fixtures flagged, 0 findings on the clean corpus, \
+                UB gate costs <= 10% campaign mutant throughput"
+        .to_string();
+    let report = AnalyzeReport {
+        repeats,
+        gate: gate.clone(),
+        corpus,
+        campaign: campaign_stats,
+        note: "recall/precision over the committed fixture corpus in \
+               metamut_analyze::fixtures; gate cost = serial uCFuzz campaign over the \
+               seed corpus vs gcc-sim -O2, ub_filter on vs off, best-of-N wall time"
+            .into(),
+    };
+
+    // The committed evidence lives at the repository root, next to the
+    // README that cites it; smoke runs park their miniature report in
+    // `target/` so CI never dirties the tree.
+    let path = if smoke {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        std::fs::create_dir_all(&dir).expect("create target/experiments");
+        dir.join("BENCH_analysis_smoke.json")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_analysis.json")
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize analyze report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_analysis.json");
+    println!("report written to {}", path.display());
+
+    // Correctness gates hold even in smoke mode: a wrong verdict is wrong
+    // at any scale.
+    assert!(
+        missed.is_empty(),
+        "seeded-UB fixtures escaped the analyzer: {missed:?}"
+    );
+    assert_eq!(
+        report.corpus.lint_flagged, report.corpus.lint_fixtures,
+        "every lint fixture must be flagged"
+    );
+    assert!(
+        false_positives.is_empty(),
+        "clean corpus produced findings: {false_positives:?}"
+    );
+    if smoke {
+        println!("(smoke run: overhead gate skipped, precision/recall enforced)");
+    } else {
+        assert!(
+            report.campaign.overhead_pct <= 10.0,
+            "UB gate costs {:.1}% campaign throughput (gate: {gate})",
+            report.campaign.overhead_pct
+        );
+        println!(
+            "gate ok: recall {}/{}, 0 false positives, overhead {:+.1}% <= 10% — {gate}",
+            report.corpus.ub_flagged, report.corpus.ub_fixtures, report.campaign.overhead_pct
+        );
+    }
+}

@@ -99,6 +99,15 @@ impl Mutator for SynthesizedMutator {
         if changed && self.has_defect(Defect::CompileErrorMutant) {
             ctx.insert_before(0, ") ");
         }
+        // Goal #7: the rewrite drags undefined behavior into the mutant —
+        // a compilable helper with a constant-propagated division by zero.
+        // The reserved-style names keep it disjoint from test-program UB.
+        if changed && self.has_defect(Defect::UbMutant) {
+            ctx.insert_before(
+                0,
+                "static int __mm_ub(void) { int __mm_z = 0; return 1 / __mm_z; }\n",
+            );
+        }
         changed
     }
 }

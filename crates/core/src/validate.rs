@@ -1,6 +1,8 @@
-//! The validation stage of §3.3: checks goals #1–#6 against the
+//! The validation stage of §3.3: checks goals #1–#7 against the
 //! LLM-generated unit tests and renders feedback for the simplest unmet
-//! goal, exactly as the refinement loop requires.
+//! goal, exactly as the refinement loop requires. Goal #7 — "the mutant
+//! introduces no new undefined behavior" — extends the paper's checklist
+//! with the [`metamut_analyze`] dataflow analyzer.
 
 use crate::synth::SynthesizedMutator;
 use metamut_llm::defects::Defect;
@@ -9,11 +11,11 @@ use metamut_muast::{mutate_source, MutationOutcome, Mutator};
 /// The result of validating one mutator implementation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
-    /// All six goals met on every test program.
+    /// All seven goals met on every test program.
     Valid,
     /// The simplest unmet goal plus the feedback message handed to the LLM.
     Unmet {
-        /// Goal number (1–6).
+        /// Goal number (1–7).
         goal: u8,
         /// Diagnostic rendered for the repair prompt.
         message: String,
@@ -27,7 +29,7 @@ impl Verdict {
     }
 }
 
-/// Validates `m` against the test programs (goals #2–#6; goal #1 — "the
+/// Validates `m` against the test programs (goals #2–#7; goal #1 — "the
 /// mutator compiles" — is checked by
 /// [`crate::synth::compile_blueprint`] before an executable mutator exists).
 ///
@@ -104,6 +106,20 @@ fn validate_inner(m: &SynthesizedMutator, tests: &[String], seed: u64) -> Verdic
                         message: format!("mutant of test {} does not compile: {first}", i + 1),
                     };
                 }
+                // Goal #7: the mutant introduces no new undefined behavior
+                // (UB its parent test program did not already contain).
+                if let Some(f) = metamut_analyze::first_new_ub(t, &mutant) {
+                    return Verdict::Unmet {
+                        goal: 7,
+                        message: format!(
+                            "mutant of test {} introduces undefined behavior: {} in '{}': {}",
+                            i + 1,
+                            f.analysis,
+                            f.function,
+                            f.message
+                        ),
+                    };
+                }
             }
             Ok(MutationOutcome::NotApplicable) => {}
             Err(e) => {
@@ -169,6 +185,7 @@ mod tests {
             (vec![Defect::NoOutput], 4),
             (vec![Defect::NoRewrite], 5),
             (vec![Defect::CompileErrorMutant], 6),
+            (vec![Defect::UbMutant], 7),
         ];
         for (defects, goal) in cases {
             let m = synth("ModifyIntegerLiteral", defects.clone());

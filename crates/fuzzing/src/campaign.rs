@@ -11,6 +11,7 @@
 
 use crate::generator::TestGenerator;
 use crate::parallel::ExchangeHub;
+use metamut_analyze::UbGate;
 use metamut_muast::MutRng;
 use metamut_simcomp::{
     AtomicCoverage, BaselineCache, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict,
@@ -52,6 +53,16 @@ pub struct CampaignConfig {
     /// surface through `BaselineCache::mismatches` and the
     /// `incremental_mismatches` telemetry counter.
     pub cross_check_every: usize,
+    /// Statically analyze mutants before compiling and skip any that
+    /// introduce undefined behavior their parent seed did not have (see
+    /// `metamut_analyze::UbGate`). Skipped mutants count as generated but
+    /// not compilable. `--no-ub-filter` turns it off, reproducing the
+    /// unfiltered engine bit-for-bit.
+    pub ub_filter: bool,
+    /// Maximum entries the incremental [`BaselineCache`] may hold before
+    /// second-chance eviction kicks in (`0` = unbounded). Evictions are
+    /// counted by the `baseline_evictions` telemetry counter.
+    pub baseline_cache_cap: usize,
 }
 
 impl Default for CampaignConfig {
@@ -65,6 +76,8 @@ impl Default for CampaignConfig {
             exchange_every: 64,
             incremental: true,
             cross_check_every: 0,
+            ub_filter: true,
+            baseline_cache_cap: 0,
         }
     }
 }
@@ -148,6 +161,17 @@ impl MutantStats {
     }
 }
 
+/// UB-gate statistics for one campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct UbStats {
+    /// Mutants put to the gate (dedup misses while the filter is on).
+    pub checked: u64,
+    /// Mutants skipped for introducing new undefined behavior.
+    pub filtered: u64,
+    /// Fresh verdicts that analyzed only the single edited function.
+    pub fast_path: u64,
+}
+
 /// Mutant-dedup cache statistics for one campaign.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct DedupStats {
@@ -192,6 +216,8 @@ pub struct CampaignReport {
     pub workers: usize,
     /// Dedup-cache statistics (`None` when dedup was disabled).
     pub dedup: Option<DedupStats>,
+    /// UB-gate statistics (`None` when the filter was disabled).
+    pub ub: Option<UbStats>,
 }
 
 impl CampaignReport {
@@ -225,6 +251,10 @@ pub(crate) struct CampaignShared<'a> {
     /// across every worker/shard so a seed's baseline builds once per
     /// campaign.
     incremental: Option<BaselineCache>,
+    /// The UB pre-compile gate, shared so parent analyses and verdicts are
+    /// computed once per campaign. `None` when the filter is off — the
+    /// worker loop is then structurally identical to the unfiltered engine.
+    ub_gate: Option<UbGate>,
 }
 
 impl<'a> CampaignShared<'a> {
@@ -237,9 +267,11 @@ impl<'a> CampaignShared<'a> {
             series: Mutex::new(Vec::new()),
             next_iter: AtomicUsize::new(0),
             dedup: config.dedup.then(DedupCache::new),
-            incremental: config
-                .incremental
-                .then(|| BaselineCache::with_cross_check(config.cross_check_every)),
+            incremental: config.incremental.then(|| {
+                BaselineCache::with_cross_check(config.cross_check_every)
+                    .with_capacity(config.baseline_cache_cap)
+            }),
+            ub_gate: config.ub_filter.then(UbGate::new),
         }
     }
 
@@ -278,6 +310,11 @@ impl<'a> CampaignShared<'a> {
             misses: d.misses(),
             unique: d.len(),
         });
+        let ub = self.ub_gate.as_ref().map(|g| UbStats {
+            checked: g.checked(),
+            filtered: g.filtered(),
+            fast_path: g.fast_path(),
+        });
         CampaignReport {
             fuzzer: fuzzer.to_string(),
             compiler: self.compiler.profile().name().to_string(),
@@ -291,6 +328,7 @@ impl<'a> CampaignShared<'a> {
             mutants,
             workers,
             dedup,
+            ub,
         }
     }
 }
@@ -333,49 +371,61 @@ pub(crate) fn run_worker(
                 if shared.dedup.is_some() {
                     telemetry.counter_add("dedup_misses", 1);
                 }
-                // Mutants of a pooled parent compile incrementally against
-                // the parent's cached baseline (bit-identical to cold, so
-                // nothing downstream can tell); parentless candidates and
-                // incremental guard failures compile cold.
                 let seed = candidate
                     .parent
                     .and_then(|i| generator.seed_source(i))
                     .map(str::to_owned);
-                let result = match (&shared.incremental, seed) {
-                    (Some(cache), Some(seed)) => {
-                        cache.compile(shared.compiler, &seed, &candidate.program)
+                // Pre-compile UB gate: a mutant that introduces undefined
+                // behavior its parent lacks is skipped outright — it counts
+                // as a generated, non-compilable mutant and never reaches
+                // the compiler (or the dedup/coverage stores).
+                let gated = shared
+                    .ub_gate
+                    .as_ref()
+                    .is_some_and(|g| g.introduces_new_ub(seed.as_deref(), &candidate.program));
+                if gated {
+                    (false, 0)
+                } else {
+                    // Mutants of a pooled parent compile incrementally
+                    // against the parent's cached baseline (bit-identical to
+                    // cold, so nothing downstream can tell); parentless
+                    // candidates and incremental guard failures compile cold.
+                    let result = match (&shared.incremental, seed) {
+                        (Some(cache), Some(seed)) => {
+                            cache.compile(shared.compiler, &seed, &candidate.program)
+                        }
+                        _ => shared.compiler.compile(&candidate.program),
+                    };
+                    let compiled = match &result.outcome {
+                        Outcome::Success { .. } => true,
+                        // A crash beyond the front end means it was accepted.
+                        Outcome::Crash(c) => c.stage != Stage::FrontEnd,
+                        Outcome::Rejected { .. } => false,
+                    };
+                    if let Outcome::Crash(info) = &result.outcome {
+                        let sig = info.signature();
+                        let mut crashes = shared.crashes.lock();
+                        if crashes.0.insert(sig) {
+                            telemetry.counter_add(
+                                &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
+                                1,
+                            );
+                            crashes.1.push(CrashRecord {
+                                info: info.clone(),
+                                signature: sig,
+                                first_iteration: iter,
+                                witness: candidate.program.clone(),
+                            });
+                        }
                     }
-                    _ => shared.compiler.compile(&candidate.program),
-                };
-                let compiled = match &result.outcome {
-                    Outcome::Success { .. } => true,
-                    // A crash beyond the front end means it was accepted.
-                    Outcome::Crash(c) => c.stage != Stage::FrontEnd,
-                    Outcome::Rejected { .. } => false,
-                };
-                if let Outcome::Crash(info) = &result.outcome {
-                    let sig = info.signature();
-                    let mut crashes = shared.crashes.lock();
-                    if crashes.0.insert(sig) {
-                        telemetry.counter_add(
-                            &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
-                            1,
-                        );
-                        crashes.1.push(CrashRecord {
-                            info: info.clone(),
-                            signature: sig,
-                            first_iteration: iter,
-                            witness: candidate.program.clone(),
-                        });
+                    let new_bits = shared.coverage.merge(&result.coverage);
+                    // Publish the verdict only now: a concurrent worker that
+                    // sees the cache entry may skip merging entirely.
+                    if let Some(cache) = shared.dedup.as_ref() {
+                        cache.insert(&candidate.program, Verdict::of(&result));
                     }
+                    (compiled, new_bits)
                 }
-                let new_bits = shared.coverage.merge(&result.coverage);
-                // Publish the verdict only now: a concurrent worker that
-                // sees the cache entry may skip merging entirely.
-                if let Some(cache) = shared.dedup.as_ref() {
-                    cache.insert(&candidate.program, Verdict::of(&result));
-                }
-                (compiled, new_bits)
             }
         };
         mutants.record(compiled);
@@ -455,10 +505,12 @@ mod tests {
         }
         assert_eq!(report.series.last().unwrap().covered, report.final_coverage);
         assert_eq!(report.workers, 1);
-        // Dedup is on by default; hits + misses account for every iteration.
+        // Dedup is on by default; hits + misses account for every iteration,
+        // and every miss was either UB-filtered or compiled into the cache.
         let dedup = report.dedup.expect("dedup on by default");
+        let ub = report.ub.expect("ub filter on by default");
         assert_eq!(dedup.hits + dedup.misses, 60);
-        assert_eq!(dedup.unique, dedup.misses as usize);
+        assert_eq!(dedup.unique as u64 + ub.filtered, dedup.misses);
     }
 
     #[test]
@@ -539,6 +591,118 @@ mod tests {
         let cache = shared.incremental.as_ref().expect("incremental on");
         assert!(cache.hits() > 0, "no mutant took the incremental fast path");
         assert_eq!(cache.mismatches(), 0, "incremental diverged from cold");
+    }
+
+    #[test]
+    fn ub_filter_off_reproduces_unfiltered_engine() {
+        // `--no-ub-filter` must be a true escape hatch: with the filter
+        // off no gate even exists (`CampaignShared.ub_gate` is `None`),
+        // so the worker loop is structurally the pre-filter engine; this
+        // pins the observable side — the report says nothing about UB and
+        // dedup accounting returns to `unique == misses`.
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let mut f = MuCFuzz::new(
+            "uCFuzz.s",
+            Arc::new(metamut_mutators::supervised_registry()),
+            seed_corpus().iter().map(|s| s.to_string()),
+        );
+        let cfg = CampaignConfig {
+            iterations: 80,
+            seed: 9,
+            sample_every: 16,
+            ub_filter: false,
+            ..Default::default()
+        };
+        let report = run_campaign(&mut f, &compiler, &cfg);
+        assert!(report.ub.is_none());
+        let dedup = report.dedup.unwrap();
+        assert_eq!(dedup.unique, dedup.misses as usize);
+        assert_eq!(report.mutants.total, 80);
+    }
+
+    #[test]
+    fn ub_filter_skips_ub_mutants_before_the_compiler() {
+        // A generator that always emits a division by zero: with the
+        // filter on, nothing ever reaches the compiler.
+        struct UbEmitter;
+        impl TestGenerator for UbEmitter {
+            fn name(&self) -> &'static str {
+                "ub-emitter"
+            }
+            fn next_candidate(&mut self, _rng: &mut MutRng) -> crate::generator::Candidate {
+                crate::generator::Candidate {
+                    program: "int f(void) { return 1 / 0; }".to_string(),
+                    parent: None,
+                }
+            }
+            fn feedback(&mut self, _c: &crate::generator::Candidate, _n: bool, _k: bool) {}
+        }
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cfg = CampaignConfig {
+            iterations: 20,
+            seed: 3,
+            sample_every: 5,
+            ..Default::default()
+        };
+        let report = run_campaign(&mut UbEmitter, &compiler, &cfg);
+        let ub = report.ub.expect("filter on by default");
+        assert_eq!(ub.checked, 20, "every iteration misses dedup and is gated");
+        assert_eq!(ub.filtered, 20, "every emission introduces UB");
+        assert_eq!(report.mutants.total, 20);
+        assert_eq!(report.mutants.compilable, 0);
+        assert_eq!(report.final_coverage, 0, "nothing reached the compiler");
+
+        // Same generator with the filter off: everything compiles.
+        let report = run_campaign(
+            &mut UbEmitter,
+            &compiler,
+            &CampaignConfig {
+                ub_filter: false,
+                ..cfg
+            },
+        );
+        assert_eq!(report.mutants.compilable, 20);
+        assert!(report.final_coverage > 0);
+    }
+
+    #[test]
+    fn ub_filter_lets_parent_ub_through() {
+        // A mutant that merely inherits its parent's UB is not "new" and
+        // must reach the compiler like any other mutant.
+        struct Inheritor {
+            seed: String,
+        }
+        impl TestGenerator for Inheritor {
+            fn name(&self) -> &'static str {
+                "inheritor"
+            }
+            fn next_candidate(&mut self, _rng: &mut MutRng) -> crate::generator::Candidate {
+                crate::generator::Candidate {
+                    // The parent's uninit read, plus a harmless edit.
+                    program: self.seed.replace("return x;", "return x + 1;"),
+                    parent: Some(0),
+                }
+            }
+            fn feedback(&mut self, _c: &crate::generator::Candidate, _n: bool, _k: bool) {}
+            fn seed_source(&self, i: usize) -> Option<&str> {
+                (i == 0).then_some(self.seed.as_str())
+            }
+        }
+        let seed = "int f(void) { int x; return x; }\nint main(void) { return f(); }".to_string();
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let report = run_campaign(
+            &mut Inheritor { seed },
+            &compiler,
+            &CampaignConfig {
+                iterations: 10,
+                seed: 3,
+                sample_every: 5,
+                ..Default::default()
+            },
+        );
+        let ub = report.ub.unwrap();
+        assert_eq!(ub.filtered, 0, "inherited UB is not new UB");
+        assert_eq!(report.mutants.compilable, 10);
     }
 
     #[test]

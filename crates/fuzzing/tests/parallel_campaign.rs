@@ -44,6 +44,38 @@ fn one_worker_matches_serial_exactly() {
     assert_eq!(serial, parallel);
 }
 
+/// The `--no-ub-filter` escape hatch: with the filter off the campaign
+/// engine carries no gate at all, and one parallel worker still
+/// reproduces the serial engine bit-for-bit — i.e. exactly the pre-filter
+/// engine's report, with no UB stats attached.
+#[test]
+fn no_ub_filter_matches_serial_exactly() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations: 150,
+        seed: 0xD15C0,
+        sample_every: 25,
+        workers: 1,
+        ub_filter: false,
+        ..Default::default()
+    };
+    let reg = registry();
+    let mut serial_fuzzer = MuCFuzz::new("uCFuzz.s", reg.clone(), seeds.iter().cloned());
+    let serial = run_campaign(&mut serial_fuzzer, &compiler, &config);
+    let parallel = run_parallel_campaign(
+        &seeds,
+        |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+        &compiler,
+        &config,
+    );
+    assert_eq!(serial, parallel);
+    assert!(serial.ub.is_none(), "no gate exists with the filter off");
+    // Unfiltered dedup accounting: every miss compiled into the cache.
+    let dedup = serial.dedup.expect("dedup on by default");
+    assert_eq!(dedup.unique, dedup.misses as usize);
+}
+
 /// Multi-worker campaigns use the full iteration budget, merge coverage
 /// without losing bits, and report sane, monotone series.
 #[test]
@@ -74,10 +106,14 @@ fn multi_worker_campaign_accounts_exactly() {
         assert!(w[1].crashes >= w[0].crashes);
     }
     assert_eq!(report.series.last().unwrap().covered, report.final_coverage);
-    // Every iteration is either a dedup hit or a fresh compile.
+    // Every iteration is either a dedup hit or a fresh lookup miss, and
+    // every miss either got UB-filtered before the compiler or compiled
+    // into a distinct cache entry.
     let dedup = report.dedup.expect("dedup on by default");
+    let ub = report.ub.expect("ub filter on by default");
     assert_eq!(dedup.hits + dedup.misses, 200);
-    assert_eq!(dedup.unique, dedup.misses as usize);
+    assert_eq!(dedup.unique as u64 + ub.filtered, dedup.misses);
+    assert_eq!(ub.checked, dedup.misses, "every miss is gated");
 }
 
 /// Worker counts only redistribute the budget — coverage stays in the

@@ -22,17 +22,20 @@ pub enum Defect {
     NoRewrite,
     /// Goal #6: the mutator produces mutants that do not compile.
     CompileErrorMutant,
+    /// Goal #7: the mutator produces mutants with new undefined behavior.
+    UbMutant,
 }
 
 impl Defect {
     /// All classes in validation-goal order (simplest first).
-    pub const ALL: [Defect; 6] = [
+    pub const ALL: [Defect; 7] = [
         Defect::SyntaxError,
         Defect::Hangs,
         Defect::Crashes,
         Defect::NoOutput,
         Defect::NoRewrite,
         Defect::CompileErrorMutant,
+        Defect::UbMutant,
     ];
 
     /// The validation-goal number (1-based) this defect violates.
@@ -44,6 +47,7 @@ impl Defect {
             Defect::NoOutput => 4,
             Defect::NoRewrite => 5,
             Defect::CompileErrorMutant => 6,
+            Defect::UbMutant => 7,
         }
     }
 
@@ -56,12 +60,15 @@ impl Defect {
             Defect::NoOutput => "μ outputs nothing",
             Defect::NoRewrite => "μ does not rewrite",
             Defect::CompileErrorMutant => "μ creates compile-error mutant",
+            Defect::UbMutant => "μ creates UB mutant",
         }
     }
 
     /// Table 1 empirical weights (counts of fixed bugs per class: 55, 0, 4,
     /// 11, 1, 36). `Hangs` gets a tiny nonzero weight so the class exists —
     /// the paper observed hang-defects only among *unfixable* mutators.
+    /// `UbMutant` is not a Table 1 class (the paper's validator stopped at
+    /// "compiles"); it gets a small weight so goal #7 sees real traffic.
     pub fn weight(self) -> u32 {
         match self {
             Defect::SyntaxError => 55,
@@ -70,6 +77,7 @@ impl Defect {
             Defect::NoOutput => 11,
             Defect::NoRewrite => 1,
             Defect::CompileErrorMutant => 36,
+            Defect::UbMutant => 6,
         }
     }
 

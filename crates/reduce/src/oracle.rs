@@ -23,10 +23,22 @@
 //!    function edits (statement ddmin, expression shrinking) reuse the
 //!    witness's cached per-declaration artifacts. Incremental compilation
 //!    is bit-identical to cold, so verdicts are unaffected.
+//!
+//! On top of the crash check, a **UB guard** keeps reduced witnesses
+//! *valid*: a candidate that reproduces the signature but whose dataflow
+//! analysis (`metamut-analyze`) reports undefined behavior absent from the
+//! original witness is rejected anyway. ddmin loves deleting
+//! initializations; without the guard the minimized reproducer routinely
+//! reads uninitialized variables, and a bug report built on a UB program
+//! gets bounced by compiler maintainers. The guard only fires on
+//! candidates the analyzer can parse — raw-byte crashers reduce exactly as
+//! before.
 
+use metamut_analyze::{ub_keys_of, FindingKey};
 use metamut_lang::fxhash::FxHashMap;
 use metamut_simcomp::{Baseline, CompileOptions, Compiler, CrashInfo, Profile, Stage};
 use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,11 +60,16 @@ pub struct ReductionOracle {
     target_stage: Option<Stage>,
     calls: AtomicU64,
     prefilter_skips: AtomicU64,
+    ub_rejects: AtomicU64,
     verdicts: Mutex<FxHashMap<u64, bool>>,
     /// Incremental-compilation baseline of the current best witness; kept
     /// fresh by [`ReductionOracle::rebase`]. `None` means candidates
     /// compile cold.
     baseline: Mutex<Option<Arc<Baseline>>>,
+    /// UB finding keys of the original witness; `Some` arms the UB guard
+    /// (candidates may only reproduce these, never new ones), `None`
+    /// (unanalyzable witness, or signature-only construction) disables it.
+    ub_baseline: Option<BTreeSet<FindingKey>>,
 }
 
 impl ReductionOracle {
@@ -67,8 +84,10 @@ impl ReductionOracle {
             target_stage: None,
             calls: AtomicU64::new(0),
             prefilter_skips: AtomicU64::new(0),
+            ub_rejects: AtomicU64::new(0),
             verdicts: Mutex::new(FxHashMap::default()),
             baseline: Mutex::new(None),
+            ub_baseline: None,
         }
     }
 
@@ -86,8 +105,10 @@ impl ReductionOracle {
             target_stage: Some(crash.stage),
             calls: AtomicU64::new(0),
             prefilter_skips: AtomicU64::new(0),
+            ub_rejects: AtomicU64::new(0),
             verdicts: Mutex::new(FxHashMap::default()),
             baseline: Mutex::new(baseline),
+            ub_baseline: ub_keys_of(witness),
             compiler,
         })
     }
@@ -117,6 +138,18 @@ impl ReductionOracle {
     /// compile.
     pub fn prefilter_skips(&self) -> u64 {
         self.prefilter_skips.load(Ordering::Relaxed)
+    }
+
+    /// Candidates that reproduced the crash but were rejected for
+    /// introducing undefined behavior absent from the original witness.
+    pub fn ub_rejects(&self) -> u64 {
+        self.ub_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Whether the UB guard is armed (the original witness was
+    /// analyzable).
+    pub fn ub_guard_armed(&self) -> bool {
+        self.ub_baseline.is_some()
     }
 
     /// Re-anchors the incremental baseline on `witness` (the reducer's
@@ -155,10 +188,23 @@ impl ReductionOracle {
             Some(b) => self.compiler.compile_incremental(src, b),
             None => self.compiler.compile(src),
         };
-        let verdict = result
+        let mut verdict = result
             .outcome
             .crash()
             .is_some_and(|c| c.signature() == self.target);
+        // UB guard: the right crash on an *invalid* program is still a
+        // failed candidate. Only analyzable candidates are judged — an
+        // unparseable candidate either got pre-filtered above or crashes
+        // the front end on raw bytes, where validity is moot.
+        if verdict {
+            if let (Some(baseline), Some(keys)) = (&self.ub_baseline, ub_keys_of(src)) {
+                if !keys.is_subset(baseline) {
+                    self.ub_rejects.fetch_add(1, Ordering::Relaxed);
+                    metamut_telemetry::handle().counter_add("reduce_ub_rejects", 1);
+                    verdict = false;
+                }
+            }
+        }
         self.verdicts.lock().insert(key, verdict);
         verdict
     }
@@ -294,6 +340,72 @@ lt:\n\
         for c in &candidates {
             assert_eq!(with.reproduces(c), cold.reproduces(c), "candidate {c:?}");
         }
+    }
+
+    #[test]
+    fn ub_guard_rejects_candidates_with_new_ub() {
+        let oracle =
+            ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), BACKEND_WITNESS)
+                .expect("witness crashes");
+        assert!(oracle.ub_guard_armed(), "parseable witness arms the guard");
+        // Prepend an unrelated uninitialized read: same crash signature
+        // (compiled below to prove it), but the program is now invalid.
+        let candidate = format!("static int mm_ub(void) {{ int z; return z; }}\n{BACKEND_WITNESS}");
+        assert_eq!(
+            oracle
+                .compiler()
+                .compile(&candidate)
+                .outcome
+                .crash()
+                .map(|c| c.signature()),
+            Some(oracle.target_signature()),
+            "candidate must still reproduce the crash for this test to bite"
+        );
+        assert!(!oracle.reproduces(&candidate), "new UB must be rejected");
+        assert_eq!(oracle.ub_rejects(), 1);
+        // The clean witness itself still passes.
+        assert!(oracle.reproduces(BACKEND_WITNESS));
+        assert_eq!(oracle.ub_rejects(), 1);
+    }
+
+    #[test]
+    fn ub_guard_lets_witness_own_ub_through() {
+        // A witness that *already* reads an uninitialized variable: its UB
+        // keys form the baseline, so candidates preserving exactly that UB
+        // are fine — the guard only fires on *new* UB.
+        let witness = format!("static int mm_ub(void) {{ int z; return z; }}\n{BACKEND_WITNESS}");
+        let oracle = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), &witness)
+            .expect("witness still crashes");
+        assert!(oracle.ub_guard_armed());
+        assert!(oracle.reproduces(&witness), "inherited UB is not new UB");
+        assert_eq!(oracle.ub_rejects(), 0);
+        // A *different* fresh UB (division by zero) is still rejected.
+        let other = format!(
+            "static int mm_ub(void) {{ int z; return z; }}\nstatic int mm_dz(int a) {{ return a / 0; }}\n{BACKEND_WITNESS}"
+        );
+        if oracle
+            .compiler()
+            .compile(&other)
+            .outcome
+            .crash()
+            .is_some_and(|c| c.signature() == oracle.target_signature())
+        {
+            assert!(!oracle.reproduces(&other));
+            assert_eq!(oracle.ub_rejects(), 1);
+        }
+    }
+
+    #[test]
+    fn unanalyzable_witness_disarms_ub_guard() {
+        // Raw-byte front-end crashers never parse, so there is no UB
+        // baseline and no guard — reduction behaves exactly as before.
+        let storm = format!("int x = {}1;", "(".repeat(50));
+        let oracle = ReductionOracle::for_witness(Profile::Clang, CompileOptions::o0(), &storm)
+            .expect("paren storm crashes clang-sim");
+        assert!(!oracle.ub_guard_armed());
+        let shorter = format!("int x = {}1;", "(".repeat(30));
+        assert!(oracle.reproduces(&shorter));
+        assert_eq!(oracle.ub_rejects(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::reducer::{reduce, ReduceConfig};
 use metamut_fuzzing::campaign::CrashRecord;
 use metamut_simcomp::{CompileOptions, Profile};
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -26,7 +26,7 @@ pub struct TriageConfig {
 }
 
 /// One triaged bug: the reduced witness plus its bookkeeping.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BugReport {
     /// Planted-bug id (stable across runs).
     pub bug_id: String,
@@ -64,7 +64,7 @@ pub struct BugReport {
 }
 
 /// The whole campaign's triage outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TriageReport {
     /// Compiler profile name.
     pub compiler: String,
@@ -84,6 +84,55 @@ impl TriageReport {
     /// Pretty-printed JSON rendering of the report.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parses a report previously written by [`TriageReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("malformed triage report: {e}"))
+    }
+
+    /// Folds `other` (a later run's report) into this one — the
+    /// `triage --append` merge. Bugs are deduplicated by crash signature:
+    /// a bug seen in both runs keeps the smaller reduced witness (a
+    /// reproduced row always beats a non-reproduced one), the earliest
+    /// discovery iteration, and the combined record count. Totals are
+    /// recomputed from the merged rows. Errs when the two reports ran
+    /// different compiler configurations — their signatures are not
+    /// comparable.
+    pub fn merge(&mut self, other: TriageReport) -> Result<(), String> {
+        if self.compiler != other.compiler || self.flags != other.flags {
+            return Err(format!(
+                "cannot merge triage reports from different configurations: \
+                 {} ({}) vs {} ({})",
+                self.compiler, self.flags, other.compiler, other.flags
+            ));
+        }
+        let mut by_sig: BTreeMap<u64, BugReport> = BTreeMap::new();
+        for bug in self.bugs.drain(..).chain(other.bugs) {
+            match by_sig.get_mut(&bug.signature) {
+                None => {
+                    by_sig.insert(bug.signature, bug);
+                }
+                Some(kept) => {
+                    let better = (bug.reproduced && !kept.reproduced)
+                        || (bug.reproduced == kept.reproduced
+                            && bug.reduced_bytes < kept.reduced_bytes);
+                    let records = kept.records + bug.records;
+                    let first = kept.first_iteration.min(bug.first_iteration);
+                    if better {
+                        *kept = bug;
+                    }
+                    kept.records = records;
+                    kept.first_iteration = first;
+                }
+            }
+        }
+        self.bugs = by_sig.into_values().collect();
+        self.bugs.sort_by_key(|b| b.first_iteration);
+        self.total_oracle_calls = self.bugs.iter().map(|b| b.oracle_calls).sum();
+        self.total_bytes_before = self.bugs.iter().map(|b| b.original_bytes).sum();
+        self.total_bytes_after = self.bugs.iter().map(|b| b.reduced_bytes).sum();
+        Ok(())
     }
 
     /// Renders the report as a markdown bug-list document.
@@ -302,6 +351,93 @@ foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }\n";
         // The reduced witness still crashes with the same signature.
         let oracle = ReductionOracle::new(Profile::Clang, options.clone(), bug.signature);
         assert!(oracle.reproduces(&bug.reduced));
+    }
+
+    fn toy_bug(signature: u64, reduced: &str, first_iteration: usize) -> BugReport {
+        BugReport {
+            bug_id: format!("bug-{signature}"),
+            kind: "segfault".to_string(),
+            stage: "MiddleEnd".to_string(),
+            frames: vec!["a".to_string(), "b".to_string()],
+            signature,
+            compiler: "gcc-sim".to_string(),
+            flags: "-O2".to_string(),
+            first_iteration,
+            records: 1,
+            reproduced: true,
+            reduced: reduced.to_string(),
+            original_bytes: 100,
+            reduced_bytes: reduced.len(),
+            reduction_ratio: reduced.len() as f64 / 100.0,
+            oracle_calls: 10,
+            pass_bytes: BTreeMap::from([("ddmin".to_string(), 40u64)]),
+        }
+    }
+
+    fn toy_report(bugs: Vec<BugReport>) -> TriageReport {
+        TriageReport {
+            compiler: "gcc-sim".to_string(),
+            flags: "-O2".to_string(),
+            total_oracle_calls: bugs.iter().map(|b| b.oracle_calls).sum(),
+            total_bytes_before: bugs.iter().map(|b| b.original_bytes).sum(),
+            total_bytes_after: bugs.iter().map(|b| b.reduced_bytes).sum(),
+            bugs,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = toy_report(vec![toy_bug(1, "int x;", 3), toy_bug(2, "int y;", 7)]);
+        let back = TriageReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back.compiler, report.compiler);
+        assert_eq!(back.flags, report.flags);
+        assert_eq!(back.bugs.len(), 2);
+        assert_eq!(back.bugs[0].signature, 1);
+        assert_eq!(back.bugs[0].reduced, "int x;");
+        assert_eq!(back.bugs[0].pass_bytes, report.bugs[0].pass_bytes);
+        assert_eq!(back.total_oracle_calls, report.total_oracle_calls);
+        assert!(TriageReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn merge_dedups_by_signature_keeping_smallest_witness() {
+        let mut first = toy_report(vec![toy_bug(1, "int xxxx;", 9), toy_bug(2, "int y;", 4)]);
+        let second = toy_report(vec![toy_bug(1, "int x;", 2), toy_bug(3, "int z;", 6)]);
+        first.merge(second).expect("same configuration");
+        assert_eq!(first.bugs.len(), 3);
+        let b1 = first.bugs.iter().find(|b| b.signature == 1).unwrap();
+        assert_eq!(b1.reduced, "int x;", "smaller witness wins");
+        assert_eq!(b1.first_iteration, 2, "earliest discovery wins");
+        assert_eq!(b1.records, 2, "record counts accumulate");
+        // Rows re-sorted by first_iteration; totals recomputed.
+        let iters: Vec<usize> = first.bugs.iter().map(|b| b.first_iteration).collect();
+        assert_eq!(iters, vec![2, 4, 6]);
+        assert_eq!(
+            first.total_bytes_after,
+            first.bugs.iter().map(|b| b.reduced_bytes).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn merge_prefers_reproduced_rows_over_smaller_ones() {
+        let mut stale = toy_bug(1, "int q;", 1);
+        stale.reproduced = false;
+        let mut first = toy_report(vec![stale]);
+        let fresh = toy_report(vec![toy_bug(1, "int quux_long;", 5)]);
+        first.merge(fresh).expect("same configuration");
+        assert!(first.bugs[0].reproduced);
+        assert_eq!(first.bugs[0].reduced, "int quux_long;");
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configurations() {
+        let mut first = toy_report(vec![toy_bug(1, "int x;", 1)]);
+        let mut other = toy_report(vec![toy_bug(2, "int y;", 2)]);
+        other.flags = "-O0".to_string();
+        assert!(first.merge(other).is_err());
+        let mut clang = toy_report(vec![]);
+        clang.compiler = "clang-sim".to_string();
+        assert!(first.merge(clang).is_err());
     }
 
     #[test]

@@ -72,7 +72,8 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
 /// `crashes_unique` counter family. The `dedup` field is the mutant-dedup
 /// cache hit rate (`dedup_hits` over `dedup_hits + dedup_misses`); it is
 /// omitted while neither counter has fired (dedup disabled, or no lookups
-/// yet).
+/// yet). The `ub` field is the UB-gate filter rate (`ub_filtered` over
+/// `ub_checked`), likewise omitted until the gate has fired.
 pub struct StatusSink<W: Write + Send = std::io::Stderr> {
     writer: W,
     interval: Duration,
@@ -119,8 +120,17 @@ impl<W: Write + Send> StatusSink<W> {
         } else {
             String::new()
         };
+        let ub_checked = metrics.counter_value("ub_checked");
+        let ub = if ub_checked > 0 {
+            format!(
+                " | ub {:.0}%",
+                100.0 * metrics.counter_value("ub_filtered") as f64 / ub_checked as f64
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "[metamut] {:>7.1}s | execs {execs} ({:.1}/s) | corpus {corpus:.0} | cov {coverage:.0} | crashes {crashes}{dedup}",
+            "[metamut] {:>7.1}s | execs {execs} ({:.1}/s) | corpus {corpus:.0} | cov {coverage:.0} | crashes {crashes}{dedup}{ub}",
             elapsed.as_secs_f64(),
             execs as f64 / secs,
         )
@@ -179,8 +189,10 @@ mod tests {
         assert!(line.contains("cov 1234"), "{line}");
         assert!(line.contains("crashes 3"), "{line}");
         assert!(line.contains("2.0s"), "{line}");
-        // No dedup lookups yet: the field stays off the line.
+        // No dedup lookups or UB-gate checks yet: both fields stay off
+        // the line.
         assert!(!line.contains("dedup"), "{line}");
+        assert!(!line.contains("ub"), "{line}");
     }
 
     #[test]
@@ -194,6 +206,19 @@ mod tests {
             .fetch_add(70, Ordering::Relaxed);
         let line = StatusSink::<Vec<u8>>::render(&metrics, Duration::from_secs(1));
         assert!(line.contains("dedup 30%"), "{line}");
+    }
+
+    #[test]
+    fn status_line_shows_ub_filter_rate() {
+        let metrics = Metrics::new();
+        metrics
+            .counter("ub_checked")
+            .fetch_add(200, Ordering::Relaxed);
+        metrics
+            .counter("ub_filtered")
+            .fetch_add(14, Ordering::Relaxed);
+        let line = StatusSink::<Vec<u8>>::render(&metrics, Duration::from_secs(1));
+        assert!(line.contains("ub 7%"), "{line}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! so downstream users can depend on one crate.
 //!
 //! - [`lang`] — the C-subset front end (lexer, parser, sema, rewriter).
+//! - [`analyze`] — the dataflow UB/validity analyzer and campaign gate.
 //! - [`muast`] — the μAST API layer and the `Mutator` trait.
 //! - [`mutators`] — the library of semantic-aware mutation operators.
 //! - [`llm`] — the deterministic simulated language model.
@@ -27,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub use metamut_analyze as analyze;
 pub use metamut_core as core;
 pub use metamut_fuzzing as fuzzing;
 pub use metamut_lang as lang;

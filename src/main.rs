@@ -5,9 +5,11 @@
 //! metamut mutate FILE -m NAME [-s N]    # apply one mutator to a C file
 //! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
-//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--no-incremental] [--reduce]
+//! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--no-incremental]
+//!              [--no-ub-filter] [--baseline-cache-cap N] [--reduce]
+//! metamut analyze FILE [--json]         # dataflow UB/validity findings
 //! metamut reduce FILE [-p gcc|clang] [-O N] [--flags ...]   # minimize one crasher
-//! metamut triage FILE... [-p gcc|clang] [-O N] [--out DIR]  # bucket + reduce crashers
+//! metamut triage FILE... [-p gcc|clang] [-O N] [--out DIR] [--append]
 //! ```
 
 use metamut::prelude::*;
@@ -34,11 +36,12 @@ fn main() -> ExitCode {
         "compile" => compile_cmd(rest),
         "generate" => generate(rest),
         "fuzz" => fuzz(rest),
+        "analyze" => analyze_cmd(rest),
         "reduce" => reduce_cmd(rest),
         "triage" => triage_cmd(rest),
         _ => {
             eprintln!(
-                "usage: metamut <list|mutate|compile|generate|fuzz|reduce|triage> [options]\n\
+                "usage: metamut <list|mutate|compile|generate|fuzz|analyze|reduce|triage> [options]\n\
                  \n  list                         list the mutator library\
                  \n  mutate FILE -m NAME [-s N]   apply one mutator to a C file\
                  \n  compile FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
@@ -46,12 +49,16 @@ fn main() -> ExitCode {
                  \n  fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup]  run a μCFuzz campaign\
                  \n                               -w N: worker threads (0 = one per CPU; default 1)\
                  \n                               --no-incremental: compile every mutant cold\
+                 \n                               --no-ub-filter: compile UB mutants too\
+                 \n                               --baseline-cache-cap N: cap cached baselines (0 = unbounded)\
                  \n                               --reduce: triage + reduce discovered crashes\
                  \n                               --reduce-out DIR: write triage.json/.md to DIR\
+                 \n  analyze FILE [--json]        report dataflow UB/validity findings\
                  \n  reduce FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
                  \n                               minimize one crashing program (stdout)\
-                 \n  triage FILE... [-p gcc|clang] [-O N] [-w N] [--out DIR]\
+                 \n  triage FILE... [-p gcc|clang] [-O N] [-w N] [--out DIR] [--append]\
                  \n                               bucket crashing files by signature and reduce each\
+                 \n                               --append: merge into DIR/triage.json from prior runs\
                  \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH\
                  \n  (any subcommand) --status-every SECS  status-line cadence (0 = off)"
             );
@@ -78,7 +85,7 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-const VALUE_FLAGS: [&str; 12] = [
+const VALUE_FLAGS: [&str; 13] = [
     "-m",
     "-s",
     "-p",
@@ -91,6 +98,7 @@ const VALUE_FLAGS: [&str; 12] = [
     "--status-every",
     "--out",
     "--reduce-out",
+    "--baseline-cache-cap",
 ];
 
 fn positionals(rest: &[String]) -> Vec<&String> {
@@ -246,6 +254,75 @@ fn generate(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `metamut analyze FILE [--json]` — runs the dataflow UB/validity analyzer
+/// over one C file and reports every finding, either as a JSON array or as
+/// human-readable diagnostics with caret-underlined source spans. Exits 0
+/// when no UB was found (lints alone don't fail the run), 1 on UB, 2 on a
+/// parse error.
+fn analyze_cmd(rest: &[String]) -> ExitCode {
+    use metamut::analyze::analyze_source;
+    use metamut_lang::SourceFile;
+    let Some(file) = positional(rest) else {
+        eprintln!("analyze: missing FILE");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("analyze: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = SourceFile::new(file.as_str(), src.as_str());
+    let findings = match analyze_source(&src) {
+        Ok(f) => f,
+        Err(diags) => {
+            for d in diags.iter() {
+                eprintln!("{}", d.render(&source));
+            }
+            return ExitCode::from(2);
+        }
+    };
+    if rest.iter().any(|a| a == "--json") {
+        match serde_json::to_string_pretty(&findings) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("analyze: cannot serialize findings: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if findings.is_empty() {
+        println!("{file}: no findings");
+    } else {
+        for f in &findings {
+            let pos = source.line_col(f.span.lo);
+            println!(
+                "{file}:{pos}: {} [{}] in '{}': {}",
+                f.severity, f.analysis, f.function, f.message
+            );
+            // Caret-underline the finding's span on its first source line.
+            if let Some(line) = source.line_span(pos.line) {
+                let text = source.snippet(line);
+                let start = (f.span.lo - line.lo) as usize;
+                let width = (f.span.hi.min(line.hi).saturating_sub(f.span.lo)).max(1) as usize;
+                println!("  {text}");
+                println!("  {:start$}{}", "", "^".repeat(width));
+            }
+        }
+        let ub = findings.iter().filter(|f| f.is_ub()).count();
+        println!(
+            "{file}: {} finding(s), {ub} UB, {} lint",
+            findings.len(),
+            findings.len() - ub
+        );
+    }
+    if findings.iter().any(|f| f.is_ub()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn reduce_cmd(rest: &[String]) -> ExitCode {
     use metamut::reduce::{reduce, ReduceConfig, ReductionOracle};
     let Some(file) = positional(rest) else {
@@ -334,8 +411,41 @@ fn triage_cmd(rest: &[String]) -> ExitCode {
         workers,
         ..Default::default()
     };
-    let report = triage_crashes(&records, profile, &options, &config);
-    emit_triage(&report, opt(rest, "--out").as_deref())
+    let mut report = triage_crashes(&records, profile, &options, &config);
+    let out = opt(rest, "--out");
+    if rest.iter().any(|a| a == "--append") {
+        // Fold a previous run's triage.json (if any) into this report:
+        // bugs dedup by signature, keeping the smallest reduced witness.
+        let Some(dir) = out.as_deref() else {
+            eprintln!("triage: --append requires --out DIR");
+            return ExitCode::from(2);
+        };
+        let path = std::path::Path::new(dir).join("triage.json");
+        if path.exists() {
+            let merged = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    let mut base = metamut::reduce::TriageReport::from_json(&text)?;
+                    base.merge(report.clone())?;
+                    Ok(base)
+                });
+            match merged {
+                Ok(m) => {
+                    eprintln!(
+                        "triage: appended to {} ({} bug(s) total)",
+                        path.display(),
+                        m.bugs.len()
+                    );
+                    report = m;
+                }
+                Err(e) => {
+                    eprintln!("triage: cannot append to {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    emit_triage(&report, out.as_deref())
 }
 
 /// Prints a triage report (markdown to stdout), optionally also writing
@@ -387,6 +497,10 @@ fn fuzz(rest: &[String]) -> ExitCode {
         workers,
         dedup: !rest.iter().any(|a| a == "--no-dedup"),
         incremental: !rest.iter().any(|a| a == "--no-incremental"),
+        ub_filter: !rest.iter().any(|a| a == "--no-ub-filter"),
+        baseline_cache_cap: opt(rest, "--baseline-cache-cap")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
         ..Default::default()
     };
     let report = if config.resolved_workers() > 1 {
