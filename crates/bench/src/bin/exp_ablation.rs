@@ -152,4 +152,5 @@ fn main() {
         cov("A1 guided") > cov("A1 blind"),
         "coverage guidance should help"
     );
+    metamut_bench::finish();
 }

@@ -305,4 +305,5 @@ fn main() {
             report.corpus.ub_flagged, report.corpus.ub_fixtures, report.campaign.overhead_pct
         );
     }
+    metamut_bench::finish();
 }

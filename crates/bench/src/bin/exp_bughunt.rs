@@ -119,4 +119,5 @@ fn main() {
     let payload: Vec<&FieldReport> = reports.iter().map(|(_, r)| r).collect();
     let path = write_json("bughunt", &payload);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

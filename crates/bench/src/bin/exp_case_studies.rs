@@ -241,4 +241,5 @@ int main(void) { main_test(); return 0; }
     let path = write_json("case_studies", &results);
     println!("report written to {}", path.display());
     assert!(all, "a case study failed to reproduce");
+    metamut_bench::finish();
 }

@@ -123,4 +123,5 @@ fn main() {
 
     let path = write_json("compilable", &rows);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

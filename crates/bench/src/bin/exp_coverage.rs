@@ -72,4 +72,5 @@ fn main() {
 
     let path = write_json("coverage", &reports);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

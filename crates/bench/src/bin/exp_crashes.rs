@@ -133,4 +133,5 @@ fn main() {
 
     let path = write_json("crashes", &reports);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

@@ -132,4 +132,5 @@ fn main() {
     };
     let path = write_json("exchange", &report);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

@@ -213,4 +213,5 @@ fn main() {
     };
     let path = write_json("generation", &report);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

@@ -252,4 +252,5 @@ fn main() {
         );
         println!("gate ok: {speedup_at_largest:.2}x >= 3.0x — {gate}");
     }
+    metamut_bench::finish();
 }

@@ -126,4 +126,5 @@ fn main() {
     };
     let path = write_json("mutators", &report);
     println!("report written to {}", path.display());
+    metamut_bench::finish();
 }

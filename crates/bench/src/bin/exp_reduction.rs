@@ -160,4 +160,5 @@ fn main() {
             worst
         );
     }
+    metamut_bench::finish();
 }

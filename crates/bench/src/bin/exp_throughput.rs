@@ -238,4 +238,5 @@ fn main() {
         );
         println!("gate ok: {gated:.2}x >= {gate_min:.2}x — {gate}");
     }
+    metamut_bench::finish();
 }

@@ -31,6 +31,12 @@ pub struct ExpOptions {
     /// Telemetry JSONL path, when `--telemetry` (or `METAMUT_TELEMETRY`)
     /// enabled the global pipeline.
     pub telemetry: Option<PathBuf>,
+    /// Chrome trace-event JSON output path (`--trace-out`); written at
+    /// process exit by [`finish`].
+    pub trace_out: Option<PathBuf>,
+    /// Sampled time-series JSONL output path (`--timeseries-out`);
+    /// written at process exit by [`finish`].
+    pub timeseries_out: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -41,15 +47,18 @@ impl Default for ExpOptions {
             workers: 1,
             dedup: true,
             telemetry: None,
+            trace_out: None,
+            timeseries_out: None,
         }
     }
 }
 
 impl ExpOptions {
     /// Parses `--iterations N`, `--seed N`, `--workers N`, `--no-dedup`,
-    /// `--status-every SECS`, and `--telemetry PATH` from
-    /// `std::env::args`, enabling the global telemetry pipeline when a
-    /// path is given (or `METAMUT_TELEMETRY` is set).
+    /// `--status-every SECS`, `--telemetry PATH`, `--trace-out PATH`, and
+    /// `--timeseries-out PATH` from `std::env::args`, enabling the global
+    /// telemetry pipeline when any output path is given (or
+    /// `METAMUT_TELEMETRY` is set).
     pub fn from_args() -> Self {
         let mut opts = ExpOptions::default();
         let mut telemetry_arg: Option<String> = None;
@@ -81,11 +90,23 @@ impl ExpOptions {
                     telemetry_arg = Some(args[i + 1].clone());
                     i += 1;
                 }
+                "--trace-out" if i + 1 < args.len() => {
+                    opts.trace_out = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--timeseries-out" if i + 1 < args.len() => {
+                    opts.timeseries_out = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
         }
         opts.telemetry = metamut_telemetry::init_from_args(telemetry_arg.as_deref(), status_every);
+        metamut_telemetry::init_outputs(
+            opts.trace_out.as_ref().and_then(|p| p.to_str()),
+            opts.timeseries_out.as_ref().and_then(|p| p.to_str()),
+        );
         opts
     }
 
@@ -100,6 +121,13 @@ impl ExpOptions {
             ..Default::default()
         }
     }
+}
+
+/// Flushes telemetry sinks and writes any `--trace-out` /
+/// `--timeseries-out` files configured by [`ExpOptions::from_args`].
+/// Every experiment binary calls this once before exiting.
+pub fn finish() {
+    metamut_telemetry::global_finalize();
 }
 
 /// Runs the full RQ1 matrix: all six fuzzers against both compiler

@@ -14,8 +14,9 @@ use crate::parallel::ExchangeHub;
 use metamut_analyze::UbGate;
 use metamut_muast::MutRng;
 use metamut_simcomp::{
-    AtomicCoverage, BaselineCache, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict,
+    AtomicCoverage, BaselineCache, Claim, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict,
 };
+use metamut_telemetry::{SeriesPoint, Telemetry};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
@@ -255,10 +256,18 @@ pub(crate) struct CampaignShared<'a> {
     /// computed once per campaign. `None` when the filter is off — the
     /// worker loop is then structurally identical to the unfiltered engine.
     ub_gate: Option<UbGate>,
+    /// The telemetry pipeline every worker reports into. Defaults to the
+    /// process-global handle; tests inject private instances so sampler
+    /// assertions never enable the global one.
+    telemetry: Telemetry,
 }
 
 impl<'a> CampaignShared<'a> {
-    pub(crate) fn new(compiler: &'a Compiler, config: &'a CampaignConfig) -> Self {
+    pub(crate) fn new_with(
+        compiler: &'a Compiler,
+        config: &'a CampaignConfig,
+        telemetry: Telemetry,
+    ) -> Self {
         CampaignShared {
             compiler,
             config,
@@ -272,6 +281,7 @@ impl<'a> CampaignShared<'a> {
                     .with_capacity(config.baseline_cache_cap)
             }),
             ub_gate: config.ub_filter.then(UbGate::new),
+            telemetry,
         }
     }
 
@@ -341,34 +351,44 @@ pub(crate) fn run_worker(
     generator: &mut dyn TestGenerator,
     shared: &CampaignShared<'_>,
     hub: Option<&ExchangeHub>,
+    campaign_span: u64,
 ) -> MutantStats {
-    let telemetry = metamut_telemetry::handle();
+    let telemetry = &shared.telemetry;
     let config = shared.config;
     let mut rng = MutRng::new(config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9));
     let mut mutants = MutantStats::default();
     let mut local_done = 0usize;
+
+    // Parent explicitly: on the parallel engine this thread is fresh, so
+    // the thread-local stack would otherwise make the shard a root.
+    let mut shard_span = telemetry.span_fast_under("shard", campaign_span);
+    shard_span.attr("worker", worker.to_string());
 
     loop {
         let iter = shared.next_iter.fetch_add(1, Ordering::Relaxed);
         if iter >= config.iterations {
             break;
         }
-        let candidate = generator.next_candidate(&mut rng);
+        let _iteration_span = telemetry.span_fast("iteration");
+        let candidate = {
+            let _mutate_span = telemetry.span_fast("mutate");
+            generator.next_candidate(&mut rng)
+        };
 
         // A byte-identical mutant was already compiled, its coverage merged
         // and its crash (if any) registered — the stored verdict is all that
-        // is left to account for.
-        let cached = shared
-            .dedup
-            .as_ref()
-            .and_then(|c| c.lookup(&candidate.program));
-        let (compiled, new_bits) = match cached {
-            Some(verdict) => {
+        // is left to account for. `claim` gives this worker exclusive
+        // ownership of a first sighting (a concurrent duplicate waits for
+        // our published verdict and counts a hit), which keeps the
+        // hit/miss/unique/filtered accounting exact under contention.
+        let claimed = shared.dedup.as_ref().map(|c| c.claim(&candidate.program));
+        let (compiled, new_bits) = match claimed {
+            Some(Claim::Hit(verdict)) => {
                 telemetry.counter_add("dedup_hits", 1);
                 (verdict.compiled, 0)
             }
-            None => {
-                if shared.dedup.is_some() {
+            Some(Claim::Owner) | None => {
+                if claimed.is_some() {
                     telemetry.counter_add("dedup_misses", 1);
                 }
                 let seed = candidate
@@ -379,11 +399,17 @@ pub(crate) fn run_worker(
                 // behavior its parent lacks is skipped outright — it counts
                 // as a generated, non-compilable mutant and never reaches
                 // the compiler (or the dedup/coverage stores).
-                let gated = shared
-                    .ub_gate
-                    .as_ref()
-                    .is_some_and(|g| g.introduces_new_ub(seed.as_deref(), &candidate.program));
+                let gated = shared.ub_gate.as_ref().is_some_and(|g| {
+                    let _ub_span = telemetry.span_fast("ub_filter");
+                    g.introduces_new_ub(seed.as_deref(), &candidate.program)
+                });
                 if gated {
+                    // The mutant never reaches the compiler, so there is no
+                    // verdict to publish — release the claim so the next
+                    // occurrence is re-gated and accounted the same way.
+                    if let Some(cache) = shared.dedup.as_ref() {
+                        cache.abandon(&candidate.program);
+                    }
                     (false, 0)
                 } else {
                     // Mutants of a pooled parent compile incrementally
@@ -392,9 +418,13 @@ pub(crate) fn run_worker(
                     // candidates and incremental guard failures compile cold.
                     let result = match (&shared.incremental, seed) {
                         (Some(cache), Some(seed)) => {
+                            let _compile_span = telemetry.span_fast("compile_incremental");
                             cache.compile(shared.compiler, &seed, &candidate.program)
                         }
-                        _ => shared.compiler.compile(&candidate.program),
+                        _ => {
+                            let _compile_span = telemetry.span_fast("compile_cold");
+                            shared.compiler.compile(&candidate.program)
+                        }
                     };
                     let compiled = match &result.outcome {
                         Outcome::Success { .. } => true,
@@ -443,6 +473,16 @@ pub(crate) fn run_worker(
             if telemetry.enabled() {
                 telemetry.gauge_set("fuzz_corpus", generator.pool_len() as f64);
                 telemetry.gauge_set("fuzz_coverage", covered as f64);
+                if telemetry.series().enabled() {
+                    telemetry.series().record(&sample_series_point(
+                        telemetry,
+                        shared,
+                        iter,
+                        covered,
+                        crashes,
+                        generator.pool_len(),
+                    ));
+                }
             }
         }
 
@@ -461,16 +501,82 @@ pub(crate) fn run_worker(
     mutants
 }
 
+/// Builds one observatory time-series sample from the campaign's own
+/// shared state (not the metrics registry, so a private [`Telemetry`]
+/// instance samples correctly too).
+fn sample_series_point(
+    telemetry: &Telemetry,
+    shared: &CampaignShared<'_>,
+    iter: usize,
+    covered: usize,
+    crashes: usize,
+    corpus: usize,
+) -> SeriesPoint {
+    let t_us = telemetry.elapsed_us().max(1);
+    // Iterations claimed so far — the closest lock-free proxy for "execs"
+    // that stays exact in the serial engine.
+    let execs = shared
+        .next_iter
+        .load(Ordering::Relaxed)
+        .min(shared.config.iterations) as u64;
+    let rate = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    SeriesPoint {
+        t_us,
+        iteration: iter as u64,
+        execs,
+        covered: covered as u64,
+        corpus: corpus as u64,
+        crashes: crashes as u64,
+        execs_per_sec: execs as f64 / (t_us as f64 / 1e6),
+        dedup_hit_rate: shared
+            .dedup
+            .as_ref()
+            .map(|d| rate(d.hits(), d.hits() + d.misses()))
+            .unwrap_or(0.0),
+        incremental_hit_rate: shared
+            .incremental
+            .as_ref()
+            .map(|c| rate(c.hits(), c.hits() + c.misses()))
+            .unwrap_or(0.0),
+        ub_filter_rate: shared
+            .ub_gate
+            .as_ref()
+            .map(|g| rate(g.filtered(), g.checked()))
+            .unwrap_or(0.0),
+    }
+}
+
 /// Runs one fuzzing campaign serially (a single inline worker).
 pub fn run_campaign(
     generator: &mut dyn TestGenerator,
     compiler: &Compiler,
     config: &CampaignConfig,
 ) -> CampaignReport {
-    let telemetry = metamut_telemetry::handle();
-    let _campaign_span = telemetry.span("fuzz");
-    let shared = CampaignShared::new(compiler, config);
-    let mutants = run_worker(0, generator, &shared, None);
+    run_campaign_with(
+        generator,
+        compiler,
+        config,
+        metamut_telemetry::handle().clone(),
+    )
+}
+
+/// [`run_campaign`] reporting into an explicit telemetry pipeline instead
+/// of the process-global handle (tests, embedded observers).
+pub fn run_campaign_with(
+    generator: &mut dyn TestGenerator,
+    compiler: &Compiler,
+    config: &CampaignConfig,
+    telemetry: Telemetry,
+) -> CampaignReport {
+    let campaign_span = telemetry.span("campaign");
+    let shared = CampaignShared::new_with(compiler, config, telemetry);
+    let mutants = run_worker(0, generator, &shared, None, campaign_span.id());
     shared.into_report(generator.name(), mutants, 1)
 }
 
@@ -586,8 +692,8 @@ mod tests {
             cross_check_every: 1,
             ..Default::default()
         };
-        let shared = CampaignShared::new(&compiler, &cfg);
-        let _ = run_worker(0, &mut f, &shared, None);
+        let shared = CampaignShared::new_with(&compiler, &cfg, Telemetry::disabled());
+        let _ = run_worker(0, &mut f, &shared, None, 0);
         let cache = shared.incremental.as_ref().expect("incremental on");
         assert!(cache.hits() > 0, "no mutant took the incremental fast path");
         assert_eq!(cache.mismatches(), 0, "incremental diverged from cold");
@@ -703,6 +809,59 @@ mod tests {
         let ub = report.ub.unwrap();
         assert_eq!(ub.filtered, 0, "inherited UB is not new UB");
         assert_eq!(report.mutants.compilable, 10);
+    }
+
+    #[test]
+    fn serial_sampler_records_series_without_changing_the_report() {
+        // A private telemetry instance with sampling + tracing on must
+        // leave the campaign result bit-for-bit identical to the plain
+        // run, while filling the time-series ring and the span tree.
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cfg = CampaignConfig {
+            iterations: 60,
+            seed: 1,
+            sample_every: 10,
+            ..Default::default()
+        };
+        let fuzzer = || {
+            MuCFuzz::new(
+                "uCFuzz.s",
+                Arc::new(metamut_mutators::supervised_registry()),
+                seed_corpus().iter().map(|s| s.to_string()),
+            )
+        };
+        let plain = run_campaign(&mut fuzzer(), &compiler, &cfg);
+
+        let telemetry = Telemetry::new();
+        telemetry.series().set_enabled(true);
+        telemetry.spans().set_recording(true);
+        let observed = run_campaign_with(&mut fuzzer(), &compiler, &cfg, telemetry.clone());
+        assert_eq!(observed, plain, "observability changed the campaign");
+
+        let points = telemetry.series().points();
+        assert!(!points.is_empty(), "sampler recorded nothing");
+        for w in points.windows(2) {
+            assert!(w[1].iteration > w[0].iteration, "series not monotone");
+        }
+        for p in &points {
+            assert!(p.execs <= cfg.iterations as u64);
+            assert!((0.0..=1.0).contains(&p.dedup_hit_rate));
+            assert!((0.0..=1.0).contains(&p.incremental_hit_rate));
+            assert!((0.0..=1.0).contains(&p.ub_filter_rate));
+        }
+        // The span tree saw the whole hierarchy.
+        let done = telemetry.spans().completed();
+        let names: std::collections::HashSet<&str> = done.iter().map(|s| s.name).collect();
+        for expected in ["campaign", "shard", "iteration", "mutate"] {
+            assert!(names.contains(expected), "missing span {expected}");
+        }
+        let campaign = done.iter().find(|s| s.name == "campaign").unwrap();
+        let shard = done.iter().find(|s| s.name == "shard").unwrap();
+        assert_eq!(shard.parent, campaign.id);
+        assert!(done
+            .iter()
+            .filter(|s| s.name == "iteration")
+            .all(|s| s.parent == shard.id));
     }
 
     #[test]

@@ -61,10 +61,10 @@ pub mod mucfuzz;
 pub mod parallel;
 pub mod yarpgen;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, DedupStats};
+pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport, DedupStats};
 pub use generator::TestGenerator;
 pub use macro_fuzzer::{run_field_experiment, FieldReport, MacroConfig};
-pub use parallel::run_parallel_campaign;
+pub use parallel::{run_parallel_campaign, run_parallel_campaign_with};
 
 use std::sync::Arc;
 

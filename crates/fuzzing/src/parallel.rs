@@ -69,12 +69,35 @@ where
     G: TestGenerator,
     F: Fn(usize, Vec<String>) -> G + Sync,
 {
+    run_parallel_campaign_with(
+        seeds,
+        factory,
+        compiler,
+        config,
+        metamut_telemetry::handle().clone(),
+    )
+}
+
+/// [`run_parallel_campaign`] reporting into an explicit telemetry
+/// pipeline instead of the process-global handle (tests, embedded
+/// observers).
+pub fn run_parallel_campaign_with<G, F>(
+    seeds: &[String],
+    factory: F,
+    compiler: &Compiler,
+    config: &CampaignConfig,
+    telemetry: metamut_telemetry::Telemetry,
+) -> CampaignReport
+where
+    G: TestGenerator,
+    F: Fn(usize, Vec<String>) -> G + Sync,
+{
     let workers = config.resolved_workers().max(1).min(seeds.len().max(1));
-    let telemetry = metamut_telemetry::handle();
-    let _campaign_span = telemetry.span("fuzz");
+    let campaign_span = telemetry.span("campaign");
+    let campaign_span_id = campaign_span.id();
     telemetry.gauge_set("fuzz_workers", workers as f64);
 
-    let shared = CampaignShared::new(compiler, config);
+    let shared = CampaignShared::new_with(compiler, config, telemetry.clone());
     let hub = (workers > 1 && config.exchange_every > 0).then(|| ExchangeHub::new(workers));
 
     let mut name = "";
@@ -92,7 +115,7 @@ where
                 let shared = &shared;
                 let hub = hub.as_ref();
                 scope.spawn(move || {
-                    let stats = run_worker(w, &mut generator, shared, hub);
+                    let stats = run_worker(w, &mut generator, shared, hub, campaign_span_id);
                     (generator.name(), stats)
                 })
             })

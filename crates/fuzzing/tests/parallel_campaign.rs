@@ -5,9 +5,10 @@
 
 use metamut_fuzzing::corpus::seed_corpus;
 use metamut_fuzzing::mucfuzz::MuCFuzz;
-use metamut_fuzzing::parallel::run_parallel_campaign;
+use metamut_fuzzing::parallel::{run_parallel_campaign, run_parallel_campaign_with};
 use metamut_fuzzing::{run_campaign, CampaignConfig};
 use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use metamut_telemetry::Telemetry;
 use std::sync::Arc;
 
 fn corpus() -> Vec<String> {
@@ -42,6 +43,102 @@ fn one_worker_matches_serial_exactly() {
         &config,
     );
     assert_eq!(serial, parallel);
+}
+
+/// The observatory must not perturb the engine: one parallel worker with
+/// the status sampler and span tracing on (a private telemetry instance,
+/// so the process-global handle stays untouched) still reproduces the
+/// plain serial run bit-for-bit.
+#[test]
+fn one_worker_with_sampling_matches_serial_exactly() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations: 150,
+        seed: 0xD15C0,
+        sample_every: 25,
+        workers: 1,
+        ..Default::default()
+    };
+    let reg = registry();
+    let mut serial_fuzzer = MuCFuzz::new("uCFuzz.s", reg.clone(), seeds.iter().cloned());
+    let serial = run_campaign(&mut serial_fuzzer, &compiler, &config);
+
+    let telemetry = Telemetry::new();
+    telemetry.series().set_enabled(true);
+    telemetry.spans().set_recording(true);
+    let observed = run_parallel_campaign_with(
+        &seeds,
+        |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+        &compiler,
+        &config,
+        telemetry.clone(),
+    );
+    assert_eq!(serial, observed, "sampling perturbed the campaign");
+    assert!(
+        !telemetry.series().points().is_empty(),
+        "sampler recorded nothing"
+    );
+}
+
+/// The parallel status sampler: samples from racing workers come out of
+/// the ring strictly ordered by iteration, with sane rate fields, and the
+/// span tree holds one shard span per worker.
+#[test]
+fn parallel_sampler_series_is_monotone_in_iterations() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations: 200,
+        seed: 77,
+        sample_every: 10,
+        workers: 3,
+        ..Default::default()
+    };
+    let reg = registry();
+    let telemetry = Telemetry::new();
+    telemetry.series().set_enabled(true);
+    telemetry.spans().set_recording(true);
+    let report = run_parallel_campaign_with(
+        &seeds,
+        |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+        &compiler,
+        &config,
+        telemetry.clone(),
+    );
+    assert_eq!(report.mutants.total, 200);
+
+    let points = telemetry.series().points();
+    assert!(points.len() >= 3, "expected several samples");
+    for w in points.windows(2) {
+        assert!(
+            w[1].iteration >= w[0].iteration,
+            "series not monotone in iterations"
+        );
+    }
+    for p in &points {
+        assert!(p.iteration < 200);
+        assert!(p.execs <= 200);
+        assert!(p.execs_per_sec >= 0.0);
+        for rate in [p.dedup_hit_rate, p.incremental_hit_rate, p.ub_filter_rate] {
+            assert!((0.0..=1.0).contains(&rate), "rate out of range: {rate}");
+        }
+    }
+
+    let done = telemetry.spans().completed();
+    let shards: Vec<_> = done.iter().filter(|s| s.name == "shard").collect();
+    assert_eq!(shards.len(), 3, "one shard span per worker");
+    // Iteration spans nest inside their shard's interval on the same
+    // thread.
+    for it in done.iter().filter(|s| s.name == "iteration") {
+        let shard = shards
+            .iter()
+            .find(|sh| sh.id == it.parent)
+            .expect("iteration span parented to a shard");
+        assert_eq!(shard.tid, it.tid);
+        assert!(shard.start_us <= it.start_us);
+        assert!(it.start_us + it.dur_us <= shard.start_us + shard.dur_us);
+    }
 }
 
 /// The `--no-ub-filter` escape hatch: with the filter off the campaign

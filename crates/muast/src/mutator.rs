@@ -179,18 +179,32 @@ pub fn mutate_parsed(
     seed: u64,
 ) -> Result<MutationOutcome, MutateError> {
     let telemetry = metamut_telemetry::handle();
-    if telemetry.enabled() {
+    let timed = telemetry.enabled();
+    let start = timed.then(std::time::Instant::now);
+    if timed {
         telemetry.counter_add(&metamut_telemetry::labeled("mutator_attempts", m.name()), 1);
     }
+    let observe_time = |applied: bool| {
+        if let Some(start) = start {
+            // Per-mutator wall time feeds the report's attribution table;
+            // hot-path variant so no sink event is emitted per attempt.
+            telemetry.observe_hot(
+                &metamut_telemetry::labeled("mutator_ms", m.name()),
+                start.elapsed().as_secs_f64() * 1e3,
+            );
+            if applied {
+                telemetry.counter_add(&metamut_telemetry::labeled("mutator_applied", m.name()), 1);
+            }
+        }
+    };
     let mut ctx = MutCtx::new(&parsed.ast, &parsed.sema, seed);
     let changed = m.mutate(&mut ctx);
     if !changed || !ctx.changed() {
+        observe_time(false);
         return Ok(MutationOutcome::NotApplicable);
     }
     let out = ctx.finish().map_err(MutateError::Conflict)?;
-    if telemetry.enabled() {
-        telemetry.counter_add(&metamut_telemetry::labeled("mutator_applied", m.name()), 1);
-    }
+    observe_time(true);
     Ok(MutationOutcome::Mutated(out))
 }
 

@@ -27,6 +27,11 @@ pub struct ReduceConfig {
     /// Character-level ddmin is only attempted on witnesses at most this
     /// many bytes long (it is quadratic in the worst case).
     pub char_ddmin_limit: usize,
+    /// Reorder passes after the first round so the cheapest highest-yield
+    /// ones run first (bytes removed per oracle call, measured on *this*
+    /// witness — deterministic, no wall clocks). The fixpoint is the same
+    /// either way; only the oracle calls spent getting there change.
+    pub adaptive_pass_order: bool,
 }
 
 impl Default for ReduceConfig {
@@ -36,6 +41,7 @@ impl Default for ReduceConfig {
             max_oracle_calls: 5_000,
             expr_attempts: 64,
             char_ddmin_limit: 4_096,
+            adaptive_pass_order: true,
         }
     }
 }
@@ -78,13 +84,21 @@ pub fn reduce(oracle: &ReductionOracle, witness: &str, config: &ReduceConfig) ->
     let original_bytes = witness.len();
     let mut best = witness.to_string();
     let mut pass_bytes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stats = vec![PassStats::default(); STRUCTURAL_PASSES.len()];
     let mut rounds = 0usize;
 
     if oracle.reproduces(&best) {
-        for _ in 0..config.max_rounds {
+        for round in 0..config.max_rounds {
             rounds += 1;
             let before = best.len();
-            run_round(oracle, &mut best, &mut pass_bytes, config);
+            run_round(
+                oracle,
+                &mut best,
+                &mut pass_bytes,
+                &mut stats,
+                config,
+                round,
+            );
             if best.len() >= before || oracle.calls() >= config.max_oracle_calls {
                 break;
             }
@@ -104,12 +118,70 @@ pub fn reduce(oracle: &ReductionOracle, witness: &str, config: &ReduceConfig) ->
     }
 }
 
+/// Uniform signature every structural pass is wrapped into so the
+/// scheduler can reorder them.
+type PassFn = fn(&ReductionOracle, &mut String, &ReduceConfig) -> u64;
+
+/// The structural pass pipeline in canonical (first-round) order.
+const STRUCTURAL_PASSES: [(&str, PassFn); 7] = [
+    ("drop-unused", |o, b, c| {
+        drop_unused(o, b, c.max_oracle_calls)
+    }),
+    ("ddmin-decls", |o, b, c| {
+        ddmin_decls(o, b, c.max_oracle_calls)
+    }),
+    ("ddmin-stmts", |o, b, c| {
+        ddmin_stmts(o, b, c.max_oracle_calls)
+    }),
+    ("inline-calls", |o, b, c| {
+        inline_calls(o, b, c.max_oracle_calls)
+    }),
+    ("shrink-arrays", |o, b, c| {
+        shrink_arrays(o, b, c.max_oracle_calls)
+    }),
+    ("simplify-exprs", |o, b, c| {
+        simplify_exprs(o, b, c.max_oracle_calls, c.expr_attempts)
+    }),
+    ("reprint", |o, b, _| reprint(o, b)),
+];
+
+/// Per-pass yield/cost bookkeeping for one witness, accumulated across
+/// rounds. Cost is oracle compiler invocations — a deterministic proxy for
+/// pass expense that, unlike wall time, keeps the schedule (and therefore
+/// the whole reduction) reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+struct PassStats {
+    bytes: u64,
+    calls: u64,
+}
+
+impl PassStats {
+    /// Scaled bytes-removed-per-oracle-call score (integer math so the
+    /// sort never sees NaN and ties break canonically).
+    fn score(&self) -> u64 {
+        self.bytes.saturating_mul(1_000) / self.calls.max(1)
+    }
+}
+
+/// The round's pass schedule: canonical on the first round (no evidence
+/// yet), then cheapest-highest-yield first. Zero-yield passes score 0 and
+/// sink to the back in canonical order (the sort is stable).
+fn pass_order(stats: &[PassStats], config: &ReduceConfig, round: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..stats.len()).collect();
+    if config.adaptive_pass_order && round > 0 {
+        order.sort_by_key(|&i| std::cmp::Reverse(stats[i].score()));
+    }
+    order
+}
+
 /// One pipeline round over the current best witness.
 fn run_round(
     oracle: &ReductionOracle,
     best: &mut String,
     pass_bytes: &mut BTreeMap<String, u64>,
+    stats: &mut [PassStats],
     config: &ReduceConfig,
+    round: usize,
 ) {
     let budget = config.max_oracle_calls;
     if parse("<reduce>", best).is_err() {
@@ -121,25 +193,41 @@ fn run_round(
         return;
     }
 
-    record(pass_bytes, "drop-unused", drop_unused(oracle, best, budget));
-    record(pass_bytes, "ddmin-decls", ddmin_decls(oracle, best, budget));
-    record(pass_bytes, "ddmin-stmts", ddmin_stmts(oracle, best, budget));
-    record(
-        pass_bytes,
-        "inline-calls",
-        inline_calls(oracle, best, budget),
-    );
-    record(
-        pass_bytes,
-        "shrink-arrays",
-        shrink_arrays(oracle, best, budget),
-    );
-    record(
-        pass_bytes,
-        "simplify-exprs",
-        simplify_exprs(oracle, best, budget, config.expr_attempts),
-    );
-    record(pass_bytes, "reprint", reprint(oracle, best));
+    for idx in pass_order(stats, config, round) {
+        run_pass(idx, oracle, best, pass_bytes, stats, config);
+        if oracle.calls() >= budget {
+            break;
+        }
+    }
+}
+
+/// Runs one structural pass under its observability wrapper: a
+/// `reduce-pass` span, the `reduce_pass_ms{pass}` histogram, and the
+/// yield/cost stats feeding the adaptive schedule.
+fn run_pass(
+    idx: usize,
+    oracle: &ReductionOracle,
+    best: &mut String,
+    pass_bytes: &mut BTreeMap<String, u64>,
+    stats: &mut [PassStats],
+    config: &ReduceConfig,
+) {
+    let (name, pass) = STRUCTURAL_PASSES[idx];
+    let telemetry = metamut_telemetry::handle();
+    let mut span = telemetry.span_fast("reduce-pass");
+    span.attr("pass", name);
+    let start = telemetry.enabled().then(Instant::now);
+    let calls_before = oracle.calls();
+    let removed = pass(oracle, best, config);
+    stats[idx].bytes += removed;
+    stats[idx].calls += oracle.calls().saturating_sub(calls_before);
+    record(pass_bytes, name, removed);
+    if let Some(start) = start {
+        telemetry.observe_hot(
+            &metamut_telemetry::labeled("reduce_pass_ms", name),
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+    }
 }
 
 /// Books `removed` bytes against `pass` (and the per-pass telemetry counter).
@@ -421,6 +509,99 @@ int trailer(void) { return dead_global[0] + helper_b(3); }\n";
         let result = reduce(&oracle, &storm, &ReduceConfig::default());
         assert!(oracle.reproduces(&result.reduced));
         assert!(result.reduced_bytes < storm.len());
+    }
+
+    /// The adaptive scheduler only reorders work; the fixpoint the
+    /// pipeline converges to is byte-for-byte the same as the canonical
+    /// order's, on both the structural and the textual-fallback paths.
+    #[test]
+    fn adaptive_pass_order_leaves_fixpoint_unchanged() {
+        let witnesses = [
+            // Structural path: the bloated scalar-brace witness.
+            "int helper_a(void) { return 42; }\n\
+             int helper_b(int x) { return x + helper_a(); }\n\
+             int dead_global[16] = {1, 2, 3, 4, 5, 6, 7, 8};\n\
+             foo(int *ptr) { int unused_local = 9; *ptr = (int) {{}, 0}; return 0; }\n\
+             int trailer(void) { return dead_global[0] + helper_b(3); }\n"
+                .to_string(),
+            // Fallback path: a paren storm the front end cannot parse.
+            format!("int x = {}1;\n@@@ not parseable @@@\n", "(".repeat(40)),
+        ];
+        for (i, witness) in witnesses.iter().enumerate() {
+            let profile = if i == 0 { Profile::Clang } else { Profile::Gcc };
+            let canonical_cfg = ReduceConfig {
+                adaptive_pass_order: false,
+                ..ReduceConfig::default()
+            };
+            let adaptive_cfg = ReduceConfig {
+                adaptive_pass_order: true,
+                ..ReduceConfig::default()
+            };
+            let canonical = reduce(
+                &oracle_for(profile, CompileOptions::o0(), witness),
+                witness,
+                &canonical_cfg,
+            );
+            let adaptive = reduce(
+                &oracle_for(profile, CompileOptions::o0(), witness),
+                witness,
+                &adaptive_cfg,
+            );
+            assert_eq!(
+                canonical.reduced, adaptive.reduced,
+                "witness {i}: adaptive ordering changed the fixpoint"
+            );
+            // Determinism of the schedule itself: a second adaptive run is
+            // identical down to the oracle-call count.
+            let again = reduce(
+                &oracle_for(profile, CompileOptions::o0(), witness),
+                witness,
+                &adaptive_cfg,
+            );
+            assert_eq!(again.reduced, adaptive.reduced);
+            assert_eq!(again.oracle_calls, adaptive.oracle_calls);
+            assert_eq!(again.pass_bytes, adaptive.pass_bytes);
+        }
+    }
+
+    /// The schedule orders by bytes-removed-per-oracle-call: round one is
+    /// canonical, later rounds front-load the proven cheap high-yield
+    /// passes and sink zero-yield ones to the back in canonical order.
+    #[test]
+    fn pass_order_ranks_by_yield_per_call() {
+        let config = ReduceConfig::default();
+        let mut stats = vec![PassStats::default(); STRUCTURAL_PASSES.len()];
+        // Round 0 (and the non-adaptive config) always run canonically.
+        let canonical: Vec<usize> = (0..STRUCTURAL_PASSES.len()).collect();
+        assert_eq!(pass_order(&stats, &config, 0), canonical);
+        let frozen = ReduceConfig {
+            adaptive_pass_order: false,
+            ..ReduceConfig::default()
+        };
+        assert_eq!(pass_order(&stats, &frozen, 3), canonical);
+
+        // Pass 2 removed the most per call, pass 4 a little; the rest did
+        // nothing (with varying costs — cost alone must not promote).
+        stats[0] = PassStats {
+            bytes: 0,
+            calls: 50,
+        };
+        stats[2] = PassStats {
+            bytes: 300,
+            calls: 10,
+        };
+        stats[4] = PassStats {
+            bytes: 40,
+            calls: 20,
+        };
+        let order = pass_order(&stats, &config, 1);
+        assert_eq!(order[0], 2, "highest yield-per-call first");
+        assert_eq!(order[1], 4);
+        assert_eq!(
+            &order[2..],
+            &[0, 1, 3, 5, 6],
+            "zero-yield passes keep canonical order at the back"
+        );
     }
 
     #[test]

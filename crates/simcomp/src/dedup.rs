@@ -39,10 +39,30 @@ impl Verdict {
 const SHARD_BITS: usize = 5;
 const SHARDS: usize = 1 << SHARD_BITS;
 
+/// A cache slot: either a published verdict or a reservation by the one
+/// worker currently compiling this source.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    InFlight,
+    Done(Verdict),
+}
+
+/// What [`DedupCache::claim`] resolved a source to.
+#[derive(Debug, Clone, Copy)]
+pub enum Claim {
+    /// The program was compiled before (or by a concurrent worker whose
+    /// publish we waited for); counted as a hit.
+    Hit(Verdict),
+    /// First sighting — the caller owns this source and must end the
+    /// reservation with [`DedupCache::insert`] (after a compile) or
+    /// [`DedupCache::abandon`] (if it never reaches the compiler).
+    Owner,
+}
+
 /// A sharded source → [`Verdict`] cache with hit/miss accounting.
 #[derive(Debug)]
 pub struct DedupCache {
-    shards: Vec<Mutex<FxHashMap<String, Verdict>>>,
+    shards: Vec<Mutex<FxHashMap<String, Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -65,15 +85,20 @@ impl DedupCache {
         }
     }
 
-    fn shard(&self, src: &str) -> &Mutex<FxHashMap<String, Verdict>> {
+    fn shard(&self, src: &str) -> &Mutex<FxHashMap<String, Slot>> {
         let h = crate::coverage::feature_hash_str(src);
         &self.shards[(h >> (64 - SHARD_BITS)) as usize]
     }
 
     /// Looks up a source, recording a hit or miss. `Some` means the
-    /// program was compiled before under this cache's configuration.
+    /// program was compiled before under this cache's configuration. An
+    /// in-flight reservation counts as a miss (the result is not
+    /// available yet); racy callers should prefer [`DedupCache::claim`].
     pub fn lookup(&self, src: &str) -> Option<Verdict> {
-        let found = self.shard(src).lock().get(src).copied();
+        let found = match self.shard(src).lock().get(src) {
+            Some(Slot::Done(v)) => Some(*v),
+            Some(Slot::InFlight) | None => None,
+        };
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -81,18 +106,76 @@ impl DedupCache {
         found
     }
 
-    /// Records a fresh compile's verdict.
+    /// Resolves a source to a hit or exclusive ownership, so exactly one
+    /// worker ever compiles a given source. A `None` entry becomes an
+    /// in-flight reservation owned by the caller; a concurrent claim of
+    /// the same source waits (yielding) for the owner to [`insert`] its
+    /// verdict — then counts an ordinary hit — or to [`abandon`] the
+    /// reservation — then retries and may become the next owner. This
+    /// makes the accounting exact under contention: every claim is
+    /// exactly one hit or one miss, and every miss is exactly one compile
+    /// or one abandonment.
+    ///
+    /// [`insert`]: DedupCache::insert
+    /// [`abandon`]: DedupCache::abandon
+    pub fn claim(&self, src: &str) -> Claim {
+        loop {
+            {
+                let mut shard = self.shard(src).lock();
+                match shard.get(src) {
+                    Some(Slot::Done(v)) => {
+                        let v = *v;
+                        drop(shard);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Claim::Hit(v);
+                    }
+                    Some(Slot::InFlight) => {} // wait for the owner below
+                    None => {
+                        shard.insert(src.to_string(), Slot::InFlight);
+                        drop(shard);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return Claim::Owner;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Records a fresh compile's verdict, resolving the caller's
+    /// [`DedupCache::claim`] reservation (if any).
     ///
     /// The campaign engine calls this only *after* merging the result's
     /// coverage and crash into the shared campaign state, so a concurrent
     /// worker that observes the cache entry can safely skip both.
     pub fn insert(&self, src: &str, verdict: Verdict) {
-        self.shard(src).lock().insert(src.to_string(), verdict);
+        self.shard(src)
+            .lock()
+            .insert(src.to_string(), Slot::Done(verdict));
     }
 
-    /// Number of distinct sources cached.
+    /// Releases a [`DedupCache::claim`] reservation without publishing a
+    /// verdict — for sources that never reach the compiler (the campaign's
+    /// pre-compile UB gate), so each occurrence is re-gated and accounted.
+    pub fn abandon(&self, src: &str) {
+        let mut shard = self.shard(src).lock();
+        if matches!(shard.get(src), Some(Slot::InFlight)) {
+            shard.remove(src);
+        }
+    }
+
+    /// Number of distinct sources with published verdicts (in-flight
+    /// reservations are transient and not counted).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Done(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -217,6 +300,57 @@ mod tests {
         );
         assert!(crash.outcome.crash().is_some());
         assert!(Verdict::of(&crash).compiled);
+    }
+
+    #[test]
+    fn claim_gives_exclusive_ownership_and_exact_accounting() {
+        let cache = DedupCache::new();
+        // One owner per distinct source, everyone else a hit — even when
+        // many threads claim the same sources at once.
+        let owners: u64 = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        let mut owned = 0u64;
+                        for i in 0..100 {
+                            let src = format!("int x{};", i % 10);
+                            match cache.claim(&src) {
+                                Claim::Owner => {
+                                    owned += 1;
+                                    cache.insert(&src, Verdict { compiled: true });
+                                }
+                                Claim::Hit(v) => assert!(v.compiled),
+                            }
+                        }
+                        owned
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(owners, 10, "exactly one owner per distinct source");
+        assert_eq!(cache.misses(), 10);
+        assert_eq!(cache.hits(), 790);
+        assert_eq!(cache.len(), 10);
+    }
+
+    #[test]
+    fn abandoned_claim_reopens_the_source() {
+        let cache = DedupCache::new();
+        assert!(matches!(cache.claim("int x;"), Claim::Owner));
+        cache.abandon("int x;");
+        // The reservation is gone: the next claim owns it again, and the
+        // abandoned slot never counted as a published verdict.
+        assert_eq!(cache.len(), 0);
+        assert!(matches!(cache.claim("int x;"), Claim::Owner));
+        cache.insert("int x;", Verdict { compiled: false });
+        assert!(matches!(cache.claim("int x;"), Claim::Hit(_)));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod passes;
 
 pub use bugs::{CrashInfo, CrashKind, Profile};
 pub use coverage::{AtomicCoverage, CoverageMap, SharedCoverage, Stage};
-pub use dedup::{CachedCompile, DedupCache, Verdict};
+pub use dedup::{CachedCompile, Claim, DedupCache, Verdict};
 pub use incremental::{coverage_equal, Baseline, BaselineCache};
 pub use passes::OptFlags;
 

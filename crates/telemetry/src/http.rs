@@ -1,0 +1,233 @@
+//! Minimal std-only HTTP status endpoint for live campaigns — the seed of
+//! the roadmap's `metamut serve` daemon.
+//!
+//! [`StatusServer::bind`] starts one accept-loop thread serving, from the
+//! given [`Telemetry`] handle:
+//!
+//! - `/metrics` — the metrics registry in Prometheus text exposition
+//!   format (see [`crate::prometheus`] for the naming scheme)
+//! - `/timeseries` — the buffered campaign time-series as a JSON array
+//! - `/spans` — the currently open span tree as nested JSON
+//! - `/` — a JSON index of the routes
+//!
+//! Only `GET` with HTTP/1.0-style framing is supported; every response
+//! closes its connection. That is deliberately as small as a status
+//! endpoint can be: no external dependency, no keep-alive state, nothing
+//! a fuzzing host has to harden. Dropping the server unblocks and joins
+//! the accept thread.
+
+use crate::{prometheus, Telemetry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running status endpoint; dropping it stops the accept thread.
+pub struct StatusServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving the telemetry handle. Also turns on span recording and
+    /// series sampling so `/spans` and `/timeseries` have data.
+    pub fn bind(addr: &str, telemetry: Telemetry) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        telemetry.spans().set_recording(true);
+        telemetry.series().set_enabled(true);
+        let running = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&running);
+        let thread = std::thread::Builder::new()
+            .name("metamut-status".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if !flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = serve_connection(stream, &telemetry);
+                    }
+                }
+            })?;
+        Ok(StatusServer {
+            addr,
+            running,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        // Wake the blocking accept with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or a small cap — status
+    // requests have no body worth reading).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path.split('?').next().unwrap_or("/") {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus::render(&telemetry.snapshot()),
+            ),
+            "/timeseries" => (
+                "200 OK",
+                "application/json",
+                telemetry.series().to_json_array(),
+            ),
+            "/spans" => (
+                "200 OK",
+                "application/json",
+                telemetry.spans().open_tree_json(),
+            ),
+            "/" => (
+                "200 OK",
+                "application/json",
+                "{\"routes\":[\"/metrics\",\"/timeseries\",\"/spans\"]}".to_string(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Tiny HTTP GET client for the endpoint above (used by `metamut status`
+/// and the smoke tests): returns the response body, or an error including
+/// any non-2xx status line.
+pub fn fetch(addr: &str, path: &str) -> std::io::Result<String> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&target, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no response head"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let ok = status_line
+        .split_whitespace()
+        .nth(1)
+        .is_some_and(|code| code.starts_with('2'));
+    if !ok {
+        return Err(std::io::Error::other(format!("{path}: {status_line}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_timeseries_and_spans() {
+        let t = Telemetry::new();
+        t.counter_add("fuzz_execs", 42);
+        t.gauge_set("fuzz_coverage", 7.0);
+        let server = StatusServer::bind("127.0.0.1:0", t.clone()).expect("bind");
+        let addr = server.local_addr().to_string();
+
+        let _guard = t.span("campaign");
+        t.series().record(&crate::SeriesPoint {
+            t_us: 1,
+            iteration: 1,
+            execs: 1,
+            covered: 7,
+            corpus: 1,
+            crashes: 0,
+            execs_per_sec: 10.0,
+            dedup_hit_rate: 0.0,
+            incremental_hit_rate: 0.0,
+            ub_filter_rate: 0.0,
+        });
+
+        let metrics = fetch(&addr, "/metrics").expect("/metrics");
+        assert!(metrics.contains("# TYPE metamut_fuzz_execs counter"));
+        assert!(metrics.contains("metamut_fuzz_execs 42"));
+
+        let series = fetch(&addr, "/timeseries").expect("/timeseries");
+        let parsed: Vec<crate::SeriesPoint> = serde_json::from_str(&series).expect("parses");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].covered, 7);
+
+        let spans = fetch(&addr, "/spans").expect("/spans");
+        let doc: serde_json::Value = serde_json::from_str(&spans).expect("parses");
+        let open = doc.get("open").and_then(|v| v.as_array()).expect("open");
+        assert_eq!(open.len(), 1);
+        assert_eq!(
+            open[0].get("name").and_then(|v| v.as_str()),
+            Some("campaign")
+        );
+
+        let index = fetch(&addr, "/").expect("/");
+        assert!(index.contains("/metrics"));
+        assert!(fetch(&addr, "/nope").is_err());
+    }
+
+    #[test]
+    fn server_shuts_down_on_drop() {
+        let t = Telemetry::new();
+        let server = StatusServer::bind("127.0.0.1:0", t).expect("bind");
+        let addr = server.local_addr().to_string();
+        drop(server);
+        assert!(fetch(&addr, "/metrics").is_err());
+    }
+}

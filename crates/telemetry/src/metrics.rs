@@ -1,8 +1,8 @@
 //! The metrics registry: named atomic counters, gauges, and fixed-bucket
 //! histograms, plus the serializable [`Snapshot`] export.
 
-use parking_lot::Mutex;
-use serde::Serialize;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,7 +73,7 @@ impl Histogram {
 
     /// A serializable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
             bounds: self.bounds.clone(),
             counts: self
                 .counts
@@ -82,13 +82,18 @@ impl Histogram {
                 .collect(),
             count: self.count(),
             sum: self.sum(),
-        }
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+        };
+        snap.recompute_percentiles();
+        snap
     }
 }
 
 /// Point-in-time histogram state; `counts` has one slot per bound plus
 /// the trailing overflow bucket.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Ascending upper bounds.
     pub bounds: Vec<f64>,
@@ -98,14 +103,74 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of samples.
     pub sum: f64,
+    /// Estimated 50th percentile (see [`HistogramSnapshot::quantile`]).
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
 }
 
-/// Registry of named metrics. Lookups take a short mutex; the returned
-/// handles are lock-free atomics, so hot loops can cache them.
+impl HistogramSnapshot {
+    /// Prometheus-style quantile estimate: find the bucket containing the
+    /// `q·count`-th sample and interpolate linearly between its bounds
+    /// (the first bucket's lower bound is 0). Samples in the overflow
+    /// bucket clamp to the last finite bound, matching
+    /// `histogram_quantile`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += c;
+            if c > 0 && cumulative as f64 >= rank {
+                if i >= self.bounds.len() {
+                    break; // overflow bucket: clamp to last finite bound
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                return lower + (rank - before as f64) / c as f64 * (upper - lower);
+            }
+        }
+        *self.bounds.last().expect("bounds non-empty")
+    }
+
+    /// Refreshes the cached `p50`/`p90`/`p99` fields from the buckets.
+    pub fn recompute_percentiles(&mut self) {
+        self.p50 = self.quantile(0.50);
+        self.p90 = self.quantile(0.90);
+        self.p99 = self.quantile(0.99);
+    }
+
+    /// Folds another snapshot of the *same* histogram shape into this one
+    /// (per-bucket sums). Returns `false` — leaving `self` unchanged —
+    /// when the bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.recompute_percentiles();
+        true
+    }
+}
+
+/// Registry of named metrics. Lookups of existing names take a shared
+/// read lock (concurrent workers bumping different — or the same —
+/// counters never serialize on the registry); only first use of a name
+/// takes the write lock. The returned handles are lock-free atomics, so
+/// hot loops can also cache them.
 pub struct Metrics {
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Default for Metrics {
@@ -118,27 +183,28 @@ impl Metrics {
     /// An empty registry.
     pub fn new() -> Self {
         Metrics {
-            counters: Mutex::new(BTreeMap::new()),
-            gauges: Mutex::new(BTreeMap::new()),
-            histograms: Mutex::new(BTreeMap::new()),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
         }
     }
 
     /// The named counter, created on first use.
     pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
-        let mut map = self.counters.lock();
-        if let Some(c) = map.get(name) {
+        if let Some(c) = self.counters.read().get(name) {
             return Arc::clone(c);
         }
-        let c = Arc::new(AtomicU64::new(0));
-        map.insert(name.to_string(), Arc::clone(&c));
-        c
+        let mut map = self.counters.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
     }
 
     /// Current value of a counter (0 when never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters
-            .lock()
+            .read()
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
@@ -146,18 +212,20 @@ impl Metrics {
 
     /// Sets the named gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut map = self.gauges.lock();
-        if let Some(g) = map.get(name) {
+        if let Some(g) = self.gauges.read().get(name) {
             g.store(value.to_bits(), Ordering::Relaxed);
-        } else {
-            map.insert(name.to_string(), Arc::new(AtomicU64::new(value.to_bits())));
+            return;
         }
+        let mut map = self.gauges.write();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value of a gauge (`None` when never set).
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
         self.gauges
-            .lock()
+            .read()
             .get(name)
             .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
     }
@@ -171,20 +239,21 @@ impl Metrics {
     /// The named histogram, created with `bounds` on first use (existing
     /// histograms keep their original bounds).
     pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let mut map = self.histograms.lock();
-        if let Some(h) = map.get(name) {
+        if let Some(h) = self.histograms.read().get(name) {
             return Arc::clone(h);
         }
-        let h = Arc::new(Histogram::new(bounds));
-        map.insert(name.to_string(), Arc::clone(&h));
-        h
+        let mut map = self.histograms.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
     }
 
     /// Sum of all counters whose name starts with `prefix` — used to
     /// aggregate labeled families like `crashes_unique{...}`.
     pub fn counter_family_sum(&self, prefix: &str) -> u64 {
         self.counters
-            .lock()
+            .read()
             .iter()
             .filter(|(name, _)| name.starts_with(prefix))
             .map(|(_, c)| c.load(Ordering::Relaxed))
@@ -196,19 +265,19 @@ impl Metrics {
         Snapshot {
             counters: self
                 .counters
-                .lock()
+                .read()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
                 .collect(),
             gauges: self
                 .gauges
-                .lock()
+                .read()
                 .iter()
                 .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
                 .collect(),
             histograms: self
                 .histograms
-                .lock()
+                .read()
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
@@ -218,7 +287,7 @@ impl Metrics {
 
 /// Point-in-time export of a [`Metrics`] registry. Keys are sorted, so
 /// serialized snapshots diff cleanly across runs.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -226,6 +295,35 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds another run's snapshot into this one for cross-run reports:
+    /// counters sum, gauges keep the maximum (levels like `fuzz_coverage`
+    /// aggregate as high-water marks), and same-shape histograms sum
+    /// per-bucket. A histogram whose bounds differ from ours is kept
+    /// as-is on our side; names only the other run has are adopted.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges
+                .entry(name.clone())
+                .and_modify(|mine| *mine = mine.max(*value))
+                .or_insert(*value);
+        }
+        for (name, theirs) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    mine.merge(theirs);
+                }
+                None => {
+                    self.histograms.insert(name.clone(), theirs.clone());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +392,91 @@ mod tests {
             .fetch_add(2, Ordering::Relaxed);
         m.counter("other").fetch_add(10, Ordering::Relaxed);
         assert_eq!(m.counter_family_sum("crashes_unique"), 3);
+    }
+
+    #[test]
+    fn percentiles_anchor_against_uniform_distribution() {
+        // 100 samples of 1..=100 over decade buckets: every bucket holds
+        // exactly 10 samples, so linear interpolation lands percentiles
+        // exactly on their rank (p50 = 50, p90 = 90, p99 = 99).
+        let bounds: Vec<f64> = (1..=10).map(|b| (b * 10) as f64).collect();
+        let h = Histogram::new(&bounds);
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 50.0);
+        assert_eq!(snap.p90, 90.0);
+        assert_eq!(snap.p99, 99.0);
+        assert_eq!(snap.quantile(0.10), 10.0);
+        assert_eq!(snap.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..10 {
+            h.observe(100.0); // everything in the overflow bucket
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 2.0);
+        assert_eq!(snap.p99, 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let snap = Histogram::new(&[1.0]).snapshot();
+        assert_eq!(snap.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_maxes_gauges_sums_histograms() {
+        let a = Metrics::new();
+        a.counter("execs").fetch_add(5, Ordering::Relaxed);
+        a.counter("only_a").fetch_add(1, Ordering::Relaxed);
+        a.gauge_set("coverage", 10.0);
+        a.histogram_with_bounds("lat", &[1.0, 2.0]).observe(0.5);
+
+        let b = Metrics::new();
+        b.counter("execs").fetch_add(7, Ordering::Relaxed);
+        b.counter("only_b").fetch_add(2, Ordering::Relaxed);
+        b.gauge_set("coverage", 4.0);
+        b.gauge_set("workers", 2.0);
+        b.histogram_with_bounds("lat", &[1.0, 2.0]).observe(1.5);
+        b.histogram_with_bounds("other", &[9.0]).observe(3.0);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["execs"], 12);
+        assert_eq!(merged.counters["only_a"], 1);
+        assert_eq!(merged.counters["only_b"], 2);
+        assert_eq!(merged.gauges["coverage"], 10.0);
+        assert_eq!(merged.gauges["workers"], 2.0);
+        let lat = &merged.histograms["lat"];
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.counts, vec![1, 1, 0]);
+        assert!((lat.sum - 2.0).abs() < 1e-9);
+        assert!(merged.histograms.contains_key("other"));
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[1.0, 2.0]).snapshot();
+        let mut b = Histogram::new(&[1.0, 3.0]).snapshot();
+        assert!(!b.merge(&a));
+        assert_eq!(b.bounds, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.counter("execs").fetch_add(3, Ordering::Relaxed);
+        m.gauge_set("coverage", 12.5);
+        m.histogram_with_bounds("lat", &[1.0, 2.0]).observe(1.5);
+        let snap = m.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

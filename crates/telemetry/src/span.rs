@@ -1,0 +1,454 @@
+//! The hierarchical span tree behind [`crate::Telemetry::span`] /
+//! [`crate::Telemetry::span_fast`]: parent/child span IDs, per-span wall
+//! time and attributes, and the Chrome trace-event JSON exporter.
+//!
+//! Parenting is implicit: each thread keeps a stack of the spans it has
+//! opened, and a new span adopts the innermost open span *of the same
+//! tree* as its parent. Guards therefore nest naturally across the
+//! campaign → shard → iteration → {mutate, ub_filter, compile, …}
+//! hierarchy without any explicit plumbing.
+//!
+//! Recording is off until [`SpanTree::set_recording`] (the `--trace-out`
+//! and `--status-addr` wiring turns it on): span guards then register in
+//! the open-span table on creation and move into the bounded
+//! completed-span buffer on drop. Past [`SpanTree::capacity`] completed
+//! spans, new records are counted as dropped rather than growing without
+//! bound — a long campaign keeps its earliest spans (the coarse pipeline
+//! phases) and sheds the newest per-iteration leaves.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Default bound on buffered completed spans (~tens of MB worst case).
+pub const DEFAULT_TRACE_CAPACITY: usize = 262_144;
+
+/// Shorthand for an unsigned JSON number (the vendored `Value` has no
+/// `From` conversions).
+fn num(v: u64) -> serde_json::Value {
+    serde_json::Value::Number(serde_json::Number::U64(v))
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanRecord {
+    /// Span ID, unique within one [`SpanTree`] (never 0).
+    pub id: u64,
+    /// Parent span ID (0 = root span).
+    pub parent: u64,
+    /// Span name (also the `<name>_ms` histogram it feeds). A `'static`
+    /// literal — spans are opened with compile-time names, which keeps
+    /// the per-span record allocation-free.
+    pub name: &'static str,
+    /// Small per-process thread index (Chrome trace `tid`).
+    pub tid: u64,
+    /// Start, microseconds since the owning pipeline was created.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form `key=value` attributes attached via `SpanGuard::attr`.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// One still-open span, as served by the `/spans` HTTP endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OpenSpan {
+    /// Span ID.
+    pub id: u64,
+    /// Parent span ID (0 = root).
+    pub parent: u64,
+    /// Span name (a `'static` literal).
+    pub name: &'static str,
+    /// Thread index.
+    pub tid: u64,
+    /// Start, microseconds since the pipeline was created.
+    pub start_us: u64,
+}
+
+thread_local! {
+    /// Innermost-open-span stack of this thread: `(tree identity, span id)`
+    /// pairs, so private test pipelines never adopt each other's spans.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    static THREAD_TID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// This thread's small stable index (assigned on first use).
+pub(crate) fn thread_tid() -> u64 {
+    THREAD_TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// The per-pipeline span store.
+pub struct SpanTree {
+    recording: AtomicBool,
+    next_id: AtomicU64,
+    capacity: AtomicUsize,
+    dropped: AtomicU64,
+    open: Mutex<BTreeMap<u64, OpenSpan>>,
+    done: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for SpanTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanTree {
+    /// An empty tree with [`DEFAULT_TRACE_CAPACITY`], not recording.
+    pub fn new() -> Self {
+        SpanTree {
+            recording: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            capacity: AtomicUsize::new(DEFAULT_TRACE_CAPACITY),
+            dropped: AtomicU64::new(0),
+            open: Mutex::new(BTreeMap::new()),
+            done: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether spans are stored (guards always keep their histograms; this
+    /// only gates the tree/trace buffers).
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
+    /// Turns span storage on or off.
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+    }
+
+    /// Caps the completed-span buffer (existing overflow stays dropped).
+    pub fn set_capacity(&self, cap: usize) {
+        self.capacity.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Completed spans rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The tree's identity for the thread-local parent stack.
+    fn tree_id(&self) -> usize {
+        self as *const SpanTree as usize
+    }
+
+    /// Opens a span: allocates its ID, adopts this thread's innermost open
+    /// span of this tree as parent, and pushes it on the thread stack.
+    /// Returns `(id, parent)`.
+    pub(crate) fn open(&self, name: &'static str, start_us: u64) -> (u64, u64) {
+        self.open_impl(name, start_us, None)
+    }
+
+    /// Like [`SpanTree::open`] with an explicit parent ID instead of the
+    /// thread-local innermost span — for spans whose parent lives on
+    /// another thread (a campaign span parenting per-worker shard spans).
+    /// The new span still joins this thread's stack, so its own children
+    /// parent normally.
+    pub(crate) fn open_under(&self, name: &'static str, start_us: u64, parent: u64) -> (u64, u64) {
+        self.open_impl(name, start_us, Some(parent))
+    }
+
+    fn open_impl(
+        &self,
+        name: &'static str,
+        start_us: u64,
+        explicit_parent: Option<u64>,
+    ) -> (u64, u64) {
+        let (id, parent) = self.open_light(explicit_parent);
+        self.open.lock().insert(
+            id,
+            OpenSpan {
+                id,
+                parent,
+                name,
+                tid: thread_tid(),
+                start_us,
+            },
+        );
+        (id, parent)
+    }
+
+    /// Allocates an ID and resolves the parent from this thread's stack
+    /// without touching the open-span table — the fast path for
+    /// per-iteration leaf spans, which are too short-lived to be worth
+    /// showing in the live `/spans` view. Returns `(id, parent)`; close
+    /// with [`SpanTree::close_light`].
+    pub(crate) fn open_light(&self, explicit_parent: Option<u64>) -> (u64, u64) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tree = self.tree_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = explicit_parent.unwrap_or_else(|| {
+                stack
+                    .iter()
+                    .rev()
+                    .find(|(t, _)| *t == tree)
+                    .map(|(_, id)| *id)
+                    .unwrap_or(0)
+            });
+            stack.push((tree, id));
+            parent
+        });
+        (id, parent)
+    }
+
+    /// Closes a span opened by [`SpanTree::open`] at `end_us` (same clock
+    /// as `start_us`, so parent/child intervals nest exactly), moving it
+    /// into the completed buffer (or counting it dropped past capacity).
+    pub(crate) fn close(&self, id: u64, end_us: u64, attrs: Vec<(String, String)>) {
+        self.pop_stack(id);
+        let Some(open) = self.open.lock().remove(&id) else {
+            return;
+        };
+        self.push_done(SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            tid: open.tid,
+            dur_us: end_us.saturating_sub(open.start_us),
+            start_us: open.start_us,
+            attrs,
+        });
+    }
+
+    /// Closes a span opened by [`SpanTree::open_light`]: the caller (the
+    /// span guard) carried the record fields, so this goes straight to
+    /// the completed buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn close_light(
+        &self,
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        start_us: u64,
+        end_us: u64,
+        attrs: Vec<(String, String)>,
+    ) {
+        self.pop_stack(id);
+        self.push_done(SpanRecord {
+            id,
+            parent,
+            name,
+            tid: thread_tid(),
+            dur_us: end_us.saturating_sub(start_us),
+            start_us,
+            attrs,
+        });
+    }
+
+    fn pop_stack(&self, id: u64) {
+        let tree = self.tree_id();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop LIFO on their creating thread; anything else
+            // (cross-thread drop) just leaves the stack untouched.
+            if stack.last() == Some(&(tree, id)) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|e| *e == (tree, id)) {
+                stack.remove(pos);
+            }
+        });
+    }
+
+    fn push_done(&self, record: SpanRecord) {
+        let mut done = self.done.lock();
+        if done.len() >= self.capacity.load(Ordering::Relaxed) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        done.push(record);
+    }
+
+    /// Snapshot of every still-open span (the `/spans` payload source).
+    pub fn open_spans(&self) -> Vec<OpenSpan> {
+        self.open.lock().values().cloned().collect()
+    }
+
+    /// Snapshot of the completed-span buffer.
+    pub fn completed(&self) -> Vec<SpanRecord> {
+        self.done.lock().clone()
+    }
+
+    /// Number of completed spans currently buffered.
+    pub fn completed_len(&self) -> usize {
+        self.done.lock().len()
+    }
+
+    /// Renders the still-open spans as a nested JSON tree
+    /// (`{"open": [{id, name, …, children: […]}]}`).
+    pub fn open_tree_json(&self) -> String {
+        use serde_json::Value;
+        let open = self.open_spans();
+        fn node(span: &OpenSpan, all: &[OpenSpan]) -> Value {
+            let children: Vec<Value> = all
+                .iter()
+                .filter(|s| s.parent == span.id)
+                .map(|s| node(s, all))
+                .collect();
+            Value::Object(vec![
+                ("id".into(), num(span.id)),
+                ("parent".into(), num(span.parent)),
+                ("name".into(), Value::String(span.name.to_string())),
+                ("tid".into(), num(span.tid)),
+                ("start_us".into(), num(span.start_us)),
+                ("children".into(), Value::Array(children)),
+            ])
+        }
+        let roots: Vec<Value> = open
+            .iter()
+            .filter(|s| s.parent == 0 || !open.iter().any(|p| p.id == s.parent))
+            .map(|s| node(s, &open))
+            .collect();
+        let doc = Value::Object(vec![
+            ("open".into(), Value::Array(roots)),
+            ("completed".into(), num(self.completed_len() as u64)),
+            ("dropped".into(), num(self.dropped())),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Renders the buffer in Chrome trace-event JSON (the `trace.json`
+    /// format `chrome://tracing` and Perfetto load). Completed spans become
+    /// phase-`X` complete events; still-open spans become phase-`B` begin
+    /// events so an aborted campaign still shows its in-flight phases.
+    pub fn chrome_trace_json(&self) -> String {
+        use serde_json::Value;
+        let mut events: Vec<Value> = Vec::new();
+        for r in self.done.lock().iter() {
+            let mut args: Vec<(String, Value)> =
+                vec![("id".into(), num(r.id)), ("parent".into(), num(r.parent))];
+            for (k, v) in &r.attrs {
+                args.push((k.clone(), Value::String(v.clone())));
+            }
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String(r.name.to_string())),
+                ("cat".into(), Value::String("metamut".into())),
+                ("ph".into(), Value::String("X".into())),
+                ("ts".into(), num(r.start_us)),
+                ("dur".into(), num(r.dur_us)),
+                ("pid".into(), num(1)),
+                ("tid".into(), num(r.tid)),
+                ("args".into(), Value::Object(args)),
+            ]));
+        }
+        for s in self.open_spans() {
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String(s.name.to_string())),
+                ("cat".into(), Value::String("metamut".into())),
+                ("ph".into(), Value::String("B".into())),
+                ("ts".into(), num(s.start_us)),
+                ("pid".into(), num(1)),
+                ("tid".into(), num(s.tid)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        ("id".into(), num(s.id)),
+                        ("parent".into(), num(s.parent)),
+                    ]),
+                ),
+            ]));
+        }
+        let doc = Value::Object(vec![
+            ("traceEvents".into(), Value::Array(events)),
+            ("displayTimeUnit".into(), Value::String("ms".into())),
+        ]);
+        serde_json::to_string(&doc).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_thread_stack() {
+        let tree = SpanTree::new();
+        tree.set_recording(true);
+        let (root, root_parent) = tree.open("campaign", 0);
+        let (child, child_parent) = tree.open("shard", 1);
+        let (leaf, leaf_parent) = tree.open("mutate", 2);
+        assert_eq!(root_parent, 0);
+        assert_eq!(child_parent, root);
+        assert_eq!(leaf_parent, child);
+        assert_eq!(tree.open_spans().len(), 3);
+        tree.close(leaf, 3, Vec::new());
+        // After the leaf closes, a new span under `shard` re-parents there.
+        let (leaf2, leaf2_parent) = tree.open("compile_cold", 4);
+        assert_eq!(leaf2_parent, child);
+        tree.close(leaf2, 5, Vec::new());
+        tree.close(child, 6, Vec::new());
+        tree.close(root, 9, Vec::new());
+        let done = tree.completed();
+        assert_eq!(done.len(), 4);
+        assert!(tree.open_spans().is_empty());
+        // Every child interval nests inside its parent's.
+        for r in &done {
+            if r.parent != 0 {
+                let p = done.iter().find(|p| p.id == r.parent).expect("parent");
+                assert!(p.start_us <= r.start_us);
+                assert!(r.start_us + r.dur_us <= p.start_us + p.dur_us);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_drops_overflow() {
+        let tree = SpanTree::new();
+        tree.set_recording(true);
+        tree.set_capacity(2);
+        for i in 0..5 {
+            let (id, _) = tree.open("x", i);
+            tree.close(id, 1, Vec::new());
+        }
+        assert_eq!(tree.completed().len(), 2);
+        assert_eq!(tree.dropped(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let tree = SpanTree::new();
+        tree.set_recording(true);
+        let (a, _) = tree.open("campaign", 0);
+        let (b, _) = tree.open("iteration", 1);
+        tree.close(b, 2, vec![("mode".into(), "cold".into())]);
+        tree.close(a, 10, Vec::new());
+        let (open, _) = tree.open("still-running", 11);
+        let json = tree.chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "B").count(), 1);
+        tree.close(open, 1, Vec::new());
+    }
+
+    #[test]
+    fn private_trees_do_not_adopt_each_others_spans() {
+        let a = SpanTree::new();
+        let b = SpanTree::new();
+        a.set_recording(true);
+        b.set_recording(true);
+        let (outer, _) = a.open("outer", 0);
+        let (inner, inner_parent) = b.open("inner", 1);
+        assert_eq!(inner_parent, 0, "span must not parent across trees");
+        b.close(inner, 1, Vec::new());
+        a.close(outer, 2, Vec::new());
+    }
+}

@@ -12,6 +12,7 @@
 //! - [`simcomp`] — the instrumented compiler under test.
 //! - [`fuzzing`] — μCFuzz, the macro fuzzer and the four baselines.
 //! - [`reduce`] — crash triage and signature-preserving reduction.
+//! - [`report`] — post-campaign markdown reports with wall-time attribution.
 //!
 //! ```
 //! use metamut::prelude::*;
@@ -27,6 +28,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod report;
 
 pub use metamut_analyze as analyze;
 pub use metamut_core as core;

@@ -7,10 +7,16 @@
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
 //! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--no-incremental]
 //!              [--no-ub-filter] [--baseline-cache-cap N] [--reduce]
+//!              [--status-addr HOST:PORT]
 //! metamut analyze FILE [--json]         # dataflow UB/validity findings
 //! metamut reduce FILE [-p gcc|clang] [-O N] [--flags ...]   # minimize one crasher
 //! metamut triage FILE... [-p gcc|clang] [-O N] [--out DIR] [--append]
+//! metamut status ADDR [PATH]            # query a live campaign's HTTP endpoint
+//! metamut report [--snapshot F] [--timeseries F] [--triage F] [--out F]
 //! ```
+//!
+//! Observatory flags on any subcommand: `--trace-out PATH` (Chrome
+//! trace-event JSON), `--timeseries-out PATH` (sampled series JSONL).
 
 use metamut::prelude::*;
 use metamut_fuzzing::mucfuzz::MuCFuzz;
@@ -30,6 +36,13 @@ fn main() -> ExitCode {
         opt(rest, "--telemetry").as_deref(),
         opt(rest, "--status-every").and_then(|s| s.parse().ok()),
     );
+    // Observatory outputs: --trace-out PATH writes a Chrome trace-event
+    // JSON at exit; --timeseries-out PATH writes the sampled campaign
+    // time-series as JSONL. Either flag enables telemetry on its own.
+    metamut_telemetry::init_outputs(
+        opt(rest, "--trace-out").as_deref(),
+        opt(rest, "--timeseries-out").as_deref(),
+    );
     let code = match cmd {
         "list" => list(),
         "mutate" => mutate(rest),
@@ -39,6 +52,8 @@ fn main() -> ExitCode {
         "analyze" => analyze_cmd(rest),
         "reduce" => reduce_cmd(rest),
         "triage" => triage_cmd(rest),
+        "status" => status_cmd(rest),
+        "report" => report_cmd(rest),
         _ => {
             eprintln!(
                 "usage: metamut <list|mutate|compile|generate|fuzz|analyze|reduce|triage> [options]\n\
@@ -58,9 +73,17 @@ fn main() -> ExitCode {
                  \n                               minimize one crashing program (stdout)\
                  \n  triage FILE... [-p gcc|clang] [-O N] [-w N] [--out DIR] [--append]\
                  \n                               bucket crashing files by signature and reduce each\
-                 \n                               --append: merge into DIR/triage.json from prior runs\
+                 \n                               --append: merge into DIR/triage.json (and the\
+                 \n                               telemetry snapshot in DIR/telemetry.json) from prior runs\
+                 \n  status ADDR [PATH]           query a live campaign's HTTP status endpoint\
+                 \n                               (PATH: /metrics, /timeseries, or /spans)\
+                 \n  report [--snapshot F] [--timeseries F] [--triage F] [--out F]\
+                 \n                               render a markdown campaign report\
                  \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH\
-                 \n  (any subcommand) --status-every SECS  status-line cadence (0 = off)"
+                 \n  (any subcommand) --status-every SECS  status-line cadence (0 = off)\
+                 \n  (any subcommand) --trace-out PATH  write a Chrome trace-event JSON at exit\
+                 \n  (any subcommand) --timeseries-out PATH  write sampled time-series JSONL at exit\
+                 \n  (fuzz) --status-addr HOST:PORT  serve /metrics, /timeseries, /spans while fuzzing"
             );
             ExitCode::from(2)
         }
@@ -73,8 +96,9 @@ fn main() -> ExitCode {
                 eprintln!("telemetry: cannot write {}: {e}", snap_path.display());
             }
         }
-        metamut_telemetry::handle().flush();
     }
+    // Writes any --trace-out / --timeseries-out files and flushes sinks.
+    metamut_telemetry::global_finalize();
     code
 }
 
@@ -85,7 +109,7 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-const VALUE_FLAGS: [&str; 13] = [
+const VALUE_FLAGS: [&str; 19] = [
     "-m",
     "-s",
     "-p",
@@ -99,6 +123,12 @@ const VALUE_FLAGS: [&str; 13] = [
     "--out",
     "--reduce-out",
     "--baseline-cache-cap",
+    "--trace-out",
+    "--timeseries-out",
+    "--status-addr",
+    "--snapshot",
+    "--timeseries",
+    "--triage",
 ];
 
 fn positionals(rest: &[String]) -> Vec<&String> {
@@ -413,7 +443,8 @@ fn triage_cmd(rest: &[String]) -> ExitCode {
     };
     let mut report = triage_crashes(&records, profile, &options, &config);
     let out = opt(rest, "--out");
-    if rest.iter().any(|a| a == "--append") {
+    let append = rest.iter().any(|a| a == "--append");
+    if append {
         // Fold a previous run's triage.json (if any) into this report:
         // bugs dedup by signature, keeping the smallest reduced witness.
         let Some(dir) = out.as_deref() else {
@@ -445,7 +476,141 @@ fn triage_cmd(rest: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(dir) = out.as_deref() {
+        emit_telemetry_snapshot(dir, append);
+    }
     emit_triage(&report, out.as_deref())
+}
+
+/// Writes (or, on `--append`, merges into) `DIR/telemetry.json` — the
+/// telemetry snapshot riding along with a triage output directory so
+/// multi-run campaigns accumulate counters (sums) and gauges (maxima)
+/// alongside the merged bug list. No-op when telemetry is disabled.
+fn emit_telemetry_snapshot(dir: &str, append: bool) {
+    let telemetry = metamut_telemetry::handle();
+    if !telemetry.enabled() {
+        return;
+    }
+    let mut snapshot = telemetry.snapshot();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("triage: cannot create {dir}: {e}");
+        return;
+    }
+    let path = std::path::Path::new(dir).join("telemetry.json");
+    if append && path.exists() {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<metamut_telemetry::Snapshot>(&text)
+                    .map_err(|e| format!("malformed snapshot: {e}"))
+            }) {
+            Ok(previous) => snapshot.merge(&previous),
+            Err(e) => {
+                eprintln!("triage: cannot merge {}: {e}", path.display());
+                return;
+            }
+        }
+    }
+    match serde_json::to_string_pretty(&snapshot) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("triage: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("triage: wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("triage: cannot serialize telemetry snapshot: {e}"),
+    }
+}
+
+/// `metamut status ADDR [PATH]` — one-shot client for the live status
+/// endpoint: fetches PATH (default `/metrics`) and prints the body.
+fn status_cmd(rest: &[String]) -> ExitCode {
+    let mut args = positionals(rest).into_iter();
+    let Some(addr) = args.next() else {
+        eprintln!("status: missing ADDR (e.g. 127.0.0.1:8433)");
+        return ExitCode::from(2);
+    };
+    let path = rest
+        .iter()
+        .find(|a| a.starts_with('/'))
+        .map(|s| s.as_str())
+        .unwrap_or("/metrics");
+    match metamut_telemetry::fetch(addr, path) {
+        Ok(body) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("status: {addr}{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `metamut report` — joins a telemetry snapshot, a time-series JSONL,
+/// and a triage JSON into one markdown campaign report.
+fn report_cmd(rest: &[String]) -> ExitCode {
+    let snapshot = match opt(rest, "--snapshot") {
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<metamut_telemetry::Snapshot>(&text)
+                    .map_err(|e| format!("malformed snapshot: {e}"))
+            }) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => metamut_telemetry::Snapshot::default(),
+    };
+    let series = match opt(rest, "--timeseries") {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => metamut_telemetry::parse_jsonl(&text),
+            Err(e) => {
+                eprintln!("report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Vec::new(),
+    };
+    let triage = match opt(rest, "--triage") {
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| metamut::reduce::TriageReport::from_json(&text))
+        {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if opt(rest, "--snapshot").is_none()
+        && opt(rest, "--timeseries").is_none()
+        && opt(rest, "--triage").is_none()
+    {
+        eprintln!("report: nothing to report (pass --snapshot, --timeseries, and/or --triage)");
+        return ExitCode::from(2);
+    }
+    let md = metamut::report::campaign_report(&snapshot, &series, triage.as_ref());
+    match opt(rest, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, md) {
+                eprintln!("report: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report: wrote {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{md}");
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 /// Prints a triage report (markdown to stdout), optionally also writing
@@ -502,6 +667,27 @@ fn fuzz(rest: &[String]) -> ExitCode {
             .and_then(|s| s.parse().ok())
             .unwrap_or(0),
         ..Default::default()
+    };
+    // Live observatory: serve /metrics, /timeseries, and /spans over HTTP
+    // for the duration of the campaign. Binding enables the global
+    // telemetry pipeline (plus span and series recording) so there is
+    // something to serve even without --telemetry.
+    let _status_server = match opt(rest, "--status-addr") {
+        Some(addr) => {
+            let telemetry = metamut_telemetry::handle().clone();
+            telemetry.set_enabled(true);
+            match metamut_telemetry::StatusServer::bind(&addr, telemetry) {
+                Ok(server) => {
+                    eprintln!("fuzz: status endpoint at http://{}/", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("fuzz: cannot bind status endpoint {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
     };
     let report = if config.resolved_workers() > 1 {
         let registry = Arc::new(metamut::mutators::full_registry());

@@ -1,0 +1,270 @@
+//! CLI-level observatory tests: drive the real `metamut` binary and check
+//! the artifacts the observatory layer leaves behind — the Chrome trace,
+//! the time-series JSONL, the markdown report, and the `triage --append`
+//! telemetry-snapshot merge across two runs.
+
+use metamut_telemetry::Snapshot;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn metamut() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_metamut"))
+}
+
+/// A fresh scratch directory per test (removed on drop so reruns start
+/// clean even after a failure in a previous process).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("metamut-observatory-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn metamut");
+    assert!(
+        out.status.success(),
+        "metamut failed: {:?}\nstdout: {}\nstderr: {}",
+        cmd.get_args().collect::<Vec<_>>(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn read_json(path: &Path) -> serde_json::Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{} is not JSON: {e}", path.display()))
+}
+
+/// A two-worker campaign with `--trace-out`/`--timeseries-out` leaves a
+/// Chrome trace that round-trips through a JSON parser with properly
+/// nested spans, plus a parseable time-series; `metamut report` then
+/// joins the snapshot and series into a markdown report whose
+/// attribution percentages sum to 100±1.
+#[test]
+fn fuzz_campaign_exports_trace_series_and_report() {
+    let scratch = Scratch::new("fuzz");
+    let trace = scratch.path("trace.json");
+    let series = scratch.path("timeseries.jsonl");
+    let events = scratch.path("events.jsonl");
+    run_ok(metamut().args([
+        "fuzz",
+        "-i",
+        "120",
+        "-w",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--timeseries-out",
+        series.to_str().unwrap(),
+        "--telemetry",
+        events.to_str().unwrap(),
+        "--status-every",
+        "0",
+    ]));
+
+    // ---- The Chrome trace parses and the spans nest ----
+    let doc = read_json(&trace);
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array")
+        .clone();
+    assert!(!trace_events.is_empty());
+    let arg_u64 = |e: &serde_json::Value, key: &str| {
+        e.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(|v| v.as_u64())
+    };
+    let named = |name: &str| {
+        trace_events
+            .iter()
+            .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some(name))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    let campaigns = named("campaign");
+    let shards = named("shard");
+    let iterations = named("iteration");
+    assert_eq!(campaigns.len(), 1, "one campaign root span");
+    assert_eq!(shards.len(), 2, "one shard span per worker");
+    assert!(!iterations.is_empty());
+    // Every iteration span is parented to one of the shard spans and
+    // fits inside its interval.
+    let shard_ids: Vec<u64> = shards.iter().filter_map(|s| arg_u64(s, "id")).collect();
+    for it in &iterations {
+        let parent = arg_u64(it, "parent").expect("iteration parent");
+        let shard = shards
+            .iter()
+            .find(|s| arg_u64(s, "id") == Some(parent))
+            .unwrap_or_else(|| panic!("iteration parent {parent} not a shard ({shard_ids:?})"));
+        let (s_ts, s_dur) = (
+            shard.get("ts").unwrap().as_u64().unwrap(),
+            shard.get("dur").unwrap().as_u64().unwrap(),
+        );
+        let (i_ts, i_dur) = (
+            it.get("ts").unwrap().as_u64().unwrap(),
+            it.get("dur").unwrap().as_u64().unwrap(),
+        );
+        assert!(
+            s_ts <= i_ts && i_ts + i_dur <= s_ts + s_dur,
+            "span leaks its parent"
+        );
+    }
+    // Per-iteration stage spans made it into the trace too.
+    assert!(!named("mutate").is_empty());
+
+    // ---- The time-series parses and is monotone ----
+    let points =
+        metamut_telemetry::parse_jsonl(&std::fs::read_to_string(&series).expect("read timeseries"));
+    assert!(!points.is_empty(), "no samples recorded");
+    for w in points.windows(2) {
+        assert!(w[1].iteration >= w[0].iteration);
+    }
+
+    // ---- The report joins snapshot + series; attribution sums to 100 ----
+    let snapshot = events.with_extension("snapshot.json");
+    assert!(snapshot.exists(), "--telemetry leaves a snapshot");
+    let report = scratch.path("report.md");
+    run_ok(metamut().args([
+        "report",
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+        "--timeseries",
+        series.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+    ]));
+    let md = std::fs::read_to_string(&report).expect("read report");
+    assert!(md.contains("# Campaign report"));
+    assert!(md.contains("## Wall-time attribution"));
+    assert!(md.contains("Coverage over time"));
+    let percent_sum: f64 = md
+        .lines()
+        .skip_while(|l| !l.starts_with("| stage |"))
+        .take_while(|l| l.starts_with('|'))
+        .filter_map(|l| {
+            let cell = l.rsplit('|').nth(1)?.trim();
+            cell.strip_suffix('%')?.trim().parse::<f64>().ok()
+        })
+        .sum();
+    assert!(
+        (percent_sum - 100.0).abs() <= 1.0,
+        "attribution sums to {percent_sum}, want 100±1\n{md}"
+    );
+}
+
+/// `triage --append` across two synthetic runs: the second run merges
+/// both the bug list and the telemetry snapshot — counters sum, gauges
+/// take the maximum, histogram sample counts accumulate.
+#[test]
+fn triage_append_merges_telemetry_snapshots_across_runs() {
+    let scratch = Scratch::new("triage");
+    let out_dir = scratch.path("out");
+    // Two witnesses for the same planted clang bug (same signature), the
+    // second padded the way campaign mutants typically are.
+    let w1 = scratch.path("w1.c");
+    let w2 = scratch.path("w2.c");
+    std::fs::write(&w1, "foo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }\n").unwrap();
+    std::fs::write(
+        &w2,
+        "int pad(void) { return 7; }\nfoo(int *ptr) { *ptr = (int) {{}, 0}; return 0; }\n",
+    )
+    .unwrap();
+
+    let triage = |witness: &Path, events: &Path, append: bool| {
+        let mut cmd = metamut();
+        cmd.args([
+            "triage",
+            witness.to_str().unwrap(),
+            "-p",
+            "clang",
+            "-O",
+            "0",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--telemetry",
+            events.to_str().unwrap(),
+            "--status-every",
+            "0",
+        ]);
+        if append {
+            cmd.arg("--append");
+        }
+        run_ok(&mut cmd);
+    };
+
+    let e1 = scratch.path("run1.jsonl");
+    let e2 = scratch.path("run2.jsonl");
+    triage(&w1, &e1, false);
+    let run1: Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(out_dir.join("telemetry.json")).unwrap())
+            .expect("run 1 snapshot");
+    triage(&w2, &e2, true);
+    let merged: Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(out_dir.join("telemetry.json")).unwrap())
+            .expect("merged snapshot");
+    // The second run's standalone snapshot rides next to its event log.
+    let run2: Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(e2.with_extension("snapshot.json")).unwrap())
+            .expect("run 2 snapshot");
+
+    assert!(
+        run1.counters
+            .keys()
+            .any(|k| k.starts_with("reduce_bytes_removed")),
+        "run 1 recorded no reduction counters: {:?}",
+        run1.counters.keys().collect::<Vec<_>>()
+    );
+    for (name, merged_value) in &merged.counters {
+        let expect = run1.counters.get(name).copied().unwrap_or(0)
+            + run2.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(*merged_value, expect, "counter {name} must sum across runs");
+    }
+    for (name, merged_value) in &merged.gauges {
+        let expect = run1
+            .gauges
+            .get(name)
+            .copied()
+            .unwrap_or(f64::MIN)
+            .max(run2.gauges.get(name).copied().unwrap_or(f64::MIN));
+        assert_eq!(*merged_value, expect, "gauge {name} must take the max");
+    }
+    let reduce_ms = &merged.histograms["reduce_ms"];
+    assert_eq!(
+        reduce_ms.count,
+        run1.histograms["reduce_ms"].count + run2.histograms["reduce_ms"].count,
+        "histogram samples must accumulate"
+    );
+
+    // The bug list merged too: both runs hit the same signature, so one
+    // bug with two records.
+    let triage_doc = read_json(&out_dir.join("triage.json"));
+    let bugs = triage_doc
+        .get("bugs")
+        .and_then(|v| v.as_array())
+        .expect("bugs");
+    assert_eq!(bugs.len(), 1, "same signature must dedup");
+    assert_eq!(
+        bugs[0].get("records").and_then(|v| v.as_u64()),
+        Some(2),
+        "record counts accumulate across runs"
+    );
+}
