@@ -10,12 +10,18 @@
 //! 1. The parent seed is fully analyzed **once** and cached: per-chunk
 //!    content hashes (via [`metamut_lang::split_source`]), the set of UB
 //!    finding keys, its typedef names, and its [`GlobalInfo`].
-//! 2. A mutant is lexed and chunk-hashed. If exactly one chunk differs
-//!    and it mini-parses to a single function definition, only that
-//!    function is re-analyzed (against the parent's globals — valid
-//!    because every other chunk is byte-identical to the parent).
-//! 3. Anything else — multi-chunk edits, non-function edits, parse
-//!    failures of the fast path — falls back to a full parse + analyze.
+//! 2. A mutant is lexed and chunk-hashed; the dirty set (the query
+//!    engine's [`metamut_query::dirty_set`]) names the changed chunks. If
+//!    *every* dirty chunk mini-parses to a single function definition,
+//!    only those functions are re-analyzed (against the parent's globals —
+//!    valid because every other chunk is byte-identical to the parent)
+//!    and their verdicts are OR-ed.
+//! 3. Anything else — non-function edits, parse failures of the fast
+//!    path — falls back to a full parse + analyze.
+//!
+//! Constructed via [`UbGate::with_db`], the gate additionally memoizes
+//! per-chunk analyses on a shared [`QueryDb`], so re-mutations of the same
+//! function body (and re-checks from the reduction oracle) are free.
 //!
 //! A mutant that does not parse is **never** gated: the compiler must see
 //! it and reject it so compilable-ratio accounting stays truthful.
@@ -26,6 +32,7 @@ use crate::findings::{ub_keys, Finding, FindingKey};
 use metamut_lang::ast::ExternalDecl;
 use metamut_lang::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use metamut_lang::{parse, parse_with_typedefs, split_source};
+use metamut_query::{dirty_set, KindId, QueryDb};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::hash::Hasher;
@@ -70,6 +77,10 @@ fn count_findings(findings: &[Finding]) {
     }
 }
 
+/// The gate's registered chunk-analysis kind on a shared [`QueryDb`]
+/// (installed once per database via the extension store).
+struct UbChunkKind(KindId);
+
 /// Shared, thread-safe UB gate for a fuzzing campaign.
 #[derive(Default)]
 pub struct UbGate {
@@ -78,12 +89,28 @@ pub struct UbGate {
     checked: AtomicU64,
     filtered: AtomicU64,
     fast_path: AtomicU64,
+    /// Optional shared query database memoizing per-chunk analyses, keyed
+    /// `(parent content hash, chunk content hash)`.
+    db: Option<(Arc<QueryDb>, KindId)>,
 }
 
 impl UbGate {
     /// Creates an empty gate.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a gate that memoizes per-chunk analyses on `db` — pass the
+    /// campaign's shared query database so repeated mutations of the same
+    /// function body analyze once.
+    pub fn with_db(db: Arc<QueryDb>) -> Self {
+        let kind = db
+            .extension(|| UbChunkKind(db.register_input("ub-chunk")))
+            .0;
+        UbGate {
+            db: Some((db, kind)),
+            ..UbGate::default()
+        }
     }
 
     /// Gate queries so far (including verdict-cache hits).
@@ -147,26 +174,38 @@ impl UbGate {
             }
         };
 
-        // Fast path: exactly one edited chunk that is a lone function.
+        // Fast path: every edited chunk is a lone function definition, so
+        // only the dirty set re-analyzes and the verdicts union. New UB
+        // can only originate in an edited chunk — unedited chunks are
+        // byte-identical to the parent, whose findings are the baseline.
         if let Some(i) = &info {
             if let (Some(parent_hashes), Some((_, chunks))) =
                 (&i.chunk_hashes, split_source(mutant))
             {
                 if i.parsed && chunks.len() == parent_hashes.len() {
-                    let edited: Vec<usize> = (0..chunks.len())
-                        .filter(|&c| chunks[c].hash != parent_hashes[c])
-                        .collect();
-                    if let [only] = edited[..] {
-                        if let Some(new_ub) =
-                            self.fast_check(chunks[only].text(mutant), i, baseline)
-                        {
-                            self.fast_path.fetch_add(1, Ordering::Relaxed);
-                            return new_ub;
-                        }
-                    }
+                    let hashes: Vec<u64> = chunks.iter().map(|c| c.hash).collect();
+                    let edited = dirty_set(parent_hashes, &hashes).unwrap_or_default();
                     if edited.is_empty() {
                         // Byte-shuffled but chunk-identical: nothing new.
                         return false;
+                    }
+                    let pkey = parent.map_or(0, content_hash);
+                    let mut new_ub = Some(false);
+                    for &c in &edited {
+                        match (
+                            new_ub,
+                            self.fast_check(pkey, chunks[c].text(mutant), i, baseline),
+                        ) {
+                            (Some(acc), Some(v)) => new_ub = Some(acc || v),
+                            _ => {
+                                new_ub = None;
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(new_ub) = new_ub {
+                        self.fast_path.fetch_add(1, Ordering::Relaxed);
+                        return new_ub;
                     }
                 }
             }
@@ -182,11 +221,29 @@ impl UbGate {
         !keys.is_subset(baseline)
     }
 
-    /// Analyzes one edited chunk as a stand-alone function definition.
+    /// Analyzes one edited chunk as a stand-alone function definition,
+    /// memoized on the shared query database when one is attached.
     /// Returns `None` when the chunk is not a lone function (caller falls
     /// back to the full path).
     fn fast_check(
         &self,
+        pkey: u64,
+        chunk_src: &str,
+        parent: &ParentInfo,
+        baseline: &BTreeSet<FindingKey>,
+    ) -> Option<bool> {
+        if let Some((db, kind)) = &self.db {
+            let key = db.intern2(pkey, content_hash(chunk_src));
+            let memo = db.get_or_insert_with(*kind, key, || {
+                Arc::new(Self::chunk_verdict(chunk_src, parent, baseline))
+            });
+            return *memo.downcast::<Option<bool>>().ok()?;
+        }
+        Self::chunk_verdict(chunk_src, parent, baseline)
+    }
+
+    /// The uncached per-chunk analysis behind [`UbGate::fast_check`].
+    fn chunk_verdict(
         chunk_src: &str,
         parent: &ParentInfo,
         baseline: &BTreeSet<FindingKey>,

@@ -91,6 +91,47 @@ fn multi_chunk_edits_fall_back_to_full_analysis() {
 }
 
 #[test]
+fn multi_function_edits_take_the_fast_path() {
+    // Two function bodies edited at once: the dirty set names both, each
+    // mini-parses to a lone definition, and the verdicts union.
+    let gate = UbGate::new();
+    let clean = PARENT
+        .replace("a * b + g", "a + b + g")
+        .replace("int acc = 0;", "int acc = 1;");
+    assert!(!gate.introduces_new_ub(Some(PARENT), &clean));
+    assert_eq!(gate.fast_path(), 1);
+    let dirty = PARENT
+        .replace("a * b + g", "a + b + g")
+        .replace("int acc = 0;", "int acc = 1 / 0;");
+    assert!(gate.introduces_new_ub(Some(PARENT), &dirty));
+    assert_eq!(gate.fast_path(), 2, "k-chunk edits must stay incremental");
+    assert_eq!(gate.checked(), 2);
+    assert_eq!(gate.filtered(), 1);
+}
+
+#[test]
+fn shared_db_memoizes_chunk_analyses() {
+    use std::sync::Arc;
+    let db = Arc::new(metamut_query::QueryDb::new());
+    let gate = UbGate::with_db(Arc::clone(&db));
+    let a = PARENT.replace("int acc = 0;", "int acc = 2;");
+    let b = PARENT.replace("a * b + g", "a * b - g");
+    // Mutant c re-edits both chunks already analyzed for a and b.
+    let c = PARENT
+        .replace("int acc = 0;", "int acc = 2;")
+        .replace("a * b + g", "a * b - g");
+    assert!(!gate.introduces_new_ub(Some(PARENT), &a));
+    assert!(!gate.introduces_new_ub(Some(PARENT), &b));
+    let memos = db.len();
+    assert!(!gate.introduces_new_ub(Some(PARENT), &c));
+    assert_eq!(db.len(), memos, "chunk re-analyses must be memo hits");
+    assert_eq!(gate.fast_path(), 3);
+    // Verdicts agree with a database-less gate.
+    let plain = UbGate::new();
+    assert!(!plain.introduces_new_ub(Some(PARENT), &c));
+}
+
+#[test]
 fn first_new_ub_reports_the_offending_finding() {
     let mutant = PARENT.replace("return acc;", "return acc / 0;");
     let f = first_new_ub(PARENT, &mutant).expect("division by zero is new UB");

@@ -14,7 +14,8 @@ use crate::parallel::ExchangeHub;
 use metamut_analyze::UbGate;
 use metamut_muast::MutRng;
 use metamut_simcomp::{
-    AtomicCoverage, BaselineCache, Claim, Compiler, CrashInfo, DedupCache, Outcome, Stage, Verdict,
+    AtomicCoverage, Claim, Compiler, CrashInfo, DedupCache, Outcome, QueryCache, QueryDb, Stage,
+    Verdict,
 };
 use metamut_telemetry::{SeriesPoint, Telemetry};
 use parking_lot::Mutex;
@@ -43,16 +44,15 @@ pub struct CampaignConfig {
     /// Exchange newly discovered seeds across shards every this many
     /// iterations per worker (`0` disables exchange).
     pub exchange_every: usize,
-    /// Compile mutants incrementally against their parent seed's cached
-    /// per-declaration artifacts (see `metamut_simcomp::incremental`).
-    /// Results are bit-identical to cold compiles — a pure throughput
-    /// knob, like [`CampaignConfig::dedup`]. `--no-incremental` turns it
-    /// off.
+    /// Compile mutants incrementally against their parent seed's memoized
+    /// pipeline queries (see `metamut_simcomp::query`). Results are
+    /// bit-identical to cold compiles — a pure throughput knob, like
+    /// [`CampaignConfig::dedup`]. `--no-incremental` turns it off.
     pub incremental: bool,
     /// Cross-check every Nth incremental compile against a cold compile
     /// (`0` disables). A correctness belt for experiments; mismatches
-    /// surface through `BaselineCache::mismatches` and the
-    /// `incremental_mismatches` telemetry counter.
+    /// surface through `QueryCache::mismatches` and the
+    /// `query_mismatches` telemetry counter.
     pub cross_check_every: usize,
     /// Statically analyze mutants before compiling and skip any that
     /// introduce undefined behavior their parent seed did not have (see
@@ -60,10 +60,16 @@ pub struct CampaignConfig {
     /// not compilable. `--no-ub-filter` turns it off, reproducing the
     /// unfiltered engine bit-for-bit.
     pub ub_filter: bool,
-    /// Maximum entries the incremental [`BaselineCache`] may hold before
-    /// second-chance eviction kicks in (`0` = unbounded). Evictions are
-    /// counted by the `baseline_evictions` telemetry counter.
-    pub baseline_cache_cap: usize,
+    /// Maximum seed slots the incremental [`QueryCache`] may hold before
+    /// LRU eviction kicks in (`0` = unbounded). Slot evictions are counted
+    /// by the `query_slot_evictions` telemetry counter; the memos each
+    /// retired slot held are dropped from the query database with it.
+    pub query_cache_cap: usize,
+    /// The query database incremental compilation memoizes into. `None`
+    /// gives the campaign a private database; pass a shared one to let
+    /// triage (the reduction oracle, the UB gate) reuse the campaign's
+    /// memos.
+    pub query_db: Option<std::sync::Arc<QueryDb>>,
 }
 
 impl Default for CampaignConfig {
@@ -78,7 +84,8 @@ impl Default for CampaignConfig {
             incremental: true,
             cross_check_every: 0,
             ub_filter: true,
-            baseline_cache_cap: 0,
+            query_cache_cap: 0,
+            query_db: None,
         }
     }
 }
@@ -248,10 +255,10 @@ pub(crate) struct CampaignShared<'a> {
     series: Mutex<Vec<SamplePoint>>,
     next_iter: AtomicUsize,
     dedup: Option<DedupCache>,
-    /// Seed-baseline cache for incremental mutant compilation, shared
-    /// across every worker/shard so a seed's baseline builds once per
-    /// campaign.
-    incremental: Option<BaselineCache>,
+    /// Query-engine cache for incremental mutant compilation, shared
+    /// across every worker/shard so a seed's queries memoize once per
+    /// campaign (and with triage, when the config shares a database).
+    incremental: Option<QueryCache>,
     /// The UB pre-compile gate, shared so parent analyses and verdicts are
     /// computed once per campaign. `None` when the filter is off — the
     /// worker loop is then structurally identical to the unfiltered engine.
@@ -268,6 +275,12 @@ impl<'a> CampaignShared<'a> {
         config: &'a CampaignConfig,
         telemetry: Telemetry,
     ) -> Self {
+        // One query database underlies both incremental compilation and the
+        // UB gate's chunk memos (and triage, when the config shares it).
+        let query_db = config
+            .query_db
+            .clone()
+            .unwrap_or_else(|| std::sync::Arc::new(QueryDb::new()));
         CampaignShared {
             compiler,
             config,
@@ -277,10 +290,13 @@ impl<'a> CampaignShared<'a> {
             next_iter: AtomicUsize::new(0),
             dedup: config.dedup.then(DedupCache::new),
             incremental: config.incremental.then(|| {
-                BaselineCache::with_cross_check(config.cross_check_every)
-                    .with_capacity(config.baseline_cache_cap)
+                QueryCache::new(std::sync::Arc::clone(&query_db))
+                    .with_cross_check(config.cross_check_every)
+                    .with_capacity(config.query_cache_cap)
             }),
-            ub_gate: config.ub_filter.then(UbGate::new),
+            ub_gate: config
+                .ub_filter
+                .then(|| UbGate::with_db(std::sync::Arc::clone(&query_db))),
             telemetry,
         }
     }
@@ -412,10 +428,10 @@ pub(crate) fn run_worker(
                     }
                     (false, 0)
                 } else {
-                    // Mutants of a pooled parent compile incrementally
-                    // against the parent's cached baseline (bit-identical to
+                    // Mutants of a pooled parent compile through the
+                    // parent's memoized pipeline queries (bit-identical to
                     // cold, so nothing downstream can tell); parentless
-                    // candidates and incremental guard failures compile cold.
+                    // candidates and query guard failures compile cold.
                     let result = match (&shared.incremental, seed) {
                         (Some(cache), Some(seed)) => {
                             let _compile_span = telemetry.span_fast("compile_incremental");

@@ -45,6 +45,44 @@ fn one_worker_matches_serial_exactly() {
     assert_eq!(serial, parallel);
 }
 
+/// The query engine is a throughput knob, never a behavior change: one
+/// parallel worker compiling through an externally shared [`QueryDb`]
+/// (cross-checks on) reproduces the pre-engine serial report — the same
+/// campaign with incremental compilation disabled entirely — bit for
+/// bit, while the database demonstrably accumulated memos.
+#[test]
+fn query_engine_one_worker_matches_pre_engine_serial_exactly() {
+    let seeds = corpus();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let pre_engine = CampaignConfig {
+        iterations: 150,
+        seed: 0xD15C0,
+        sample_every: 25,
+        workers: 1,
+        incremental: false,
+        ..Default::default()
+    };
+    let reg = registry();
+    let mut serial_fuzzer = MuCFuzz::new("uCFuzz.s", reg.clone(), seeds.iter().cloned());
+    let serial = run_campaign(&mut serial_fuzzer, &compiler, &pre_engine);
+
+    let db = Arc::new(metamut_simcomp::QueryDb::new());
+    let engine = CampaignConfig {
+        cross_check_every: 7,
+        incremental: true,
+        query_db: Some(Arc::clone(&db)),
+        ..pre_engine
+    };
+    let parallel = run_parallel_campaign(
+        &seeds,
+        |_w, shard| MuCFuzz::new("uCFuzz.s", reg.clone(), shard),
+        &compiler,
+        &engine,
+    );
+    assert_eq!(serial, parallel, "the query engine changed a report");
+    assert!(!db.is_empty(), "the shared database accumulated no memos");
+}
+
 /// The observatory must not perturb the engine: one parallel worker with
 /// the status sampler and span tracing on (a private telemetry instance,
 /// so the process-global handle stays untouched) still reproduces the

@@ -19,10 +19,12 @@
 //!    compile. Front-end targets skip this filter entirely — raw-byte bugs
 //!    (paren storms, identifier overflows) fire on unparseable input.
 //! 3. **Incremental compile** — candidates that still have to compile run
-//!    against a [`Baseline`] of the current best witness, so single-
-//!    function edits (statement ddmin, expression shrinking) reuse the
-//!    witness's cached per-declaration artifacts. Incremental compilation
-//!    is bit-identical to cold, so verdicts are unaffected.
+//!    through a [`QueryCache`] anchored on the current best witness, so
+//!    function edits (statement ddmin, expression shrinking) recompute only
+//!    their dirty pipeline-query slices against the witness's memos — and
+//!    rebasing back onto a previously seen witness is itself a cache hit.
+//!    Query-engine compilation is bit-identical to cold, so verdicts are
+//!    unaffected.
 //!
 //! On top of the crash check, a **UB guard** keeps reduced witnesses
 //! *valid*: a candidate that reproduces the signature but whose dataflow
@@ -36,7 +38,7 @@
 
 use metamut_analyze::{ub_keys_of, FindingKey};
 use metamut_lang::fxhash::FxHashMap;
-use metamut_simcomp::{Baseline, CompileOptions, Compiler, CrashInfo, Profile, Stage};
+use metamut_simcomp::{CompileOptions, Compiler, CrashInfo, Profile, QueryCache, QueryDb, Stage};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
@@ -62,10 +64,12 @@ pub struct ReductionOracle {
     prefilter_skips: AtomicU64,
     ub_rejects: AtomicU64,
     verdicts: Mutex<FxHashMap<u64, bool>>,
-    /// Incremental-compilation baseline of the current best witness; kept
+    /// Query-engine cache the candidates compile through.
+    cache: QueryCache,
+    /// The current best witness candidates are treated as edits of; kept
     /// fresh by [`ReductionOracle::rebase`]. `None` means candidates
     /// compile cold.
-    baseline: Mutex<Option<Arc<Baseline>>>,
+    witness: Mutex<Option<String>>,
     /// UB finding keys of the original witness; `Some` arms the UB guard
     /// (candidates may only reproduce these, never new ones), `None`
     /// (unanalyzable witness, or signature-only construction) disables it.
@@ -86,20 +90,30 @@ impl ReductionOracle {
             prefilter_skips: AtomicU64::new(0),
             ub_rejects: AtomicU64::new(0),
             verdicts: Mutex::new(FxHashMap::default()),
-            baseline: Mutex::new(None),
+            cache: QueryCache::default(),
+            witness: Mutex::new(None),
             ub_baseline: None,
         }
     }
 
+    /// Re-homes the oracle's incremental cache onto `db` (e.g. the
+    /// campaign's shared query database), so reduction reuses every memo
+    /// the campaign already built for its seeds. Call before the first
+    /// [`ReductionOracle::reproduces`].
+    #[must_use]
+    pub fn with_query_db(mut self, db: Arc<QueryDb>) -> Self {
+        self.cache = QueryCache::new(db);
+        self
+    }
+
     /// Builds the oracle *from* a crashing witness: compiles `witness`,
     /// locks onto the signature it produces, arms the syntactic pre-filter
-    /// with the crash's stage, and builds the witness's incremental
-    /// baseline. Returns `None` when the witness does not crash this
+    /// with the crash's stage, and anchors the incremental cache on the
+    /// witness. Returns `None` when the witness does not crash this
     /// compiler configuration at all.
     pub fn for_witness(profile: Profile, options: CompileOptions, witness: &str) -> Option<Self> {
         let compiler = Compiler::new(profile, options);
         let crash: CrashInfo = compiler.compile(witness).outcome.crash()?.clone();
-        let baseline = Baseline::build(&compiler, witness).map(Arc::new);
         Some(ReductionOracle {
             target: crash.signature(),
             target_stage: Some(crash.stage),
@@ -107,7 +121,8 @@ impl ReductionOracle {
             prefilter_skips: AtomicU64::new(0),
             ub_rejects: AtomicU64::new(0),
             verdicts: Mutex::new(FxHashMap::default()),
-            baseline: Mutex::new(baseline),
+            cache: QueryCache::default(),
+            witness: Mutex::new(Some(witness.to_string())),
             ub_baseline: ub_keys_of(witness),
             compiler,
         })
@@ -152,15 +167,16 @@ impl ReductionOracle {
         self.ub_baseline.is_some()
     }
 
-    /// Re-anchors the incremental baseline on `witness` (the reducer's
-    /// current best). Costs one cold compile plus the artifact build; every
-    /// subsequent single-declaration candidate compiles incrementally
-    /// against it. A witness the baseline builder cannot digest (e.g. an
-    /// unparseable raw-byte crasher) clears the baseline, so candidates
+    /// Re-anchors incremental compilation on `witness` (the reducer's
+    /// current best). The anchor's pipeline queries memoize on first use;
+    /// every subsequent candidate editing only function definitions
+    /// recomputes just its dirty query slices. Re-anchoring onto a witness
+    /// the cache has already seen (ddmin backtracking) costs nothing, and a
+    /// witness the query engine cannot digest (e.g. an unparseable
+    /// raw-byte crasher) is remembered as uncacheable, so its candidates
     /// fall back to cold compiles.
     pub fn rebase(&self, witness: &str) {
-        let baseline = Baseline::build(&self.compiler, witness).map(Arc::new);
-        *self.baseline.lock() = baseline;
+        *self.witness.lock() = Some(witness.to_string());
     }
 
     /// Whether `src` still reproduces the target crash signature.
@@ -183,9 +199,9 @@ impl ReductionOracle {
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
         metamut_telemetry::handle().counter_add("reduce_oracle_calls", 1);
-        let baseline = self.baseline.lock().clone();
-        let result = match &baseline {
-            Some(b) => self.compiler.compile_incremental(src, b),
+        let witness = self.witness.lock().clone();
+        let result = match &witness {
+            Some(w) => self.cache.compile(&self.compiler, w, src),
             None => self.compiler.compile(src),
         };
         let mut verdict = result

@@ -23,6 +23,10 @@ pub struct TriageConfig {
     pub workers: usize,
     /// Per-witness reduction knobs.
     pub reduce: ReduceConfig,
+    /// Query database the oracles memoize into. Pass the campaign's shared
+    /// database so reduction starts from the memos fuzzing already built;
+    /// `None` gives every oracle a private one.
+    pub query_db: Option<std::sync::Arc<metamut_simcomp::QueryDb>>,
 }
 
 /// One triaged bug: the reduced witness plus its bookkeeping.
@@ -216,7 +220,11 @@ fn triage_bucket(
     config: &TriageConfig,
 ) -> BugReport {
     let record = &bucket.smallest;
-    let oracle = ReductionOracle::new(profile, options.clone(), record.signature);
+    let mut oracle = ReductionOracle::new(profile, options.clone(), record.signature);
+    if let Some(db) = &config.query_db {
+        oracle = oracle.with_query_db(std::sync::Arc::clone(db));
+    }
+    let oracle = oracle;
     let reproduced = oracle.reproduces(&record.witness);
     let result = reduce(&oracle, &record.witness, &config.reduce);
     BugReport {

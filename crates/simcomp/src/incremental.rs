@@ -59,7 +59,7 @@ use std::sync::Arc;
 
 /// Pass names in execution order for a given `-O` level, excluding the
 /// trailing loop-analysis entry (whose count is the global loop total).
-fn pass_names(opt_level: u8) -> &'static [&'static str] {
+pub(crate) fn pass_names(opt_level: u8) -> &'static [&'static str] {
     match opt_level {
         0 => &[],
         1 => &["const-fold", "dce"],
@@ -76,11 +76,16 @@ fn pass_names(opt_level: u8) -> &'static [&'static str] {
 }
 
 /// Index of the `inline` pass in [`pass_names`] at `-O2`+.
-const INLINE_IDX: usize = 3;
+pub(crate) const INLINE_IDX: usize = 3;
 
 /// Runs the pre-inlining passes on one function, pushing per-pass change
 /// counts in [`pass_names`] order.
-fn opt_stage_a(f: &mut IrFunction, opt_level: u8, report: &mut OptReport, counts: &mut Vec<usize>) {
+pub(crate) fn opt_stage_a(
+    f: &mut IrFunction,
+    opt_level: u8,
+    report: &mut OptReport,
+    counts: &mut Vec<usize>,
+) {
     if opt_level == 0 {
         return;
     }
@@ -94,7 +99,7 @@ fn opt_stage_a(f: &mut IrFunction, opt_level: u8, report: &mut OptReport, counts
 /// Runs the inlining-and-later passes on one function. `trivial` must be
 /// the module-wide trivial-body map computed *between* the stages, exactly
 /// as [`passes::optimize`] computes it between `simplify-cfg` and `inline`.
-fn opt_stage_b(
+pub(crate) fn opt_stage_b(
     f: &mut IrFunction,
     trivial: &FxHashMap<String, (Vec<Inst>, Option<Value>)>,
     opt_level: u8,
@@ -118,46 +123,46 @@ fn opt_stage_b(
 
 /// Cached pipeline artifacts of one function definition.
 #[derive(Debug, Clone)]
-struct FnArtifacts {
+pub(crate) struct FnArtifacts {
     /// Optimizer coverage features this function contributed.
-    opt_features: Vec<u64>,
+    pub(crate) opt_features: Vec<u64>,
     /// Per-pass change counts, in [`pass_names`] order.
-    counts: Vec<usize>,
+    pub(crate) counts: Vec<usize>,
     /// Loops discovered in this function.
-    loops: Vec<LoopInfo>,
+    pub(crate) loops: Vec<LoopInfo>,
     /// strlen-reduction observations from this function.
-    strlen: Vec<(String, bool)>,
+    pub(crate) strlen: Vec<(String, bool)>,
     /// Calls inlined away inside this function.
-    inlined: usize,
+    pub(crate) inlined: usize,
     /// Back-end coverage features of this function's assembly.
-    asm_features: Vec<u64>,
+    pub(crate) asm_features: Vec<u64>,
     /// Emitted instruction count.
-    asm_len: usize,
+    pub(crate) asm_len: usize,
     /// Spills inserted by register allocation.
-    asm_spills: usize,
+    pub(crate) asm_spills: usize,
     /// Peak register pressure.
-    asm_peak: usize,
+    pub(crate) asm_peak: usize,
 }
 
 /// Cached pipeline artifacts of one top-level declaration.
 #[derive(Debug, Clone)]
-struct DeclArtifacts {
+pub(crate) struct DeclArtifacts {
     /// The front end's declaration-shape coverage code (tag 6).
-    code6: u64,
+    pub(crate) code6: u64,
     /// Type-diversity coverage features from this declaration's
     /// expression types.
-    ty_feats: Vec<u64>,
+    pub(crate) ty_feats: Vec<u64>,
     /// This declaration's [`AstFeatures`] partial.
-    feats: AstFeatures,
+    pub(crate) feats: AstFeatures,
     /// Volatile declarator names visible before this declaration.
-    volatile_before: FxHashSet<String>,
+    pub(crate) volatile_before: FxHashSet<String>,
     /// Volatile declarator names visible after it.
-    volatile_after: FxHashSet<String>,
+    pub(crate) volatile_after: FxHashSet<String>,
     /// IR-generation coverage features from lowering this declaration.
-    lower_features: Vec<u64>,
+    pub(crate) lower_features: Vec<u64>,
     /// Optimizer/back-end artifacts when the declaration is a function
     /// definition.
-    func: Option<FnArtifacts>,
+    pub(crate) func: Option<FnArtifacts>,
 }
 
 /// The cached baseline compile of one seed program, decomposed per
@@ -376,7 +381,7 @@ fn sorted(v: &[u64]) -> Vec<u64> {
 /// Rebuilds the whole-module [`OptReport`] from per-declaration artifacts:
 /// per-pass counts sum, loops and strlen observations concatenate in
 /// function order, and the loop-analysis entry carries the global total.
-fn stitch_opt_report(arts: &[&DeclArtifacts], opt_level: u8) -> OptReport {
+pub(crate) fn stitch_opt_report(arts: &[&DeclArtifacts], opt_level: u8) -> OptReport {
     let names = pass_names(opt_level);
     let mut report = OptReport::default();
     let mut sums = vec![0usize; names.len()];
@@ -593,17 +598,18 @@ impl Compiler {
                 _ => &baseline.decls[i],
             })
             .collect();
-        Ok(self.stitch(mutant, &tokens, baseline, &arts))
+        Ok(self.stitch(mutant, &tokens, baseline.tag8, baseline.tag9, &arts))
     }
 
     /// Replays the cold pipeline's coverage recording and per-stage bug
     /// checks over stitched artifacts, in the cold order — including the
     /// early return (coverage truncation) when a planted bug fires.
-    fn stitch(
+    pub(crate) fn stitch(
         &self,
         mutant: &str,
         tokens: &[Token],
-        baseline: &Baseline,
+        tag8: u64,
+        tag9: u64,
         arts: &[&DeclArtifacts],
     ) -> CompileResult {
         let opts = &self.options;
@@ -663,8 +669,8 @@ impl Compiler {
             };
         }
 
-        cov.record(Stage::FrontEnd, feature_hash(&[8, baseline.tag8]));
-        cov.record(Stage::FrontEnd, feature_hash(&[9, baseline.tag9]));
+        cov.record(Stage::FrontEnd, feature_hash(&[8, tag8]));
+        cov.record(Stage::FrontEnd, feature_hash(&[9, tag9]));
         for a in arts {
             for t in &a.ty_feats {
                 cov.record(Stage::FrontEnd, *t);

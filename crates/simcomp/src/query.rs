@@ -1,0 +1,1279 @@
+//! Query-based incremental compilation: the pipeline as memoized queries.
+//!
+//! This is the generalization of [`crate::incremental`]'s hand-rolled
+//! `Baseline` cache. Each seed program gets a *slot* on a shared
+//! [`QueryDb`]; the pipeline stages become derived queries keyed per
+//! top-level declaration chunk:
+//!
+//! ```text
+//! chunk(slot, k)    input: the chunk's source text, fingerprinted by its
+//!                   whitespace/comment-invariant token hash
+//! parse(slot, k)    mini-parse of the chunk under the seed's typedef set
+//! sema(slot, k)     check_decl against the seed's boundary snapshot
+//! vol(slot, k)      volatile-name set before declaration k (projection of
+//!                   feat(slot, k-1) — the cross-declaration feature chain)
+//! feat(slot, k)     the declaration's AstFeatures partial
+//! lower(slot, k)    per-declaration IR (seed-final signature tables)
+//! opt_a(slot, k)    pre-inlining optimizer passes + trivial-body entry
+//! trivial(slot)     module-wide trivial-inline map (joins all opt_a)
+//! opt(slot, k)      inlining-and-later passes against trivial(slot)
+//! codegen(slot, k)  per-function assembly artifacts
+//! ```
+//!
+//! A mutant editing k declarations flips exactly k `chunk` inputs; the
+//! red-green walk recomputes the dirty per-declaration slices and whatever
+//! they invalidate, and early cutoff stops propagation where recomputed
+//! fingerprints match (typically `vol` and `trivial`, which is what makes a
+//! body edit O(edited decls) instead of O(all decls)). Unlike the PR 4
+//! guard chain, volatile-set or trivial-map changes don't force a cold
+//! compile — the affected queries just recompute.
+//!
+//! Correctness is anchored exactly like `Baseline`: at slot creation the
+//! whole seed is pushed through the queries and the stitched result must be
+//! bit-identical to the seed's cold compile (outcome + coverage), else the
+//! slot is marked dud and every compile for that seed stays cold. Mutants
+//! re-guard the dirty declarations (lone function definition, environment
+//! fingerprint preserved) and an every-Nth cold cross-check stays available
+//! via [`QueryCache::with_cross_check`].
+
+use crate::coverage::feature_hash_display;
+use crate::incremental::{
+    coverage_equal, opt_stage_a, opt_stage_b, DeclArtifacts, FnArtifacts, INLINE_IDX,
+};
+use crate::ir::{Inst, IrFunction, Value};
+use crate::passes::{LoopInfo, OptReport};
+use crate::{features, lower, passes, CompileOptions, CompileResult, Compiler};
+use metamut_lang::fxhash::{FxHashMap, FxHashSet};
+use metamut_lang::sema::{FuncSig, RecordInfo};
+use metamut_lang::token::Token;
+use metamut_lang::{ast as c, check_decl, Ast, SemaResult, SemaSnapshot};
+use metamut_query::{fingerprint_of, DynValue, KindId, QueryDb};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Member index used for slot-wide (not per-declaration) queries.
+const SLOT_WIDE: u64 = u64::MAX;
+
+/// Streams formatted output straight into the workspace hasher — the
+/// allocation-free equivalent of fingerprinting a `format!` string. Query
+/// fingerprints run on every recompute, so they stay off the heap.
+struct FpWriter(metamut_lang::fxhash::FxHasher);
+
+impl std::fmt::Write for FpWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        std::hash::Hasher::write(&mut self.0, s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Fingerprints the formatted `args` without allocating.
+fn fp_args(args: std::fmt::Arguments<'_>) -> u64 {
+    use std::fmt::Write as _;
+    let mut w = FpWriter(metamut_lang::fxhash::FxHasher::default());
+    let _ = w.write_fmt(args);
+    std::hash::Hasher::finish(&w.0)
+}
+
+/// Guard-bail label for telemetry (`query_fallbacks{...}`).
+const FRONT: &str = "front-end";
+
+// ----------------------------------------------------------------------
+// Query value types
+// ----------------------------------------------------------------------
+
+/// `parse(slot, k)`: the chunk mini-parsed in isolation. `ast` is `None`
+/// when the chunk fails to parse or parses to more than one declaration.
+struct ParseArt {
+    ast: Option<Ast>,
+    /// Front-end declaration-shape coverage code (tag 6).
+    code6: u64,
+    /// Whether the chunk is exactly one function *definition* — the only
+    /// declaration kind whose edits leave the rest of the slot valid.
+    fn_def: bool,
+    fp: u64,
+}
+
+/// `sema(slot, k)`: the declaration checked against the seed's boundary
+/// snapshot. `None` when parsing or checking failed.
+struct SemaArt {
+    ok: Option<SemaOk>,
+}
+
+struct SemaOk {
+    sema: SemaResult,
+    /// Fingerprint of the environment *after* this declaration; mutants
+    /// must preserve it or later declarations' cached sema is stale.
+    after_fp: u64,
+    /// Type-diversity coverage features of this declaration.
+    ty_feats: Vec<u64>,
+}
+
+/// `vol(slot, k)`: sorted volatile declarator names visible before
+/// declaration `k`. Its fingerprint is where the cross-declaration feature
+/// chain early-cuts: a body edit that leaves the set unchanged stops here.
+struct VolArt {
+    names: Vec<String>,
+}
+
+/// `feat(slot, k)`: the declaration's [`features::AstFeatures`] partial
+/// plus the volatile set it exports to the next declaration.
+struct FeatArt {
+    features: features::AstFeatures,
+    /// Sorted, so the fingerprint is iteration-order independent.
+    volatile_after: Vec<String>,
+}
+
+/// `lower(slot, k)`: per-declaration IR generation.
+struct LowerArt {
+    features: Vec<u64>,
+    func: Option<IrFunction>,
+    fp: u64,
+}
+
+/// `opt_a(slot, k)`: the pre-inlining optimizer stage on one function.
+struct OptAArt {
+    func: Option<IrFunction>,
+    counts: Vec<usize>,
+    features: Vec<u64>,
+    trivial: Option<(Vec<Inst>, Option<Value>)>,
+    fp: u64,
+}
+
+/// `trivial(slot)`: the module-wide trivial-inline map, joined from every
+/// declaration's `opt_a`. Recomputes whenever any function's pre-inlining
+/// state changes, but early-cuts when the *map* is unchanged — the common
+/// case for body edits, keeping every other function's `opt` green.
+struct TrivialArt {
+    map: FxHashMap<String, (Vec<Inst>, Option<Value>)>,
+}
+
+/// `opt(slot, k)`: the full optimizer output for one function.
+struct OptArt {
+    func: Option<IrFunction>,
+    counts: Vec<usize>,
+    features: Vec<u64>,
+    loops: Vec<LoopInfo>,
+    strlen: Vec<(String, bool)>,
+    inlined: usize,
+    fp: u64,
+}
+
+/// `codegen(slot, k)`: per-function back-end artifacts.
+struct CodegenArt {
+    features: Vec<u64>,
+    len: usize,
+    spills: usize,
+    peak: usize,
+    fp: u64,
+}
+
+// ----------------------------------------------------------------------
+// Slots
+// ----------------------------------------------------------------------
+
+/// Everything the queries need to know about one cached seed program:
+/// the semantic environment at every declaration boundary, the final
+/// whole-program tables lowering consults, and the seed's own result.
+pub(crate) struct SlotState {
+    id: u64,
+    options: CompileOptions,
+    chunk_hashes: Vec<u64>,
+    snapshots: Vec<SemaSnapshot>,
+    fingerprints: Vec<u64>,
+    final_functions: FxHashMap<String, FuncSig>,
+    final_records: FxHashMap<String, RecordInfo>,
+    final_enum_consts: FxHashMap<String, i64>,
+    tag8: u64,
+    tag9: u64,
+    /// Which seed declarations are function definitions (the only kind a
+    /// mutant may edit on the fast path).
+    fn_decl: Vec<bool>,
+    seed_result: CompileResult,
+    cold_ms: f64,
+    last_used: AtomicU64,
+    /// Serializes compiles against this slot: a compile flips the slot's
+    /// chunk inputs to its mutant, so two mutants of one seed must not
+    /// interleave. Different seeds proceed in parallel.
+    lock: Mutex<()>,
+}
+
+/// A cached seed entry: ready for incremental compiles, or a remembered
+/// failure (the seed's decomposition did not validate).
+enum SlotHandle {
+    Dud(AtomicU64),
+    Ready(Arc<SlotState>),
+}
+
+type Registry = Arc<Mutex<FxHashMap<u64, Arc<SlotState>>>>;
+
+/// The registered query kinds.
+#[derive(Clone, Copy)]
+struct Kinds {
+    chunk: KindId,
+    parse: KindId,
+    sema: KindId,
+    feat: KindId,
+    lower: KindId,
+    opt: KindId,
+    codegen: KindId,
+}
+
+/// Per-database compiler query state, shared by every [`QueryCache`]
+/// layered over one [`QueryDb`] (campaign workers, the reduction oracle):
+/// the registered kinds, the slot registry, and the cache counters.
+pub(crate) struct SimcompQueries {
+    kinds: Kinds,
+    registry: Registry,
+    by_key: Mutex<FxHashMap<String, SlotHandle>>,
+    slot_seq: AtomicU64,
+    use_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    mismatches: AtomicU64,
+    compiles: AtomicU64,
+    slot_evictions: AtomicU64,
+}
+
+fn slot_of(registry: &Registry, db: &QueryDb, key: metamut_query::Key) -> (Arc<SlotState>, usize) {
+    let (sid, k) = db.key_parts(key);
+    let slot = registry
+        .lock()
+        .get(&sid)
+        .cloned()
+        .expect("query ran for a retired slot");
+    (slot, k as usize)
+}
+
+#[allow(clippy::too_many_lines)]
+fn register_kinds(db: &QueryDb, registry: &Registry) -> Kinds {
+    let chunk = db.register_input("chunk");
+
+    let reg = Arc::clone(registry);
+    let parse = db.register_query("parse", move |db, key| {
+        let (slot, k) = slot_of(&reg, db, key);
+        let text = db.get::<String>(chunk, key);
+        let typedefs = slot.snapshots[k].typedef_names();
+        let ast = metamut_lang::parse_with_typedefs("<query>", &text, &typedefs)
+            .ok()
+            .filter(|ast| ast.unit.decls.len() == 1);
+        let (code6, fn_def) = ast.as_ref().map_or((0, false), |ast| {
+            let d = &ast.unit.decls[0];
+            (
+                crate::decl_code(d),
+                matches!(d, c::ExternalDecl::Function(f) if f.is_definition()),
+            )
+        });
+        // Parsing is deterministic in the text, so the text hash is an
+        // exact fingerprint. The chunk input's own token-hash fingerprint
+        // already cuts whitespace/comment-only edits one level earlier.
+        let fp = fingerprint_of(&*text);
+        (
+            Arc::new(ParseArt {
+                ast,
+                code6,
+                fn_def,
+                fp,
+            }) as DynValue,
+            fp,
+        )
+    });
+
+    let reg = Arc::clone(registry);
+    let sema = db.register_query("sema", move |db, key| {
+        let (slot, k) = slot_of(&reg, db, key);
+        let p = db.get::<ParseArt>(parse, key);
+        let ok = p.ast.as_ref().and_then(|ast| {
+            check_decl(&slot.snapshots[k], ast, 0).ok().map(|dc| {
+                let ty_feats = dc
+                    .sema
+                    .expr_types
+                    .values()
+                    .map(|qt| feature_hash_display(format_args!("ty:{qt}")))
+                    .collect();
+                SemaOk {
+                    after_fp: dc.after.fingerprint(),
+                    ty_feats,
+                    sema: dc.sema,
+                }
+            })
+        });
+        // check_decl is a pure function of the parse (the snapshot is
+        // fixed per slot), so the parse fingerprint is exact here too.
+        (Arc::new(SemaArt { ok }) as DynValue, p.fp)
+    });
+
+    // vol(k) projects feat(k-1)'s exported volatile set; feat(k) consumes
+    // vol(k). The two kinds are mutually recursive across declaration
+    // indices, so they share their ids through a cell filled below.
+    let feat_cell: Arc<std::sync::OnceLock<KindId>> = Arc::new(std::sync::OnceLock::new());
+
+    let reg = Arc::clone(registry);
+    let feat_for_vol = Arc::clone(&feat_cell);
+    let vol = db.register_query("volatile", move |db, key| {
+        let (slot, k) = slot_of(&reg, db, key);
+        let names = if k == 0 {
+            Vec::new()
+        } else {
+            let feat = *feat_for_vol.get().expect("feat kind registered");
+            let prev = db.intern2(slot.id, k as u64 - 1);
+            db.get::<FeatArt>(feat, prev).volatile_after.clone()
+        };
+        let fp = fingerprint_of(&names);
+        (Arc::new(VolArt { names }) as DynValue, fp)
+    });
+
+    let reg = Arc::clone(registry);
+    let feat = db.register_query("features", move |db, key| {
+        let (_slot, _k) = slot_of(&reg, db, key);
+        let p = db.get::<ParseArt>(parse, key);
+        let v = db.get::<VolArt>(vol, key);
+        let (features, volatile_after) = match p.ast.as_ref() {
+            Some(ast) => {
+                let before: FxHashSet<String> = v.names.iter().cloned().collect();
+                let df = features::decl_features(&ast.unit.decls[0], &before);
+                let mut after: Vec<String> = df.volatile_after.into_iter().collect();
+                after.sort_unstable();
+                (df.features, after)
+            }
+            // Unparseable chunks never reach a stitch; pass the set along.
+            None => (features::AstFeatures::default(), v.names.clone()),
+        };
+        let fp = fp_args(format_args!("{features:?}|{volatile_after:?}"));
+        (
+            Arc::new(FeatArt {
+                features,
+                volatile_after,
+            }) as DynValue,
+            fp,
+        )
+    });
+    feat_cell.set(feat).expect("feat kind set once");
+
+    let reg = Arc::clone(registry);
+    let lower = db.register_query("lower", move |db, key| {
+        let (slot, _k) = slot_of(&reg, db, key);
+        let p = db.get::<ParseArt>(parse, key);
+        let s = db.get::<SemaArt>(sema, key);
+        let (features, func) = match (p.ast.as_ref(), s.ok.as_ref()) {
+            (Some(ast), Some(ok)) => {
+                // Lowering consults only the final whole-program tables for
+                // cross-declaration facts; the environment-fingerprint
+                // guard proves they are still the seed's.
+                let hybrid = SemaResult {
+                    functions: slot.final_functions.clone(),
+                    records: slot.final_records.clone(),
+                    enum_consts: slot.final_enum_consts.clone(),
+                    ..ok.sema.clone()
+                };
+                let ld = lower::lower_decl(&ast.unit.decls[0], &hybrid);
+                (ld.features, ld.function)
+            }
+            _ => (Vec::new(), None),
+        };
+        // Lowering is deterministic in the parse (the slot's final tables
+        // are fixed), so the fingerprint derives from the parse fingerprint
+        // instead of hashing the produced IR. Early cutoff at this node
+        // cannot fire anyway: the memo only recomputes when the parse
+        // fingerprint changed, and then this fingerprint changes with it.
+        let fp = fingerprint_of(&("lower", p.fp));
+        (Arc::new(LowerArt { features, func, fp }) as DynValue, fp)
+    });
+
+    let reg = Arc::clone(registry);
+    let opt_a = db.register_query("opt-pre", move |db, key| {
+        let (slot, _k) = slot_of(&reg, db, key);
+        let lw = db.get::<LowerArt>(lower, key);
+        let opt_level = slot.options.opt_level;
+        let art = match lw.func.clone() {
+            Some(mut f) => {
+                let mut report = OptReport::default();
+                let mut counts = Vec::new();
+                opt_stage_a(&mut f, opt_level, &mut report, &mut counts);
+                let trivial = if opt_level >= 2 {
+                    passes::trivial_body_of(&f)
+                } else {
+                    None
+                };
+                // Deterministic in the lowered IR, so derive the
+                // fingerprint from the input fingerprint instead of
+                // Debug-streaming the rewritten function.
+                let fp = fingerprint_of(&("opt_a", lw.fp));
+                OptAArt {
+                    func: Some(f),
+                    counts,
+                    features: report.features,
+                    trivial,
+                    fp,
+                }
+            }
+            None => OptAArt {
+                func: None,
+                counts: Vec::new(),
+                features: Vec::new(),
+                trivial: None,
+                fp: lw.fp,
+            },
+        };
+        let fp = art.fp;
+        (Arc::new(art) as DynValue, fp)
+    });
+
+    let reg = Arc::clone(registry);
+    let trivial = db.register_query("trivial", move |db, key| {
+        let (slot, _) = slot_of(&reg, db, key);
+        let mut map: FxHashMap<String, (Vec<Inst>, Option<Value>)> = FxHashMap::default();
+        if slot.options.opt_level >= 2 {
+            for k in 0..slot.chunk_hashes.len() {
+                let a = db.get::<OptAArt>(opt_a, db.intern2(slot.id, k as u64));
+                if let (Some(f), Some(body)) = (a.func.as_ref(), a.trivial.clone()) {
+                    map.insert(f.name.clone(), body);
+                }
+            }
+        }
+        let mut names: Vec<&String> = map.keys().collect();
+        names.sort_unstable();
+        let fp = {
+            use std::fmt::Write as _;
+            let mut w = FpWriter(metamut_lang::fxhash::FxHasher::default());
+            for n in names {
+                let _ = write!(w, "{n}={:?};", map[n]);
+            }
+            std::hash::Hasher::finish(&w.0)
+        };
+        (Arc::new(TrivialArt { map }) as DynValue, fp)
+    });
+
+    let reg = Arc::clone(registry);
+    let opt = db.register_query("opt", move |db, key| {
+        let (slot, _k) = slot_of(&reg, db, key);
+        let a = db.get::<OptAArt>(opt_a, key);
+        let opt_level = slot.options.opt_level;
+        let art = match a.func.clone() {
+            Some(mut f) => {
+                let (tv_dyn, tv_fp) = db.fetch(trivial, db.intern2(slot.id, SLOT_WIDE));
+                let tv = tv_dyn
+                    .downcast::<TrivialArt>()
+                    .expect("trivial artifact type");
+                let mut report = OptReport {
+                    features: a.features.clone(),
+                    ..OptReport::default()
+                };
+                let mut counts = a.counts.clone();
+                opt_stage_b(
+                    &mut f,
+                    &tv.map,
+                    opt_level,
+                    &slot.options.flags,
+                    &mut report,
+                    &mut counts,
+                );
+                let inlined = if opt_level >= 2 {
+                    counts[INLINE_IDX]
+                } else {
+                    0
+                };
+                // Deterministic in (pre-pass IR, trivial-body table), so
+                // combine those two fingerprints rather than hashing the
+                // optimized function's Debug stream.
+                let fp = fingerprint_of(&("opt", a.fp, tv_fp));
+                OptArt {
+                    func: Some(f),
+                    counts,
+                    features: report.features,
+                    loops: report.loops,
+                    strlen: report.strlen_reductions,
+                    inlined,
+                    fp,
+                }
+            }
+            None => OptArt {
+                func: None,
+                counts: Vec::new(),
+                features: Vec::new(),
+                loops: Vec::new(),
+                strlen: Vec::new(),
+                inlined: 0,
+                fp: a.fp,
+            },
+        };
+        let fp = art.fp;
+        (Arc::new(art) as DynValue, fp)
+    });
+
+    let reg = Arc::clone(registry);
+    let codegen = db.register_query("codegen", move |db, key| {
+        let (_slot, _k) = slot_of(&reg, db, key);
+        let o = db.get::<OptArt>(opt, key);
+        let art = match o.func.as_ref() {
+            Some(f) => {
+                let asm = crate::backend::codegen_one(f);
+                let fp = fingerprint_of(&(
+                    &asm.features,
+                    asm.insts.len(),
+                    asm.spills,
+                    asm.peak_pressure,
+                ));
+                CodegenArt {
+                    features: asm.features,
+                    len: asm.insts.len(),
+                    spills: asm.spills,
+                    peak: asm.peak_pressure,
+                    fp,
+                }
+            }
+            None => CodegenArt {
+                features: Vec::new(),
+                len: 0,
+                spills: 0,
+                peak: 0,
+                fp: o.fp,
+            },
+        };
+        let fp = art.fp;
+        (Arc::new(art) as DynValue, fp)
+    });
+
+    let _ = (vol, opt_a, trivial);
+    Kinds {
+        chunk,
+        parse,
+        sema,
+        feat,
+        lower,
+        opt,
+        codegen,
+    }
+}
+
+impl SimcompQueries {
+    fn new(db: &QueryDb) -> SimcompQueries {
+        let registry: Registry = Arc::new(Mutex::new(FxHashMap::default()));
+        let kinds = register_kinds(db, &registry);
+        SimcompQueries {
+            kinds,
+            registry,
+            by_key: Mutex::new(FxHashMap::default()),
+            slot_seq: AtomicU64::new(0),
+            use_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            slot_evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// QueryCache
+// ----------------------------------------------------------------------
+
+/// The campaign-facing entry point of query-based incremental compilation:
+/// a seed → slot cache over a shared [`QueryDb`].
+///
+/// Drop-in successor of [`crate::BaselineCache`] with the same counters and
+/// `compile(compiler, seed, mutant)` contract, plus: mutants may edit *any*
+/// number of function-definition declarations (each recompiles only its
+/// dirty query slices), all workers share one memo table, and eviction is
+/// LRU over seed slots (retiring a slot drops its memos from the database).
+///
+/// Cloning the cache is cheap and shares everything — state lives on the
+/// database, so independently constructed caches over the same `QueryDb`
+/// also share slots and memos.
+#[derive(Clone)]
+pub struct QueryCache {
+    db: Arc<QueryDb>,
+    state: Arc<SimcompQueries>,
+    cross_check_every: usize,
+    /// Seed-slot cap (`usize::MAX` = unbounded).
+    cap: usize,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("slots", &self.len())
+            .field("db", &self.db)
+            .finish()
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new(Arc::new(QueryDb::new()))
+    }
+}
+
+impl QueryCache {
+    /// A cache over `db`, registering the compiler's query kinds on first
+    /// use of that database.
+    pub fn new(db: Arc<QueryDb>) -> QueryCache {
+        let state = {
+            let db_ref: &QueryDb = &db;
+            db.extension(|| SimcompQueries::new(db_ref))
+        };
+        QueryCache {
+            db,
+            state,
+            cross_check_every: 0,
+            cap: usize::MAX,
+        }
+    }
+
+    /// Recompile every `every`-th fast-path result cold and compare
+    /// bit-for-bit (`0` disables). A mismatch bumps
+    /// [`QueryCache::mismatches`] (and the `query_mismatches` telemetry
+    /// counter) and returns the cold result — correctness first.
+    #[must_use]
+    pub fn with_cross_check(mut self, every: usize) -> QueryCache {
+        self.cross_check_every = every;
+        self
+    }
+
+    /// Caps the cache at `cap` seed slots (`0` = unbounded), evicting the
+    /// least-recently-used slot — and its memoized queries — when full.
+    #[must_use]
+    pub fn with_capacity(mut self, cap: usize) -> QueryCache {
+        self.cap = if cap == 0 { usize::MAX } else { cap };
+        self
+    }
+
+    /// The shared database (for layering other components — e.g. the UB
+    /// gate — onto the same memo store).
+    pub fn db(&self) -> &Arc<QueryDb> {
+        &self.db
+    }
+
+    fn stamp(&self) -> u64 {
+        self.state.use_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Compiles `mutant` as an edit of `seed`: through the query engine
+    /// when the seed has a validated slot and every dirty declaration
+    /// passes the guards, cold otherwise. Bit-identical to
+    /// [`Compiler::compile`] either way.
+    pub fn compile(&self, compiler: &Compiler, seed: &str, mutant: &str) -> CompileResult {
+        let Some(slot) = self.slot(compiler, seed) else {
+            self.state.misses.fetch_add(1, Ordering::Relaxed);
+            return compiler.compile(mutant);
+        };
+        // One mutant at a time per slot: a compile repoints the slot's
+        // chunk inputs at its own mutant text.
+        let _serialize = slot.lock.lock();
+        if mutant == seed {
+            self.state.hits.fetch_add(1, Ordering::Relaxed);
+            return slot.seed_result.clone();
+        }
+        let handle = metamut_telemetry::handle();
+        let t0 = handle.enabled().then(std::time::Instant::now);
+        match self.try_query(compiler, &slot, mutant) {
+            Ok(result) => {
+                self.state.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = t0 {
+                    let spent = t.elapsed().as_secs_f64() * 1e3;
+                    handle.observe("query_saved_ms", (slot.cold_ms - spent).max(0.0));
+                }
+                let n = self.state.compiles.fetch_add(1, Ordering::Relaxed);
+                if self.cross_check_every > 0 && n.is_multiple_of(self.cross_check_every as u64) {
+                    let cold = compiler.compile(mutant);
+                    if result.outcome != cold.outcome
+                        || !coverage_equal(&result.coverage, &cold.coverage)
+                    {
+                        self.state.mismatches.fetch_add(1, Ordering::Relaxed);
+                        metamut_telemetry::handle().counter_add("query_mismatches", 1);
+                        return cold;
+                    }
+                }
+                result
+            }
+            Err(label) => {
+                self.state.misses.fetch_add(1, Ordering::Relaxed);
+                if handle.enabled() {
+                    handle.counter_add(&metamut_telemetry::labeled("query_fallbacks", label), 1);
+                }
+                compiler.compile(mutant)
+            }
+        }
+    }
+
+    /// The guarded query-engine path. `Err` carries the stage label at
+    /// which the guards bailed.
+    fn try_query(
+        &self,
+        compiler: &Compiler,
+        slot: &Arc<SlotState>,
+        mutant: &str,
+    ) -> Result<CompileResult, &'static str> {
+        let Some((tokens, chunks)) = metamut_lang::split_source(mutant) else {
+            return Err(FRONT);
+        };
+        if chunks.len() != slot.chunk_hashes.len() {
+            return Err(FRONT);
+        }
+        let hashes: Vec<u64> = chunks.iter().map(|ch| ch.hash).collect();
+        let dirty = metamut_query::dirty_set(&slot.chunk_hashes, &hashes).expect("lengths checked");
+        // Only function-definition edits keep the rest of the slot valid:
+        // globals, typedefs, records and enum constants all change what
+        // later declarations see.
+        for &k in &dirty {
+            if !slot.fn_decl[k] {
+                return Err(FRONT);
+            }
+        }
+        let kinds = self.state.kinds;
+        for (k, ch) in chunks.iter().enumerate() {
+            self.db.set_input(
+                kinds.chunk,
+                self.db.intern2(slot.id, k as u64),
+                Arc::new(ch.text(mutant).to_string()),
+                ch.hash,
+            );
+        }
+        for &k in &dirty {
+            let key = self.db.intern2(slot.id, k as u64);
+            let p = self.db.get::<ParseArt>(kinds.parse, key);
+            if !p.fn_def {
+                return Err(FRONT);
+            }
+            let s = self.db.get::<SemaArt>(kinds.sema, key);
+            let Some(ok) = s.ok.as_ref() else {
+                return Err(FRONT);
+            };
+            // The edit must leave the environment later declarations
+            // observe untouched, or their cached sema is stale.
+            if ok.after_fp != slot.fingerprints[k + 1] {
+                return Err(FRONT);
+            }
+        }
+        self.stitch_from_queries(compiler, slot, mutant, &tokens)
+    }
+
+    /// Demands every per-declaration artifact from the engine and replays
+    /// the cold pipeline's coverage/bug-check order over them.
+    fn stitch_from_queries(
+        &self,
+        compiler: &Compiler,
+        slot: &Arc<SlotState>,
+        src: &str,
+        tokens: &[Token],
+    ) -> Result<CompileResult, &'static str> {
+        let db = &self.db;
+        let kinds = self.state.kinds;
+        let mut arts = Vec::with_capacity(slot.chunk_hashes.len());
+        for k in 0..slot.chunk_hashes.len() {
+            let key = db.intern2(slot.id, k as u64);
+            let p = db.get::<ParseArt>(kinds.parse, key);
+            if p.ast.is_none() {
+                return Err(FRONT);
+            }
+            let s = db.get::<SemaArt>(kinds.sema, key);
+            let Some(ok) = s.ok.as_ref() else {
+                return Err(FRONT);
+            };
+            let ft = db.get::<FeatArt>(kinds.feat, key);
+            let lw = db.get::<LowerArt>(kinds.lower, key);
+            let func = if lw.func.is_some() {
+                let o = db.get::<OptArt>(kinds.opt, key);
+                let cg = db.get::<CodegenArt>(kinds.codegen, key);
+                Some(FnArtifacts {
+                    opt_features: o.features.clone(),
+                    counts: o.counts.clone(),
+                    loops: o.loops.clone(),
+                    strlen: o.strlen.clone(),
+                    inlined: o.inlined,
+                    asm_features: cg.features.clone(),
+                    asm_len: cg.len,
+                    asm_spills: cg.spills,
+                    asm_peak: cg.peak,
+                })
+            } else {
+                None
+            };
+            arts.push(DeclArtifacts {
+                code6: p.code6,
+                ty_feats: ok.ty_feats.clone(),
+                feats: ft.features.clone(),
+                // The stitch replay never reads the volatile sets — they
+                // live in the vol/feat queries now.
+                volatile_before: FxHashSet::default(),
+                volatile_after: FxHashSet::default(),
+                lower_features: lw.features.clone(),
+                func,
+            });
+        }
+        let refs: Vec<&DeclArtifacts> = arts.iter().collect();
+        Ok(compiler.stitch(src, tokens, slot.tag8, slot.tag9, &refs))
+    }
+
+    /// Returns the ready slot for `seed`, building and validating it on
+    /// first sight; `None` = uncacheable seed (always compiles cold).
+    fn slot(&self, compiler: &Compiler, seed: &str) -> Option<Arc<SlotState>> {
+        let key = format!(
+            "{:?}|{}|{seed}",
+            compiler.profile(),
+            compiler.options().render()
+        );
+        let stamp = self.stamp();
+        {
+            let map = self.state.by_key.lock();
+            if let Some(handle) = map.get(&key) {
+                return match handle {
+                    SlotHandle::Dud(used) => {
+                        used.store(stamp, Ordering::Relaxed);
+                        None
+                    }
+                    SlotHandle::Ready(slot) => {
+                        slot.last_used.store(stamp, Ordering::Relaxed);
+                        Some(Arc::clone(slot))
+                    }
+                };
+            }
+        }
+        // Build outside the lock: slot construction runs the whole cold
+        // pipeline plus the end-to-end validation below.
+        let built = self.build_slot(compiler, seed);
+        let mut map = self.state.by_key.lock();
+        if let Some(existing) = map.get(&key) {
+            // A racing build won; retire ours wholesale.
+            if let Some(slot) = &built {
+                self.state.registry.lock().remove(&slot.id);
+                self.db.evict_group(slot.id);
+            }
+            return match existing {
+                SlotHandle::Dud(_) => None,
+                SlotHandle::Ready(slot) => Some(Arc::clone(slot)),
+            };
+        }
+        self.evict_for_room(&mut map);
+        map.insert(
+            key,
+            match &built {
+                Some(slot) => SlotHandle::Ready(Arc::clone(slot)),
+                None => SlotHandle::Dud(AtomicU64::new(stamp)),
+            },
+        );
+        built
+    }
+
+    /// LRU slot eviction: drops the least-recently-used entries (and their
+    /// memoized queries) until the cache is under its cap.
+    fn evict_for_room(&self, map: &mut FxHashMap<String, SlotHandle>) {
+        while map.len() >= self.cap {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, h)| match h {
+                    SlotHandle::Dud(used) => used.load(Ordering::Relaxed),
+                    SlotHandle::Ready(slot) => slot.last_used.load(Ordering::Relaxed),
+                })
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { return };
+            if let Some(SlotHandle::Ready(slot)) = map.remove(&victim) {
+                self.state.registry.lock().remove(&slot.id);
+                self.db.evict_group(slot.id);
+            }
+            self.state.slot_evictions.fetch_add(1, Ordering::Relaxed);
+            metamut_telemetry::handle().counter_add("query_slot_evictions", 1);
+        }
+    }
+
+    /// Builds a slot for `seed` and validates it end-to-end: the seed
+    /// pushed through the queries and stitched must be bit-identical to
+    /// its cold compile. `None` means mutants of this seed always compile
+    /// cold — never that they compile wrong.
+    fn build_slot(&self, compiler: &Compiler, seed: &str) -> Option<Arc<SlotState>> {
+        let t0 = std::time::Instant::now();
+        let seed_result = compiler.compile(seed);
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let (tokens, chunks) = metamut_lang::split_source(seed)?;
+        let ast = metamut_lang::parse("<seed>", seed).ok()?;
+        if chunks.len() != ast.unit.decls.len() {
+            return None;
+        }
+        for (ch, d) in chunks.iter().zip(&ast.unit.decls) {
+            let ds = d.span();
+            if !(ch.span.lo <= ds.lo && ds.hi <= ch.span.hi) {
+                return None;
+            }
+        }
+        let inc = metamut_lang::analyze_decls(&ast).ok()?;
+        let full = metamut_lang::analyze(&ast).ok()?;
+        let fn_decl = ast
+            .unit
+            .decls
+            .iter()
+            .map(|d| matches!(d, c::ExternalDecl::Function(f) if f.is_definition()))
+            .collect();
+        let tag8 = full.records.len().min(32) as u64;
+        let tag9 = full.functions.len().min(64) as u64;
+        let slot = Arc::new(SlotState {
+            id: self.state.slot_seq.fetch_add(1, Ordering::Relaxed) + 1,
+            options: compiler.options().clone(),
+            chunk_hashes: chunks.iter().map(|ch| ch.hash).collect(),
+            fingerprints: inc
+                .snapshots
+                .iter()
+                .map(SemaSnapshot::fingerprint)
+                .collect(),
+            snapshots: inc.snapshots,
+            final_functions: full.functions,
+            final_records: full.records,
+            final_enum_consts: full.enum_consts,
+            tag8,
+            tag9,
+            fn_decl,
+            seed_result,
+            cold_ms,
+            last_used: AtomicU64::new(self.stamp()),
+            lock: Mutex::new(()),
+        });
+        self.state
+            .registry
+            .lock()
+            .insert(slot.id, Arc::clone(&slot));
+
+        // Prime the slot: push the seed's own chunks and demand the whole
+        // stitched compile. Bit-equality with the cold result validates
+        // the entire per-declaration decomposition at once (the analogue
+        // of Baseline::build's stage-by-stage self-checks).
+        let kinds = self.state.kinds;
+        for (k, ch) in chunks.iter().enumerate() {
+            self.db.set_input(
+                kinds.chunk,
+                self.db.intern2(slot.id, k as u64),
+                Arc::new(ch.text(seed).to_string()),
+                ch.hash,
+            );
+        }
+        let consistent = (0..chunks.len()).all(|k| {
+            let s = self
+                .db
+                .get::<SemaArt>(kinds.sema, self.db.intern2(slot.id, k as u64));
+            s.ok.as_ref()
+                .is_some_and(|ok| ok.after_fp == slot.fingerprints[k + 1])
+        });
+        let validated = consistent
+            && match self.stitch_from_queries(compiler, &slot, seed, &tokens) {
+                Ok(stitched) => {
+                    stitched.outcome == slot.seed_result.outcome
+                        && coverage_equal(&stitched.coverage, &slot.seed_result.coverage)
+                }
+                Err(_) => false,
+            };
+        if !validated {
+            self.state.registry.lock().remove(&slot.id);
+            self.db.evict_group(slot.id);
+            return None;
+        }
+        Some(slot)
+    }
+
+    /// Fast-path compiles served by the query engine.
+    pub fn hits(&self) -> u64 {
+        self.state.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cold-fallback compiles (including uncacheable seeds).
+    pub fn misses(&self) -> u64 {
+        self.state.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cross-check disagreements observed (should stay zero).
+    pub fn mismatches(&self) -> u64 {
+        self.state.mismatches.load(Ordering::Relaxed)
+    }
+
+    /// Seed slots retired by the capacity cap.
+    pub fn evictions(&self) -> u64 {
+        self.state.slot_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Fast-path rate over all compiles served so far.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+
+    /// Number of cached seed entries (including uncacheable markers).
+    pub fn len(&self) -> usize {
+        self.state.by_key.lock().len()
+    }
+
+    /// Whether no seed has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Outcome, Profile};
+
+    const SEED: &str = r#"
+typedef int T;
+int g = 3;
+volatile int vg;
+struct P { int x; int y; };
+static int helper(int a) { return a + g; }
+int fold(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        acc = acc + helper(i);
+    }
+    return acc;
+}
+int weigh(struct P p) {
+    int s = p.x + p.y;
+    if (s > 10) { s = s - vg; }
+    return s;
+}
+int main() {
+    struct P p;
+    p.x = 4;
+    p.y = 9;
+    T t = fold(5);
+    return t + weigh(p);
+}
+"#;
+
+    fn configurations() -> Vec<Compiler> {
+        let mut v = Vec::new();
+        for profile in [Profile::Gcc, Profile::Clang] {
+            for options in [
+                CompileOptions::o0(),
+                CompileOptions::o2(),
+                CompileOptions::o3(),
+            ] {
+                v.push(Compiler::new(profile, options.clone()));
+            }
+        }
+        v
+    }
+
+    fn assert_equivalent(compiler: &Compiler, cache: &QueryCache, mutant: &str) {
+        let cold = compiler.compile(mutant);
+        let inc = cache.compile(compiler, SEED, mutant);
+        assert_eq!(
+            inc.outcome,
+            cold.outcome,
+            "outcome diverged under {:?} {}",
+            compiler.profile(),
+            compiler.options().render()
+        );
+        assert!(
+            coverage_equal(&inc.coverage, &cold.coverage),
+            "coverage diverged under {:?} {}",
+            compiler.profile(),
+            compiler.options().render()
+        );
+    }
+
+    #[test]
+    fn single_function_edit_takes_the_fast_path_everywhere() {
+        let mutant = SEED.replace("acc = acc + helper(i);", "acc = acc + helper(i) + 1;");
+        for compiler in configurations() {
+            let cache = QueryCache::default();
+            assert_equivalent(&compiler, &cache, &mutant);
+            assert_eq!(cache.hits(), 1, "expected the query fast path");
+            assert_eq!(cache.misses(), 0);
+        }
+    }
+
+    #[test]
+    fn multi_declaration_edits_take_the_fast_path() {
+        // Three function bodies edited at once — beyond the PR 4 cache.
+        let mutant = SEED
+            .replace("return a + g;", "return a + g + 2;")
+            .replace("acc = acc + helper(i);", "acc = acc + helper(i) - 1;")
+            .replace("s = s - vg;", "s = s - vg + 3;");
+        for compiler in configurations() {
+            let cache = QueryCache::default();
+            assert_equivalent(&compiler, &cache, &mutant);
+            assert_eq!(cache.hits(), 1, "expected the query fast path");
+        }
+    }
+
+    #[test]
+    fn volatile_set_changes_recompute_instead_of_bailing() {
+        // Adding a volatile local changes the cross-declaration volatile
+        // chain — the PR 4 guard chain bails here; the engine recomputes
+        // the downstream feature queries and stays on the fast path.
+        let mutant = SEED.replace(
+            "int acc = 0;",
+            "volatile int shadow = 1; int acc = 0 * shadow;",
+        );
+        for compiler in configurations() {
+            let cache = QueryCache::default();
+            assert_equivalent(&compiler, &cache, &mutant);
+            assert_eq!(cache.hits(), 1, "expected the query fast path");
+        }
+    }
+
+    #[test]
+    fn early_cutoff_fires_on_body_edits() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let db = Arc::new(QueryDb::new());
+        let cache = QueryCache::new(Arc::clone(&db));
+        let mutant = SEED.replace("p.x = 4;", "p.x = 5;");
+        assert_equivalent(&compiler, &cache, &mutant);
+        // The edited body's features/trivial entries recompute but
+        // fingerprint identically, so the volatile chain and the other
+        // functions' opt/codegen queries stay green.
+        assert!(
+            db.early_cutoffs() > 0,
+            "a body edit should early-cut the invalidation wave"
+        );
+    }
+
+    #[test]
+    fn signature_changes_fall_back_cold() {
+        let mutant = SEED.replace("static int helper(int a)", "static long helper(long a)");
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = QueryCache::default();
+        assert_equivalent(&compiler, &cache, &mutant);
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.misses() > 0);
+    }
+
+    #[test]
+    fn non_function_edits_fall_back_cold() {
+        let mutant = SEED.replace("int g = 3;", "int g = 4;");
+        let compiler = Compiler::new(Profile::Clang, CompileOptions::o3());
+        let cache = QueryCache::default();
+        assert_equivalent(&compiler, &cache, &mutant);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn declaration_count_changes_fall_back_cold() {
+        let mutant = format!("{SEED}\nint extra(void) {{ return 1; }}\n");
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = QueryCache::default();
+        assert_equivalent(&compiler, &cache, &mutant);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn seed_identical_mutants_reuse_the_seed_result() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = QueryCache::default();
+        let first = cache.compile(&compiler, SEED, SEED);
+        assert_eq!(first.outcome, compiler.compile(SEED).outcome);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn editing_then_reverting_stays_consistent() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = QueryCache::default();
+        let mutant = SEED.replace("return acc;", "return acc + 7;");
+        assert_equivalent(&compiler, &cache, &mutant);
+        // Flipping the chunk back to the seed text must reproduce the
+        // seed's own artifacts, not the mutant's.
+        let reverted = cache.compile(&compiler, SEED, SEED);
+        assert_eq!(reverted.outcome, compiler.compile(SEED).outcome);
+        assert_equivalent(&compiler, &cache, &mutant);
+    }
+
+    #[test]
+    fn unparseable_seeds_are_remembered_as_duds() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let cache = QueryCache::default();
+        let seed = "int broken( { return 0; }";
+        let mutant = "int broken( { return 1; }";
+        let cold = compiler.compile(mutant);
+        let inc = cache.compile(&compiler, seed, mutant);
+        assert_eq!(inc.outcome, cold.outcome);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1, "the dud seed is cached as uncacheable");
+    }
+
+    #[test]
+    fn capacity_cap_evicts_lru_slots_and_their_memos() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let db = Arc::new(QueryDb::new());
+        let cache = QueryCache::new(Arc::clone(&db)).with_capacity(1);
+        let seed_b = SEED.replace("int g = 3;", "int g = 30;");
+        let mutant_a = SEED.replace("p.x = 4;", "p.x = 6;");
+        let mutant_b = seed_b.replace("p.x = 4;", "p.x = 6;");
+        assert_equivalent(&compiler, &cache, &mutant_a);
+        let memos_one_slot = db.len();
+        // A second seed must evict the first slot and its memos.
+        let cold = compiler.compile(&mutant_b);
+        let inc = cache.compile(&compiler, &seed_b, &mutant_b);
+        assert_eq!(inc.outcome, cold.outcome);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(
+            db.len() <= memos_one_slot,
+            "evicting a slot must drop its memos from the database"
+        );
+    }
+
+    #[test]
+    fn cross_check_stays_clean() {
+        let compiler = Compiler::new(Profile::Clang, CompileOptions::o3());
+        let cache = QueryCache::default().with_cross_check(1);
+        for (i, edit) in [
+            ("p.x = 4;", "p.x = 14;"),
+            ("return s;", "return s * 2;"),
+            ("T t = fold(5);", "T t = fold(6);"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mutant = SEED.replace(edit.0, edit.1);
+            assert_equivalent(&compiler, &cache, &mutant);
+            assert_eq!(cache.hits(), i as u64 + 1);
+        }
+        assert_eq!(cache.mismatches(), 0);
+    }
+
+    #[test]
+    fn caches_layered_over_one_db_share_slots() {
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+        let db = Arc::new(QueryDb::new());
+        let a = QueryCache::new(Arc::clone(&db));
+        let b = QueryCache::new(Arc::clone(&db));
+        let mutant = SEED.replace("p.y = 9;", "p.y = 19;");
+        assert_equivalent(&compiler, &a, &mutant);
+        // The second cache sees the slot the first one built.
+        assert_eq!(b.len(), 1);
+        let recomputes = db.recomputes();
+        let inc = b.compile(&compiler, SEED, &mutant);
+        assert_eq!(inc.outcome, compiler.compile(&mutant).outcome);
+        assert!(
+            db.recomputes() <= recomputes + 2,
+            "the shared slot should serve the repeat compile green"
+        );
+    }
+
+    #[test]
+    fn crashing_mutants_reproduce_cold_crashes() {
+        // Deep ternary nesting trips the Clang front-end bug across opt
+        // levels; the stitched replay must reproduce the crash signature
+        // and the coverage truncation point.
+        let mutant = SEED.replace(
+            "int s = p.x + p.y;",
+            "int s = (p.x > 0 ? (p.y > 0 ? (p.x > 1 ? (p.y > 1 ? (p.x > 2 ? (p.y > 2 ? (p.x > 3 ? (p.y > 3 ? (p.x > 4 ? (p.y > 4 ? (p.x > 5 ? (p.y > 5 ? (p.x > 6 ? (p.y > 6 ? 1 : 2) : 3) : 4) : 5) : 6) : 7) : 8) : 9) : 10) : 11) : 12) : 13) : 14) : p.y);",
+        );
+        for compiler in configurations() {
+            let cache = QueryCache::default();
+            let cold = compiler.compile(&mutant);
+            let inc = cache.compile(&compiler, SEED, &mutant);
+            assert_eq!(inc.outcome, cold.outcome);
+            assert!(coverage_equal(&inc.coverage, &cold.coverage));
+            if let (Outcome::Crash(a), Outcome::Crash(b)) = (&inc.outcome, &cold.outcome) {
+                assert_eq!(a.signature(), b.signature());
+            }
+        }
+    }
+}

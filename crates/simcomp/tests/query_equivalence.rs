@@ -1,0 +1,132 @@
+//! Property: query-engine mutant compilation is bit-identical to cold.
+//!
+//! For random k-declaration mutants (k = 1..4) of a campaign-shaped seed
+//! and every supported configuration (Gcc/Clang × O0/O2/O3), compiling
+//! the mutant through the shared [`QueryCache`] must reproduce the cold
+//! [`Compiler::compile`] result exactly: same outcome (success stats,
+//! rejection, or crash signature) and the same coverage *set* (which is
+//! derived from the per-stage feature streams). The replacement pool
+//! deliberately mixes fast-path edits (body rewrites, volatile floods,
+//! crash triggers) with guard-chain fallbacks (signature changes, parse
+//! and sema failures, declaration deletions), so both the green path and
+//! every cold fallback are exercised against the same oracle.
+//!
+//! All configurations share one [`QueryDb`], mirroring how campaign
+//! workers, the reduction oracle, and the UB gate share memos in
+//! production.
+
+use metamut_simcomp::QueryDb;
+use metamut_simcomp::{coverage_equal, CompileOptions, Compiler, Outcome, Profile, QueryCache};
+use proptest::collection::vec;
+use proptest::proptest;
+use proptest::test_runner::ProptestConfig;
+use std::sync::{Arc, OnceLock};
+
+/// The seed, one declaration per slot. Joined with newlines it is
+/// cacheable (all slot self-checks pass) under every configuration.
+const DECLS: &[&str] = &[
+    "typedef int T;",
+    "int g = 3;",
+    "volatile int vg;",
+    "struct P { int x; int y; };",
+    "static int helper(T a, T b) { return a * b + g; }",
+    "int fold(int n) {\n    int acc = 0;\n    for (int i = 0; i < n; i = i + 1) { acc = acc + helper(i, i + 1); }\n    return acc;\n}",
+    "int weigh(int n) {\n    int w = n;\n    while (w > 1) { w = w - 2; vg = w; }\n    return w + g;\n}",
+    "int main(void) { struct P p; p.x = fold(4); p.y = helper(2, 3); vg = p.x; return p.x + p.y + weigh(9); }",
+];
+
+/// Whole-declaration replacements: body rewrites that keep the fast path
+/// green, crash triggers (deep ternaries, volatile floods), and
+/// guard-chain breakers (signature changes, parse/sema failures,
+/// deletions that change the declaration count).
+const REPLACEMENTS: &[&str] = &[
+    "static int helper(T a, T b) { return a + b * 2 - g; }",
+    "int fold(int n) { int acc = 1; for (int i = 0; i < n; i = i + 1) { acc = acc * 2 + vg; } return acc; }",
+    "int weigh(int n) { int q = n ? n ? 1 : 2 : n ? 3 : n ? 4 : 5 ? 6 : 7; return q; }",
+    "int main(void) { vg = g; vg = vg + 1; vg = vg + 1; return weigh(3) + fold(2); }",
+    "static long helper(T a, T b) { return a - b; }",
+    "volatile int extra_a; volatile int extra_b;",
+    "int broken( { syntax",
+    "int weigh(int n) { return no_such_symbol + n; }",
+    "",
+];
+
+/// Replaces, for each `(slot, choice)` edit, one declaration of the seed
+/// with a pool entry. Distinct slots compound into k-declaration mutants;
+/// repeated slots overwrite (a smaller effective k).
+fn mutate(edits: &[(usize, usize)]) -> String {
+    let mut decls: Vec<&str> = DECLS.to_vec();
+    for &(slot, choice) in edits {
+        decls[slot % DECLS.len()] = REPLACEMENTS[choice % REPLACEMENTS.len()];
+    }
+    decls.join("\n") + "\n"
+}
+
+fn configurations() -> &'static [(Compiler, QueryCache)] {
+    static CONFIGS: OnceLock<Vec<(Compiler, QueryCache)>> = OnceLock::new();
+    CONFIGS.get_or_init(|| {
+        let db = Arc::new(QueryDb::new());
+        let mut out = Vec::new();
+        for profile in [Profile::Gcc, Profile::Clang] {
+            for options in [
+                CompileOptions::o0(),
+                CompileOptions::o2(),
+                CompileOptions::o3(),
+            ] {
+                out.push((
+                    Compiler::new(profile, options),
+                    QueryCache::new(Arc::clone(&db)),
+                ));
+            }
+        }
+        out
+    })
+}
+
+fn seed() -> String {
+    DECLS.join("\n") + "\n"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn query_engine_equals_cold_on_random_mutants(
+        slots in vec(0usize..10_000, 1..5),
+        choices in vec(0usize..10_000, 1..5),
+    ) {
+        let edits: Vec<(usize, usize)> = slots
+            .iter()
+            .copied()
+            .zip(choices.iter().copied())
+            .collect();
+        let seed = seed();
+        let mutant = mutate(&edits);
+        for (compiler, cache) in configurations() {
+            let cold = compiler.compile(&mutant);
+            let queried = cache.compile(compiler, &seed, &mutant);
+            assert_eq!(
+                queried.outcome, cold.outcome,
+                "outcome diverged under {:?} {:?}:\n{mutant}",
+                compiler.profile(),
+                compiler.options(),
+            );
+            if let (Outcome::Crash(q), Outcome::Crash(c)) = (&queried.outcome, &cold.outcome) {
+                assert_eq!(
+                    q.signature(),
+                    c.signature(),
+                    "crash signature diverged under {:?} {:?}:\n{mutant}",
+                    compiler.profile(),
+                    compiler.options(),
+                );
+            }
+            assert!(
+                coverage_equal(&queried.coverage, &cold.coverage),
+                "coverage diverged ({} vs {} branches) under {:?} {:?}:\n{mutant}",
+                queried.coverage.count(),
+                cold.coverage.count(),
+                compiler.profile(),
+                compiler.options(),
+            );
+        }
+    }
+}

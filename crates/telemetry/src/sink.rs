@@ -129,8 +129,17 @@ impl<W: Write + Send> StatusSink<W> {
         } else {
             String::new()
         };
+        // Query-engine memo hit rate across every stage query (green or
+        // memoized fetches over all fetches).
+        let q_hits = metrics.counter_family_sum("query_hits");
+        let q_fetches = q_hits + metrics.counter_family_sum("query_recomputes");
+        let q = if q_fetches > 0 {
+            format!(" | q {:.0}%", 100.0 * q_hits as f64 / q_fetches as f64)
+        } else {
+            String::new()
+        };
         format!(
-            "[metamut] {:>7.1}s | execs {execs} ({:.1}/s) | corpus {corpus:.0} | cov {coverage:.0} | crashes {crashes}{dedup}{ub}",
+            "[metamut] {:>7.1}s | execs {execs} ({:.1}/s) | corpus {corpus:.0} | cov {coverage:.0} | crashes {crashes}{dedup}{ub}{q}",
             elapsed.as_secs_f64(),
             execs as f64 / secs,
         )
@@ -189,10 +198,11 @@ mod tests {
         assert!(line.contains("cov 1234"), "{line}");
         assert!(line.contains("crashes 3"), "{line}");
         assert!(line.contains("2.0s"), "{line}");
-        // No dedup lookups or UB-gate checks yet: both fields stay off
-        // the line.
+        // No dedup lookups, UB-gate checks, or query fetches yet: all
+        // three fields stay off the line.
         assert!(!line.contains("dedup"), "{line}");
         assert!(!line.contains("ub"), "{line}");
+        assert!(!line.contains("| q "), "{line}");
     }
 
     #[test]
@@ -219,6 +229,22 @@ mod tests {
             .fetch_add(14, Ordering::Relaxed);
         let line = StatusSink::<Vec<u8>>::render(&metrics, Duration::from_secs(1));
         assert!(line.contains("ub 7%"), "{line}");
+    }
+
+    #[test]
+    fn status_line_shows_query_hit_rate() {
+        let metrics = Metrics::new();
+        metrics
+            .counter("query_hits{parse}")
+            .fetch_add(60, Ordering::Relaxed);
+        metrics
+            .counter("query_hits{opt}")
+            .fetch_add(20, Ordering::Relaxed);
+        metrics
+            .counter("query_recomputes{opt}")
+            .fetch_add(20, Ordering::Relaxed);
+        let line = StatusSink::<Vec<u8>>::render(&metrics, Duration::from_secs(1));
+        assert!(line.contains("q 80%"), "{line}");
     }
 
     #[test]

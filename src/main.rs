@@ -6,7 +6,7 @@
 //! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
 //! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--no-incremental]
-//!              [--no-ub-filter] [--baseline-cache-cap N] [--reduce]
+//!              [--no-ub-filter] [--query-cache-cap N] [--reduce]
 //!              [--status-addr HOST:PORT]
 //! metamut analyze FILE [--json]         # dataflow UB/validity findings
 //! metamut reduce FILE [-p gcc|clang] [-O N] [--flags ...]   # minimize one crasher
@@ -65,7 +65,8 @@ fn main() -> ExitCode {
                  \n                               -w N: worker threads (0 = one per CPU; default 1)\
                  \n                               --no-incremental: compile every mutant cold\
                  \n                               --no-ub-filter: compile UB mutants too\
-                 \n                               --baseline-cache-cap N: cap cached baselines (0 = unbounded)\
+                 \n                               --query-cache-cap N: cap cached seed slots (0 = unbounded)\
+                 \n                                 (--baseline-cache-cap is a deprecated alias)\
                  \n                               --reduce: triage + reduce discovered crashes\
                  \n                               --reduce-out DIR: write triage.json/.md to DIR\
                  \n  analyze FILE [--json]        report dataflow UB/validity findings\
@@ -109,7 +110,7 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-const VALUE_FLAGS: [&str; 19] = [
+const VALUE_FLAGS: [&str; 20] = [
     "-m",
     "-s",
     "-p",
@@ -122,6 +123,7 @@ const VALUE_FLAGS: [&str; 19] = [
     "--status-every",
     "--out",
     "--reduce-out",
+    "--query-cache-cap",
     "--baseline-cache-cap",
     "--trace-out",
     "--timeseries-out",
@@ -130,6 +132,21 @@ const VALUE_FLAGS: [&str; 19] = [
     "--timeseries",
     "--triage",
 ];
+
+/// `--query-cache-cap N`, honoring `--baseline-cache-cap` as a deprecated
+/// alias (with a warning) so existing scripts keep working.
+fn query_cache_cap(rest: &[String]) -> usize {
+    if let Some(v) = opt(rest, "--query-cache-cap").and_then(|s| s.parse().ok()) {
+        return v;
+    }
+    match opt(rest, "--baseline-cache-cap").and_then(|s| s.parse().ok()) {
+        Some(v) => {
+            eprintln!("warning: --baseline-cache-cap is deprecated; use --query-cache-cap");
+            v
+        }
+        None => 0,
+    }
+}
 
 fn positionals(rest: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
@@ -655,6 +672,9 @@ fn fuzz(rest: &[String]) -> ExitCode {
     let profile = parse_profile(rest);
     let options = CompileOptions::o2();
     let compiler = Compiler::new(profile, options.clone());
+    // One query database spans the campaign and (with --reduce) triage,
+    // so reduction oracles start from the memos fuzzing already built.
+    let query_db = Arc::new(metamut_simcomp::QueryDb::new());
     let config = CampaignConfig {
         iterations,
         seed,
@@ -663,9 +683,8 @@ fn fuzz(rest: &[String]) -> ExitCode {
         dedup: !rest.iter().any(|a| a == "--no-dedup"),
         incremental: !rest.iter().any(|a| a == "--no-incremental"),
         ub_filter: !rest.iter().any(|a| a == "--no-ub-filter"),
-        baseline_cache_cap: opt(rest, "--baseline-cache-cap")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0),
+        query_cache_cap: query_cache_cap(rest),
+        query_db: Some(Arc::clone(&query_db)),
         ..Default::default()
     };
     // Live observatory: serve /metrics, /timeseries, and /spans over HTTP
@@ -735,6 +754,7 @@ fn fuzz(rest: &[String]) -> ExitCode {
         use metamut::reduce::{triage_crashes, TriageConfig};
         let config = TriageConfig {
             workers,
+            query_db: Some(Arc::clone(&query_db)),
             ..Default::default()
         };
         let triage = triage_crashes(&report.crashes, profile, &options, &config);

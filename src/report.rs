@@ -31,6 +31,20 @@ fn hist_sum(snapshot: &Snapshot, name: &str) -> f64 {
     snapshot.histograms.get(name).map(|h| h.sum).unwrap_or(0.0)
 }
 
+/// Collects every counter named `family{label}` into `(label, value)`
+/// rows in registry (sorted-name) order.
+fn labeled_counter_values(snapshot: &Snapshot, family: &str) -> Vec<(String, u64)> {
+    let open = format!("{family}{{");
+    snapshot
+        .counters
+        .iter()
+        .filter_map(|(name, v)| {
+            let label = name.strip_prefix(&open)?.strip_suffix('}')?;
+            Some((label.to_string(), *v))
+        })
+        .collect()
+}
+
 /// Sums every histogram named `prefix{...}` and returns `(label, sum)`
 /// rows in registry (sorted-name) order.
 fn labeled_hist_sums(snapshot: &Snapshot, prefix: &str) -> Vec<(String, f64)> {
@@ -248,6 +262,65 @@ pub fn campaign_report(
         out.push('\n');
     }
 
+    // ---- Query-engine attribution ----
+    let hits = labeled_counter_values(snapshot, "query_hits");
+    let recomputes = labeled_counter_values(snapshot, "query_recomputes");
+    if !hits.is_empty() || !recomputes.is_empty() {
+        let mut stages: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for (label, n) in hits {
+            stages.entry(label).or_default().0 = n;
+        }
+        for (label, n) in recomputes {
+            stages.entry(label).or_default().1 = n;
+        }
+        out.push_str(
+            "## Query engine
+
+",
+        );
+        out.push_str(
+            "| query | hits | recomputes | hit rate |
+|---|---|---|---|
+",
+        );
+        let (mut total_h, mut total_r) = (0u64, 0u64);
+        for (label, (h, r)) in &stages {
+            total_h += h;
+            total_r += r;
+            let rate = if h + r > 0 {
+                100.0 * *h as f64 / (h + r) as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "| {label} | {h} | {r} | {rate:.1}% |
+"
+            ));
+        }
+        let total_rate = if total_h + total_r > 0 {
+            100.0 * total_h as f64 / (total_h + total_r) as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "| **total** | {total_h} | {total_r} | {total_rate:.1}% |
+"
+        ));
+        let scalar = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "
+Early cutoffs: {}; memo evictions: {}; slot evictions: {};              cross-check mismatches: {}; estimated saved wall-time: {}.
+
+",
+            scalar("query_early_cutoffs"),
+            scalar("query_evictions"),
+            scalar("query_slot_evictions"),
+            scalar("query_mismatches"),
+            fmt_ms(hist_sum(snapshot, "query_saved_ms")),
+        ));
+    }
+
     // ---- Histogram latency summary ----
     let with_samples: Vec<(&String, &metamut_telemetry::HistogramSnapshot)> = snapshot
         .histograms
@@ -310,6 +383,12 @@ mod tests {
         t.observe_hot("mutator_ms{ZeroLiteral}", 12.0);
         t.counter_add("mutator_attempts{ZeroLiteral}", 9);
         t.counter_add("mutator_applied{ZeroLiteral}", 4);
+        t.counter_add("query_hits{parse}", 90);
+        t.counter_add("query_recomputes{parse}", 10);
+        t.counter_add("query_hits{codegen}", 75);
+        t.counter_add("query_recomputes{codegen}", 25);
+        t.counter_add("query_early_cutoffs", 7);
+        t.observe_hot("query_saved_ms", 640.0);
         t.snapshot()
     }
 
@@ -395,6 +474,12 @@ mod tests {
         assert!(md.contains("400 |"));
         assert!(md.contains("## Mutators"));
         assert!(md.contains("| ZeroLiteral |"));
+        assert!(md.contains("## Query engine"));
+        assert!(md.contains("| parse | 90 | 10 | 90.0% |"));
+        assert!(md.contains("| codegen | 75 | 25 | 75.0% |"));
+        assert!(md.contains("| **total** | 165 | 35 | 82.5% |"));
+        assert!(md.contains("Early cutoffs: 7"));
+        assert!(md.contains("saved wall-time: 640.0ms"));
         assert!(md.contains("## Latency percentiles"));
         assert!(!md.contains("## Bugs"), "no triage given");
     }
