@@ -19,9 +19,10 @@ use metamut_simcomp::{
 };
 use metamut_telemetry::{SeriesPoint, Telemetry};
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -70,6 +71,14 @@ pub struct CampaignConfig {
     /// triage (the reduction oracle, the UB gate) reuse the campaign's
     /// memos.
     pub query_db: Option<std::sync::Arc<QueryDb>>,
+    /// Cooperative cancellation: workers stop claiming iterations once
+    /// this flag is raised. The report then covers the iterations actually
+    /// run. `None` (the default) means the campaign always runs to budget.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Record every pool-growing candidate in the shared corpus log (the
+    /// daemon's persistent-corpus feed). Off by default — the log clones
+    /// each interesting program once, which batch campaigns never read.
+    pub log_corpus: bool,
 }
 
 impl Default for CampaignConfig {
@@ -86,6 +95,8 @@ impl Default for CampaignConfig {
             ub_filter: true,
             query_cache_cap: 0,
             query_db: None,
+            stop: None,
+            log_corpus: false,
         }
     }
 }
@@ -105,7 +116,7 @@ impl CampaignConfig {
 }
 
 /// One point of the coverage/crash time series.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SamplePoint {
     /// Iteration index.
     pub iteration: usize,
@@ -128,8 +139,20 @@ pub struct CrashRecord {
     pub witness: String,
 }
 
+/// One corpus-log record: a candidate that grew the seed pool, with the
+/// coverage metadata the daemon's persistent store keeps alongside it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// The interesting program itself.
+    pub program: String,
+    /// Iteration at which it entered the pool.
+    pub iteration: usize,
+    /// Branches it newly covered when first compiled.
+    pub new_bits: usize,
+}
+
 /// Mutant production statistics (Table 5).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MutantStats {
     /// Total generated test programs.
     pub total: usize,
@@ -247,13 +270,17 @@ impl CampaignReport {
 /// State shared by every worker of one campaign: the atomic coverage
 /// bitmap, crash dedup, the sample series, the global iteration counter,
 /// and the optional mutant-dedup cache.
-pub(crate) struct CampaignShared<'a> {
-    compiler: &'a Compiler,
-    config: &'a CampaignConfig,
-    coverage: AtomicCoverage,
-    crashes: Mutex<(HashSet<u64>, Vec<CrashRecord>)>,
-    series: Mutex<Vec<SamplePoint>>,
-    next_iter: AtomicUsize,
+pub(crate) struct CampaignShared {
+    pub(crate) compiler: Compiler,
+    pub(crate) config: CampaignConfig,
+    pub(crate) coverage: AtomicCoverage,
+    pub(crate) crashes: Mutex<(HashSet<u64>, Vec<CrashRecord>)>,
+    pub(crate) series: Mutex<Vec<SamplePoint>>,
+    pub(crate) next_iter: AtomicUsize,
+    /// Pool-growing candidates in discovery order, filled only when
+    /// [`CampaignConfig::log_corpus`] is on (the daemon's persistent
+    /// corpus feed).
+    pub(crate) corpus_log: Mutex<Vec<CorpusEntry>>,
     dedup: Option<DedupCache>,
     /// Query-engine cache for incremental mutant compilation, shared
     /// across every worker/shard so a seed's queries memoize once per
@@ -266,13 +293,13 @@ pub(crate) struct CampaignShared<'a> {
     /// The telemetry pipeline every worker reports into. Defaults to the
     /// process-global handle; tests inject private instances so sampler
     /// assertions never enable the global one.
-    telemetry: Telemetry,
+    pub(crate) telemetry: Telemetry,
 }
 
-impl<'a> CampaignShared<'a> {
+impl CampaignShared {
     pub(crate) fn new_with(
-        compiler: &'a Compiler,
-        config: &'a CampaignConfig,
+        compiler: &Compiler,
+        config: &CampaignConfig,
         telemetry: Telemetry,
     ) -> Self {
         // One query database underlies both incremental compilation and the
@@ -282,12 +309,13 @@ impl<'a> CampaignShared<'a> {
             .clone()
             .unwrap_or_else(|| std::sync::Arc::new(QueryDb::new()));
         CampaignShared {
-            compiler,
-            config,
+            compiler: compiler.clone(),
+            config: config.clone(),
             coverage: AtomicCoverage::new(),
             crashes: Mutex::new((HashSet::new(), Vec::new())),
             series: Mutex::new(Vec::new()),
             next_iter: AtomicUsize::new(0),
+            corpus_log: Mutex::new(Vec::new()),
             dedup: config.dedup.then(DedupCache::new),
             incremental: config.incremental.then(|| {
                 QueryCache::new(std::sync::Arc::clone(&query_db))
@@ -365,12 +393,12 @@ impl<'a> CampaignShared<'a> {
 pub(crate) fn run_worker(
     worker: usize,
     generator: &mut dyn TestGenerator,
-    shared: &CampaignShared<'_>,
+    shared: &CampaignShared,
     hub: Option<&ExchangeHub>,
     campaign_span: u64,
 ) -> MutantStats {
     let telemetry = &shared.telemetry;
-    let config = shared.config;
+    let config = &shared.config;
     let mut rng = MutRng::new(config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9));
     let mut mutants = MutantStats::default();
     let mut local_done = 0usize;
@@ -381,126 +409,16 @@ pub(crate) fn run_worker(
     shard_span.attr("worker", worker.to_string());
 
     loop {
+        if let Some(stop) = &config.stop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+        }
         let iter = shared.next_iter.fetch_add(1, Ordering::Relaxed);
         if iter >= config.iterations {
             break;
         }
-        let _iteration_span = telemetry.span_fast("iteration");
-        let candidate = {
-            let _mutate_span = telemetry.span_fast("mutate");
-            generator.next_candidate(&mut rng)
-        };
-
-        // A byte-identical mutant was already compiled, its coverage merged
-        // and its crash (if any) registered — the stored verdict is all that
-        // is left to account for. `claim` gives this worker exclusive
-        // ownership of a first sighting (a concurrent duplicate waits for
-        // our published verdict and counts a hit), which keeps the
-        // hit/miss/unique/filtered accounting exact under contention.
-        let claimed = shared.dedup.as_ref().map(|c| c.claim(&candidate.program));
-        let (compiled, new_bits) = match claimed {
-            Some(Claim::Hit(verdict)) => {
-                telemetry.counter_add("dedup_hits", 1);
-                (verdict.compiled, 0)
-            }
-            Some(Claim::Owner) | None => {
-                if claimed.is_some() {
-                    telemetry.counter_add("dedup_misses", 1);
-                }
-                let seed = candidate
-                    .parent
-                    .and_then(|i| generator.seed_source(i))
-                    .map(str::to_owned);
-                // Pre-compile UB gate: a mutant that introduces undefined
-                // behavior its parent lacks is skipped outright — it counts
-                // as a generated, non-compilable mutant and never reaches
-                // the compiler (or the dedup/coverage stores).
-                let gated = shared.ub_gate.as_ref().is_some_and(|g| {
-                    let _ub_span = telemetry.span_fast("ub_filter");
-                    g.introduces_new_ub(seed.as_deref(), &candidate.program)
-                });
-                if gated {
-                    // The mutant never reaches the compiler, so there is no
-                    // verdict to publish — release the claim so the next
-                    // occurrence is re-gated and accounted the same way.
-                    if let Some(cache) = shared.dedup.as_ref() {
-                        cache.abandon(&candidate.program);
-                    }
-                    (false, 0)
-                } else {
-                    // Mutants of a pooled parent compile through the
-                    // parent's memoized pipeline queries (bit-identical to
-                    // cold, so nothing downstream can tell); parentless
-                    // candidates and query guard failures compile cold.
-                    let result = match (&shared.incremental, seed) {
-                        (Some(cache), Some(seed)) => {
-                            let _compile_span = telemetry.span_fast("compile_incremental");
-                            cache.compile(shared.compiler, &seed, &candidate.program)
-                        }
-                        _ => {
-                            let _compile_span = telemetry.span_fast("compile_cold");
-                            shared.compiler.compile(&candidate.program)
-                        }
-                    };
-                    let compiled = match &result.outcome {
-                        Outcome::Success { .. } => true,
-                        // A crash beyond the front end means it was accepted.
-                        Outcome::Crash(c) => c.stage != Stage::FrontEnd,
-                        Outcome::Rejected { .. } => false,
-                    };
-                    if let Outcome::Crash(info) = &result.outcome {
-                        let sig = info.signature();
-                        let mut crashes = shared.crashes.lock();
-                        if crashes.0.insert(sig) {
-                            telemetry.counter_add(
-                                &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
-                                1,
-                            );
-                            crashes.1.push(CrashRecord {
-                                info: info.clone(),
-                                signature: sig,
-                                first_iteration: iter,
-                                witness: candidate.program.clone(),
-                            });
-                        }
-                    }
-                    let new_bits = shared.coverage.merge(&result.coverage);
-                    // Publish the verdict only now: a concurrent worker that
-                    // sees the cache entry may skip merging entirely.
-                    if let Some(cache) = shared.dedup.as_ref() {
-                        cache.insert(&candidate.program, Verdict::of(&result));
-                    }
-                    (compiled, new_bits)
-                }
-            }
-        };
-        mutants.record(compiled);
-        telemetry.counter_add("fuzz_execs", 1);
-        generator.feedback(&candidate, new_bits > 0, compiled);
-
-        if iter.is_multiple_of(config.sample_every) || iter + 1 == config.iterations {
-            let covered = shared.coverage.count();
-            let crashes = shared.crashes.lock().1.len();
-            shared.series.lock().push(SamplePoint {
-                iteration: iter,
-                covered,
-                crashes,
-            });
-            if telemetry.enabled() {
-                telemetry.gauge_set("fuzz_corpus", generator.pool_len() as f64);
-                telemetry.gauge_set("fuzz_coverage", covered as f64);
-                if telemetry.series().enabled() {
-                    telemetry.series().record(&sample_series_point(
-                        telemetry,
-                        shared,
-                        iter,
-                        covered,
-                        crashes,
-                        generator.pool_len(),
-                    ));
-                }
-            }
-        }
+        fuzz_iteration(iter, generator, shared, &mut rng, &mut mutants);
 
         local_done += 1;
         if let Some(hub) = hub {
@@ -517,12 +435,155 @@ pub(crate) fn run_worker(
     mutants
 }
 
+/// The body of one fuzzing iteration — generate, gate, compile, account —
+/// shared verbatim by the serial loop, the parallel workers, and the
+/// daemon's stepped (checkpointable) engine, so all three produce the
+/// identical per-iteration state evolution.
+pub(crate) fn fuzz_iteration(
+    iter: usize,
+    generator: &mut dyn TestGenerator,
+    shared: &CampaignShared,
+    rng: &mut MutRng,
+    mutants: &mut MutantStats,
+) {
+    let telemetry = &shared.telemetry;
+    let config = &shared.config;
+    let _iteration_span = telemetry.span_fast("iteration");
+    let candidate = {
+        let _mutate_span = telemetry.span_fast("mutate");
+        generator.next_candidate(rng)
+    };
+
+    // A byte-identical mutant was already compiled, its coverage merged
+    // and its crash (if any) registered — the stored verdict is all that
+    // is left to account for. `claim` gives this worker exclusive
+    // ownership of a first sighting (a concurrent duplicate waits for
+    // our published verdict and counts a hit), which keeps the
+    // hit/miss/unique/filtered accounting exact under contention.
+    let claimed = shared.dedup.as_ref().map(|c| c.claim(&candidate.program));
+    let (compiled, new_bits) = match claimed {
+        Some(Claim::Hit(verdict)) => {
+            telemetry.counter_add("dedup_hits", 1);
+            (verdict.compiled, 0)
+        }
+        Some(Claim::Owner) | None => {
+            if claimed.is_some() {
+                telemetry.counter_add("dedup_misses", 1);
+            }
+            let seed = candidate
+                .parent
+                .and_then(|i| generator.seed_source(i))
+                .map(str::to_owned);
+            // Pre-compile UB gate: a mutant that introduces undefined
+            // behavior its parent lacks is skipped outright — it counts
+            // as a generated, non-compilable mutant and never reaches
+            // the compiler (or the dedup/coverage stores).
+            let gated = shared.ub_gate.as_ref().is_some_and(|g| {
+                let _ub_span = telemetry.span_fast("ub_filter");
+                g.introduces_new_ub(seed.as_deref(), &candidate.program)
+            });
+            if gated {
+                // The mutant never reaches the compiler, so there is no
+                // verdict to publish — release the claim so the next
+                // occurrence is re-gated and accounted the same way.
+                if let Some(cache) = shared.dedup.as_ref() {
+                    cache.abandon(&candidate.program);
+                }
+                (false, 0)
+            } else {
+                // Mutants of a pooled parent compile through the
+                // parent's memoized pipeline queries (bit-identical to
+                // cold, so nothing downstream can tell); parentless
+                // candidates and query guard failures compile cold.
+                let result = match (&shared.incremental, seed) {
+                    (Some(cache), Some(seed)) => {
+                        let _compile_span = telemetry.span_fast("compile_incremental");
+                        cache.compile(&shared.compiler, &seed, &candidate.program)
+                    }
+                    _ => {
+                        let _compile_span = telemetry.span_fast("compile_cold");
+                        shared.compiler.compile(&candidate.program)
+                    }
+                };
+                let compiled = match &result.outcome {
+                    Outcome::Success { .. } => true,
+                    // A crash beyond the front end means it was accepted.
+                    Outcome::Crash(c) => c.stage != Stage::FrontEnd,
+                    Outcome::Rejected { .. } => false,
+                };
+                if let Outcome::Crash(info) = &result.outcome {
+                    let sig = info.signature();
+                    let mut crashes = shared.crashes.lock();
+                    if crashes.0.insert(sig) {
+                        telemetry.counter_add(
+                            &metamut_telemetry::labeled("crashes_unique", info.stage.label()),
+                            1,
+                        );
+                        crashes.1.push(CrashRecord {
+                            info: info.clone(),
+                            signature: sig,
+                            first_iteration: iter,
+                            witness: candidate.program.clone(),
+                        });
+                    }
+                }
+                let new_bits = shared.coverage.merge(&result.coverage);
+                // Publish the verdict only now: a concurrent worker that
+                // sees the cache entry may skip merging entirely.
+                if let Some(cache) = shared.dedup.as_ref() {
+                    cache.insert(&candidate.program, Verdict::of(&result));
+                }
+                (compiled, new_bits)
+            }
+        }
+    };
+    mutants.record(compiled);
+    telemetry.counter_add("fuzz_execs", 1);
+    let pool_before = config.log_corpus.then(|| generator.pool_len());
+    generator.feedback(&candidate, new_bits > 0, compiled);
+    // Corpus log: record the candidate iff feedback actually pooled it,
+    // so the log mirrors the pool's growth exactly.
+    if let Some(before) = pool_before {
+        if generator.pool_len() > before {
+            shared.corpus_log.lock().push(CorpusEntry {
+                program: candidate.program.clone(),
+                iteration: iter,
+                new_bits,
+            });
+        }
+    }
+
+    if iter.is_multiple_of(config.sample_every) || iter + 1 == config.iterations {
+        let covered = shared.coverage.count();
+        let crashes = shared.crashes.lock().1.len();
+        shared.series.lock().push(SamplePoint {
+            iteration: iter,
+            covered,
+            crashes,
+        });
+        if telemetry.enabled() {
+            telemetry.gauge_set("fuzz_corpus", generator.pool_len() as f64);
+            telemetry.gauge_set("fuzz_coverage", covered as f64);
+            if telemetry.series().enabled() {
+                telemetry.series().record(&sample_series_point(
+                    telemetry,
+                    shared,
+                    iter,
+                    covered,
+                    crashes,
+                    generator.pool_len(),
+                ));
+            }
+        }
+    }
+}
+
 /// Builds one observatory time-series sample from the campaign's own
 /// shared state (not the metrics registry, so a private [`Telemetry`]
 /// instance samples correctly too).
 fn sample_series_point(
     telemetry: &Telemetry,
-    shared: &CampaignShared<'_>,
+    shared: &CampaignShared,
     iter: usize,
     covered: usize,
     crashes: usize,

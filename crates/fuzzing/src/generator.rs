@@ -3,6 +3,7 @@
 //! AFL++, GrayC, Csmith and YARPGen identically.
 
 use metamut_muast::{MutRng, ParsedProgram};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +69,38 @@ pub trait TestGenerator: Send {
     fn adopt_seeds(&mut self, seeds: Vec<String>) {
         let _ = seeds;
     }
+
+    /// A serializable snapshot of the generator's pool state, for campaign
+    /// checkpoints. `None` means the generator cannot be checkpointed
+    /// (pure generators whose state lives entirely in the RNG return a
+    /// snapshot of the trivial pool instead; fuzzers with hidden mutable
+    /// state must return `None` so resume fails loudly rather than
+    /// silently diverging).
+    fn pool_snapshot(&self) -> Option<PoolSnapshot> {
+        None
+    }
+
+    /// Restores pool state captured by [`TestGenerator::pool_snapshot`].
+    /// Returns `false` when this generator does not support restoration.
+    fn restore_pool(&mut self, snapshot: PoolSnapshot) -> bool {
+        let _ = snapshot;
+        false
+    }
+}
+
+/// A serializable image of a [`SeedPool`]: enough to rebuild the pool so a
+/// resumed campaign draws the exact parent sequence the interrupted one
+/// would have. Parse caches and counters are deliberately omitted — they
+/// are throughput state, invisible in the candidate stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSnapshot {
+    /// Pooled programs in insertion order (order matters: picks index it).
+    pub programs: Vec<String>,
+    /// Per-entry foreign flag (adopted from another shard, never
+    /// re-exported). Same length as `programs`.
+    pub foreign: Vec<bool>,
+    /// Entries below this index were already exported for exchange.
+    pub export_mark: usize,
 }
 
 /// A pooled program plus its lazily parsed AST.
@@ -216,6 +249,44 @@ impl SeedPool {
         new
     }
 
+    /// A serializable image of the pool (programs, foreign flags, export
+    /// mark) for campaign checkpoints.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            programs: self.items.iter().map(|e| e.program.clone()).collect(),
+            foreign: self.items.iter().map(|e| e.foreign).collect(),
+            export_mark: self.export_mark,
+        }
+    }
+
+    /// Rebuilds a pool from a [`SeedPool::snapshot`] image. Parse caches
+    /// start cold (they refill lazily and never influence the candidate
+    /// stream); a short or missing foreign vector defaults to local.
+    pub fn from_snapshot(snapshot: PoolSnapshot) -> Self {
+        let PoolSnapshot {
+            programs,
+            foreign,
+            export_mark,
+        } = snapshot;
+        let items: Vec<PoolEntry> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| PoolEntry {
+                program,
+                parsed: OnceLock::new(),
+                foreign: foreign.get(i).copied().unwrap_or(false),
+            })
+            .collect();
+        let hashes = items.iter().map(|e| program_hash(&e.program)).collect();
+        let export_mark = export_mark.min(items.len());
+        SeedPool {
+            items,
+            hashes,
+            export_mark,
+            parses: AtomicU64::new(0),
+        }
+    }
+
     /// Adopts programs discovered by other shards, skipping exact
     /// duplicates of entries already pooled. Adopted entries are flagged
     /// foreign and never re-exported.
@@ -275,6 +346,31 @@ mod tests {
         assert_eq!(pool.parse_count(), 2);
         // The cached AST reproduces the entry's source.
         assert_eq!(pool.parsed(0).unwrap().source(), "int x;");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pool_semantics() {
+        let mut pool = SeedPool::new(["int a;".to_string(), "int b;".to_string()]);
+        pool.push("int c;".into());
+        pool.adopt(["int d;".to_string()]);
+        let snap = pool.snapshot();
+        let mut restored = SeedPool::from_snapshot(snap.clone());
+        assert_eq!(restored.len(), pool.len());
+        // Picks draw the same entries for the same RNG stream.
+        let mut ra = MutRng::new(5);
+        let mut rb = MutRng::new(5);
+        for _ in 0..20 {
+            assert_eq!(pool.pick(&mut ra), restored.pick(&mut rb));
+        }
+        // Export state survives: only the un-exported local entry goes out.
+        assert_eq!(restored.take_new_seeds(), pool.take_new_seeds());
+        // Adoption dedup still works (hashes were rebuilt).
+        restored.adopt(["int d;".to_string()]);
+        assert_eq!(restored.len(), 4);
+        // JSON round trip of the snapshot itself.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: PoolSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

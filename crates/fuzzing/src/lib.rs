@@ -59,12 +59,16 @@ pub mod grayc;
 pub mod macro_fuzzer;
 pub mod mucfuzz;
 pub mod parallel;
+pub mod resume;
 pub mod yarpgen;
 
-pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport, DedupStats};
-pub use generator::TestGenerator;
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignReport, CorpusEntry, DedupStats,
+};
+pub use generator::{PoolSnapshot, TestGenerator};
 pub use macro_fuzzer::{run_field_experiment, FieldReport, MacroConfig};
 pub use parallel::{run_parallel_campaign, run_parallel_campaign_with};
+pub use resume::{CampaignCheckpoint, StepProgress, SteppedCampaign, CHECKPOINT_VERSION};
 
 use std::sync::Arc;
 

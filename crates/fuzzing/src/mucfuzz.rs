@@ -1,7 +1,7 @@
 //! μCFuzz (Algorithm 1): the micro coverage-guided fuzzer that plugs the
 //! MetaMut-generated mutators into a minimal seed-pool loop.
 
-use crate::generator::{Candidate, SeedPool, TestGenerator};
+use crate::generator::{Candidate, PoolSnapshot, SeedPool, TestGenerator};
 use metamut_muast::{
     mutate_parsed, mutate_source, MutRng, MutationOutcome, MutatorRegistry, ParsedProgram,
 };
@@ -176,6 +176,15 @@ impl TestGenerator for MuCFuzz {
 
     fn adopt_seeds(&mut self, seeds: Vec<String>) {
         self.pool.adopt(seeds);
+    }
+
+    fn pool_snapshot(&self) -> Option<PoolSnapshot> {
+        Some(self.pool.snapshot())
+    }
+
+    fn restore_pool(&mut self, snapshot: PoolSnapshot) -> bool {
+        self.pool = SeedPool::from_snapshot(snapshot);
+        true
     }
 }
 

@@ -71,6 +71,19 @@ impl MutRng {
         self.inner.gen()
     }
 
+    /// The raw generator state, for campaign checkpointing. Feeding it to
+    /// [`MutRng::from_state`] resumes the exact decision stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuilds a generator mid-stream from a captured state.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        MutRng {
+            inner: StdRng::from_state(state),
+        }
+    }
+
     /// Shuffles `items` in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -89,6 +102,18 @@ mod tests {
         let mut a = MutRng::new(42);
         let mut b = MutRng::new(42);
         for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = MutRng::new(3);
+        for _ in 0..13 {
+            let _ = a.next_u64();
+        }
+        let mut b = MutRng::from_state(a.state());
+        for _ in 0..50 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
     }

@@ -1,0 +1,150 @@
+//! A small blocking client for the daemon's JSON-line protocol, used by
+//! the `metamut submit` / `metamut jobs` CLI verbs and the serve tests.
+
+use serde::Value;
+use serde_json::json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One protocol connection. Each request writes a JSON line and reads the
+/// response line(s); the connection can be reused for many requests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `addr` with a short timeout.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other(format!("cannot resolve {addr}")))?;
+        let stream = TcpStream::connect_timeout(&resolved, Duration::from_secs(2))?;
+        stream.set_nodelay(true).ok();
+        // Long default: `wait` blocks until the job finishes.
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends `request` as one line and returns the response line. An
+    /// `{"ok": false}` response becomes an `Err` with its message.
+    pub fn request(&mut self, request: &Value) -> Result<Value, String> {
+        self.send(request)?;
+        self.read_value()
+    }
+
+    fn send(&mut self, request: &Value) -> Result<(), String> {
+        let mut line =
+            serde_json::to_string(request).map_err(|e| format!("encode request: {e}"))?;
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send request: {e}"))
+    }
+
+    fn read_value(&mut self) -> Result<Value, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".to_string()),
+            Ok(_) => {
+                let value: Value =
+                    serde_json::from_str(line.trim()).map_err(|e| format!("bad response: {e}"))?;
+                if value.get("ok").and_then(|v| v.as_bool()) == Some(false) {
+                    let message = value
+                        .get("error")
+                        .and_then(|v| v.as_str())
+                        .unwrap_or("unknown error")
+                        .to_string();
+                    Err(message)
+                } else {
+                    Ok(value)
+                }
+            }
+            Err(e) => Err(format!("read response: {e}")),
+        }
+    }
+
+    /// Submits a job from a prebuilt submit request (`cmd` must be one of
+    /// `fuzz`/`analyze`/`reduce`/`triage`), returning the job id.
+    pub fn submit(&mut self, request: &Value) -> Result<u64, String> {
+        let response = self.request(request)?;
+        response
+            .get("id")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| "submit response missing id".to_string())
+    }
+
+    /// The daemon's `status` document.
+    pub fn status(&mut self) -> Result<Value, String> {
+        self.request(&json!({"cmd": "status"}))
+    }
+
+    /// All job summaries.
+    pub fn jobs(&mut self) -> Result<Vec<Value>, String> {
+        let response = self.request(&json!({"cmd": "jobs"}))?;
+        Ok(response
+            .get("jobs")
+            .and_then(|v| v.as_array())
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    /// One job's full record.
+    pub fn job(&mut self, id: u64) -> Result<Value, String> {
+        let response = self.request(&json!({"cmd": "job", "id": id}))?;
+        response
+            .get("job")
+            .cloned()
+            .ok_or_else(|| "job response missing record".to_string())
+    }
+
+    /// Blocks until job `id` is terminal and returns its full record.
+    pub fn wait(&mut self, id: u64) -> Result<Value, String> {
+        let response = self.request(&json!({"cmd": "wait", "id": id}))?;
+        response
+            .get("job")
+            .cloned()
+            .ok_or_else(|| "wait response missing record".to_string())
+    }
+
+    /// Streams job `id`'s events, invoking `on_event` per event line, until
+    /// the job is terminal. Returns the number of events seen.
+    pub fn events(&mut self, id: u64, mut on_event: impl FnMut(&Value)) -> Result<usize, String> {
+        self.send(&json!({"cmd": "events", "id": id}))?;
+        let mut seen = 0usize;
+        loop {
+            let value = self.read_value()?;
+            if value.get("ok").and_then(|v| v.as_bool()) == Some(true) {
+                return Ok(value
+                    .get("events")
+                    .and_then(|v| v.as_u64())
+                    .map(|n| n as usize)
+                    .unwrap_or(seen));
+            }
+            seen += 1;
+            on_event(&value);
+        }
+    }
+
+    /// Requests cancellation of job `id`; returns its status at the time
+    /// the daemon processed the request.
+    pub fn cancel(&mut self, id: u64) -> Result<String, String> {
+        let response = self.request(&json!({"cmd": "cancel", "id": id}))?;
+        Ok(response
+            .get("status")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string())
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request(&json!({"cmd": "shutdown"})).map(|_| ())
+    }
+}

@@ -1,0 +1,281 @@
+//! Job descriptions and records: what a tenant asks the daemon to do and
+//! what the daemon remembers about it, in the shape `jobs.json` persists.
+
+use metamut_simcomp::{CompileOptions, OptFlags, Profile};
+use serde::{Deserialize, Serialize};
+
+/// Job status: waiting for its first worker lease.
+pub const STATUS_QUEUED: &str = "queued";
+/// Job status: leased at least once and not yet finished.
+pub const STATUS_RUNNING: &str = "running";
+/// Job status: completed with a result.
+pub const STATUS_DONE: &str = "done";
+/// Job status: aborted with an error.
+pub const STATUS_FAILED: &str = "failed";
+/// Job status: cancelled by a client before completion.
+pub const STATUS_CANCELLED: &str = "cancelled";
+
+/// Parameters of one fuzzing-campaign job. The daemon always runs
+/// campaigns on the stepped serial engine (`workers = 1`), which is what
+/// makes them timesliceable and checkpointable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzSpec {
+    /// Iteration budget.
+    pub iterations: usize,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Compiler profile name (`gcc` or `clang`).
+    pub profile: String,
+    /// `-O` level (0–3).
+    pub opt_level: u8,
+    /// Sampling cadence (`0` = one tenth of the budget).
+    pub sample_every: usize,
+    /// Triage + reduce discovered crashes when the campaign completes.
+    pub reduce: bool,
+}
+
+impl Default for FuzzSpec {
+    fn default() -> Self {
+        FuzzSpec {
+            iterations: 200,
+            seed: 7,
+            profile: "gcc".to_string(),
+            opt_level: 2,
+            sample_every: 0,
+            reduce: false,
+        }
+    }
+}
+
+impl FuzzSpec {
+    /// The sampling cadence with `0` resolved the same way `metamut fuzz`
+    /// resolves it: a tenth of the budget, at least 1.
+    pub fn resolved_sample_every(&self) -> usize {
+        if self.sample_every == 0 {
+            (self.iterations / 10).max(1)
+        } else {
+            self.sample_every
+        }
+    }
+}
+
+/// What one job does. A flat struct rather than an enum so every field
+/// round-trips through the vendored serde derive; `kind` selects which
+/// fields matter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// `fuzz`, `analyze`, `reduce`, or `triage`.
+    pub kind: String,
+    /// Campaign parameters (`kind == "fuzz"`).
+    pub fuzz: Option<FuzzSpec>,
+    /// The program to analyze or reduce.
+    pub program: Option<String>,
+    /// The crashing programs to triage.
+    pub programs: Vec<String>,
+    /// Compiler profile for `reduce`/`triage`.
+    pub profile: String,
+    /// `-O` level for `reduce`/`triage`.
+    pub opt_level: u8,
+}
+
+impl JobSpec {
+    /// A fuzzing-campaign job.
+    pub fn fuzz(spec: FuzzSpec) -> JobSpec {
+        JobSpec {
+            kind: "fuzz".to_string(),
+            fuzz: Some(spec),
+            program: None,
+            programs: Vec::new(),
+            profile: "gcc".to_string(),
+            opt_level: 2,
+        }
+    }
+
+    /// A one-shot UB/validity analysis of one program.
+    pub fn analyze(program: impl Into<String>) -> JobSpec {
+        JobSpec {
+            kind: "analyze".to_string(),
+            fuzz: None,
+            program: Some(program.into()),
+            programs: Vec::new(),
+            profile: "gcc".to_string(),
+            opt_level: 2,
+        }
+    }
+
+    /// A one-shot reduction of one crashing program.
+    pub fn reduce(
+        program: impl Into<String>,
+        profile: impl Into<String>,
+        opt_level: u8,
+    ) -> JobSpec {
+        JobSpec {
+            kind: "reduce".to_string(),
+            fuzz: None,
+            program: Some(program.into()),
+            programs: Vec::new(),
+            profile: profile.into(),
+            opt_level,
+        }
+    }
+
+    /// A triage pass over a batch of crashing programs.
+    pub fn triage(programs: Vec<String>, profile: impl Into<String>, opt_level: u8) -> JobSpec {
+        JobSpec {
+            kind: "triage".to_string(),
+            fuzz: None,
+            program: None,
+            programs,
+            profile: profile.into(),
+            opt_level,
+        }
+    }
+
+    /// The job's iteration budget as the scheduler's fairness currency:
+    /// campaigns bring their real budget, one-shot jobs count as a single
+    /// slice.
+    pub fn total_iterations(&self) -> usize {
+        match &self.fuzz {
+            Some(f) if self.kind == "fuzz" => f.iterations,
+            _ => 1,
+        }
+    }
+}
+
+/// Resolves a profile name the way `metamut fuzz -p` does.
+pub fn parse_profile(name: &str) -> Option<Profile> {
+    match name {
+        "gcc" => Some(Profile::Gcc),
+        "clang" => Some(Profile::Clang),
+        _ => None,
+    }
+}
+
+/// Compile options for a daemon job: the given `-O` level with the same
+/// strict-aliasing default the CLI uses.
+pub fn compile_options(opt_level: u8) -> CompileOptions {
+    CompileOptions {
+        opt_level,
+        flags: OptFlags {
+            strict_aliasing: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// One job as the daemon's table and `jobs.json` record it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Daemon-assigned id, stable across restarts.
+    pub id: u64,
+    /// What the job does.
+    pub spec: JobSpec,
+    /// One of the `STATUS_*` constants.
+    pub status: String,
+    /// Iterations consumed so far (the scheduler's fairness key).
+    pub consumed: usize,
+    /// Iteration budget ([`JobSpec::total_iterations`]).
+    pub total: usize,
+    /// Failure message, when `status == "failed"`.
+    pub error: Option<String>,
+    /// The job's result document, once terminal.
+    pub result: Option<serde::Value>,
+}
+
+impl JobRecord {
+    /// A fresh queued record for `spec`.
+    pub fn new(id: u64, spec: JobSpec) -> JobRecord {
+        let total = spec.total_iterations();
+        JobRecord {
+            id,
+            spec,
+            status: STATUS_QUEUED.to_string(),
+            consumed: 0,
+            total,
+            error: None,
+            result: None,
+        }
+    }
+
+    /// Whether the job has reached a final state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self.status.as_str(),
+            STATUS_DONE | STATUS_FAILED | STATUS_CANCELLED
+        )
+    }
+
+    /// The compact listing row (`jobs` command, `GET /jobs`): everything
+    /// but the potentially large spec programs and result document.
+    pub fn summary_value(&self) -> serde::Value {
+        serde_json::json!({
+            "id": (self.id),
+            "kind": (self.spec.kind),
+            "status": (self.status),
+            "consumed": (self.consumed),
+            "total": (self.total),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_record_round_trips_through_json() {
+        let mut record = JobRecord::new(3, JobSpec::fuzz(FuzzSpec::default()));
+        record.status = STATUS_RUNNING.to_string();
+        record.consumed = 42;
+        let json = serde_json::to_string(&record).expect("serialize");
+        let back: JobRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.id, 3);
+        assert_eq!(back.spec, record.spec);
+        assert_eq!(back.status, STATUS_RUNNING);
+        assert_eq!(back.consumed, 42);
+        assert_eq!(back.total, 200);
+        assert!(back.error.is_none());
+        assert!(back.result.is_none());
+
+        let triage = JobRecord::new(4, JobSpec::triage(vec!["int x;".into()], "clang", 0));
+        let json = serde_json::to_string(&triage).expect("serialize");
+        let back: JobRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.spec.programs, vec!["int x;".to_string()]);
+        assert_eq!(back.total, 1);
+    }
+
+    #[test]
+    fn fairness_currency_and_sampling_defaults() {
+        let spec = JobSpec::fuzz(FuzzSpec {
+            iterations: 500,
+            ..Default::default()
+        });
+        assert_eq!(spec.total_iterations(), 500);
+        assert_eq!(JobSpec::analyze("int main;").total_iterations(), 1);
+        assert_eq!(
+            FuzzSpec {
+                iterations: 500,
+                ..Default::default()
+            }
+            .resolved_sample_every(),
+            50
+        );
+        assert_eq!(
+            FuzzSpec {
+                iterations: 5,
+                sample_every: 2,
+                ..Default::default()
+            }
+            .resolved_sample_every(),
+            2
+        );
+    }
+
+    #[test]
+    fn profile_and_options_parsing() {
+        assert_eq!(parse_profile("gcc"), Some(Profile::Gcc));
+        assert_eq!(parse_profile("clang"), Some(Profile::Clang));
+        assert_eq!(parse_profile("tcc"), None);
+        assert_eq!(compile_options(2), CompileOptions::o2());
+    }
+}

@@ -145,6 +145,37 @@ impl CoverageMap {
         new
     }
 
+    /// The non-zero words as `(word_index, bits)` pairs in index order — a
+    /// compact, serialization-friendly form (one compile touches a few
+    /// hundred of the map's 4096 words, a campaign a few thousand).
+    pub fn to_sparse_words(&self) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .touched
+            .iter()
+            .map(|&wi| (wi, self.words[wi as usize]))
+            .filter(|(_, w)| *w != 0)
+            .collect();
+        out.sort_unstable_by_key(|(wi, _)| *wi);
+        out
+    }
+
+    /// Rebuilds a map from [`CoverageMap::to_sparse_words`] output.
+    /// Out-of-range indices are ignored so a corrupt checkpoint cannot
+    /// panic the restore path.
+    pub fn from_sparse_words(sparse: &[(u32, u64)]) -> CoverageMap {
+        let mut map = CoverageMap::new();
+        for &(wi, bits) in sparse {
+            let wi = wi as usize;
+            if wi < map.words.len() && bits != 0 {
+                if map.words[wi] == 0 {
+                    map.touched.push(wi as u32);
+                }
+                map.words[wi] |= bits;
+            }
+        }
+        map
+    }
+
     /// Whether `other` covers at least one branch `self` does not.
     pub fn would_grow(&self, other: &CoverageMap) -> bool {
         other
@@ -343,6 +374,23 @@ mod tests {
         assert_eq!(a.merge(&b), 1);
         assert!(!a.would_grow(&b));
         assert_eq!(a.merge(&b), 0);
+    }
+
+    #[test]
+    fn sparse_words_round_trip() {
+        let mut m = CoverageMap::new();
+        for i in 0..300u64 {
+            m.record(Stage::FrontEnd, i * 37);
+            m.record(Stage::BackEnd, i * 91);
+        }
+        let sparse = m.to_sparse_words();
+        let back = CoverageMap::from_sparse_words(&sparse);
+        assert_eq!(back.count(), m.count());
+        assert_eq!(back.to_sparse_words(), sparse);
+        assert!(!m.would_grow(&back) && !back.would_grow(&m));
+        // Corrupt input degrades instead of panicking.
+        let garbage = [(u32::MAX, 0xFFu64), (3, 0)];
+        assert_eq!(CoverageMap::from_sparse_words(&garbage).count(), 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! - [`simcomp`] — the instrumented compiler under test.
 //! - [`fuzzing`] — μCFuzz, the macro fuzzer and the four baselines.
 //! - [`reduce`] — crash triage and signature-preserving reduction.
+//! - [`serve`] — the multi-tenant fuzzing daemon and its protocol client.
 //! - [`report`] — post-campaign markdown reports with wall-time attribution.
 //!
 //! ```
@@ -39,6 +40,7 @@ pub use metamut_llm as llm;
 pub use metamut_muast as muast;
 pub use metamut_mutators as mutators;
 pub use metamut_reduce as reduce;
+pub use metamut_serve as serve;
 pub use metamut_simcomp as simcomp;
 
 /// The most commonly used items in one import.

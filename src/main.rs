@@ -54,9 +54,12 @@ fn main() -> ExitCode {
         "triage" => triage_cmd(rest),
         "status" => status_cmd(rest),
         "report" => report_cmd(rest),
+        "serve" => serve_cmd(rest),
+        "submit" => submit_cmd(rest),
+        "jobs" => jobs_cmd(rest),
         _ => {
             eprintln!(
-                "usage: metamut <list|mutate|compile|generate|fuzz|analyze|reduce|triage> [options]\n\
+                "usage: metamut <list|mutate|compile|generate|fuzz|analyze|reduce|triage|serve> [options]\n\
                  \n  list                         list the mutator library\
                  \n  mutate FILE -m NAME [-s N]   apply one mutator to a C file\
                  \n  compile FILE [-p gcc|clang] [-O N] [--no-tree-vrp] [--unroll-loops]\
@@ -80,6 +83,12 @@ fn main() -> ExitCode {
                  \n                               (PATH: /metrics, /timeseries, or /spans)\
                  \n  report [--snapshot F] [--timeseries F] [--triage F] [--out F]\
                  \n                               render a markdown campaign report\
+                 \n  serve [--store DIR] [--addr HOST:PORT] [--http HOST:PORT] [-w N]\
+                 \n        [--slice N] [--checkpoint-every N] [--addr-out FILE]\
+                 \n                               run the multi-tenant fuzzing daemon\
+                 \n  submit ADDR fuzz [-i N] [-s N] [-p gcc|clang] [-O N] [--reduce] [--wait]\
+                 \n  submit ADDR <analyze|reduce> FILE / triage FILE...  submit a one-shot job\
+                 \n  jobs ADDR [ID] [--status] [--cancel ID]  inspect or cancel daemon jobs\
                  \n  (any subcommand) --telemetry PATH  stream telemetry JSONL to PATH\
                  \n  (any subcommand) --status-every SECS  status-line cadence (0 = off)\
                  \n  (any subcommand) --trace-out PATH  write a Chrome trace-event JSON at exit\
@@ -110,7 +119,7 @@ fn opt(rest: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
-const VALUE_FLAGS: [&str; 20] = [
+const VALUE_FLAGS: [&str; 28] = [
     "-m",
     "-s",
     "-p",
@@ -128,9 +137,17 @@ const VALUE_FLAGS: [&str; 20] = [
     "--trace-out",
     "--timeseries-out",
     "--status-addr",
+    "--status-addr-out",
     "--snapshot",
     "--timeseries",
     "--triage",
+    "--store",
+    "--addr",
+    "--http",
+    "--slice",
+    "--checkpoint-every",
+    "--addr-out",
+    "--cancel",
 ];
 
 /// `--query-cache-cap N`, honoring `--baseline-cache-cap` as a deprecated
@@ -656,6 +673,251 @@ fn emit_triage(report: &metamut::reduce::TriageReport, out_dir: Option<&str>) ->
     ExitCode::SUCCESS
 }
 
+/// `metamut serve` — runs the multi-tenant fuzzing daemon until SIGTERM,
+/// SIGINT, or a client `shutdown` command, then checkpoints in-flight
+/// campaigns into the store so the next `metamut serve --store DIR`
+/// resumes them.
+fn serve_cmd(rest: &[String]) -> ExitCode {
+    use metamut_serve::{Daemon, DaemonConfig};
+    let defaults = DaemonConfig::default();
+    let config = DaemonConfig {
+        store: opt(rest, "--store")
+            .map(std::path::PathBuf::from)
+            .unwrap_or(defaults.store),
+        addr: opt(rest, "--addr").unwrap_or(defaults.addr),
+        http_addr: opt(rest, "--http"),
+        workers: opt(rest, "-w")
+            .or_else(|| opt(rest, "--workers"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.workers),
+        slice: opt(rest, "--slice")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.slice),
+        checkpoint_every: opt(rest, "--checkpoint-every")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.checkpoint_every),
+    };
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve: protocol at {} (store {})",
+        daemon.local_addr(),
+        daemon.store_root().display()
+    );
+    if let Some(http) = daemon.http_addr() {
+        eprintln!("serve: observatory at http://{http}/");
+    }
+    if let Some(path) = opt(rest, "--addr-out") {
+        if let Err(e) = std::fs::write(&path, daemon.local_addr().to_string()) {
+            eprintln!("serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    daemon.run_until_shutdown();
+    eprintln!("serve: stopped");
+    ExitCode::SUCCESS
+}
+
+/// `metamut submit ADDR <fuzz|analyze|reduce|triage> [FILE...]` — submits
+/// one job to a running daemon; `--wait` blocks for the result document.
+fn submit_cmd(rest: &[String]) -> ExitCode {
+    use serde_json::json;
+    let pos = positionals(rest);
+    let (Some(addr), Some(verb)) = (pos.first().copied(), pos.get(1).copied()) else {
+        eprintln!("submit: usage: metamut submit ADDR <fuzz|analyze|reduce|triage> [FILE...]");
+        return ExitCode::from(2);
+    };
+    let files = &pos[2..];
+    let read = |file: &String| {
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))
+    };
+    let profile = match parse_profile(rest) {
+        Profile::Clang => "clang",
+        _ => "gcc",
+    };
+    let opt_level: u8 = opt(rest, "-O").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let request = match verb.as_str() {
+        "fuzz" => json!({
+            "cmd": "fuzz",
+            "iterations": (opt(rest, "-i").and_then(|s| s.parse::<u64>().ok()).unwrap_or(500)),
+            "seed": (opt(rest, "-s").and_then(|s| s.parse::<u64>().ok()).unwrap_or(7)),
+            "profile": profile,
+            "opt_level": opt_level,
+            "reduce": (rest.iter().any(|a| a == "--reduce")),
+        }),
+        "analyze" | "reduce" => {
+            let Some(file) = files.first() else {
+                eprintln!("submit {verb}: missing FILE");
+                return ExitCode::from(2);
+            };
+            match read(file) {
+                Ok(program) => json!({
+                    "cmd": (verb.as_str()),
+                    "program": program,
+                    "profile": profile,
+                    "opt_level": opt_level,
+                }),
+                Err(e) => {
+                    eprintln!("submit: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "triage" => {
+            if files.is_empty() {
+                eprintln!("submit triage: missing FILE...");
+                return ExitCode::from(2);
+            }
+            let mut programs = Vec::new();
+            for file in files {
+                match read(file) {
+                    Ok(p) => programs.push(p),
+                    Err(e) => {
+                        eprintln!("submit: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            json!({
+                "cmd": "triage",
+                "programs": programs,
+                "profile": profile,
+                "opt_level": opt_level,
+            })
+        }
+        other => {
+            eprintln!("submit: unknown job kind {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut client = match metamut_serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("submit: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.submit(&request) {
+        Ok(id) => {
+            eprintln!("submit: job {id} queued at {addr}");
+            if rest.iter().any(|a| a == "--wait") {
+                match client.wait(id) {
+                    Ok(job) => match serde_json::to_string_pretty(&job) {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => {
+                            eprintln!("submit: cannot render job {id}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("submit: wait for job {id} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("submit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `metamut jobs ADDR [ID]` — lists a daemon's jobs, shows one record,
+/// prints daemon status (`--status`), or cancels a job (`--cancel ID`).
+fn jobs_cmd(rest: &[String]) -> ExitCode {
+    let pos = positionals(rest);
+    let Some(addr) = pos.first() else {
+        eprintln!("jobs: missing ADDR (e.g. 127.0.0.1:9933)");
+        return ExitCode::from(2);
+    };
+    let mut client = match metamut_serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("jobs: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let render = |value: &serde::Value| match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jobs: cannot render response: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Some(id) = opt(rest, "--cancel").and_then(|s| s.parse::<u64>().ok()) {
+        return match client.cancel(id) {
+            Ok(status) => {
+                println!("job {id}: {status}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("jobs: cancel {id}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if rest.iter().any(|a| a == "--status") {
+        return match client.status() {
+            Ok(status) => render(&status),
+            Err(e) => {
+                eprintln!("jobs: status: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(id) = pos.get(1).and_then(|s| s.parse::<u64>().ok()) {
+        return match client.job(id) {
+            Ok(job) => render(&job),
+            Err(e) => {
+                eprintln!("jobs: job {id}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match client.jobs() {
+        Ok(rows) => {
+            println!(
+                "{:>5}  {:<8}  {:<10}  {:>16}",
+                "id", "kind", "status", "progress"
+            );
+            for row in &rows {
+                let field = |k: &str| row.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+                let text = |k: &str| {
+                    row.get(k)
+                        .and_then(|v| v.as_str())
+                        .unwrap_or_default()
+                        .to_string()
+                };
+                println!(
+                    "{:>5}  {:<8}  {:<10}  {:>7}/{:<8}",
+                    field("id"),
+                    text("kind"),
+                    text("status"),
+                    field("consumed"),
+                    field("total"),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jobs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn fuzz(rest: &[String]) -> ExitCode {
     let iterations: usize = opt(rest, "-i").and_then(|s| s.parse().ok()).unwrap_or(500);
     let seed: u64 = opt(rest, "-s").and_then(|s| s.parse().ok()).unwrap_or(7);
@@ -698,6 +960,15 @@ fn fuzz(rest: &[String]) -> ExitCode {
             match metamut_telemetry::StatusServer::bind(&addr, telemetry) {
                 Ok(server) => {
                     eprintln!("fuzz: status endpoint at http://{}/", server.local_addr());
+                    // With `--status-addr 127.0.0.1:0` the kernel picks the
+                    // port; --status-addr-out FILE tells scripts (and CI)
+                    // where the endpoint actually landed.
+                    if let Some(path) = opt(rest, "--status-addr-out") {
+                        if let Err(e) = std::fs::write(&path, server.local_addr().to_string()) {
+                            eprintln!("fuzz: cannot write {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
                     Some(server)
                 }
                 Err(e) => {

@@ -216,6 +216,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for checkpointing. Restoring it via
+        /// [`StdRng::from_state`] continues the exact output stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -245,6 +258,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(2);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            let _ = a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]
