@@ -43,7 +43,7 @@ use std::sync::Arc;
 struct ParentInfo {
     /// Per-chunk content hashes from `split_source`, or `None` when the
     /// parent does not lex (every mutant then takes the full path).
-    chunk_hashes: Option<Vec<u64>>,
+    chunk_hashes: Option<Vec<u128>>,
     /// Span-insensitive keys of every `Ub` finding in the parent. A
     /// mutant finding matching any of these is not *new*.
     ub: BTreeSet<FindingKey>,
@@ -183,7 +183,7 @@ impl UbGate {
                 (&i.chunk_hashes, split_source(mutant))
             {
                 if i.parsed && chunks.len() == parent_hashes.len() {
-                    let hashes: Vec<u64> = chunks.iter().map(|c| c.hash).collect();
+                    let hashes: Vec<u128> = chunks.iter().map(|c| c.hash).collect();
                     let edited = dirty_set(parent_hashes, &hashes).unwrap_or_default();
                     if edited.is_empty() {
                         // Byte-shuffled but chunk-identical: nothing new.

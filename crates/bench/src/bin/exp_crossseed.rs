@@ -1,0 +1,357 @@
+//! Experiment: cross-seed memo sharing under content-addressed query
+//! keys.
+//!
+//! A multi-seed campaign compiles mutants of a *family* of seeds that
+//! share most of their declarations — the campaign-realistic shape, since
+//! corpus entries descend from each other. Under the retired slot-keyed
+//! engine every seed's memos were private to its slot, so the family
+//! recompiled the shared prelude once per seed; under content-addressed
+//! keys the prelude is compiled once and every later seed's slot build —
+//! and every mutant compile — rides the shared memos. This bin measures
+//! that edge on a seed family sharing well over half their declarations,
+//! with identical edits applied across family members, and records the
+//! evidence in `BENCH_crossseed.json` at the repository root.
+//!
+//! Legs:
+//! - **correctness**: every mutant of every family member compiled with
+//!   `cross_check_every = 1` (each query result re-checked against a cold
+//!   compile) — gate: **0 mismatches**; also the accounting run for the
+//!   cross-seed hit rate — gate: **> 50%** of stage-memo hits served
+//!   cross-seed.
+//! - **throughput**: the whole family's mutant stream through one shared
+//!   `QueryDb` vs the reference engine — one *isolated* `QueryDb` per
+//!   seed, which is exactly what slot-private keying degenerates to —
+//!   gate: shared **>= 1.4x** isolated.
+//! - **slotless**: the `metamut compile` path (same program compiled
+//!   twice through one cache) and the macro-fuzzer path (variant stream
+//!   over pooled parents) — gate: both hit warm memos (**nonzero**
+//!   query hits) with no campaign slot involved.
+//!
+//! Usage: `exp_crossseed [--mutants N] [--repeats N] [--smoke]`.
+//! `--smoke` shrinks the workload, skips the timing gate (counter-based
+//! gates still hold), and parks its report under `target/experiments/`
+//! so CI never dirties the tree.
+
+use metamut_bench::render_table;
+use metamut_simcomp::{coverage_equal, CompileOptions, Compiler, Profile, QueryCache, QueryDb};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CrossSeedReport {
+    seeds: usize,
+    shared_decls: usize,
+    decls_per_seed: usize,
+    shared_fraction_pct: f64,
+    mutants_per_seed: usize,
+    repeats: usize,
+    gate: String,
+    cross_check_mismatches: usize,
+    stage_hits: u64,
+    cross_seed_hits: u64,
+    cross_seed_rate_pct: f64,
+    isolated_s: f64,
+    shared_s: f64,
+    isolated_per_sec: f64,
+    shared_per_sec: f64,
+    shared_speedup: f64,
+    compile_style_hits: u64,
+    macro_style_hits: u64,
+    note: String,
+}
+
+/// One shared-prelude function. Deliberately heavy (nested loops, many
+/// statements): the prelude models the mature, expensive-to-compile part
+/// of a corpus ancestor, which is exactly where cross-seed sharing pays.
+/// `tweak != 0` is a campaign mutant's body edit — the same `(i, tweak)`
+/// pair produces the same bytes in every family member.
+fn shared_fn(i: usize, tweak: usize) -> String {
+    format!(
+        "int sh_{i}(int n) {{\n    \
+         int acc = {init};\n    \
+         int top = n + {pad};\n    \
+         for (int j = 0; j < top; j = j + 1) {{\n        \
+         int row = j * 3 + g;\n        \
+         for (int q = 0; q < 4; q = q + 1) {{ row = row + q * j - {i}; acc = acc + row; }}\n        \
+         if (row > acc) {{ acc = acc - row / 2; }} else {{ acc = acc + 1; }}\n        \
+         vg = acc;\n    \
+         }}\n    \
+         int tail = acc;\n    \
+         while (tail > 100) {{ tail = tail - 77; vg = tail; }}\n    \
+         return acc + tail;\n}}\n",
+        init = i * 5 + tweak * 13,
+        pad = (i * 7) % 5,
+    )
+}
+
+/// One seed-private function: small, and named after its seed so no two
+/// family members share it.
+fn tail_fn(seed_id: usize, i: usize) -> String {
+    format!(
+        "int t{seed_id}_{i}(int n) {{ int s = n + {seed_id}; \
+         for (int j = 0; j < {lim}; j = j + 1) {{ s = s + j * {i}; }} return s; }}\n",
+        lim = 3 + i,
+    )
+}
+
+/// A family member: 2 globals + `shared` prelude functions (byte-identical
+/// across the family) + `tails` seed-private functions + a seed-private
+/// `main`. `tweaks[i] != 0` rewrites shared function `i`'s body — the
+/// same `tweaks` vector applied to two members produces byte-identical
+/// edited chunks.
+fn make_member(seed_id: usize, shared: usize, tails: usize, tweaks: &[usize]) -> String {
+    let mut s = String::from("int g = 3;\nvolatile int vg;\n");
+    for i in 0..shared {
+        s.push_str(&shared_fn(i, tweaks.get(i).copied().unwrap_or(0)));
+    }
+    for i in 0..tails {
+        s.push_str(&tail_fn(seed_id, i));
+    }
+    s.push_str("int main(void) {\n    int t = 0;\n");
+    for i in 0..shared {
+        s.push_str(&format!("    t = t + sh_{i}({});\n", 2 + i % 5));
+    }
+    for i in 0..tails {
+        s.push_str(&format!("    t = t + t{seed_id}_{i}({});\n", 1 + i));
+    }
+    s.push_str("    return t;\n}\n");
+    s
+}
+
+/// The family's mutant schedule: mutant `m` rewrites two shared-prelude
+/// functions. Applying the schedule to every member yields identical
+/// edits across the family (the corpus-descendant shape: the interesting
+/// edit travels, the private tail stays).
+fn tweaks_for(m: usize, shared: usize) -> Vec<usize> {
+    let mut tweaks = vec![0usize; shared];
+    tweaks[m % shared] = 1 + m / shared;
+    tweaks[(m + shared / 2) % shared] = 2 + m / shared;
+    tweaks
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    let mutants_per_seed = arg("--mutants").unwrap_or(if smoke { 10 } else { 48 });
+    let repeats = arg("--repeats").unwrap_or(if smoke { 1 } else { 3 });
+    let seeds: usize = if smoke { 4 } else { 5 };
+    let shared: usize = if smoke { 10 } else { 12 };
+    let tails: usize = 4;
+    let decls_per_seed = 2 + shared + tails + 1; // globals + prelude + tails + main
+    let shared_decls = 2 + shared;
+    let shared_fraction = shared_decls as f64 / decls_per_seed as f64;
+
+    println!(
+        "== Cross-seed sharing: {seeds}-member family, {shared_decls}/{decls_per_seed} shared \
+         declarations, {mutants_per_seed} mutants per member, best of {repeats} ==\n"
+    );
+    assert!(
+        shared_fraction > 0.5,
+        "the family must share over half its declarations"
+    );
+
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let members: Vec<String> = (0..seeds)
+        .map(|s| make_member(s, shared, tails, &[]))
+        .collect();
+    for m in &members {
+        assert!(
+            compiler.compile(m).outcome.is_success(),
+            "every family member must compile cleanly"
+        );
+    }
+    let mutants: Vec<Vec<String>> = (0..seeds)
+        .map(|s| {
+            (0..mutants_per_seed)
+                .map(|m| make_member(s, shared, tails, &tweaks_for(m, shared)))
+                .collect()
+        })
+        .collect();
+
+    // Correctness and accounting: one shared database, every compile
+    // cross-checked against cold, counters read afterwards. The cold
+    // compile never touches the database, so the hit counters describe
+    // the query engine's own traffic.
+    let cache = QueryCache::new(Arc::new(QueryDb::new())).with_cross_check(1);
+    let mut mismatches = 0usize;
+    for s in 0..seeds {
+        for m in &mutants[s] {
+            let cold = compiler.compile(m);
+            let q = cache.compile(&compiler, &members[s], m);
+            if q.outcome != cold.outcome || !coverage_equal(&q.coverage, &cold.coverage) {
+                mismatches += 1;
+            }
+        }
+    }
+    assert_eq!(
+        cache.mismatches(),
+        0,
+        "the engine's own every-compile cross-check flagged a divergence"
+    );
+    let stage_hits = cache.db().hits();
+    let cross_seed_hits = cache.cross_seed_hits();
+    let cross_seed_rate = 100.0 * cross_seed_hits as f64 / stage_hits.max(1) as f64;
+
+    // Throughput: the family's whole mutant stream, shared database vs
+    // one isolated database per seed (what slot-private keying
+    // degenerates to). Both legs pay their slot builds inside the clock.
+    let total_mutants = seeds * mutants_per_seed;
+    let mut isolated_s = f64::INFINITY;
+    let mut shared_s = f64::INFINITY;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        for s in 0..seeds {
+            let isolated = QueryCache::default();
+            for m in &mutants[s] {
+                std::hint::black_box(isolated.compile(&compiler, &members[s], m));
+            }
+        }
+        isolated_s = isolated_s.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let fresh = QueryCache::default();
+        for s in 0..seeds {
+            for m in &mutants[s] {
+                std::hint::black_box(fresh.compile(&compiler, &members[s], m));
+            }
+        }
+        shared_s = shared_s.min(started.elapsed().as_secs_f64());
+    }
+    let speedup = isolated_s / shared_s;
+
+    // Slotless riders. `metamut compile` shape: the same program through
+    // one cache twice — the second pass must be all warm.
+    let cli_cache = QueryCache::default();
+    let cli_db_hits_cold = {
+        std::hint::black_box(cli_cache.compile_program(&compiler, &members[0]));
+        cli_cache.db().hits()
+    };
+    std::hint::black_box(cli_cache.compile_program(&compiler, &members[0]));
+    let compile_style_hits = cli_cache.db().hits() - cli_db_hits_cold;
+
+    // Macro-fuzzer shape: a variant stream over pooled parents, no seed
+    // slots at all — each variant shares its unedited declarations with
+    // the parent already compiled.
+    let macro_cache = QueryCache::default();
+    for s in 0..seeds.min(2) {
+        std::hint::black_box(macro_cache.compile_program(&compiler, &members[s]));
+        for m in mutants[s].iter().take(4) {
+            std::hint::black_box(macro_cache.compile_program(&compiler, m));
+        }
+    }
+    let macro_style_hits = macro_cache.db().hits();
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Mutants",
+                "Isolated/s",
+                "Shared/s",
+                "Speedup",
+                "Cross-seed rate",
+                "Mismatches",
+                "CLI hits",
+                "Macro hits",
+            ],
+            &[vec![
+                total_mutants.to_string(),
+                format!("{:.0}", total_mutants as f64 / isolated_s),
+                format!("{:.0}", total_mutants as f64 / shared_s),
+                format!("{speedup:.2}x"),
+                format!("{cross_seed_rate:.0}%"),
+                mismatches.to_string(),
+                compile_style_hits.to_string(),
+                macro_style_hits.to_string(),
+            ]]
+        )
+    );
+
+    let gate = "cross-seed hit rate > 50% on a family sharing >= half its declarations, shared-db \
+                mutant throughput >= 1.4x per-seed isolated databases, 0 cross-check mismatches, \
+                nonzero warm hits on the slotless compile and macro-fuzzer paths"
+        .to_string();
+    let report = CrossSeedReport {
+        seeds,
+        shared_decls,
+        decls_per_seed,
+        shared_fraction_pct: 100.0 * shared_fraction,
+        mutants_per_seed,
+        repeats,
+        gate: gate.clone(),
+        cross_check_mismatches: mismatches,
+        stage_hits,
+        cross_seed_hits,
+        cross_seed_rate_pct: cross_seed_rate,
+        isolated_s,
+        shared_s,
+        isolated_per_sec: total_mutants as f64 / isolated_s,
+        shared_per_sec: total_mutants as f64 / shared_s,
+        shared_speedup: speedup,
+        compile_style_hits,
+        macro_style_hits,
+        note: "seed family = shared heavy prelude + seed-private tails vs gcc-sim -O2; the same \
+               2-declaration edit schedule is applied to every member; the isolated leg gives \
+               each seed its own QueryDb, which is what the retired slot-keyed engine's private \
+               memos amounted to; both timing legs pay slot builds inside the clock; the \
+               correctness leg cross-checks every compile against cold and is also the counter \
+               source for the cross-seed rate"
+            .into(),
+    };
+
+    let path = if smoke {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        std::fs::create_dir_all(&dir).expect("create target/experiments");
+        dir.join("BENCH_crossseed_smoke.json")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_crossseed.json")
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize cross-seed report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_crossseed.json");
+    println!("report written to {}", path.display());
+
+    // Counter-based gates hold at any scale; only the timing gate needs
+    // the full workload.
+    assert_eq!(
+        mismatches, 0,
+        "query results diverged from cold on the seed family"
+    );
+    assert!(
+        cross_seed_hits > 0,
+        "a shared-prelude family produced no cross-seed hits"
+    );
+    assert!(
+        compile_style_hits > 0,
+        "the compile-twice CLI path never hit a warm memo"
+    );
+    assert!(
+        macro_style_hits > 0,
+        "the macro-fuzzer variant stream never hit a warm memo"
+    );
+    if smoke {
+        println!(
+            "(smoke run: timing gate skipped; cross-seed rate {cross_seed_rate:.0}%, \
+             cross-check clean)"
+        );
+    } else {
+        assert!(
+            cross_seed_rate > 50.0,
+            "cross-seed rate {cross_seed_rate:.1}% on a {:.0}%-shared family (gate: {gate})",
+            100.0 * shared_fraction
+        );
+        assert!(
+            speedup >= 1.4,
+            "shared database reached only {speedup:.2}x over isolated (gate: {gate})"
+        );
+        println!("gate ok: {cross_seed_rate:.0}% cross-seed, {speedup:.2}x over isolated — {gate}");
+    }
+    metamut_bench::finish();
+}

@@ -454,13 +454,17 @@ pub(crate) fn fuzz_iteration(
         generator.next_candidate(rng)
     };
 
+    // One content hash per mutant, shared by the dedup cache and the
+    // query engine's slot lookup — neither re-hashes the source.
+    let mutant_hash = metamut_lang::chash::hash128(candidate.program.as_bytes());
+
     // A byte-identical mutant was already compiled, its coverage merged
     // and its crash (if any) registered — the stored verdict is all that
     // is left to account for. `claim` gives this worker exclusive
     // ownership of a first sighting (a concurrent duplicate waits for
     // our published verdict and counts a hit), which keeps the
     // hit/miss/unique/filtered accounting exact under contention.
-    let claimed = shared.dedup.as_ref().map(|c| c.claim(&candidate.program));
+    let claimed = shared.dedup.as_ref().map(|c| c.claim_hashed(mutant_hash));
     let (compiled, new_bits) = match claimed {
         Some(Claim::Hit(verdict)) => {
             telemetry.counter_add("dedup_hits", 1);
@@ -487,7 +491,7 @@ pub(crate) fn fuzz_iteration(
                 // verdict to publish — release the claim so the next
                 // occurrence is re-gated and accounted the same way.
                 if let Some(cache) = shared.dedup.as_ref() {
-                    cache.abandon(&candidate.program);
+                    cache.abandon_hashed(mutant_hash);
                 }
                 (false, 0)
             } else {
@@ -498,7 +502,12 @@ pub(crate) fn fuzz_iteration(
                 let result = match (&shared.incremental, seed) {
                     (Some(cache), Some(seed)) => {
                         let _compile_span = telemetry.span_fast("compile_incremental");
-                        cache.compile(&shared.compiler, &seed, &candidate.program)
+                        cache.compile_hashed(
+                            &shared.compiler,
+                            &seed,
+                            &candidate.program,
+                            mutant_hash,
+                        )
                     }
                     _ => {
                         let _compile_span = telemetry.span_fast("compile_cold");
@@ -531,7 +540,7 @@ pub(crate) fn fuzz_iteration(
                 // Publish the verdict only now: a concurrent worker that
                 // sees the cache entry may skip merging entirely.
                 if let Some(cache) = shared.dedup.as_ref() {
-                    cache.insert(&candidate.program, Verdict::of(&result));
+                    cache.insert_hashed(mutant_hash, Verdict::of(&result));
                 }
                 (compiled, new_bits)
             }

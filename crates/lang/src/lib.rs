@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod chash;
 pub mod declsplit;
 pub mod error;
 pub mod fxhash;
@@ -39,7 +40,7 @@ pub mod types;
 pub mod visit;
 
 pub use ast::Ast;
-pub use declsplit::{split_decls, split_source, DeclChunk};
+pub use declsplit::{split_decls, split_source, DeclChunk, TextInterner};
 pub use error::{Diagnostic, Diagnostics};
 pub use parser::{parse, parse_with_typedefs};
 pub use rewrite::Rewriter;

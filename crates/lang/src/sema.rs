@@ -202,6 +202,23 @@ impl SemaSnapshot {
             .collect()
     }
 
+    /// The final function-signature table at this boundary (used by the
+    /// content-addressed query engine to build lowering's environment
+    /// digest and the hybrid lowering tables).
+    pub fn functions(&self) -> &FxHashMap<String, FuncSig> {
+        &self.functions
+    }
+
+    /// The final record table at this boundary.
+    pub fn records(&self) -> &FxHashMap<String, RecordInfo> {
+        &self.records
+    }
+
+    /// The final enumeration-constant table at this boundary.
+    pub fn enum_consts(&self) -> &FxHashMap<String, i64> {
+        &self.enum_consts
+    }
+
     /// An order-insensitive content hash of the observable environment.
     ///
     /// Two snapshots with equal fingerprints are interchangeable for
@@ -211,6 +228,61 @@ impl SemaSnapshot {
     /// constants, and the anonymous-tag counter. Scope-id allocation is
     /// deliberately excluded — scope ids never feed compilation output.
     pub fn fingerprint(&self) -> u64 {
+        let buf = self.fingerprint_text();
+        let mut h = crate::fxhash::FxHasher::default();
+        std::hash::Hash::hash(&buf, &mut h);
+        std::hash::Hasher::finish(&h)
+    }
+
+    /// The collision-resistant 128-bit form of [`Self::fingerprint`],
+    /// over the identical canonical rendering. The content-addressed
+    /// query engine folds this into every sema-stage memo key, where a
+    /// collision would silently serve one environment's artifacts to
+    /// another — hence the stronger hash.
+    pub fn fingerprint128(&self) -> u128 {
+        crate::chash::hash128(self.fingerprint_text().as_bytes())
+    }
+
+    /// 128-bit digest of the environment facts *lowering* can observe
+    /// through the given identifier spellings: function signatures
+    /// (rendered exactly as in [`Self::fingerprint`]) and
+    /// enumeration-constant values. Lowering consults cross-declaration
+    /// state only through `functions` and `enum_consts` lookups keyed by
+    /// identifiers appearing in the declaration (record layouts are
+    /// reachable only through types already complete at the
+    /// declaration's own boundary, which the sema fingerprint covers), so
+    /// restricting the digest to `idents` makes unrelated context changes
+    /// invisible to a declaration's lowering memo key.
+    ///
+    /// `idents` must be sorted and deduplicated (see
+    /// `declsplit::ident_spellings`) so the digest is deterministic.
+    pub fn lower_env_digest(&self, idents: &[&str]) -> u128 {
+        use std::fmt::Write as _;
+        let mut buf = String::new();
+        for n in idents {
+            if let Some(f) = self.functions.get(*n) {
+                write!(buf, "F:{n}:{}(", f.ret).expect("write to string");
+                for (p, pn) in f.params.iter().zip(&f.param_names) {
+                    write!(buf, "{p}:{};", pn.as_deref().unwrap_or("_")).expect("write to string");
+                }
+                write!(
+                    buf,
+                    "){}{}{};",
+                    u8::from(f.variadic),
+                    u8::from(f.unprototyped),
+                    u8::from(f.defined)
+                )
+                .expect("write to string");
+            }
+            if let Some(v) = self.enum_consts.get(*n) {
+                write!(buf, "E:{n}={v};").expect("write to string");
+            }
+        }
+        crate::chash::hash128(buf.as_bytes())
+    }
+
+    /// The canonical textual rendering both fingerprints hash.
+    fn fingerprint_text(&self) -> String {
         use std::fmt::Write as _;
         let mut buf = String::with_capacity(256);
         let mut names: Vec<&String> = self.file_symbols.keys().collect();
@@ -260,9 +332,7 @@ impl SemaSnapshot {
             write!(buf, "E:{n}={};", self.enum_consts[n]).expect("write to string");
         }
         write!(buf, "a:{}", self.anon_tags).expect("write to string");
-        let mut h = crate::fxhash::FxHasher::default();
-        std::hash::Hash::hash(&buf, &mut h);
-        std::hash::Hasher::finish(&h)
+        buf
     }
 }
 

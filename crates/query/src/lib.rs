@@ -86,7 +86,7 @@ pub fn fingerprint_of(value: &impl Hash) -> u64 {
 ///
 /// Returns `None` when the slices have different lengths — the caller cannot
 /// map positions one-to-one and must fall back to a full recomputation.
-pub fn dirty_set(baseline: &[u64], current: &[u64]) -> Option<Vec<usize>> {
+pub fn dirty_set<T: PartialEq>(baseline: &[T], current: &[T]) -> Option<Vec<usize>> {
     if baseline.len() != current.len() {
         return None;
     }
@@ -597,6 +597,51 @@ impl QueryDb {
         memo.value.clone()
     }
 
+    /// Content-addressed memoization: returns the stored value for
+    /// `(kind, key)` or computes and stores it, reporting whether the call
+    /// was a hit. Like [`Self::get_or_insert_with`] there is no dependency
+    /// tracking or invalidation — the key *is* the content, so the value
+    /// can never change — but unlike it the memo is stored as *derived*,
+    /// making it reclaimable by [`Self::enforce_cap`]'s LRU sweep: a
+    /// content-addressed table grows with every distinct declaration a
+    /// campaign ever compiles and must stay boundable.
+    pub fn memo_once(
+        &self,
+        kind: KindId,
+        key: Key,
+        compute: impl FnOnce() -> DynValue,
+    ) -> (DynValue, bool) {
+        {
+            let stamp = self.stamp();
+            let mut shard = self.shard(kind, key).lock();
+            if let Some(memo) = shard.get_mut(&(kind, key)) {
+                memo.last_used = stamp;
+                let value = memo.value.clone();
+                drop(shard);
+                self.note_hit(kind);
+                return (value, true);
+            }
+        }
+        let value = compute();
+        self.note_recompute(kind);
+        let rev = self.revision();
+        let stamp = self.stamp();
+        let mut shard = self.shard(kind, key).lock();
+        // A racing thread may have stored its own copy between our probe
+        // and this insert; keep the first one so every caller observes a
+        // single canonical artifact.
+        let memo = shard.entry((kind, key)).or_insert_with(|| Memo {
+            value: value.clone(),
+            fingerprint: 0,
+            verified_at: rev,
+            deps: Box::new([]),
+            prev: None,
+            last_used: stamp,
+            input: false,
+        });
+        (memo.value.clone(), false)
+    }
+
     /// Evicts least-recently-used *derived* memos until at most `cap`
     /// derived memos remain. Inputs are never evicted here — they are tiny,
     /// and dropping one would break dependents silently; whole groups retire
@@ -704,6 +749,26 @@ mod tests {
             half,
             sign,
         }
+    }
+
+    #[test]
+    fn memo_once_hits_and_is_reclaimable_by_the_lru_cap() {
+        let db = QueryDb::new();
+        let kind = db.register_input("content");
+        let k1 = db.intern2(1 | (1 << 63), 7);
+        let (v, hit) = db.memo_once(kind, k1, || val(41));
+        assert_eq!((as_i64(&v), hit), (41, false));
+        // The stored value wins over any later compute closure.
+        let (v, hit) = db.memo_once(kind, k1, || val(999));
+        assert_eq!((as_i64(&v), hit), (41, true));
+        // Content memos are derived, so the LRU cap can reclaim them —
+        // a content-addressed table must not grow without bound.
+        let k2 = db.intern2(2 | (1 << 63), 7);
+        db.memo_once(kind, k2, || val(42));
+        db.enforce_cap(1);
+        assert_eq!(db.len(), 1);
+        let (_, hit) = db.memo_once(kind, k2, || val(42));
+        assert!(hit, "the most recently used memo survives the sweep");
     }
 
     #[test]

@@ -1073,6 +1073,10 @@ fn status_value(inner: &Arc<Inner>) -> Value {
             "memos": (inner.query_db.len()),
             "hits": (inner.query_db.hits()),
             "recomputes": (inner.query_db.recomputes()),
+            // Stage memo hits served across tenant/seed boundaries: the
+            // content-addressed engine's sharing, visible per daemon.
+            "cross_seed": (metamut_simcomp::QueryCache::new(inner.query_db.clone())
+                .cross_seed_hits()),
         },
         "store": (inner.store.root().display().to_string()),
     })

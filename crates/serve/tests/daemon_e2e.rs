@@ -114,12 +114,21 @@ fn concurrent_tenants_share_query_db_and_complete() {
             "program": "int main() { int x; return x; }"
         }))
         .expect("submit c");
-    assert!(a < b && b < c);
+    // A fourth tenant fuzzes the same corpus at -O3: its slots are
+    // distinct from the -O2 tenants' (options key the slot), but the
+    // front-end stage memos are options-independent, so it compiles off
+    // the other tenants' parse/sema/lower work — sharing the slot-keyed
+    // engine could not express.
+    let d = client
+        .submit(&json!({"cmd": "fuzz", "iterations": 40, "seed": 11, "opt_level": 3}))
+        .expect("submit d");
+    assert!(a < b && b < c && c < d);
 
     let job_a = client.wait(a).expect("wait a");
     let job_b = client.wait(b).expect("wait b");
     let job_c = client.wait(c).expect("wait c");
-    for job in [&job_a, &job_b, &job_c] {
+    let job_d = client.wait(d).expect("wait d");
+    for job in [&job_a, &job_b, &job_c, &job_d] {
         assert_eq!(
             job.get("status").and_then(|v| v.as_str()),
             Some("done"),
@@ -150,12 +159,24 @@ fn concurrent_tenants_share_query_db_and_complete() {
         .and_then(|v| v.as_u64())
         .unwrap_or(0);
     assert!(hits > 0, "expected cross-tenant query hits, got {status:?}");
+    // And specifically *cross-origin* hits: memos computed for one
+    // tenant's seed served another tenant's compiles (the -O3 tenant's
+    // slot builds ride the -O2 tenants' front-end memos).
+    let cross_seed = status
+        .get("query_db")
+        .and_then(|q| q.get("cross_seed"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert!(
+        cross_seed > 0,
+        "expected cross-tenant memo sharing, got {status:?}"
+    );
 
     // The store kept terminal records and the campaigns' corpus entries.
     daemon.stop();
     let store = Store::open(&dir).expect("reopen store");
     let records = store.load_jobs();
-    assert_eq!(records.len(), 3);
+    assert_eq!(records.len(), 4);
     assert!(records.iter().all(|r| r.status == "done"));
     let corpus = store.load_corpus();
     assert!(

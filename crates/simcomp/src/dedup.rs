@@ -8,12 +8,19 @@
 //! [`DedupCache`] remembers each compiled source's [`Verdict`] so the
 //! campaign engine skips the whole pipeline on a repeat.
 //!
-//! The cache stores full source texts (exact matching, no hash-collision
-//! risk) sharded across several locks so parallel workers rarely contend.
-//! One cache serves one `(profile, options)` configuration — campaigns
-//! create their own, which makes that invariant structural.
+//! The cache keys entries by the same collision-resistant 128-bit content
+//! hash ([`metamut_lang::chash::hash128`]) the query engine keys its slots
+//! and the campaign threads through both: one hash per mutant, computed
+//! once, used for dedup *and* the incremental-compile slot lookup. Keying
+//! by hash instead of the full text drops the per-entry footprint from a
+//! whole source to 16 bytes; at a 2^64 birthday bound a false hit is
+//! beyond campaign scale. Entries are sharded across several locks so
+//! parallel workers rarely contend. One cache serves one
+//! `(profile, options)` configuration — campaigns create their own, which
+//! makes that invariant structural.
 
 use crate::{CompileResult, Compiler, Outcome};
+use metamut_lang::chash::hash128;
 use metamut_lang::fxhash::FxHashMap;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,10 +66,10 @@ pub enum Claim {
     Owner,
 }
 
-/// A sharded source → [`Verdict`] cache with hit/miss accounting.
+/// A sharded content-hash → [`Verdict`] cache with hit/miss accounting.
 #[derive(Debug)]
 pub struct DedupCache {
-    shards: Vec<Mutex<FxHashMap<String, Slot>>>,
+    shards: Vec<Mutex<FxHashMap<u128, Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -85,9 +92,8 @@ impl DedupCache {
         }
     }
 
-    fn shard(&self, src: &str) -> &Mutex<FxHashMap<String, Slot>> {
-        let h = crate::coverage::feature_hash_str(src);
-        &self.shards[(h >> (64 - SHARD_BITS)) as usize]
+    fn shard(&self, hash: u128) -> &Mutex<FxHashMap<u128, Slot>> {
+        &self.shards[(hash >> (128 - SHARD_BITS as u32)) as usize]
     }
 
     /// Looks up a source, recording a hit or miss. `Some` means the
@@ -95,7 +101,15 @@ impl DedupCache {
     /// in-flight reservation counts as a miss (the result is not
     /// available yet); racy callers should prefer [`DedupCache::claim`].
     pub fn lookup(&self, src: &str) -> Option<Verdict> {
-        let found = match self.shard(src).lock().get(src) {
+        self.lookup_hashed(hash128(src.as_bytes()))
+    }
+
+    /// [`DedupCache::lookup`] by a precomputed `hash128` of the source —
+    /// for callers that already hashed the mutant (the campaign computes
+    /// one content hash per candidate and reuses it for the query-engine
+    /// slot lookup).
+    pub fn lookup_hashed(&self, hash: u128) -> Option<Verdict> {
+        let found = match self.shard(hash).lock().get(&hash) {
             Some(Slot::Done(v)) => Some(*v),
             Some(Slot::InFlight) | None => None,
         };
@@ -119,10 +133,15 @@ impl DedupCache {
     /// [`insert`]: DedupCache::insert
     /// [`abandon`]: DedupCache::abandon
     pub fn claim(&self, src: &str) -> Claim {
+        self.claim_hashed(hash128(src.as_bytes()))
+    }
+
+    /// [`DedupCache::claim`] by a precomputed `hash128` of the source.
+    pub fn claim_hashed(&self, hash: u128) -> Claim {
         loop {
             {
-                let mut shard = self.shard(src).lock();
-                match shard.get(src) {
+                let mut shard = self.shard(hash).lock();
+                match shard.get(&hash) {
                     Some(Slot::Done(v)) => {
                         let v = *v;
                         drop(shard);
@@ -131,7 +150,7 @@ impl DedupCache {
                     }
                     Some(Slot::InFlight) => {} // wait for the owner below
                     None => {
-                        shard.insert(src.to_string(), Slot::InFlight);
+                        shard.insert(hash, Slot::InFlight);
                         drop(shard);
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         return Claim::Owner;
@@ -149,18 +168,26 @@ impl DedupCache {
     /// coverage and crash into the shared campaign state, so a concurrent
     /// worker that observes the cache entry can safely skip both.
     pub fn insert(&self, src: &str, verdict: Verdict) {
-        self.shard(src)
-            .lock()
-            .insert(src.to_string(), Slot::Done(verdict));
+        self.insert_hashed(hash128(src.as_bytes()), verdict);
+    }
+
+    /// [`DedupCache::insert`] by a precomputed `hash128` of the source.
+    pub fn insert_hashed(&self, hash: u128, verdict: Verdict) {
+        self.shard(hash).lock().insert(hash, Slot::Done(verdict));
     }
 
     /// Releases a [`DedupCache::claim`] reservation without publishing a
     /// verdict — for sources that never reach the compiler (the campaign's
     /// pre-compile UB gate), so each occurrence is re-gated and accounted.
     pub fn abandon(&self, src: &str) {
-        let mut shard = self.shard(src).lock();
-        if matches!(shard.get(src), Some(Slot::InFlight)) {
-            shard.remove(src);
+        self.abandon_hashed(hash128(src.as_bytes()));
+    }
+
+    /// [`DedupCache::abandon`] by a precomputed `hash128` of the source.
+    pub fn abandon_hashed(&self, hash: u128) {
+        let mut shard = self.shard(hash).lock();
+        if matches!(shard.get(&hash), Some(Slot::InFlight)) {
+            shard.remove(&hash);
         }
     }
 

@@ -175,7 +175,7 @@ pub(crate) struct DeclArtifacts {
 pub struct Baseline {
     profile: bugs::Profile,
     options: CompileOptions,
-    chunk_hashes: Vec<u64>,
+    chunk_hashes: Vec<u128>,
     decls: Vec<DeclArtifacts>,
     /// Environment fingerprint at every declaration boundary
     /// (`fingerprints[k]` = before declaration `k`).

@@ -1,0 +1,152 @@
+//! Properties of cross-seed memo sharing in the content-addressed query
+//! engine.
+//!
+//! Positive: two seeds that share byte-identical declarations must serve
+//! each other's stage memos — the second seed's slot build rides the
+//! first's parse/sema/lower work (observable as cross-seed hits) — while
+//! every compile stays bit-identical to cold [`Compiler::compile`].
+//!
+//! Negative: α-renamed near-misses (same declaration shape, different
+//! identifiers) must never alias. The content keys hash the declaration
+//! text itself, so a renamed variable is a different key from the parse
+//! stage down: no memo hits, no cross-seed hits, no way for one program's
+//! artifacts to leak into the other's result.
+
+use metamut_simcomp::{coverage_equal, CompileOptions, Compiler, Profile, QueryCache, QueryDb};
+use proptest::proptest;
+use proptest::test_runner::ProptestConfig;
+use std::sync::Arc;
+
+/// Self-contained declarations (no cross-references), so any subset in
+/// pool order is a valid shared prefix.
+const POOL: &[&str] = &[
+    "typedef int word;",
+    "int shared_g = 7;",
+    "volatile int shared_v;",
+    "struct Pair { int a; int b; };",
+    "static int twice(int x) { return x + x; }",
+    "int clamp(int x) { if (x > 100) { return 100; } if (x < 0) { return 0; } return x; }",
+];
+
+/// Selects a subset of the pool, in pool order, as the shared prefix.
+fn prefix(mask: u8) -> Vec<&'static str> {
+    POOL.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, d)| *d)
+        .collect()
+}
+
+fn program(prefix: &[&str], tail: &str) -> String {
+    let mut decls = prefix.to_vec();
+    decls.push(tail);
+    decls.join("\n") + "\n"
+}
+
+/// Compiles `mutant` against `seed` through the cache and asserts the
+/// result is bit-identical to a cold compile.
+fn check_matches_cold(compiler: &Compiler, cache: &QueryCache, seed: &str, mutant: &str) {
+    let cold = compiler.compile(mutant);
+    let queried = cache.compile(compiler, seed, mutant);
+    assert_eq!(
+        queried.outcome, cold.outcome,
+        "outcome diverged from cold:\n{mutant}"
+    );
+    assert!(
+        coverage_equal(&queried.coverage, &cold.coverage),
+        "coverage diverged from cold ({} vs {} branches):\n{mutant}",
+        queried.coverage.count(),
+        cold.coverage.count(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Seeds sharing a byte-identical declaration prefix produce
+    /// cross-seed hits, and every compile — including the slot builds and
+    /// the memo-served mutants — matches cold exactly (cross-check runs
+    /// on every compile here, so `mismatches` is a full oracle).
+    #[test]
+    fn byte_identical_declarations_share_across_seeds(
+        mask in 1u8..64,
+        k in 0i64..50,
+    ) {
+        let shared = prefix(mask);
+        let tail_a = format!(
+            "int enter_a(int n) {{ int s = 0; for (int i = 0; i < n; i = i + 1) {{ s = s + i; }} return s + {k}; }}"
+        );
+        let tail_b = format!(
+            "int enter_b(int n) {{ int s = {k}; while (n > 0) {{ s = s + n; n = n - 1; }} return s; }}"
+        );
+        let seed_a = program(&shared, &tail_a);
+        let seed_b = program(&shared, &tail_b);
+        let mutant_a = program(&shared, &tail_a.replace("s + i", "s + i * 2"));
+        let mutant_b = program(&shared, &tail_b.replace("s + n", "s - n"));
+
+        let cache = QueryCache::new(Arc::new(QueryDb::new())).with_cross_check(1);
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+
+        check_matches_cold(&compiler, &cache, &seed_a, &mutant_a);
+        let xs_after_a = cache.cross_seed_hits();
+        check_matches_cold(&compiler, &cache, &seed_b, &mutant_b);
+
+        // Seed B's slot build re-derived the shared prefix from seed A's
+        // memos: every shared declaration contributes at least a
+        // parse-stage cross-seed hit.
+        assert!(
+            cache.cross_seed_hits() > xs_after_a,
+            "no cross-seed hits for a {}-declaration shared prefix",
+            shared.len(),
+        );
+        assert_eq!(cache.mismatches(), 0, "cross-check found a divergence");
+    }
+
+    /// α-renamed near-misses never alias: a program whose only difference
+    /// is a renamed parameter/local shares no memos with the original.
+    #[test]
+    fn alpha_renamed_near_misses_never_share(
+        a in 0usize..6,
+        b_offset in 1usize..6,
+        k in 1i64..40,
+    ) {
+        const NAMES: &[&str] = &["value", "datum", "input_n", "count", "accum", "width"];
+        let b = (a + b_offset) % NAMES.len();
+        let renamed = |name: &str| {
+            format!(
+                "int compute(int {name}) {{\n    int doubled = {name} + {name};\n    int out = doubled * {k};\n    return out - {name};\n}}\n"
+            )
+        };
+        let prog_a = renamed(NAMES[a]);
+        let prog_b = renamed(NAMES[b]);
+
+        let db = Arc::new(QueryDb::new());
+        let cache = QueryCache::new(Arc::clone(&db));
+        let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+
+        let cold_a = compiler.compile(&prog_a);
+        let warm_a = cache.compile_program(&compiler, &prog_a);
+        assert_eq!(warm_a.outcome, cold_a.outcome);
+        assert!(coverage_equal(&warm_a.coverage, &cold_a.coverage));
+
+        // The renamed twin computes everything fresh: not a single stage
+        // memo from program A may serve program B.
+        let hits_after_a = db.hits();
+        let cold_b = compiler.compile(&prog_b);
+        let warm_b = cache.compile_program(&compiler, &prog_b);
+        assert_eq!(warm_b.outcome, cold_b.outcome);
+        assert!(coverage_equal(&warm_b.coverage, &cold_b.coverage));
+        assert_eq!(
+            db.hits(),
+            hits_after_a,
+            "α-renamed program aliased a memo:\n{prog_a}vs\n{prog_b}"
+        );
+        assert_eq!(cache.cross_seed_hits(), 0);
+
+        // Control: the zero-hit assertion above is meaningful — an exact
+        // re-compile of program A does hit the warm memos.
+        let again = cache.compile_program(&compiler, &prog_a);
+        assert_eq!(again.outcome, cold_a.outcome);
+        assert!(db.hits() > hits_after_a, "re-compile of A should hit");
+    }
+}

@@ -196,6 +196,22 @@ mod tests {
     }
 
     #[test]
+    fn renders_cross_seed_hit_family() {
+        // The query engine's per-stage cross-seed counters ride the
+        // generic `name{label}` convention onto /metrics.
+        let m = Metrics::new();
+        m.counter("query_cross_seed_hits{parse}")
+            .fetch_add(4, Ordering::Relaxed);
+        m.counter("query_cross_seed_hits{sema}")
+            .fetch_add(2, Ordering::Relaxed);
+        let text = render(&m.snapshot());
+        assert_valid_exposition(&text);
+        assert!(text.contains("# TYPE metamut_query_cross_seed_hits counter"));
+        assert!(text.contains("metamut_query_cross_seed_hits{label=\"parse\"} 4"));
+        assert!(text.contains("metamut_query_cross_seed_hits{label=\"sema\"} 2"));
+    }
+
+    #[test]
     fn sanitizes_hostile_names() {
         let m = Metrics::new();
         m.counter("weird-name.x{l\"v\"}")

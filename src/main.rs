@@ -279,7 +279,10 @@ fn compile_cmd(rest: &[String]) -> ExitCode {
         }
     };
     let compiler = Compiler::new(parse_profile(rest), parse_options(rest, 2));
-    let r = compiler.compile(&src);
+    // Ride the content-addressed query engine: a one-shot CLI compile
+    // needs no seed slot, and repeated declarations (across -O variants,
+    // or within one file) serve from warm memos.
+    let r = metamut_simcomp::QueryCache::default().compile_program(&compiler, &src);
     println!(
         "{} {} → {:?} ({} branches covered)",
         compiler.profile().name(),

@@ -307,6 +307,23 @@ pub fn campaign_report(
             "| **total** | {total_h} | {total_r} | {total_rate:.1}% |
 "
         ));
+        // Cross-seed sharing: memo hits served from a different seed,
+        // tenant, or slotless program than the one that computed them.
+        let xs: u64 = labeled_counter_values(snapshot, "query_cross_seed_hits")
+            .iter()
+            .map(|(_, n)| n)
+            .sum();
+        if xs > 0 {
+            let share = if total_h > 0 {
+                100.0 * xs as f64 / total_h as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "| cross-seed | {xs} | — | {share:.1}% of hits |
+"
+            ));
+        }
         let scalar = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
         out.push_str(&format!(
             "
