@@ -65,6 +65,7 @@ pub fn check_noop_mutant(parent: &str, mutant: &str) -> Option<Finding> {
             function: "<unit>".to_owned(),
             span: Span::new(0, 0),
             message: "mutant is alpha-equivalent to its parent: the rewrite is a no-op".to_owned(),
+            chain: Vec::new(),
         })
     } else {
         None

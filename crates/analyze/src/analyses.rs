@@ -9,10 +9,22 @@
 //! zero findings on known-good programs). Precision tricks that trade
 //! false positives for recall are out of bounds; see the per-analysis
 //! notes for the deliberate imprecision.
+//!
+//! Every pass is parameterized by a [`Summaries`] environment. With the
+//! empty environment (the default) all callees are unknown and the
+//! analyses are exactly intraprocedural; with an environment produced by
+//! [`crate::summary::summarize_unit`], call sites consume callee facts —
+//! parameter demands, pointee read/write effects, conditional-UB probes,
+//! return constants, observability and termination — making all six
+//! checks interprocedural without any inlining. The same walkers also
+//! *produce* summaries: run with a [`Probe`] attached and parameters
+//! seeded symbolic, they record which parameters are demanded, divided
+//! by, dereferenced, or used as array indices.
 
 use crate::cfg::{syntactic_const, Action, Cfg};
 use crate::dataflow::{forward, Lattice};
-use crate::findings::{Finding, Severity};
+use crate::findings::{ChainLink, Finding, Severity};
+use crate::summary::{Chain, FnSummary, Summaries};
 use metamut_lang::ast::{
     BinaryOp, BlockItem, Expr, ExprKind, ExternalDecl, ForInit, FunctionDef, Initializer, Stmt,
     StmtKind, Storage, TranslationUnit, TySyn, UnaryOp, VarDecl,
@@ -64,14 +76,33 @@ fn ty_is_volatile(ty: &TySyn) -> bool {
     }
 }
 
-/// Analyzes every function definition of `unit`, findings in source order.
+/// Analyzes every function definition of `unit` **interprocedurally**:
+/// summarizes the unit bottom-up over its call graph, then analyzes each
+/// function against that environment. Findings in source order.
 pub fn analyze_unit(unit: &TranslationUnit) -> Vec<Finding> {
     let globals = collect_globals(unit);
+    let summaries = crate::summary::summarize_unit(unit, &globals);
+    analyze_unit_inner(unit, &globals, &summaries)
+}
+
+/// Analyzes every function definition of `unit` against a caller-chosen
+/// summary environment. Pass `&Summaries::default()` for the strictly
+/// intraprocedural behavior (every callee unknown).
+pub fn analyze_unit_with(unit: &TranslationUnit, summaries: &Summaries) -> Vec<Finding> {
+    let globals = collect_globals(unit);
+    analyze_unit_inner(unit, &globals, summaries)
+}
+
+fn analyze_unit_inner(
+    unit: &TranslationUnit,
+    globals: &GlobalInfo,
+    summaries: &Summaries,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for decl in &unit.decls {
         if let ExternalDecl::Function(f) = decl {
             if f.body.is_some() {
-                findings.extend(analyze_function(f, &globals));
+                findings.extend(analyze_function_with(f, globals, summaries));
             }
         }
     }
@@ -109,12 +140,16 @@ struct FnInfo<'a> {
     /// finding is always preferred over a false one.
     kinds: FxHashMap<String, VarKind>,
     /// Locals whose address is taken anywhere in the body: writable
-    /// through pointers, so never tracked.
+    /// through pointers, so never tracked. `&x` arguments to a known
+    /// callee whose matching pointer parameter does not escape are
+    /// exempt — their pointee effects are modeled at the call site.
     address_taken: FxHashSet<String>,
     /// Volatile names visible in the body (locals and globals).
     volatile: FxHashSet<String>,
     /// Array sizes: globals overlaid with locals.
     array_sizes: FxHashMap<String, i128>,
+    /// Callee summary environment (empty = intraprocedural).
+    summaries: &'a Summaries,
 }
 
 impl FnInfo<'_> {
@@ -126,6 +161,20 @@ impl FnInfo<'_> {
             Some(k @ (VarKind::Scalar | VarKind::Pointer)) => Some(*k),
             _ => None,
         }
+    }
+
+    /// Resolves a call's callee expression to a summarized function: a
+    /// plain identifier, not shadowed by any local or parameter, with a
+    /// summary in the environment. Anything else is unknown.
+    fn callee<'e, 's>(&'s self, callee: &'e Expr) -> Option<(&'e str, &'s FnSummary)> {
+        if let ExprKind::Ident(name) = &callee.unparenthesized().kind {
+            if !self.kinds.contains_key(name.as_str()) {
+                if let Some(s) = self.summaries.get(name) {
+                    return Some((name.as_str(), s.as_ref()));
+                }
+            }
+        }
+        None
     }
 
     fn finding(
@@ -141,15 +190,20 @@ impl FnInfo<'_> {
             function: self.func.to_owned(),
             span,
             message: msg,
+            chain: Vec::new(),
         }
     }
 }
 
-/// Runs the full per-function suite.
-pub fn analyze_function(fun: &FunctionDef, globals: &GlobalInfo) -> Vec<Finding> {
-    let Some(cfg) = Cfg::build(fun) else {
-        return Vec::new();
-    };
+/// Builds the CFG and shared per-function facts (name kinds, sanctioned
+/// address-taking, volatiles, array sizes). Returns `None` for
+/// prototypes.
+fn fn_context<'a>(
+    fun: &'a FunctionDef,
+    globals: &GlobalInfo,
+    summaries: &'a Summaries,
+) -> Option<(Cfg<'a>, FnInfo<'a>)> {
+    let cfg = Cfg::build(fun)?;
     let body = fun.body.as_ref().expect("CFG implies a body");
 
     // -- prepass: classify every name the body can mention ---------------
@@ -178,8 +232,15 @@ pub fn analyze_function(fun: &FunctionDef, globals: &GlobalInfo) -> Vec<Finding>
         kinds.remove(name);
     }
 
+    // `&x` passed straight to a known callee whose pointer parameter does
+    // not escape is *sanctioned*: the callee's pointee effects are fully
+    // modeled at the call site, so taking the address there must not
+    // untrack `x`.
+    let sanctioned = collect_sanctioned(body, &kinds, summaries);
     let mut address_taken = FxHashSet::default();
-    for_each_expr(body, &mut |e| collect_address_taken(e, &mut address_taken));
+    for_each_expr(body, &mut |e| {
+        collect_address_taken(e, &sanctioned, &mut address_taken);
+    });
 
     let info = FnInfo {
         func: &fun.name,
@@ -187,16 +248,278 @@ pub fn analyze_function(fun: &FunctionDef, globals: &GlobalInfo) -> Vec<Finding>
         address_taken,
         volatile,
         array_sizes,
+        summaries,
     };
+    Some((cfg, info))
+}
+
+/// Spans of `&ident` expressions appearing directly as an argument to a
+/// known callee whose matching pointer parameter does not escape.
+fn collect_sanctioned(
+    body: &Stmt,
+    kinds: &FxHashMap<String, VarKind>,
+    summaries: &Summaries,
+) -> Vec<Span> {
+    let mut out = Vec::new();
+    if summaries.is_empty() {
+        return out;
+    }
+    for_each_expr(body, &mut |e| {
+        walk_exprs(e, &mut |sub| {
+            let ExprKind::Call { callee, args } = &sub.kind else {
+                return;
+            };
+            let ExprKind::Ident(gname) = &callee.unparenthesized().kind else {
+                return;
+            };
+            if kinds.contains_key(gname.as_str()) {
+                return;
+            }
+            let Some(g) = summaries.get(gname) else {
+                return;
+            };
+            for (j, a) in args.iter().enumerate() {
+                if j >= g.ptr_escapes.len() || g.ptr_escapes[j] {
+                    continue;
+                }
+                let inner = a.unparenthesized();
+                if let ExprKind::Unary {
+                    op: UnaryOp::AddrOf,
+                    operand,
+                } = &inner.kind
+                {
+                    if matches!(operand.unparenthesized().kind, ExprKind::Ident(_)) {
+                        out.push(inner.span);
+                    }
+                }
+            }
+        });
+    });
+    out
+}
+
+/// Runs the full per-function suite **intraprocedurally** (empty summary
+/// environment: every callee unknown).
+pub fn analyze_function(fun: &FunctionDef, globals: &GlobalInfo) -> Vec<Finding> {
+    analyze_function_with(fun, globals, &Summaries::default())
+}
+
+/// Runs the full per-function suite against a summary environment.
+pub fn analyze_function_with(
+    fun: &FunctionDef,
+    globals: &GlobalInfo,
+    summaries: &Summaries,
+) -> Vec<Finding> {
+    let Some((cfg, info)) = fn_context(fun, globals, summaries) else {
+        return Vec::new();
+    };
+    let body = fun.body.as_ref().expect("CFG implies a body");
+    let live = compute_live(&cfg, &info);
 
     let mut findings = Vec::new();
-    uninit_pass(&cfg, &info, &mut findings);
-    const_pass(&cfg, &info, &mut findings);
-    unreachable_pass(&cfg, &info, &mut findings);
+    uninit_flow(
+        &cfg,
+        &info,
+        &live,
+        BTreeMap::new(),
+        Some(&mut findings),
+        None,
+    );
+    const_flow(&cfg, fun, &info, &live, Some(&mut findings), None);
+    unreachable_pass(&cfg, &info, &live, &mut findings);
     infinite_loop_pass(body, &info, &mut findings);
     findings.sort_by_key(|f| (f.span.lo, f.span.hi, f.analysis));
     findings.dedup();
     findings
+}
+
+// ======================================================================
+// Liveness under no-return calls
+// ======================================================================
+
+/// Nodes reachable from entry when nodes that *definitely* evaluate a
+/// call to a known no-return callee keep none of their successors. With
+/// an empty summary environment this is exactly [`Cfg::reachable`].
+fn compute_live(cfg: &Cfg<'_>, info: &FnInfo<'_>) -> Vec<bool> {
+    let cut: Vec<bool> = cfg
+        .nodes
+        .iter()
+        .map(|n| match n.action {
+            Action::Decl(v) => v
+                .init
+                .as_ref()
+                .is_some_and(|init| init_calls_noreturn(init, info)),
+            Action::Eval(e) | Action::Branch(e) => calls_noreturn(e, info),
+            Action::Return(Some(e)) => calls_noreturn(e, info),
+            _ => false,
+        })
+        .collect();
+    let mut live = vec![false; cfg.nodes.len()];
+    let mut stack = vec![cfg.entry];
+    live[cfg.entry] = true;
+    while let Some(n) = stack.pop() {
+        if cut[n] {
+            continue;
+        }
+        for &s in &cfg.nodes[n].succs {
+            if !live[s] {
+                live[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    live
+}
+
+/// Whether evaluating `e` *unconditionally* calls a known callee that
+/// cannot return. Conditional positions (`?:` arms, short-circuit right
+/// sides, `sizeof` operands) are skipped.
+fn calls_noreturn(e: &Expr, info: &FnInfo<'_>) -> bool {
+    match &e.kind {
+        ExprKind::IntLit { .. }
+        | ExprKind::FloatLit { .. }
+        | ExprKind::CharLit { .. }
+        | ExprKind::StrLit { .. }
+        | ExprKind::Ident(_)
+        | ExprKind::SizeofExpr(_)
+        | ExprKind::SizeofType(_) => false,
+        ExprKind::Paren(inner) => calls_noreturn(inner, info),
+        ExprKind::Unary { op, operand } => match op {
+            UnaryOp::AddrOf if matches!(operand.unparenthesized().kind, ExprKind::Ident(_)) => {
+                false
+            }
+            _ => calls_noreturn(operand, info),
+        },
+        ExprKind::Binary { op, lhs, rhs } => {
+            calls_noreturn(lhs, info) || (!op.is_logical() && calls_noreturn(rhs, info))
+        }
+        ExprKind::Assign { lhs, rhs, .. } => calls_noreturn(rhs, info) || calls_noreturn(lhs, info),
+        ExprKind::Cond { cond, .. } => calls_noreturn(cond, info),
+        ExprKind::Call { callee, args } => {
+            let callee_eval = match &callee.unparenthesized().kind {
+                ExprKind::Ident(_) => false,
+                _ => calls_noreturn(callee, info),
+            };
+            callee_eval
+                || args.iter().any(|a| calls_noreturn(a, info))
+                || info.callee(callee).is_some_and(|(_, g)| !g.may_return)
+        }
+        ExprKind::Index { base, index } => {
+            calls_noreturn(base, info) || calls_noreturn(index, info)
+        }
+        ExprKind::Member { base, .. } => calls_noreturn(base, info),
+        ExprKind::Cast { expr, .. } => calls_noreturn(expr, info),
+        ExprKind::CompoundLit { init, .. } => init_calls_noreturn(init, info),
+        ExprKind::Comma { lhs, rhs } => calls_noreturn(lhs, info) || calls_noreturn(rhs, info),
+    }
+}
+
+fn init_calls_noreturn(init: &Initializer, info: &FnInfo<'_>) -> bool {
+    match init {
+        Initializer::Expr(e) => calls_noreturn(e, info),
+        Initializer::List { items, .. } => items.iter().any(|i| init_calls_noreturn(i, info)),
+    }
+}
+
+// ======================================================================
+// Summary probes
+// ======================================================================
+
+/// Facts recorded about a function's *own parameters* while its body is
+/// walked with parameters seeded symbolic. Chains are in "this function"
+/// coordinates: the first link's span lies in the summarized function.
+struct Probe {
+    func: String,
+    /// Trackable parameter name → position (value demand).
+    param_of: FxHashMap<String, usize>,
+    /// Pseudo pointee key (`"*name"`) → position, for non-escaping
+    /// pointer parameters.
+    pseudo_of: FxHashMap<String, usize>,
+    /// Tracked kind per position (type-guards the UB probes).
+    param_kinds: Vec<Option<VarKind>>,
+    demands: Vec<Option<Chain>>,
+    ptr_reads: Vec<Option<Chain>>,
+    div_params: Vec<Option<Chain>>,
+    deref_params: Vec<Option<Chain>>,
+    idx_params: Vec<Option<(String, i128, Chain)>>,
+}
+
+impl Probe {
+    fn new(fun: &FunctionDef, info: &FnInfo<'_>, ptr_escapes: &[bool]) -> Probe {
+        let n = fun.params.len();
+        let mut p = Probe {
+            func: fun.name.clone(),
+            param_of: FxHashMap::default(),
+            pseudo_of: FxHashMap::default(),
+            param_kinds: vec![None; n],
+            demands: vec![None; n],
+            ptr_reads: vec![None; n],
+            div_params: vec![None; n],
+            deref_params: vec![None; n],
+            idx_params: vec![None; n],
+        };
+        for (j, param) in fun.params.iter().enumerate() {
+            let Some(name) = &param.name else { continue };
+            let Some(kind) = info.trackable(name) else {
+                continue;
+            };
+            p.param_kinds[j] = Some(kind);
+            p.param_of.insert(name.clone(), j);
+            if kind == VarKind::Pointer && !ptr_escapes[j] {
+                p.pseudo_of.insert(format!("*{name}"), j);
+            }
+        }
+        p
+    }
+
+    fn compose(&self, span: Span, deeper: Option<&Chain>) -> Chain {
+        let mut c = vec![ChainLink {
+            function: self.func.clone(),
+            span,
+        }];
+        if let Some(d) = deeper {
+            c.extend(d.iter().cloned());
+        }
+        c
+    }
+
+    /// Records a definite uninitialized read of a seeded name — a value
+    /// demand for parameter names, a pointee read for pseudo keys.
+    fn record_read(&mut self, name: &str, span: Span, deeper: Option<&Chain>) {
+        if let Some(&j) = self.param_of.get(name) {
+            if self.demands[j].is_none() {
+                self.demands[j] = Some(self.compose(span, deeper));
+            }
+        } else if let Some(&j) = self.pseudo_of.get(name) {
+            if self.ptr_reads[j].is_none() {
+                self.ptr_reads[j] = Some(self.compose(span, deeper));
+            }
+        }
+    }
+
+    fn record_div(&mut self, k: usize, span: Span, deeper: Option<&Chain>) {
+        if self.param_kinds.get(k).copied().flatten() == Some(VarKind::Scalar)
+            && self.div_params[k].is_none()
+        {
+            self.div_params[k] = Some(self.compose(span, deeper));
+        }
+    }
+
+    fn record_deref(&mut self, k: usize, span: Span, deeper: Option<&Chain>) {
+        if self.param_kinds.get(k).copied().flatten() == Some(VarKind::Pointer)
+            && self.deref_params[k].is_none()
+        {
+            self.deref_params[k] = Some(self.compose(span, deeper));
+        }
+    }
+
+    fn record_idx(&mut self, k: usize, arr: &str, size: i128, span: Span, deeper: Option<&Chain>) {
+        if self.param_kinds.get(k).copied().flatten() == Some(VarKind::Scalar)
+            && self.idx_params[k].is_none()
+        {
+            self.idx_params[k] = Some((arr.to_owned(), size, self.compose(span, deeper)));
+        }
+    }
 }
 
 // ======================================================================
@@ -223,6 +546,8 @@ impl Tri {
 
 /// Variable → initialization state. `BTreeMap` keeps joins and equality
 /// deterministic; a missing key means "untracked" and joins as `Init`.
+/// Pseudo keys `"*name"` track the pointee of a non-escaping pointer
+/// parameter during summarization.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct InitMap(BTreeMap<String, Tri>);
 
@@ -257,6 +582,7 @@ struct UninitWalk<'i, 'f> {
     info: &'i FnInfo<'i>,
     st: BTreeMap<String, Tri>,
     sink: Option<&'f mut Vec<Finding>>,
+    probe: Option<&'f mut Probe>,
 }
 
 impl UninitWalk<'_, '_> {
@@ -265,6 +591,11 @@ impl UninitWalk<'_, '_> {
             return;
         };
         if tri != Tri::Init {
+            if tri == Tri::Uninit && !guarded {
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.record_read(name, span, None);
+                }
+            }
             if self.sink.is_some() {
                 let f = if tri == Tri::Uninit && !guarded {
                     self.info.finding(
@@ -344,6 +675,10 @@ impl UninitWalk<'_, '_> {
                         self.expr(operand, guarded);
                     }
                 }
+                UnaryOp::Deref => {
+                    self.expr(operand, guarded);
+                    self.pointee_read_site(operand, e.span, guarded);
+                }
                 _ if op.is_inc_dec() => {
                     if let ExprKind::Ident(name) = &operand.unparenthesized().kind {
                         self.read(name, operand.span, guarded);
@@ -369,7 +704,7 @@ impl UninitWalk<'_, '_> {
                     }
                     self.write(&name);
                 } else {
-                    self.write_target(lhs, guarded);
+                    self.write_target(lhs, guarded, op.is_some());
                 }
             }
             ExprKind::Cond {
@@ -389,13 +724,21 @@ impl UninitWalk<'_, '_> {
                     ExprKind::Ident(name) if !self.info.kinds.contains_key(name) => {}
                     _ => self.expr(callee, guarded),
                 }
-                for a in args {
+                let info = self.info;
+                let known = info.callee(callee);
+                for (j, a) in args.iter().enumerate() {
+                    if let Some((gname, g)) = known {
+                        if j < g.params.len() && self.call_arg(gname, g, j, a, guarded) {
+                            continue;
+                        }
+                    }
                     self.expr(a, guarded);
                 }
             }
             ExprKind::Index { base, index } => {
                 self.expr(index, guarded);
                 self.base_read(base, guarded);
+                self.pointee_read_site(base, e.span, guarded);
             }
             ExprKind::Member { base, arrow, .. } => {
                 if *arrow {
@@ -409,6 +752,149 @@ impl UninitWalk<'_, '_> {
             ExprKind::Comma { lhs, rhs } => {
                 self.expr(lhs, guarded);
                 self.expr(rhs, guarded);
+            }
+        }
+    }
+
+    /// Call-site transfer for one argument of a known callee, consuming
+    /// the callee's summary. Returns `true` when the argument is fully
+    /// handled (the default evaluation walk must not run).
+    fn call_arg(&mut self, gname: &str, g: &FnSummary, j: usize, a: &Expr, guarded: bool) -> bool {
+        let inner = a.unparenthesized();
+        match &inner.kind {
+            // `&x` out-argument to a non-escaping pointer parameter:
+            // model the callee's pointee read/write against `x` itself.
+            ExprKind::Unary {
+                op: UnaryOp::AddrOf,
+                operand,
+            } => {
+                if let ExprKind::Ident(x) = &operand.unparenthesized().kind {
+                    if !g.ptr_escapes[j] && self.info.trackable(x).is_some() {
+                        let x = x.clone();
+                        if let Some(chain) = &g.ptr_reads[j] {
+                            self.pointee_read_via(gname, &x, inner.span, chain, guarded);
+                        }
+                        if g.ptr_writes[j] {
+                            self.st.insert(x, Tri::Init);
+                        } else if let Some(&t) = self.st.get(&x) {
+                            // Maybe-written by the callee.
+                            self.st.insert(x, t.join(Tri::Init));
+                        }
+                        return true;
+                    }
+                }
+                false
+            }
+            ExprKind::Ident(x) => {
+                // By-value demand: the read happens here (argument
+                // evaluation), but a known callee read lets the finding
+                // carry a chain to where the value is actually used.
+                if !guarded && self.st.get(x.as_str()) == Some(&Tri::Uninit) {
+                    if let Some(chain) = &g.demands[j] {
+                        let x = x.clone();
+                        if let Some(probe) = self.probe.as_deref_mut() {
+                            probe.record_read(&x, inner.span, Some(chain));
+                        }
+                        if self.sink.is_some() {
+                            let mut f = self.info.finding(
+                                "uninit-read",
+                                Severity::Ub,
+                                inner.span,
+                                format!("read of uninitialized variable `{x}`"),
+                            );
+                            f.chain = chain.clone();
+                            if let Some(sink) = self.sink.as_deref_mut() {
+                                sink.push(f);
+                            }
+                        }
+                        self.st.insert(x, Tri::Init);
+                    }
+                }
+                // Straight-through pointer parameter (summarization
+                // only: pseudo keys exist only with a seeded entry).
+                let pseudo = format!("*{x}");
+                if self.st.contains_key(pseudo.as_str()) && !g.ptr_escapes[j] {
+                    if let Some(chain) = &g.ptr_reads[j] {
+                        if self.st.get(pseudo.as_str()) == Some(&Tri::Uninit) && !guarded {
+                            if let Some(probe) = self.probe.as_deref_mut() {
+                                probe.record_read(&pseudo, inner.span, Some(chain));
+                            }
+                        }
+                        self.st.insert(pseudo.clone(), Tri::Init);
+                    }
+                    if g.ptr_writes[j] {
+                        self.st.insert(pseudo, Tri::Init);
+                    } else if let Some(&t) = self.st.get(pseudo.as_str()) {
+                        self.st.insert(pseudo, t.join(Tri::Init));
+                    }
+                }
+                // The default walk still evaluates (reads) `x` itself.
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// A read of `x`'s storage performed *inside* callee `gname` through
+    /// a sanctioned `&x` argument. Mirrors [`Self::read`], with a
+    /// chain-carrying message naming the callee.
+    fn pointee_read_via(&mut self, gname: &str, x: &str, span: Span, chain: &Chain, guarded: bool) {
+        let Some(&tri) = self.st.get(x) else {
+            return;
+        };
+        if tri == Tri::Init {
+            return;
+        }
+        if tri == Tri::Uninit && !guarded {
+            if let Some(probe) = self.probe.as_deref_mut() {
+                probe.record_read(x, span, Some(chain));
+            }
+        }
+        if self.sink.is_some() {
+            let mut f = if tri == Tri::Uninit && !guarded {
+                self.info.finding(
+                    "uninit-read",
+                    Severity::Ub,
+                    span,
+                    format!("`{x}` is read by `{gname}` before it is initialized"),
+                )
+            } else {
+                self.info.finding(
+                    "possible-uninit-read",
+                    Severity::Lint,
+                    span,
+                    format!("`{x}` may be read by `{gname}` before it is initialized"),
+                )
+            };
+            f.chain = chain.clone();
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.push(f);
+            }
+        }
+        self.st.insert(x.to_owned(), Tri::Init);
+    }
+
+    /// A read through `*p` / `p[i]` of the pseudo pointee key, active
+    /// only while summarizing (pseudo keys never enter a caller's map).
+    fn pointee_read_site(&mut self, ptr: &Expr, span: Span, guarded: bool) {
+        if let ExprKind::Ident(p) = &ptr.unparenthesized().kind {
+            let pseudo = format!("*{p}");
+            if self.st.contains_key(pseudo.as_str()) {
+                self.read(&pseudo, span, guarded);
+            }
+        }
+    }
+
+    /// A write through `*p` / `p[i]` of the pseudo pointee key; compound
+    /// assignments read first.
+    fn pointee_write_site(&mut self, ptr: &Expr, span: Span, guarded: bool, compound: bool) {
+        if let ExprKind::Ident(p) = &ptr.unparenthesized().kind {
+            let pseudo = format!("*{p}");
+            if self.st.contains_key(pseudo.as_str()) {
+                if compound {
+                    self.read(&pseudo, span, guarded);
+                }
+                self.st.insert(pseudo, Tri::Init);
             }
         }
     }
@@ -429,22 +915,26 @@ impl UninitWalk<'_, '_> {
 
     /// Evaluation effects of a non-identifier assignment target: the
     /// stored-to location isn't read, but every address computation is.
-    fn write_target(&mut self, lhs: &Expr, guarded: bool) {
+    fn write_target(&mut self, lhs: &Expr, guarded: bool, compound: bool) {
         match &lhs.unparenthesized().kind {
             ExprKind::Ident(_) => {}
             ExprKind::Index { base, index } => {
                 self.expr(index, guarded);
                 self.base_read(base, guarded);
+                self.pointee_write_site(base, lhs.span, guarded, compound);
             }
             ExprKind::Unary {
                 op: UnaryOp::Deref,
                 operand,
-            } => self.expr(operand, guarded),
+            } => {
+                self.expr(operand, guarded);
+                self.pointee_write_site(operand, lhs.span, guarded, compound);
+            }
             ExprKind::Member { base, arrow, .. } => {
                 if *arrow {
                     self.expr(base, guarded);
                 } else {
-                    self.write_target(base, guarded);
+                    self.write_target(base, guarded, compound);
                 }
             }
             _ => self.expr(lhs, guarded),
@@ -452,13 +942,28 @@ impl UninitWalk<'_, '_> {
     }
 }
 
-fn uninit_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
-    let entry = InitMap(BTreeMap::new());
-    let apply = |node: usize, st: &InitMap, sink: Option<&mut Vec<Finding>>, info: &FnInfo<'_>| {
+/// Runs the uninitialized-read dataflow with a chosen entry state.
+/// Returns the exit node's in-state (the summarization caller inspects
+/// pseudo keys to derive definite-write facts); `None` when the exit is
+/// unreachable.
+fn uninit_flow(
+    cfg: &Cfg<'_>,
+    info: &FnInfo<'_>,
+    live: &[bool],
+    entry: BTreeMap<String, Tri>,
+    mut findings: Option<&mut Vec<Finding>>,
+    mut probe: Option<&mut Probe>,
+) -> Option<BTreeMap<String, Tri>> {
+    let apply = |node: usize,
+                 st: &InitMap,
+                 sink: Option<&mut Vec<Finding>>,
+                 probe: Option<&mut Probe>|
+     -> InitMap {
         let mut w = UninitWalk {
             info,
             st: st.0.clone(),
             sink,
+            probe,
         };
         match cfg.nodes[node].action {
             Action::Decl(v) => w.decl(v, false),
@@ -468,22 +973,36 @@ fn uninit_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
         }
         InitMap(w.st)
     };
-    let in_states = forward(cfg, entry, |node, st| apply(node, st, None, info));
+    let in_states = forward(cfg, InitMap(entry), |node, st| apply(node, st, None, None));
     for (node, st) in in_states.iter().enumerate() {
+        if !live[node] {
+            continue;
+        }
         if let Some(st) = st {
-            apply(node, st, Some(findings), info);
+            apply(node, st, findings.as_deref_mut(), probe.as_deref_mut());
         }
     }
+    in_states.into_iter().nth(cfg.exit).flatten().map(|m| m.0)
 }
 
 // ======================================================================
 // Constant-propagation checks: div/mod by zero, OOB indexing, null deref
 // ======================================================================
 
-/// Variable → known constant value (pointers use `0` for null). Join is
-/// set intersection with value agreement.
+/// A tracked value: a known constant (pointers use `0` for null) or the
+/// still-unmodified value of the enclosing function's parameter `k`.
+/// Symbolic parameter values never fire findings — they fire *probes*,
+/// which become findings in callers that pin the argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CVal {
+    Const(i128),
+    Param(usize),
+}
+
+/// Variable → known value. Join is set intersection with value
+/// agreement.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct ConstMap(BTreeMap<String, i128>);
+struct ConstMap(BTreeMap<String, CVal>);
 
 impl Lattice for ConstMap {
     fn join_with(&mut self, other: &Self) -> bool {
@@ -495,42 +1014,60 @@ impl Lattice for ConstMap {
 
 struct ConstWalk<'i, 'f> {
     info: &'i FnInfo<'i>,
-    st: BTreeMap<String, i128>,
+    st: BTreeMap<String, CVal>,
     sink: Option<&'f mut Vec<Finding>>,
+    probe: Option<&'f mut Probe>,
 }
 
 impl ConstWalk<'_, '_> {
-    fn eval(&self, e: &Expr) -> Option<i128> {
+    fn eval(&self, e: &Expr) -> Option<CVal> {
         match &e.kind {
-            ExprKind::IntLit { value, .. } => Some(*value),
-            ExprKind::CharLit { value } => Some(*value as i128),
+            ExprKind::IntLit { value, .. } => Some(CVal::Const(*value)),
+            ExprKind::CharLit { value } => Some(CVal::Const(*value as i128)),
             ExprKind::Ident(name) => self.st.get(name).copied(),
             ExprKind::Paren(inner) => self.eval(inner),
             ExprKind::Unary { op, operand } => {
                 let v = self.eval(operand)?;
-                match op {
-                    UnaryOp::Plus => Some(v),
-                    UnaryOp::Minus => v.checked_neg(),
-                    UnaryOp::Not => Some((v == 0) as i128),
-                    UnaryOp::BitNot => Some(!v),
+                match (op, v) {
+                    (UnaryOp::Plus, v) => Some(v),
+                    (UnaryOp::Minus, CVal::Const(v)) => v.checked_neg().map(CVal::Const),
+                    (UnaryOp::Not, CVal::Const(v)) => Some(CVal::Const((v == 0) as i128)),
+                    (UnaryOp::BitNot, CVal::Const(v)) => Some(CVal::Const(!v)),
                     _ => None,
                 }
             }
-            ExprKind::Binary { op, lhs, rhs } => {
-                let l = self.eval(lhs)?;
-                let r = self.eval(rhs)?;
-                crate::cfg::eval_binary(*op, l, r)
-            }
+            ExprKind::Binary { op, lhs, rhs } => match (self.eval(lhs)?, self.eval(rhs)?) {
+                (CVal::Const(l), CVal::Const(r)) => {
+                    crate::cfg::eval_binary(*op, l, r).map(CVal::Const)
+                }
+                _ => None,
+            },
             ExprKind::Cond {
                 cond,
                 then_expr,
                 else_expr,
             } => {
-                let c = self.eval(cond)?;
+                let CVal::Const(c) = self.eval(cond)? else {
+                    return None;
+                };
                 if c != 0 {
                     self.eval(then_expr)
                 } else {
                     self.eval(else_expr)
+                }
+            }
+            // A known callee's constant or pass-through return folds.
+            // Safe to evaluate without walking: tracked variables cannot
+            // be mutated by a call (sanctioned `&x` out-args are killed
+            // by the call's own transfer before later facts are used).
+            ExprKind::Call { callee, args } => {
+                let (_, g) = self.info.callee(callee)?;
+                if let Some(c) = g.returns_const {
+                    Some(CVal::Const(c))
+                } else if let Some(i) = g.returns_param {
+                    args.get(i).and_then(|a| self.eval(a))
+                } else {
+                    None
                 }
             }
             // Casts may narrow and sizeof is platform-shaped: modeling
@@ -539,16 +1076,17 @@ impl ConstWalk<'_, '_> {
         }
     }
 
-    fn emit(&mut self, analysis: &'static str, span: Span, msg: String) {
+    fn emit(&mut self, analysis: &'static str, span: Span, msg: String, chain: Chain) {
         if self.sink.is_some() {
-            let f = self.info.finding(analysis, Severity::Ub, span, msg);
+            let mut f = self.info.finding(analysis, Severity::Ub, span, msg);
+            f.chain = chain;
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.push(f);
             }
         }
     }
 
-    fn set(&mut self, name: &str, val: Option<i128>) {
+    fn set(&mut self, name: &str, val: Option<CVal>) {
         if self.info.trackable(name).is_none() {
             return;
         }
@@ -577,7 +1115,7 @@ impl ConstWalk<'_, '_> {
             }
             None => {
                 // Statics are zero-initialized; automatics are unknown.
-                let val = (v.storage == Storage::Static).then_some(0);
+                let val = (v.storage == Storage::Static).then_some(CVal::Const(0));
                 self.set(&v.name, val);
             }
         }
@@ -591,6 +1129,33 @@ impl ConstWalk<'_, '_> {
                     self.init_effects(i);
                 }
             }
+        }
+    }
+
+    fn div_check(&mut self, op: BinaryOp, rhs: &Expr, span: Span, guarded: bool) {
+        if guarded {
+            return;
+        }
+        match self.eval(rhs) {
+            Some(CVal::Const(0)) => {
+                let what = if op == BinaryOp::Div {
+                    "division"
+                } else {
+                    "modulo"
+                };
+                self.emit(
+                    "div-by-zero",
+                    span,
+                    format!("{what} by zero: the divisor is always 0"),
+                    Vec::new(),
+                );
+            }
+            Some(CVal::Param(k)) => {
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.record_div(k, span, None);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -627,7 +1192,10 @@ impl ConstWalk<'_, '_> {
                         } else {
                             -1
                         };
-                        let val = self.st.get(&name).and_then(|v| v.checked_add(delta));
+                        let val = match self.st.get(&name) {
+                            Some(CVal::Const(v)) => v.checked_add(delta).map(CVal::Const),
+                            _ => None,
+                        };
                         self.set(&name, val);
                     } else {
                         self.expr(operand, guarded);
@@ -645,19 +1213,8 @@ impl ConstWalk<'_, '_> {
                     self.restore(saved);
                 } else {
                     self.expr(rhs, guarded);
-                    if matches!(op, BinaryOp::Div | BinaryOp::Rem) && self.eval(rhs) == Some(0) {
-                        let what = if *op == BinaryOp::Div {
-                            "division"
-                        } else {
-                            "modulo"
-                        };
-                        if !guarded {
-                            self.emit(
-                                "div-by-zero",
-                                e.span,
-                                format!("{what} by zero: the divisor is always 0"),
-                            );
-                        }
+                    if matches!(op, BinaryOp::Div | BinaryOp::Rem) {
+                        self.div_check(*op, rhs, e.span, guarded);
                     }
                 }
             }
@@ -668,23 +1225,13 @@ impl ConstWalk<'_, '_> {
                     let val = match op {
                         None => self.eval(rhs),
                         Some(bop) => {
-                            if matches!(bop, BinaryOp::Div | BinaryOp::Rem)
-                                && self.eval(rhs) == Some(0)
-                                && !guarded
-                            {
-                                let what = if *bop == BinaryOp::Div {
-                                    "division"
-                                } else {
-                                    "modulo"
-                                };
-                                self.emit(
-                                    "div-by-zero",
-                                    e.span,
-                                    format!("{what} by zero: the divisor is always 0"),
-                                );
+                            if matches!(bop, BinaryOp::Div | BinaryOp::Rem) {
+                                self.div_check(*bop, rhs, e.span, guarded);
                             }
                             match (self.st.get(&name).copied(), self.eval(rhs)) {
-                                (Some(l), Some(r)) => crate::cfg::eval_binary(*bop, l, r),
+                                (Some(CVal::Const(l)), Some(CVal::Const(r))) => {
+                                    crate::cfg::eval_binary(*bop, l, r).map(CVal::Const)
+                                }
                                 _ => None,
                             }
                         }
@@ -710,8 +1257,33 @@ impl ConstWalk<'_, '_> {
                     ExprKind::Ident(_) => {}
                     _ => self.expr(callee, guarded),
                 }
-                for a in args {
+                let info = self.info;
+                let known = info.callee(callee);
+                for (j, a) in args.iter().enumerate() {
                     self.expr(a, guarded);
+                    if let Some((gname, g)) = known {
+                        if j < g.params.len() {
+                            self.call_arg_checks(gname, g, j, a, e.span, guarded);
+                        }
+                    }
+                }
+                if let Some((_, g)) = known {
+                    // A non-escaping `&x` out-arg may be written through:
+                    // the callee can change `x`, so constant facts die.
+                    for (j, a) in args.iter().enumerate() {
+                        if j >= g.ptr_escapes.len() || g.ptr_escapes[j] {
+                            continue;
+                        }
+                        if let ExprKind::Unary {
+                            op: UnaryOp::AddrOf,
+                            operand,
+                        } = &a.unparenthesized().kind
+                        {
+                            if let ExprKind::Ident(x) = &operand.unparenthesized().kind {
+                                self.st.remove(x.as_str());
+                            }
+                        }
+                    }
                 }
             }
             ExprKind::Index { base, index } => {
@@ -736,6 +1308,85 @@ impl ConstWalk<'_, '_> {
         }
     }
 
+    /// Consumes a known callee's conditional-UB probes against one
+    /// argument: a pinned bad constant fires a finding at the call site
+    /// (with the callee's chain); a still-symbolic own parameter
+    /// propagates the probe outward with this call prepended.
+    fn call_arg_checks(
+        &mut self,
+        gname: &str,
+        g: &FnSummary,
+        j: usize,
+        a: &Expr,
+        call_span: Span,
+        guarded: bool,
+    ) {
+        if guarded {
+            return;
+        }
+        let v = self.eval(a);
+        let n = j + 1;
+        if let Some(chain) = &g.div_params[j] {
+            match v {
+                Some(CVal::Const(0)) => {
+                    self.emit(
+                        "div-by-zero",
+                        call_span,
+                        format!("call to `{gname}` divides by argument {n}, which is always 0"),
+                        chain.clone(),
+                    );
+                }
+                Some(CVal::Param(k)) => {
+                    if let Some(probe) = self.probe.as_deref_mut() {
+                        probe.record_div(k, call_span, Some(chain));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(chain) = &g.deref_params[j] {
+            match v {
+                Some(CVal::Const(0)) => {
+                    self.emit(
+                        "null-deref",
+                        call_span,
+                        format!(
+                            "call to `{gname}` dereferences argument {n}, which is always null"
+                        ),
+                        chain.clone(),
+                    );
+                }
+                Some(CVal::Param(k)) => {
+                    if let Some(probe) = self.probe.as_deref_mut() {
+                        probe.record_deref(k, call_span, Some(chain));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((arr, size, chain)) = &g.idx_params[j] {
+            match v {
+                Some(CVal::Const(i)) if i < 0 || i >= *size => {
+                    self.emit(
+                        "oob-index",
+                        call_span,
+                        format!(
+                            "call to `{gname}` indexes array `{arr}` of {size} elements with \
+                             {i} (argument {n})"
+                        ),
+                        chain.clone(),
+                    );
+                }
+                Some(CVal::Param(k)) => {
+                    if let Some(probe) = self.probe.as_deref_mut() {
+                        probe.record_idx(k, arr, *size, call_span, Some(chain));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     fn expr_base(&mut self, base: &Expr, guarded: bool) {
         if !matches!(base.unparenthesized().kind, ExprKind::Ident(_)) {
             self.expr(base, guarded);
@@ -746,17 +1397,57 @@ impl ConstWalk<'_, '_> {
         if guarded {
             return;
         }
-        if let ExprKind::Ident(name) = &pointer.unparenthesized().kind {
-            if matches!(self.info.kinds.get(name), Some(VarKind::Pointer))
-                && self.st.get(name) == Some(&0)
-            {
-                let name = name.clone();
-                self.emit(
-                    "null-deref",
-                    span,
-                    format!("dereference of null pointer `{name}`"),
-                );
+        let inner = pointer.unparenthesized();
+        match &inner.kind {
+            ExprKind::Ident(name) => {
+                if matches!(self.info.kinds.get(name), Some(VarKind::Pointer)) {
+                    match self.st.get(name) {
+                        Some(CVal::Const(0)) => {
+                            let name = name.clone();
+                            self.emit(
+                                "null-deref",
+                                span,
+                                format!("dereference of null pointer `{name}`"),
+                                Vec::new(),
+                            );
+                        }
+                        Some(&CVal::Param(k)) => {
+                            if let Some(probe) = self.probe.as_deref_mut() {
+                                probe.record_deref(k, span, None);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
             }
+            // `*f()` where the callee provably returns a null pointer.
+            ExprKind::Call { callee, .. } => {
+                let info = self.info;
+                let Some((gname, g)) = info.callee(callee) else {
+                    return;
+                };
+                if !g.ret_is_pointer {
+                    return;
+                }
+                match self.eval(inner) {
+                    Some(CVal::Const(0)) => {
+                        let gname = gname.to_owned();
+                        self.emit(
+                            "null-deref",
+                            span,
+                            format!("dereference of null pointer returned by `{gname}`"),
+                            Vec::new(),
+                        );
+                    }
+                    Some(CVal::Param(k)) => {
+                        if let Some(probe) = self.probe.as_deref_mut() {
+                            probe.record_deref(k, span, None);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
         }
     }
 
@@ -774,16 +1465,23 @@ impl ConstWalk<'_, '_> {
         let Some(&size) = self.info.array_sizes.get(name) else {
             return;
         };
-        let Some(i) = self.eval(index) else {
-            return;
-        };
-        if i < 0 || i >= size {
-            let name = name.clone();
-            self.emit(
-                "oob-index",
-                span,
-                format!("index {i} is out of bounds for array `{name}` of {size} elements"),
-            );
+        match self.eval(index) {
+            Some(CVal::Const(i)) if i < 0 || i >= size => {
+                let name = name.clone();
+                self.emit(
+                    "oob-index",
+                    span,
+                    format!("index {i} is out of bounds for array `{name}` of {size} elements"),
+                    Vec::new(),
+                );
+            }
+            Some(CVal::Param(k)) => {
+                let name = name.clone();
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.record_idx(k, &name, size, span, None);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -816,7 +1514,7 @@ impl ConstWalk<'_, '_> {
 
     /// Drops every tracked variable mentioned in `e` from the state,
     /// returning the removed entries for [`Self::restore`].
-    fn kill_mentioned(&mut self, e: &Expr) -> Vec<(String, i128)> {
+    fn kill_mentioned(&mut self, e: &Expr) -> Vec<(String, CVal)> {
         let mut names = FxHashSet::default();
         collect_idents(e, &mut names);
         let mut saved = Vec::new();
@@ -828,7 +1526,7 @@ impl ConstWalk<'_, '_> {
         saved
     }
 
-    fn restore(&mut self, saved: Vec<(String, i128)>) {
+    fn restore(&mut self, saved: Vec<(String, CVal)>) {
         for (n, v) in saved {
             // Writes inside the guarded region win over the saved value.
             self.st.entry(n).or_insert(v);
@@ -836,12 +1534,44 @@ impl ConstWalk<'_, '_> {
     }
 }
 
-fn const_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
-    let apply = |node: usize, st: &ConstMap, sink: Option<&mut Vec<Finding>>, info: &FnInfo<'_>| {
+/// Entry state for the constant pass: every trackable parameter starts
+/// as its own symbolic [`CVal::Param`]. Symbolic values never fire
+/// findings directly, so the seeding is invisible intraprocedurally —
+/// it exists to detect parameter flow into UB sites (probes) and
+/// pass-through returns.
+fn const_entry(fun: &FunctionDef, info: &FnInfo<'_>) -> BTreeMap<String, CVal> {
+    let mut entry = BTreeMap::new();
+    for (j, p) in fun.params.iter().enumerate() {
+        if let Some(name) = &p.name {
+            if info.trackable(name).is_some() {
+                entry.insert(name.clone(), CVal::Param(j));
+            }
+        }
+    }
+    entry
+}
+
+/// Runs the constant dataflow; returns the per-node in-states (the
+/// summarization caller evaluates live `return` expressions against
+/// them).
+fn const_flow(
+    cfg: &Cfg<'_>,
+    fun: &FunctionDef,
+    info: &FnInfo<'_>,
+    live: &[bool],
+    mut findings: Option<&mut Vec<Finding>>,
+    mut probe: Option<&mut Probe>,
+) -> Vec<Option<ConstMap>> {
+    let apply = |node: usize,
+                 st: &ConstMap,
+                 sink: Option<&mut Vec<Finding>>,
+                 probe: Option<&mut Probe>|
+     -> ConstMap {
         let mut w = ConstWalk {
             info,
             st: st.0.clone(),
             sink,
+            probe,
         };
         match cfg.nodes[node].action {
             Action::Decl(v) => w.decl(v),
@@ -860,27 +1590,30 @@ fn const_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
         }
         ConstMap(w.st)
     };
-    let in_states = forward(cfg, ConstMap(BTreeMap::new()), |node, st| {
-        apply(node, st, None, info)
+    let in_states = forward(cfg, ConstMap(const_entry(fun, info)), |node, st| {
+        apply(node, st, None, None)
     });
     for (node, st) in in_states.iter().enumerate() {
+        if !live[node] {
+            continue;
+        }
         if let Some(st) = st {
-            apply(node, st, Some(findings), info);
+            apply(node, st, findings.as_deref_mut(), probe.as_deref_mut());
         }
     }
+    in_states
 }
 
 // ======================================================================
 // Unreachable code
 // ======================================================================
 
-fn unreachable_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, findings: &mut Vec<Finding>) {
-    let reach = cfg.reachable();
+fn unreachable_pass(cfg: &Cfg<'_>, info: &FnInfo<'_>, live: &[bool], findings: &mut Vec<Finding>) {
     let mut dead: Vec<Span> = cfg
         .nodes
         .iter()
         .enumerate()
-        .filter(|(i, n)| !reach[*i] && n.action.is_source())
+        .filter(|(i, n)| !live[*i] && n.action.is_source())
         .map(|(_, n)| n.span)
         .collect();
     if dead.is_empty() {
@@ -928,13 +1661,22 @@ fn infinite_loop_pass(body: &Stmt, info: &FnInfo<'_>, findings: &mut Vec<Finding
 }
 
 /// Whether executing `s` could let a constant-true loop terminate or be
-/// observed: a call, a volatile access, a `return`, a `goto`, or — when
-/// `breakable` (not inside a nested loop or switch) — a `break`.
+/// observed: a call (to an unknown, observable, or no-return callee — a
+/// summarized pure callee that returns is **not** progress), a volatile
+/// access, a `return`, a `goto`, or — when `breakable` (not inside a
+/// nested loop or switch) — a `break`.
 fn makes_progress(s: &Stmt, info: &FnInfo<'_>, breakable: bool) -> bool {
     let expr_has_progress = |e: &Expr| -> bool {
         let mut found = false;
         walk_exprs(e, &mut |sub| match &sub.kind {
-            ExprKind::Call { .. } => found = true,
+            ExprKind::Call { callee, .. } => match info.callee(callee) {
+                Some((_, g)) => {
+                    if g.observable || !g.may_return {
+                        found = true;
+                    }
+                }
+                None => found = true,
+            },
             ExprKind::Ident(name) if info.volatile.contains(name) => found = true,
             _ => {}
         });
@@ -1013,16 +1755,223 @@ fn makes_progress(s: &Stmt, info: &FnInfo<'_>, breakable: bool) -> bool {
 }
 
 // ======================================================================
+// Summarization
+// ======================================================================
+
+/// Summarizes one function definition against an environment of
+/// already-summarized callees. Functions without a body (or that fail
+/// CFG construction) get the fully conservative summary.
+pub(crate) fn summarize_function(
+    fun: &FunctionDef,
+    globals: &GlobalInfo,
+    env: &Summaries,
+) -> FnSummary {
+    let n = fun.params.len();
+    let mut s = FnSummary {
+        params: fun.params.iter().map(|p| p.name.clone()).collect(),
+        demands: vec![None; n],
+        ptr_reads: vec![None; n],
+        ptr_writes: vec![false; n],
+        ptr_escapes: vec![true; n],
+        div_params: vec![None; n],
+        deref_params: vec![None; n],
+        idx_params: vec![None; n],
+        returns_const: None,
+        returns_param: None,
+        ret_is_pointer: fun.ret_ty.is_pointer(),
+        observable: true,
+        may_return: true,
+    };
+    let Some((cfg, info)) = fn_context(fun, globals, env) else {
+        return s;
+    };
+    let body = fun.body.as_ref().expect("CFG implies a body");
+
+    // Escape analysis: a pointer parameter keeps pointee facts only when
+    // every occurrence of its name is a sanctioned pointee access.
+    for (j, p) in fun.params.iter().enumerate() {
+        if let Some(name) = &p.name {
+            if info.trackable(name) == Some(VarKind::Pointer) {
+                s.ptr_escapes[j] = param_escapes(body, name, &info);
+            }
+        }
+    }
+
+    let live = compute_live(&cfg, &info);
+    s.may_return = live[cfg.exit];
+    s.observable = is_observable(body, &info);
+
+    let mut probe = Probe::new(fun, &info, &s.ptr_escapes);
+
+    // Demand pass: parameters (and pointee pseudo keys) seeded Uninit.
+    let mut entry = BTreeMap::new();
+    for name in probe.param_of.keys().chain(probe.pseudo_of.keys()) {
+        entry.insert(name.clone(), Tri::Uninit);
+    }
+    let exit_state = uninit_flow(&cfg, &info, &live, entry, None, Some(&mut probe));
+    if let Some(exit_state) = exit_state {
+        for (pseudo, &j) in &probe.pseudo_of {
+            // `Init` at exit means every path that *returns* initialized
+            // (or already consumed) the pointee — sound to suppress
+            // caller-side reads after the call, exactly as the
+            // intraprocedural promote-after-first-read rule would.
+            if exit_state.get(pseudo.as_str()) == Some(&Tri::Init) {
+                s.ptr_writes[j] = true;
+            }
+        }
+    }
+
+    // Probe pass: parameters seeded symbolic; also yields return facts.
+    let in_states = const_flow(&cfg, fun, &info, &live, None, Some(&mut probe));
+    collect_returns(&cfg, &info, &live, &in_states, &mut s);
+
+    s.demands = probe.demands;
+    s.ptr_reads = probe.ptr_reads;
+    s.div_params = probe.div_params;
+    s.deref_params = probe.deref_params;
+    s.idx_params = probe.idx_params;
+    s
+}
+
+/// Whether pointer parameter `name` escapes the summary's view: any
+/// occurrence outside a direct dereference, index base, or non-escaping
+/// argument position of a known callee.
+fn param_escapes(body: &Stmt, name: &str, info: &FnInfo<'_>) -> bool {
+    let mut sanctioned: Vec<Span> = Vec::new();
+    for_each_expr(body, &mut |e| {
+        walk_exprs(e, &mut |sub| match &sub.kind {
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+            } => {
+                let inner = operand.unparenthesized();
+                if matches!(&inner.kind, ExprKind::Ident(n) if n == name) {
+                    sanctioned.push(inner.span);
+                }
+            }
+            ExprKind::Index { base, .. } => {
+                let inner = base.unparenthesized();
+                if matches!(&inner.kind, ExprKind::Ident(n) if n == name) {
+                    sanctioned.push(inner.span);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                let Some((_, h)) = info.callee(callee) else {
+                    return;
+                };
+                for (j, a) in args.iter().enumerate() {
+                    if j >= h.ptr_escapes.len() || h.ptr_escapes[j] {
+                        continue;
+                    }
+                    let inner = a.unparenthesized();
+                    if matches!(&inner.kind, ExprKind::Ident(n) if n == name) {
+                        sanctioned.push(inner.span);
+                    }
+                }
+            }
+            _ => {}
+        });
+    });
+    let mut escapes = false;
+    for_each_expr(body, &mut |e| {
+        walk_exprs(e, &mut |sub| {
+            if let ExprKind::Ident(n) = &sub.kind {
+                if n == name && !sanctioned.contains(&sub.span) {
+                    escapes = true;
+                }
+            }
+        });
+    });
+    escapes
+}
+
+/// Whether executing the body can be observed: a volatile access or a
+/// call to anything unknown or itself observable, anywhere in the body
+/// (reachability is deliberately ignored — conservative).
+fn is_observable(body: &Stmt, info: &FnInfo<'_>) -> bool {
+    let mut obs = false;
+    for_each_expr(body, &mut |e| {
+        walk_exprs(e, &mut |sub| match &sub.kind {
+            ExprKind::Ident(name) if info.volatile.contains(name) => obs = true,
+            ExprKind::Call { callee, .. } => match info.callee(callee) {
+                Some((_, g)) => {
+                    if g.observable {
+                        obs = true;
+                    }
+                }
+                None => obs = true,
+            },
+            _ => {}
+        });
+    });
+    obs
+}
+
+/// Derives the return lattice from the constant pass's in-states: every
+/// live `return e;` must evaluate to the same constant (or the same
+/// unmodified parameter), with no `return;` and no live fall-off-the-end.
+fn collect_returns(
+    cfg: &Cfg<'_>,
+    info: &FnInfo<'_>,
+    live: &[bool],
+    in_states: &[Option<ConstMap>],
+    s: &mut FnSummary,
+) {
+    let mut vals: Vec<CVal> = Vec::new();
+    for (idx, node) in cfg.nodes.iter().enumerate() {
+        if !live[idx] {
+            continue;
+        }
+        match node.action {
+            Action::Return(Some(e)) => {
+                let Some(st) = &in_states[idx] else { return };
+                let w = ConstWalk {
+                    info,
+                    st: st.0.clone(),
+                    sink: None,
+                    probe: None,
+                };
+                match w.eval(e) {
+                    Some(v) => vals.push(v),
+                    None => return,
+                }
+            }
+            Action::Return(None) => return,
+            Action::Exit => {}
+            // A live non-return edge into the exit is a fall-off.
+            _ => {
+                if node.succs.contains(&cfg.exit) {
+                    return;
+                }
+            }
+        }
+    }
+    let Some((&first, rest)) = vals.split_first() else {
+        return;
+    };
+    if rest.iter().any(|&v| v != first) {
+        return;
+    }
+    match first {
+        CVal::Const(c) => s.returns_const = Some(c),
+        CVal::Param(k) => s.returns_param = Some(k),
+    }
+}
+
+// ======================================================================
 // AST walking helpers
 // ======================================================================
 
-fn collect_address_taken(e: &Expr, out: &mut FxHashSet<String>) {
+fn collect_address_taken(e: &Expr, sanctioned: &[Span], out: &mut FxHashSet<String>) {
     walk_exprs(e, &mut |sub| {
         if let ExprKind::Unary {
             op: UnaryOp::AddrOf,
             operand,
         } = &sub.kind
         {
+            if sanctioned.contains(&sub.span) {
+                return;
+            }
             if let ExprKind::Ident(name) = &operand.unparenthesized().kind {
                 out.insert(name.clone());
             }
@@ -1040,7 +1989,7 @@ fn collect_idents(e: &Expr, out: &mut FxHashSet<String>) {
 
 /// Calls `f` on `e` and every sub-expression (including unevaluated
 /// `sizeof` operands — callers that care filter themselves).
-fn walk_exprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
+pub(crate) fn walk_exprs(e: &Expr, f: &mut impl FnMut(&Expr)) {
     f(e);
     match &e.kind {
         ExprKind::IntLit { .. }
@@ -1153,7 +2102,7 @@ fn for_each_decl(s: &Stmt, f: &mut impl FnMut(&VarDecl)) {
 
 /// Calls `f` on every top-level expression in `s`, including declaration
 /// initializers.
-fn for_each_expr(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+pub(crate) fn for_each_expr(s: &Stmt, f: &mut impl FnMut(&Expr)) {
     fn on_decl(v: &VarDecl, f: &mut impl FnMut(&Expr)) {
         if let Some(init) = &v.init {
             walk_init_exprs(init, f);

@@ -30,6 +30,19 @@ impl fmt::Display for Severity {
     }
 }
 
+/// One hop of an interprocedural call chain attached to a finding: the
+/// function a summary fact flowed through and the span of the relevant
+/// site inside it (a call site for intermediate hops, the defect itself
+/// for the last hop). The finding's own span stays at the outermost call
+/// site in the reporting function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ChainLink {
+    /// The function this hop lands in.
+    pub function: String,
+    /// Span of the call site (intermediate hops) or defect (last hop).
+    pub span: Span,
+}
+
 /// One diagnostic produced by an analysis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Finding {
@@ -43,6 +56,11 @@ pub struct Finding {
     pub span: Span,
     /// Human-readable description (span-free, so keys survive reprints).
     pub message: String,
+    /// Callee → defect path for interprocedural findings; empty for
+    /// intraprocedural ones. Deliberately **not** part of [`Finding::key`]:
+    /// the chain is diagnostic payload, and keying on it would make the
+    /// gate's incremental and full paths disagree about identity.
+    pub chain: Vec<ChainLink>,
 }
 
 impl Finding {

@@ -1,7 +1,10 @@
-//! Fixture corpus shared by the crate's tests and the `exp_analyze`
-//! bench gate: programs with one seeded UB defect each (the analyzer
-//! must flag 100% of them with the expected analysis) and known-clean
-//! programs (the analyzer must stay silent on every one).
+//! Fixture corpus shared by the crate's tests and the `exp_analyze` /
+//! `exp_interproc` bench gates: programs with one seeded UB defect each
+//! (the analyzer must flag 100% of them with the expected analysis) and
+//! known-clean programs (the analyzer must stay silent on every one).
+//! The `INTERPROC_*` sets seed their defect *across a call boundary*, so
+//! every hit requires a function summary — the intraprocedural analyzer
+//! misses all of them.
 
 /// Programs with exactly one seeded `Ub`-severity defect:
 /// `(name, expected_analysis, source)`.
@@ -176,5 +179,205 @@ pub const CLEAN_FIXTURES: &[(&str, &str)] = &[
     (
         "volatile-spin",
         "volatile int ready;\nint f(void) { while (ready == 0) { } return ready; }\n",
+    ),
+];
+
+/// Programs whose single seeded `Ub` defect only manifests **across a
+/// call boundary**: `(name, expected_analysis, source)`. The
+/// intraprocedural analyzer flags none of these; the summary-driven one
+/// must flag all of them.
+pub const INTERPROC_UB_FIXTURES: &[(&str, &str, &str)] = &[
+    (
+        "callee-div-param",
+        "div-by-zero",
+        "int div3(int a, int b) { return a / b; }\n\
+         int f(int x) { return div3(x, 0); }\n",
+    ),
+    (
+        "callee-div-chain",
+        "div-by-zero",
+        "int inner(int d) { return 10 / d; }\n\
+         int mid(int d) { return inner(d); }\n\
+         int f(void) { return mid(0); }\n",
+    ),
+    (
+        "callee-mod-param",
+        "div-by-zero",
+        "int rem2(int a, int m) { return a % m; }\n\
+         int f(int a) { return rem2(a, 0); }\n",
+    ),
+    (
+        "ret-zero-div",
+        "div-by-zero",
+        "int zero(void) { return 0; }\n\
+         int f(int a) { return a / zero(); }\n",
+    ),
+    (
+        "ret-param-div",
+        "div-by-zero",
+        "int id(int v) { return v; }\n\
+         int f(int a) { int d = id(0); return a / d; }\n",
+    ),
+    (
+        "callee-idx-global",
+        "oob-index",
+        "int tab[4];\n\
+         int get(int i) { return tab[i]; }\n\
+         int f(void) { return get(9); }\n",
+    ),
+    (
+        "callee-idx-local",
+        "oob-index",
+        "int get(int i) { int a[3]; a[0] = 1; return a[i]; }\n\
+         int f(void) { return get(5); }\n",
+    ),
+    (
+        "callee-idx-write",
+        "oob-index",
+        "int a2[2];\n\
+         void put(int i) { a2[i] = 1; }\n\
+         void f(void) { put(4); }\n",
+    ),
+    (
+        "ret-const-oob",
+        "oob-index",
+        "int idx9(void) { return 9; }\n\
+         int tab2[4];\n\
+         int f(void) { return tab2[idx9()]; }\n",
+    ),
+    (
+        "ret-null-deref",
+        "null-deref",
+        "int *nil(void) { return 0; }\n\
+         int f(void) { return *nil(); }\n",
+    ),
+    (
+        "ret-null-var-deref",
+        "null-deref",
+        "int *nil(void) { return 0; }\n\
+         int f(void) { int *p = nil(); return *p; }\n",
+    ),
+    (
+        "callee-deref-param",
+        "null-deref",
+        "int load(int *p) { return *p; }\n\
+         int f(void) { return load(0); }\n",
+    ),
+    (
+        "callee-deref-chain",
+        "null-deref",
+        "int deep(int *p) { return *p; }\n\
+         int shallow(int *q) { return deep(q); }\n\
+         int f(void) { return shallow(0); }\n",
+    ),
+    (
+        "uninit-ptr-chain",
+        "uninit-read",
+        "int deep3(int *p) { return *p; }\n\
+         int mid3(int *p) { return deep3(p); }\n\
+         int f(void) { int x; return mid3(&x); }\n",
+    ),
+    (
+        "uninit-addr-read",
+        "uninit-read",
+        "int peek(int *p) { return *p; }\n\
+         int f(void) { int x; return peek(&x); }\n",
+    ),
+    (
+        "uninit-rmw-callee",
+        "uninit-read",
+        "void acc(int *p) { *p = *p + 1; }\n\
+         int f(void) { int x; acc(&x); return x; }\n",
+    ),
+    (
+        "silent-callee-loop",
+        "infinite-loop",
+        "void nop(void) { }\n\
+         int f(void) { int x = 0; while (1) { nop(); x = x + 1; } return x; }\n",
+    ),
+    (
+        "silent-chain-loop",
+        "infinite-loop",
+        "void inner2(void) { }\n\
+         void outer2(void) { inner2(); }\n\
+         void f(void) { for (;;) { outer2(); } }\n",
+    ),
+];
+
+/// Known-good programs exercising the same interprocedural machinery —
+/// summaries must *suppress* correctly too: `(name, source)`. Zero
+/// findings of any severity expected on every one.
+pub const INTERPROC_CLEAN_FIXTURES: &[(&str, &str)] = &[
+    (
+        "writes-param-clean",
+        "void init(int *p) { *p = 3; }\n\
+         int f(void) { int x; init(&x); return x; }\n",
+    ),
+    (
+        "rmw-initialized-clean",
+        "void acc(int *p) { *p = *p + 1; }\n\
+         int f(void) { int x = 0; acc(&x); return x; }\n",
+    ),
+    (
+        "guarded-callee-div",
+        "int div0(int a, int b) { if (b != 0) { return a / b; } return 0; }\n\
+         int f(int a) { return div0(a, 0); }\n",
+    ),
+    (
+        "observable-callee-loop",
+        "volatile int tick;\n\
+         void beep(void) { tick = tick + 1; }\n\
+         void f(void) { while (1) { beep(); } }\n",
+    ),
+    (
+        "prototype-callee-loop",
+        "void ext(void);\n\
+         void f(void) { while (1) { ext(); } }\n",
+    ),
+    (
+        "recursive-clean",
+        "int fac(int n) { if (n < 2) { return 1; } return n * fac(n - 1); }\n\
+         int f(void) { return fac(5); }\n",
+    ),
+    (
+        "ret-nonzero-div",
+        "int seven(void) { return 7; }\n\
+         int f(int a) { return a / seven(); }\n",
+    ),
+    (
+        "inbounds-ret-idx",
+        "int tab3[8];\n\
+         int three(void) { return 3; }\n\
+         int f(void) { return tab3[three()]; }\n",
+    ),
+    (
+        "param-passthrough-clean",
+        "int id2(int v) { return v; }\n\
+         int f(void) { int y = id2(4); return 12 / y; }\n",
+    ),
+    (
+        "callee-mixed-return",
+        "int pick(int c) { if (c) { return 1; } return 2; }\n\
+         int f(int a) { return a / pick(a); }\n",
+    ),
+    (
+        "deref-nonnull-clean",
+        "int load2(int *p) { return *p; }\n\
+         int f(void) { int x = 1; return load2(&x); }\n",
+    ),
+    (
+        "maybe-written-out-arg",
+        "void maybe_set(int *p, int c) { if (c) { *p = 1; } }\n\
+         int f(int c) { int x = 0; maybe_set(&x, c); return x; }\n",
+    ),
+    (
+        "unused-ptr-arg-initialized",
+        "void nop2(int *p) { }\n\
+         int f(void) { int x = 2; nop2(&x); return x; }\n",
+    ),
+    (
+        "local-shadows-fn-name",
+        "int zero2(void) { return 0; }\n\
+         int f(int a) { int zero2 = 1; return a / zero2; }\n",
     ),
 ];

@@ -5,33 +5,49 @@
 //! *incremental* engine (one mini-parse of the edited declaration), so a
 //! gate that fully re-parses and re-analyzes every mutant would dominate
 //! the iteration. The gate therefore mirrors the incremental compiler's
-//! structure:
+//! structure, in one of two modes:
 //!
-//! 1. The parent seed is fully analyzed **once** and cached: per-chunk
-//!    content hashes (via [`metamut_lang::split_source`]), the set of UB
-//!    finding keys, its typedef names, and its [`GlobalInfo`].
-//! 2. A mutant is lexed and chunk-hashed; the dirty set (the query
-//!    engine's [`metamut_query::dirty_set`]) names the changed chunks. If
-//!    *every* dirty chunk mini-parses to a single function definition,
-//!    only those functions are re-analyzed (against the parent's globals —
-//!    valid because every other chunk is byte-identical to the parent)
-//!    and their verdicts are OR-ed.
-//! 3. Anything else — non-function edits, parse failures of the fast
-//!    path — falls back to a full parse + analyze.
+//! **Interprocedural mode** (the default). Editing one function can
+//! change findings in *unedited* callers — a callee that now returns 0
+//! creates a division by zero at an old call site — so per-chunk
+//! verdicts are unsound here. Instead the gate splices each edited
+//! chunk's mini-parsed function into the parent's declaration list and
+//! re-runs the whole-unit summary analysis, with both the per-function
+//! summary and the per-function UB-key set memoized in the shared
+//! [`QueryDb`] under a **content-addressed summary key**: the hash of
+//! (global fingerprint, function text, resolved callee summary keys),
+//! computed bottom-up over the call-graph SCCs. A single-declaration
+//! mutant therefore re-summarizes only the edited function and its SCC
+//! ancestors (transitive callers); every other function is a memo hit —
+//! observable via [`UbGate::summary_hits`] / [`UbGate::summary_recomputes`]
+//! and the `analyze_summary_hits` / `analyze_summary_recomputes`
+//! telemetry counters.
 //!
-//! Constructed via [`UbGate::with_db`], the gate additionally memoizes
-//! per-chunk analyses on a shared [`QueryDb`], so re-mutations of the same
-//! function body (and re-checks from the reduction oracle) are free.
+//! **Intraprocedural mode** ([`UbGate::with_interproc`]`(false)`): the
+//! PR 5 behavior, byte-for-byte. New UB can only originate in an edited
+//! chunk, so each dirty chunk is analyzed as a stand-alone function
+//! against the parent's globals and the verdicts are OR-ed, memoized
+//! per `(parent, chunk content)` on the shared database.
 //!
-//! A mutant that does not parse is **never** gated: the compiler must see
-//! it and reject it so compilable-ratio accounting stays truthful.
-//! Verdicts are cached per `(parent, mutant)` content hash.
+//! In both modes anything the fast path cannot handle — non-function
+//! edits, chunk-count changes, parse failures — falls back to a full
+//! parse + analyze (which in interprocedural mode still reuses the
+//! summary memos). A mutant that does not parse is **never** gated: the
+//! compiler must see it and reject it so compilable-ratio accounting
+//! stays truthful. Verdicts are cached per `(parent, mutant)` content
+//! hash.
 
-use crate::analyses::{analyze_function, analyze_unit, collect_globals, GlobalInfo};
+use crate::analyses::{
+    analyze_function, analyze_function_with, analyze_unit_with, collect_globals,
+    summarize_function, GlobalInfo,
+};
+use crate::callgraph::CallGraph;
 use crate::findings::{ub_keys, Finding, FindingKey};
-use metamut_lang::ast::ExternalDecl;
+use crate::summary::{summarize_functions, FnSummary, Summaries};
+use metamut_lang::ast::{ExternalDecl, FunctionDef, TranslationUnit};
+use metamut_lang::chash::{hash128, Sip128};
 use metamut_lang::fxhash::{FxHashMap, FxHashSet, FxHasher};
-use metamut_lang::{parse, parse_with_typedefs, split_source};
+use metamut_lang::{parse, parse_with_typedefs, split_source, Ast, DeclChunk};
 use metamut_query::{dirty_set, KindId, QueryDb};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -54,6 +70,18 @@ struct ParentInfo {
     /// Whether the parent parsed (if not, `ub` is empty and the baseline
     /// for "new" is the empty set).
     parsed: bool,
+    /// The parent source, for slicing declaration texts (summary keys
+    /// hash the exact decl text).
+    src: String,
+    /// The parsed parent, kept for the interprocedural splice path.
+    ast: Option<Ast>,
+    /// Chunk index → declaration index, when the chunk holds exactly
+    /// that one declaration (the splice path's alignment).
+    chunk_decl: Vec<Option<usize>>,
+    /// Fingerprint of everything outside function bodies that the
+    /// analyses can observe: volatile names, global array sizes, typedef
+    /// names. Function-only edits preserve it.
+    globals_hash: u128,
 }
 
 fn content_hash(s: &str) -> u64 {
@@ -77,40 +105,184 @@ fn count_findings(findings: &[Finding]) {
     }
 }
 
-/// The gate's registered chunk-analysis kind on a shared [`QueryDb`]
+/// Typedef names of a unit (they change how a lone chunk parses).
+fn typedef_names(unit: &TranslationUnit) -> FxHashSet<String> {
+    let mut typedefs = FxHashSet::default();
+    for d in &unit.decls {
+        if let ExternalDecl::Typedef(t) = d {
+            typedefs.insert(t.name.clone());
+        }
+    }
+    typedefs
+}
+
+/// Content fingerprint of the analysis-visible file scope: sorted
+/// volatile names, sorted `(array, size)` pairs, sorted typedef names.
+/// Two units with equal fingerprints analyze any byte-identical function
+/// identically, which is what licenses sharing summary memos between the
+/// parent and its function-only mutants.
+fn globals_fingerprint(globals: &GlobalInfo, typedefs: &FxHashSet<String>) -> u128 {
+    let mut h = Sip128::default();
+    let mut vol: Vec<&str> = globals.volatile.iter().map(String::as_str).collect();
+    vol.sort_unstable();
+    h.write_u64(vol.len() as u64);
+    for v in vol {
+        h.write_str(v);
+    }
+    let mut arrays: Vec<(&str, i128)> = globals
+        .array_sizes
+        .iter()
+        .map(|(k, &v)| (k.as_str(), v))
+        .collect();
+    arrays.sort_unstable();
+    h.write_u64(arrays.len() as u64);
+    for (name, size) in arrays {
+        h.write_str(name);
+        h.write_u128(size as u128);
+    }
+    let mut tds: Vec<&str> = typedefs.iter().map(String::as_str).collect();
+    tds.sort_unstable();
+    h.write_u64(tds.len() as u64);
+    for t in tds {
+        h.write_str(t);
+    }
+    h.finish128()
+}
+
+/// Content-addressed summary keys, bottom-up over the call graph: a
+/// function's key hashes the global fingerprint, its own declaration
+/// text, and its resolved callees' keys — so an edit invalidates exactly
+/// the edited function and its transitive callers. Members of a cyclic
+/// SCC share a mix of the whole component (their summaries are computed
+/// jointly) and are distinguished by their own text hash.
+fn summary_keys(
+    cg: &CallGraph,
+    funcs: &[&FunctionDef],
+    fn_hashes: &[u128],
+    globals_hash: u128,
+) -> Vec<u128> {
+    let mut skeys = vec![0u128; funcs.len()];
+    for scc in &cg.sccs {
+        if scc.len() == 1 && !cg.in_cycle(scc[0], scc) {
+            let i = scc[0];
+            let mut h = Sip128::default();
+            h.write_u128(globals_hash);
+            h.write_u128(fn_hashes[i]);
+            let mut deps: Vec<(&str, u128)> = cg.callees[i]
+                .iter()
+                .map(|&j| (funcs[j].name.as_str(), skeys[j]))
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            for (name, k) in deps {
+                h.write_str(name);
+                h.write_u128(k);
+            }
+            skeys[i] = h.finish128();
+        } else {
+            let mut mix = Sip128::default();
+            mix.write_u128(globals_hash);
+            let mut members: Vec<u128> = scc.iter().map(|&i| fn_hashes[i]).collect();
+            members.sort_unstable();
+            for m in members {
+                mix.write_u128(m);
+            }
+            let in_scc: FxHashSet<usize> = scc.iter().copied().collect();
+            let mut ext: Vec<(&str, u128)> = scc
+                .iter()
+                .flat_map(|&i| cg.callees[i].iter().copied())
+                .filter(|j| !in_scc.contains(j))
+                .map(|j| (funcs[j].name.as_str(), skeys[j]))
+                .collect();
+            ext.sort_unstable();
+            ext.dedup();
+            for (name, k) in ext {
+                mix.write_str(name);
+                mix.write_u128(k);
+            }
+            let mix = mix.finish128();
+            for &i in scc {
+                let mut h = Sip128::default();
+                h.write_u128(mix);
+                h.write_u128(fn_hashes[i]);
+                skeys[i] = h.finish128();
+            }
+        }
+    }
+    skeys
+}
+
+/// The gate's registered analysis kinds on a shared [`QueryDb`]
 /// (installed once per database via the extension store).
-struct UbChunkKind(KindId);
+struct GateKinds {
+    /// Intraprocedural per-chunk verdicts, keyed `(parent, chunk text)`.
+    chunk: KindId,
+    /// Per-function [`FnSummary`], keyed by content-addressed summary key.
+    summary: KindId,
+    /// Per-function UB finding-key set, same key as `summary`.
+    fn_ub: KindId,
+}
 
 /// Shared, thread-safe UB gate for a fuzzing campaign.
-#[derive(Default)]
 pub struct UbGate {
     parents: Mutex<FxHashMap<u64, Arc<ParentInfo>>>,
     verdicts: Mutex<FxHashMap<u64, bool>>,
     checked: AtomicU64,
     filtered: AtomicU64,
     fast_path: AtomicU64,
-    /// Optional shared query database memoizing per-chunk analyses, keyed
-    /// `(parent content hash, chunk content hash)`.
-    db: Option<(Arc<QueryDb>, KindId)>,
+    summary_hits: AtomicU64,
+    summary_recomputes: AtomicU64,
+    /// Whether call-site summary propagation is on (the default). Off
+    /// reproduces the strictly intraprocedural PR 5 gate byte-for-byte.
+    interproc: bool,
+    /// Optional shared query database memoizing per-chunk analyses,
+    /// per-function summaries, and per-function UB keys.
+    db: Option<(Arc<QueryDb>, Arc<GateKinds>)>,
+}
+
+impl Default for UbGate {
+    fn default() -> Self {
+        UbGate {
+            parents: Mutex::default(),
+            verdicts: Mutex::default(),
+            checked: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+            fast_path: AtomicU64::new(0),
+            summary_hits: AtomicU64::new(0),
+            summary_recomputes: AtomicU64::new(0),
+            interproc: true,
+            db: None,
+        }
+    }
 }
 
 impl UbGate {
-    /// Creates an empty gate.
+    /// Creates an empty interprocedural gate.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a gate that memoizes per-chunk analyses on `db` — pass the
+    /// Creates a gate that memoizes analyses on `db` — pass the
     /// campaign's shared query database so repeated mutations of the same
     /// function body analyze once.
     pub fn with_db(db: Arc<QueryDb>) -> Self {
-        let kind = db
-            .extension(|| UbChunkKind(db.register_input("ub-chunk")))
-            .0;
+        let kinds = db.extension(|| GateKinds {
+            chunk: db.register_input("ub-chunk"),
+            summary: db.register_input("fn-summary"),
+            fn_ub: db.register_input("fn-ub"),
+        });
         UbGate {
-            db: Some((db, kind)),
+            db: Some((db, kinds)),
             ..UbGate::default()
         }
+    }
+
+    /// Selects interprocedural (`true`, the default) or strictly
+    /// intraprocedural (`false`) gating. Set it before the first query:
+    /// cached parent baselines and verdicts are mode-specific.
+    pub fn with_interproc(mut self, on: bool) -> Self {
+        self.interproc = on;
+        self
     }
 
     /// Gate queries so far (including verdict-cache hits).
@@ -123,9 +295,19 @@ impl UbGate {
         self.filtered.load(Ordering::Relaxed)
     }
 
-    /// Fresh verdicts that took the single-function fast path.
+    /// Fresh verdicts that took the incremental fast path.
     pub fn fast_path(&self) -> u64 {
         self.fast_path.load(Ordering::Relaxed)
+    }
+
+    /// Function-summary memo hits (interprocedural mode with a database).
+    pub fn summary_hits(&self) -> u64 {
+        self.summary_hits.load(Ordering::Relaxed)
+    }
+
+    /// Function summaries actually computed (memo misses).
+    pub fn summary_recomputes(&self) -> u64 {
+        self.summary_recomputes.load(Ordering::Relaxed)
     }
 
     /// Whether `mutant` has a `Ub` finding its parent does not.
@@ -173,12 +355,214 @@ impl UbGate {
                 EMPTY.get_or_init(BTreeSet::new)
             }
         };
+        if self.interproc {
+            self.decide_interproc(info.as_deref(), mutant, baseline)
+        } else {
+            self.decide_intraproc(info.as_deref(), mutant, baseline)
+        }
+    }
 
+    // ------------------------------------------------------------------
+    // Interprocedural mode
+    // ------------------------------------------------------------------
+
+    fn decide_interproc(
+        &self,
+        info: Option<&ParentInfo>,
+        mutant: &str,
+        baseline: &BTreeSet<FindingKey>,
+    ) -> bool {
+        if let Some(i) = info {
+            if let Some(verdict) = self.spliced_verdict(i, mutant, baseline) {
+                return verdict;
+            }
+        }
+        let Ok(ast) = parse("<ub-gate>", mutant) else {
+            return false;
+        };
+        let keys = self.unit_ub_keys(&ast, mutant);
+        !keys.is_subset(baseline)
+    }
+
+    /// The splice fast path: every dirty chunk mini-parses to a single
+    /// function definition aligned with one parent declaration, so the
+    /// mutant's unit is the parent's declaration list with those
+    /// functions swapped in — no full re-parse, parent globals reused
+    /// (function-only edits cannot change them). The whole spliced unit
+    /// is then analyzed through the summary memos: unchanged functions
+    /// whose callee cone is also unchanged are cache hits.
+    fn spliced_verdict(
+        &self,
+        parent: &ParentInfo,
+        mutant: &str,
+        baseline: &BTreeSet<FindingKey>,
+    ) -> Option<bool> {
+        let parent_hashes = parent.chunk_hashes.as_ref()?;
+        let ast = parent.ast.as_ref()?;
+        let (_, chunks) = split_source(mutant)?;
+        if chunks.len() != parent_hashes.len() {
+            return None;
+        }
+        let hashes: Vec<u128> = chunks.iter().map(|c| c.hash).collect();
+        let edited = dirty_set(parent_hashes, &hashes)?;
+        if edited.is_empty() {
+            // Byte-shuffled but chunk-identical: nothing new.
+            return Some(false);
+        }
+
+        // Mini-parse each edited chunk; all-or-nothing.
+        let mut repl: FxHashMap<usize, (Ast, &str)> = FxHashMap::default();
+        for &c in &edited {
+            let d = parent.chunk_decl.get(c).copied().flatten()?;
+            let ExternalDecl::Function(pf) = &ast.unit.decls[d] else {
+                return None;
+            };
+            pf.body.as_ref()?;
+            let chunk_src = chunks[c].text(mutant);
+            let cast = parse_with_typedefs("<ub-gate-chunk>", chunk_src, &parent.typedefs).ok()?;
+            let [ExternalDecl::Function(f)] = &cast.unit.decls[..] else {
+                return None;
+            };
+            f.body.as_ref()?;
+            repl.insert(d, (cast, chunk_src));
+        }
+
+        let mut funcs: Vec<&FunctionDef> = Vec::new();
+        let mut texts: Vec<&str> = Vec::new();
+        for (d, decl) in ast.unit.decls.iter().enumerate() {
+            if let Some((cast, csrc)) = repl.get(&d) {
+                let [ExternalDecl::Function(f)] = &cast.unit.decls[..] else {
+                    unreachable!("validated above");
+                };
+                funcs.push(f);
+                texts.push(&csrc[f.span.lo as usize..f.span.hi as usize]);
+            } else if let ExternalDecl::Function(f) = decl {
+                if f.body.is_some() {
+                    funcs.push(f);
+                    texts.push(&parent.src[f.span.lo as usize..f.span.hi as usize]);
+                }
+            }
+        }
+        let keys =
+            self.analyze_functions_memo(&funcs, &texts, &parent.globals, parent.globals_hash);
+        self.fast_path.fetch_add(1, Ordering::Relaxed);
+        Some(!keys.is_subset(baseline))
+    }
+
+    /// Summary-driven UB keys of a fully parsed unit, routed through the
+    /// memo engine so the splice path and the full path share artifacts.
+    fn unit_ub_keys(&self, ast: &Ast, src: &str) -> BTreeSet<FindingKey> {
+        let globals = collect_globals(&ast.unit);
+        let typedefs = typedef_names(&ast.unit);
+        let globals_hash = globals_fingerprint(&globals, &typedefs);
+        let mut funcs: Vec<&FunctionDef> = Vec::new();
+        let mut texts: Vec<&str> = Vec::new();
+        for decl in &ast.unit.decls {
+            if let ExternalDecl::Function(f) = decl {
+                if f.body.is_some() {
+                    funcs.push(f);
+                    texts.push(&src[f.span.lo as usize..f.span.hi as usize]);
+                }
+            }
+        }
+        self.analyze_functions_memo(&funcs, &texts, &globals, globals_hash)
+    }
+
+    /// Bottom-up summarize-and-analyze over a function list, memoizing
+    /// per-function summaries and UB-key sets under content-addressed
+    /// summary keys. `texts[i]` must be the exact declaration text of
+    /// `funcs[i]` — byte-identical declarations hash identically whether
+    /// they came from a full parse or a spliced chunk, which is what
+    /// makes the memos shareable across paths and across seeds.
+    fn analyze_functions_memo(
+        &self,
+        funcs: &[&FunctionDef],
+        texts: &[&str],
+        globals: &GlobalInfo,
+        globals_hash: u128,
+    ) -> BTreeSet<FindingKey> {
+        let Some((db, kinds)) = &self.db else {
+            // No shared database: same analysis, nothing memoized.
+            let env = summarize_functions(funcs, globals);
+            let mut all = BTreeSet::new();
+            for f in funcs {
+                let findings = analyze_function_with(f, globals, &env);
+                count_findings(&findings);
+                all.extend(ub_keys(&findings));
+            }
+            return all;
+        };
+        let telemetry = metamut_telemetry::handle();
+        let cg = CallGraph::build(funcs);
+        let fn_hashes: Vec<u128> = texts.iter().map(|t| hash128(t.as_bytes())).collect();
+        let skeys = summary_keys(&cg, funcs, &fn_hashes, globals_hash);
+        let key_of = |skey: u128| db.intern2((skey >> 64) as u64, skey as u64);
+
+        // Summaries, bottom-up: every SCC member computes against the
+        // environment excluding its own SCC, insertion deferred (matches
+        // `summarize_functions` exactly — a memoized run and a fresh run
+        // must produce the same environment).
+        let mut env = Summaries::default();
+        for scc in &cg.sccs {
+            let computed: Vec<(usize, Arc<FnSummary>)> = scc
+                .iter()
+                .map(|&i| {
+                    let (value, hit) = db.memo_once(kinds.summary, key_of(skeys[i]), || {
+                        Arc::new(summarize_function(funcs[i], globals, &env))
+                    });
+                    if hit {
+                        self.summary_hits.fetch_add(1, Ordering::Relaxed);
+                        telemetry.counter_add("analyze_summary_hits", 1);
+                    } else {
+                        self.summary_recomputes.fetch_add(1, Ordering::Relaxed);
+                        telemetry.counter_add("analyze_summary_recomputes", 1);
+                    }
+                    let s = value
+                        .downcast::<FnSummary>()
+                        .expect("fn-summary memo holds a FnSummary");
+                    (i, s)
+                })
+                .collect();
+            for (i, s) in computed {
+                if cg.by_name.get(funcs[i].name.as_str()) == Some(&i) {
+                    env.insert(funcs[i].name.clone(), s);
+                }
+            }
+        }
+
+        // Per-function UB keys against the complete environment. The
+        // summary key already covers the whole callee cone, so it is a
+        // sound memo key for the findings too.
+        let mut all = BTreeSet::new();
+        for (i, f) in funcs.iter().enumerate() {
+            let (value, _) = db.memo_once(kinds.fn_ub, key_of(skeys[i]), || {
+                let findings = analyze_function_with(f, globals, &env);
+                count_findings(&findings);
+                Arc::new(ub_keys(&findings))
+            });
+            let keys = value
+                .downcast::<BTreeSet<FindingKey>>()
+                .expect("fn-ub memo holds a key set");
+            all.extend(keys.iter().copied());
+        }
+        all
+    }
+
+    // ------------------------------------------------------------------
+    // Intraprocedural mode (the PR 5 gate, unchanged)
+    // ------------------------------------------------------------------
+
+    fn decide_intraproc(
+        &self,
+        info: Option<&ParentInfo>,
+        mutant: &str,
+        baseline: &BTreeSet<FindingKey>,
+    ) -> bool {
         // Fast path: every edited chunk is a lone function definition, so
         // only the dirty set re-analyzes and the verdicts union. New UB
         // can only originate in an edited chunk — unedited chunks are
         // byte-identical to the parent, whose findings are the baseline.
-        if let Some(i) = &info {
+        if let Some(i) = info {
             if let (Some(parent_hashes), Some((_, chunks))) =
                 (&i.chunk_hashes, split_source(mutant))
             {
@@ -189,7 +573,7 @@ impl UbGate {
                         // Byte-shuffled but chunk-identical: nothing new.
                         return false;
                     }
-                    let pkey = parent.map_or(0, content_hash);
+                    let pkey = content_hash(&i.src);
                     let mut new_ub = Some(false);
                     for &c in &edited {
                         match (
@@ -215,7 +599,7 @@ impl UbGate {
         let Ok(ast) = parse("<ub-gate>", mutant) else {
             return false;
         };
-        let findings = analyze_unit(&ast.unit);
+        let findings = analyze_unit_with(&ast.unit, &Summaries::default());
         count_findings(&findings);
         let keys = ub_keys(&findings);
         !keys.is_subset(baseline)
@@ -232,9 +616,9 @@ impl UbGate {
         parent: &ParentInfo,
         baseline: &BTreeSet<FindingKey>,
     ) -> Option<bool> {
-        if let Some((db, kind)) = &self.db {
+        if let Some((db, kinds)) = &self.db {
             let key = db.intern2(pkey, content_hash(chunk_src));
-            let memo = db.get_or_insert_with(*kind, key, || {
+            let memo = db.get_or_insert_with(kinds.chunk, key, || {
                 Arc::new(Self::chunk_verdict(chunk_src, parent, baseline))
             });
             return *memo.downcast::<Option<bool>>().ok()?;
@@ -259,27 +643,46 @@ impl UbGate {
         Some(!keys.is_subset(baseline))
     }
 
+    // ------------------------------------------------------------------
+    // Parent baselines
+    // ------------------------------------------------------------------
+
     fn parent_info(&self, parent: &str) -> Arc<ParentInfo> {
         let key = content_hash(parent);
         if let Some(info) = self.parents.lock().get(&key) {
             return Arc::clone(info);
         }
-        let chunk_hashes =
-            split_source(parent).map(|(_, chunks)| chunks.iter().map(|c| c.hash).collect());
+        let split = split_source(parent);
+        let chunk_hashes: Option<Vec<u128>> = split
+            .as_ref()
+            .map(|(_, chunks)| chunks.iter().map(|c| c.hash).collect());
         let info = match parse("<ub-gate-parent>", parent) {
             Ok(ast) => {
-                let mut typedefs = FxHashSet::default();
-                for d in &ast.unit.decls {
-                    if let ExternalDecl::Typedef(t) = d {
-                        typedefs.insert(t.name.clone());
-                    }
-                }
+                let typedefs = typedef_names(&ast.unit);
+                let globals = collect_globals(&ast.unit);
+                let globals_hash = globals_fingerprint(&globals, &typedefs);
+                let chunk_decl = split
+                    .as_ref()
+                    .map(|(_, chunks)| align_chunks(chunks, &ast.unit.decls))
+                    .unwrap_or_default();
+                // Interprocedural baselines run through the memo engine:
+                // analyzing the parent pre-warms the summary store, so
+                // the first mutant only pays for its own edit.
+                let ub = if self.interproc {
+                    self.unit_ub_keys(&ast, parent)
+                } else {
+                    ub_keys(&analyze_unit_with(&ast.unit, &Summaries::default()))
+                };
                 Arc::new(ParentInfo {
                     chunk_hashes,
-                    ub: ub_keys(&analyze_unit(&ast.unit)),
+                    ub,
                     typedefs,
-                    globals: collect_globals(&ast.unit),
+                    globals,
                     parsed: true,
+                    src: parent.to_owned(),
+                    ast: Some(ast),
+                    chunk_decl,
+                    globals_hash,
                 })
             }
             Err(_) => Arc::new(ParentInfo {
@@ -288,9 +691,37 @@ impl UbGate {
                 typedefs: FxHashSet::default(),
                 globals: GlobalInfo::default(),
                 parsed: false,
+                src: parent.to_owned(),
+                ast: None,
+                chunk_decl: Vec::new(),
+                globals_hash: 0,
             }),
         };
         self.parents.lock().insert(key, Arc::clone(&info));
         info
     }
+}
+
+/// Maps each chunk to the unique declaration it contains (`None` when a
+/// chunk holds zero or several declarations, or a declaration straddles
+/// a chunk boundary). Both lists are in source order, so one forward
+/// pass aligns them.
+fn align_chunks(chunks: &[DeclChunk], decls: &[ExternalDecl]) -> Vec<Option<usize>> {
+    let mut map = vec![None; chunks.len()];
+    let mut d = 0;
+    for (c, chunk) in chunks.iter().enumerate() {
+        let mut inside = 0;
+        let mut only = None;
+        while d < decls.len() && decls[d].span().hi <= chunk.span.hi {
+            if decls[d].span().lo >= chunk.span.lo {
+                inside += 1;
+                only = Some(d);
+            }
+            d += 1;
+        }
+        if inside == 1 {
+            map[c] = only;
+        }
+    }
+    map
 }

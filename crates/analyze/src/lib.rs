@@ -13,11 +13,18 @@
 //!   uninitialized reads, division/modulo by a known zero, constant
 //!   out-of-bounds indexing, null-pointer dereference of locals,
 //!   unreachable code, and infinite loops without observable effects.
+//! - [`callgraph`] builds the translation unit's call graph with Tarjan
+//!   SCC condensation, ordering summarization bottom-up.
+//! - [`summary`] condenses each function into a [`FnSummary`] — parameter
+//!   demand, pointee read/write/escape effects, conditional-UB probes,
+//!   return lattice, observability and termination — which call sites
+//!   consume to make every check interprocedural.
 //! - [`alpha`] detects no-op mutants via α-equivalence of reprints.
 //! - [`gate`] packages it all as a thread-safe campaign filter with an
-//!   incremental single-function fast path.
+//!   incremental single-function fast path and content-addressed summary
+//!   memoization on a shared query database.
 //! - [`fixtures`] is the seeded-UB / known-clean corpus the tests and the
-//!   `exp_analyze` bench gate run against.
+//!   `exp_analyze` / `exp_interproc` bench gates run against.
 //!
 //! Findings carry a source [`Span`](metamut_lang::Span), a [`Severity`]
 //! ([`Ub`](Severity::Ub) gates mutants; [`Lint`](Severity::Lint) only
@@ -27,16 +34,23 @@
 
 pub mod alpha;
 pub mod analyses;
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod findings;
 pub mod fixtures;
 pub mod gate;
+pub mod summary;
 
 pub use alpha::{alpha_equivalent, check_noop_mutant};
-pub use analyses::{analyze_function, analyze_unit, collect_globals, GlobalInfo};
-pub use findings::{ub_keys, Finding, FindingKey, Severity};
+pub use analyses::{
+    analyze_function, analyze_function_with, analyze_unit, analyze_unit_with, collect_globals,
+    GlobalInfo,
+};
+pub use callgraph::CallGraph;
+pub use findings::{ub_keys, ChainLink, Finding, FindingKey, Severity};
 pub use gate::UbGate;
+pub use summary::{summarize_unit, Chain, FnSummary, Summaries};
 
 use metamut_lang::{parse, Diagnostics};
 use std::collections::BTreeSet;

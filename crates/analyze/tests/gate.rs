@@ -111,9 +111,12 @@ fn multi_function_edits_take_the_fast_path() {
 
 #[test]
 fn shared_db_memoizes_chunk_analyses() {
+    // The intraprocedural mode's per-chunk memo contract: a chunk's
+    // verdict depends only on (parent, chunk text), so re-editing two
+    // already-seen chunks together is pure cache hits.
     use std::sync::Arc;
     let db = Arc::new(metamut_query::QueryDb::new());
-    let gate = UbGate::with_db(Arc::clone(&db));
+    let gate = UbGate::with_db(Arc::clone(&db)).with_interproc(false);
     let a = PARENT.replace("int acc = 0;", "int acc = 2;");
     let b = PARENT.replace("a * b + g", "a * b - g");
     // Mutant c re-edits both chunks already analyzed for a and b.
@@ -129,6 +132,84 @@ fn shared_db_memoizes_chunk_analyses() {
     // Verdicts agree with a database-less gate.
     let plain = UbGate::new();
     assert!(!plain.introduces_new_ub(Some(PARENT), &c));
+}
+
+#[test]
+fn interproc_memos_are_shared_across_gates() {
+    // Summary and finding memos are content-addressed on the shared
+    // database, so a second gate re-deciding the same mutant computes
+    // nothing new.
+    use std::sync::Arc;
+    let db = Arc::new(metamut_query::QueryDb::new());
+    let first = UbGate::with_db(Arc::clone(&db));
+    let mutant = PARENT.replace("int acc = 0;", "int acc = 2;");
+    assert!(!first.introduces_new_ub(Some(PARENT), &mutant));
+    let memos = db.len();
+    let second = UbGate::with_db(Arc::clone(&db));
+    assert!(!second.introduces_new_ub(Some(PARENT), &mutant));
+    assert_eq!(db.len(), memos, "second gate must be all memo hits");
+    assert_eq!(second.summary_recomputes(), 0);
+    assert!(second.summary_hits() > 0);
+}
+
+#[test]
+fn single_decl_edit_resummarizes_only_scc_ancestors() {
+    // Call chain a → b → c plus unrelated d. Editing c invalidates the
+    // summaries of c and its transitive callers (b, a) — and nothing
+    // else: d must be a memo hit.
+    use std::sync::Arc;
+    let parent = "int c(int x) { return x + 1; }\n\
+                  int b(int x) { return c(x); }\n\
+                  int a(int x) { return b(x); }\n\
+                  int d(int x) { return x * 2; }\n";
+    let db = Arc::new(metamut_query::QueryDb::new());
+    let gate = UbGate::with_db(db);
+    let mutant = parent.replace("return x + 1;", "return x + 2;");
+    assert!(!gate.introduces_new_ub(Some(parent), &mutant));
+    assert_eq!(gate.fast_path(), 1);
+    assert_eq!(
+        gate.summary_recomputes(),
+        7,
+        "4 parent summaries + exactly the edited function and its SCC ancestors (c, b, a)"
+    );
+    assert_eq!(gate.summary_hits(), 1, "d's summary must be a memo hit");
+}
+
+#[test]
+fn interproc_gate_catches_cross_call_ub() {
+    // Editing only the callee creates a division by zero at an *unedited*
+    // call site — visible to the summary-driven gate, invisible to the
+    // strictly intraprocedural one.
+    let parent = "int zero(void) { return 1; }\n\
+                  int f(void) { return 10 / zero(); }\n\
+                  int main(void) { return f(); }\n";
+    let mutant = parent.replace("return 1;", "return 0;");
+    let gate = UbGate::new();
+    assert!(gate.introduces_new_ub(Some(parent), &mutant));
+    assert_eq!(gate.fast_path(), 1, "a lone body edit stays incremental");
+    let intra = UbGate::new().with_interproc(false);
+    assert!(
+        !intra.introduces_new_ub(Some(parent), &mutant),
+        "the intraprocedural gate cannot see cross-call UB"
+    );
+}
+
+#[test]
+fn spliced_and_full_interproc_paths_agree() {
+    let parent = "int zero(void) { return 1; }\n\
+                  int g = 1;\n\
+                  int f(void) { return 10 / zero(); }\n";
+    // Function-only edit: the splice path decides it.
+    let spliced = parent.replace("return 1;", "return 0;");
+    let g1 = UbGate::new();
+    assert!(g1.introduces_new_ub(Some(parent), &spliced));
+    assert_eq!(g1.fast_path(), 1);
+    // Same edit plus a global edit: chunk alignment fails, full path —
+    // and the verdict is the same.
+    let full = spliced.replace("int g = 1;", "int g = 2;");
+    let g2 = UbGate::new();
+    assert!(g2.introduces_new_ub(Some(parent), &full));
+    assert_eq!(g2.fast_path(), 0);
 }
 
 #[test]

@@ -1,0 +1,341 @@
+//! Experiment: the interprocedural summary layer — cross-call recall,
+//! precision, memo locality, and what summary propagation costs the
+//! campaign gate.
+//!
+//! PR 5's analyses stopped at function boundaries: a callee that divides
+//! by its parameter, returns null, or silently loops was invisible at
+//! the call site. The summary layer closes that hole, and this bin holds
+//! it to the same discipline as the intraprocedural analyzer:
+//!
+//! 1. **Recall**: every seeded interprocedural-UB fixture (defects that
+//!    only exist *across* a call) is flagged — and, as a meta-check,
+//!    none of them is visible to the intraprocedural analysis alone.
+//! 2. **Precision**: zero findings of any severity on the
+//!    interprocedural clean controls *and* the original clean corpus.
+//! 3. **Cost**: the campaign with the interprocedural gate may cost at
+//!    most **5%** more wall time than the same campaign with the PR 5
+//!    intraprocedural gate (`--no-interproc-gate`), because per-function
+//!    summaries and finding sets are memoized under content-addressed
+//!    keys: a single-declaration mutant re-summarizes only the edited
+//!    function and its transitive callers. The memo hit rate backs that
+//!    up in the report.
+//!
+//! Usage: `exp_interproc [--iterations N] [--repeats N] [--smoke]`.
+//! `--smoke` shrinks the campaign, skips the cost gate, and parks its
+//! report under `target/experiments/` so CI never dirties the tree.
+
+use metamut_analyze::fixtures::{CLEAN_FIXTURES, INTERPROC_CLEAN_FIXTURES, INTERPROC_UB_FIXTURES};
+use metamut_analyze::{analyze_source, analyze_unit_with, Severity, Summaries};
+use metamut_bench::render_table;
+use metamut_fuzzing::corpus::seed_corpus;
+use metamut_fuzzing::mucfuzz::MuCFuzz;
+use metamut_fuzzing::{run_campaign, CampaignConfig, CampaignReport};
+use metamut_lang::parse;
+use metamut_simcomp::{CompileOptions, Compiler, Profile};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CorpusStats {
+    interproc_ub_fixtures: usize,
+    interproc_ub_flagged: usize,
+    intraproc_leaks: usize,
+    interproc_clean_fixtures: usize,
+    interproc_clean_false_positives: usize,
+    intraproc_clean_fixtures: usize,
+    intraproc_clean_false_positives: usize,
+    analyses_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct GateCost {
+    iterations: usize,
+    intraproc_s: f64,
+    interproc_s: f64,
+    overhead_pct: f64,
+    mutants_checked: u64,
+    mutants_filtered_intraproc: u64,
+    mutants_filtered_interproc: u64,
+    fast_path_rate_pct: f64,
+    summary_hits: u64,
+    summary_recomputes: u64,
+    summary_hit_rate_pct: f64,
+}
+
+#[derive(Serialize)]
+struct InterprocReport {
+    repeats: usize,
+    gate: String,
+    corpus: CorpusStats,
+    campaign: GateCost,
+    note: String,
+}
+
+/// One serial campaign over the seed corpus with the UB gate armed;
+/// `interproc` selects summary propagation vs the PR 5 per-chunk gate.
+fn campaign(iterations: usize, interproc: bool) -> CampaignReport {
+    let seeds: Vec<String> = seed_corpus().iter().map(|s| s.to_string()).collect();
+    let compiler = Compiler::new(Profile::Gcc, CompileOptions::o2());
+    let config = CampaignConfig {
+        iterations,
+        seed: 0xA11B,
+        sample_every: (iterations / 10).max(1),
+        ub_filter: true,
+        interproc_gate: interproc,
+        ..Default::default()
+    };
+    let mut fuzzer = MuCFuzz::new(
+        "uCFuzz",
+        Arc::new(metamut_mutators::full_registry()),
+        seeds.iter().cloned(),
+    );
+    run_campaign(&mut fuzzer, &compiler, &config)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    let iterations = arg("--iterations").unwrap_or(if smoke { 300 } else { 3000 });
+    let repeats = arg("--repeats").unwrap_or(if smoke { 1 } else { 3 });
+
+    println!("== Interprocedural summaries: recall, precision, gate cost (best of {repeats}) ==\n");
+
+    // -- Recall: every cross-call defect flagged, none visible intraproc --
+    let mut flagged = 0usize;
+    let mut missed = Vec::new();
+    let mut leaks = Vec::new();
+    for (name, expected_analysis, src) in INTERPROC_UB_FIXTURES {
+        let findings = analyze_source(src).expect("interproc fixtures must parse");
+        if findings
+            .iter()
+            .any(|f| f.severity == Severity::Ub && f.analysis == *expected_analysis)
+        {
+            flagged += 1;
+        } else {
+            missed.push(*name);
+        }
+        // Meta-check: the fixture really needs summaries.
+        let ast = parse("<intra>", src).expect("fixture parses");
+        let intra = analyze_unit_with(&ast.unit, &Summaries::default());
+        if intra.iter().any(|f| f.is_ub()) {
+            leaks.push(*name);
+        }
+    }
+
+    // -- Precision: zero findings on both clean corpora --
+    let mut interproc_fp = Vec::new();
+    for (name, src) in INTERPROC_CLEAN_FIXTURES {
+        let findings = analyze_source(src).expect("clean fixtures must parse");
+        if !findings.is_empty() {
+            interproc_fp.push((*name, findings));
+        }
+    }
+    let mut intraproc_fp = Vec::new();
+    for (name, src) in CLEAN_FIXTURES {
+        let findings = analyze_source(src).expect("clean fixtures must parse");
+        if !findings.is_empty() {
+            intraproc_fp.push((*name, findings));
+        }
+    }
+
+    // Raw analyzer throughput over the interprocedural corpus.
+    let corpus_srcs: Vec<&str> = INTERPROC_UB_FIXTURES
+        .iter()
+        .map(|(_, _, s)| *s)
+        .chain(INTERPROC_CLEAN_FIXTURES.iter().map(|(_, s)| *s))
+        .collect();
+    let mut sweep_s = f64::INFINITY;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        for src in &corpus_srcs {
+            std::hint::black_box(analyze_source(src).expect("corpus parses"));
+        }
+        sweep_s = sweep_s.min(started.elapsed().as_secs_f64());
+    }
+    let corpus = CorpusStats {
+        interproc_ub_fixtures: INTERPROC_UB_FIXTURES.len(),
+        interproc_ub_flagged: flagged,
+        intraproc_leaks: leaks.len(),
+        interproc_clean_fixtures: INTERPROC_CLEAN_FIXTURES.len(),
+        interproc_clean_false_positives: interproc_fp.len(),
+        intraproc_clean_fixtures: CLEAN_FIXTURES.len(),
+        intraproc_clean_false_positives: intraproc_fp.len(),
+        analyses_per_sec: corpus_srcs.len() as f64 / sweep_s.max(1e-9),
+    };
+
+    // -- Gate cost: identical campaign, intraproc vs interproc gate --
+    let mut intraproc_s = f64::INFINITY;
+    let mut interproc_s = f64::INFINITY;
+    let mut intra_report = None;
+    let mut inter_report = None;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        intra_report = Some(campaign(iterations, false));
+        intraproc_s = intraproc_s.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        inter_report = Some(campaign(iterations, true));
+        interproc_s = interproc_s.min(started.elapsed().as_secs_f64());
+    }
+    let intra_ub = intra_report
+        .as_ref()
+        .and_then(|r| r.ub)
+        .expect("intraproc campaign carries UB stats");
+    let inter_ub = inter_report
+        .as_ref()
+        .and_then(|r| r.ub)
+        .expect("interproc campaign carries UB stats");
+    let overhead_pct = 100.0 * (interproc_s - intraproc_s) / intraproc_s;
+    let summarized = inter_ub.summary_hits + inter_ub.summary_recomputes;
+    let campaign_stats = GateCost {
+        iterations,
+        intraproc_s,
+        interproc_s,
+        overhead_pct,
+        mutants_checked: inter_ub.checked,
+        mutants_filtered_intraproc: intra_ub.filtered,
+        mutants_filtered_interproc: inter_ub.filtered,
+        fast_path_rate_pct: if inter_ub.checked > 0 {
+            100.0 * inter_ub.fast_path as f64 / inter_ub.checked as f64
+        } else {
+            0.0
+        },
+        summary_hits: inter_ub.summary_hits,
+        summary_recomputes: inter_ub.summary_recomputes,
+        summary_hit_rate_pct: if summarized > 0 {
+            100.0 * inter_ub.summary_hits as f64 / summarized as f64
+        } else {
+            0.0
+        },
+    };
+
+    println!(
+        "{}",
+        render_table(
+            &["Corpus", "Programs", "Flagged", "False positives"],
+            &[
+                vec![
+                    "cross-call UB".into(),
+                    corpus.interproc_ub_fixtures.to_string(),
+                    corpus.interproc_ub_flagged.to_string(),
+                    "-".into(),
+                ],
+                vec![
+                    "cross-call clean".into(),
+                    corpus.interproc_clean_fixtures.to_string(),
+                    "-".into(),
+                    corpus.interproc_clean_false_positives.to_string(),
+                ],
+                vec![
+                    "intraproc clean".into(),
+                    corpus.intraproc_clean_fixtures.to_string(),
+                    "-".into(),
+                    corpus.intraproc_clean_false_positives.to_string(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Gate",
+                "Wall s",
+                "Filtered",
+                "Fast path",
+                "Memo hits",
+                "Overhead"
+            ],
+            &[
+                vec![
+                    "intraproc".into(),
+                    format!("{:.2}", campaign_stats.intraproc_s),
+                    campaign_stats.mutants_filtered_intraproc.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ],
+                vec![
+                    "interproc".into(),
+                    format!("{:.2}", campaign_stats.interproc_s),
+                    campaign_stats.mutants_filtered_interproc.to_string(),
+                    format!("{:.0}%", campaign_stats.fast_path_rate_pct),
+                    format!("{:.0}%", campaign_stats.summary_hit_rate_pct),
+                    format!("{:+.1}%", campaign_stats.overhead_pct),
+                ],
+            ],
+        )
+    );
+
+    let gate = "100% of cross-call UB fixtures flagged (all invisible intraprocedurally), \
+                0 findings on both clean corpora, interproc gate costs <= 5% campaign \
+                wall time over the intraprocedural gate"
+        .to_string();
+    let report = InterprocReport {
+        repeats,
+        gate: gate.clone(),
+        corpus,
+        campaign: campaign_stats,
+        note: "recall/precision over metamut_analyze::fixtures::INTERPROC_*; cost = \
+               serial uCFuzz campaign over the seed corpus vs gcc-sim -O2, interproc_gate \
+               on vs off (ub_filter on in both legs), best-of-N wall time; memo hit rate \
+               from the gate's content-addressed summary store"
+            .into(),
+    };
+
+    let path = if smoke {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+        std::fs::create_dir_all(&dir).expect("create target/experiments");
+        dir.join("BENCH_interproc_smoke.json")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interproc.json")
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize interproc report");
+    std::fs::write(&path, json + "\n").expect("write BENCH_interproc.json");
+    println!("report written to {}", path.display());
+
+    // Correctness gates hold even in smoke mode: a wrong verdict is wrong
+    // at any scale.
+    assert!(
+        missed.is_empty(),
+        "cross-call UB fixtures escaped the summary layer: {missed:?}"
+    );
+    assert!(
+        leaks.is_empty(),
+        "fixtures flagged without summaries do not test the layer: {leaks:?}"
+    );
+    assert!(
+        interproc_fp.is_empty(),
+        "interproc clean corpus produced findings: {interproc_fp:?}"
+    );
+    assert!(
+        intraproc_fp.is_empty(),
+        "summaries broke the intraproc clean corpus: {intraproc_fp:?}"
+    );
+    if smoke {
+        println!("(smoke run: cost gate skipped, recall/precision enforced)");
+    } else {
+        assert!(
+            report.campaign.overhead_pct <= 5.0,
+            "interproc gate costs {:.1}% campaign wall time (gate: {gate})",
+            report.campaign.overhead_pct
+        );
+        println!(
+            "gate ok: recall {}/{}, 0 false positives, overhead {:+.1}% <= 5%, \
+             summary memo hit rate {:.0}% — {gate}",
+            report.corpus.interproc_ub_flagged,
+            report.corpus.interproc_ub_fixtures,
+            report.campaign.overhead_pct,
+            report.campaign.summary_hit_rate_pct
+        );
+    }
+    metamut_bench::finish();
+}

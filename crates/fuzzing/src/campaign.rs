@@ -61,6 +61,12 @@ pub struct CampaignConfig {
     /// not compilable. `--no-ub-filter` turns it off, reproducing the
     /// unfiltered engine bit-for-bit.
     pub ub_filter: bool,
+    /// Propagate interprocedural function summaries in the UB gate (the
+    /// default): an edited callee can gate on new UB it creates at
+    /// *unedited* call sites, with per-function summaries memoized under
+    /// content-addressed keys. `--no-interproc-gate` falls back to the
+    /// strictly intraprocedural per-chunk gate.
+    pub interproc_gate: bool,
     /// Maximum seed slots the incremental [`QueryCache`] may hold before
     /// LRU eviction kicks in (`0` = unbounded). Slot evictions are counted
     /// by the `query_slot_evictions` telemetry counter; the memos each
@@ -93,6 +99,7 @@ impl Default for CampaignConfig {
             incremental: true,
             cross_check_every: 0,
             ub_filter: true,
+            interproc_gate: true,
             query_cache_cap: 0,
             query_db: None,
             stop: None,
@@ -201,6 +208,13 @@ pub struct UbStats {
     pub filtered: u64,
     /// Fresh verdicts that analyzed only the single edited function.
     pub fast_path: u64,
+    /// Interprocedural function-summary memo hits across the campaign.
+    pub summary_hits: u64,
+    /// Function summaries actually computed (memo misses). With one seed
+    /// family this stays near the function count of the corpus: each
+    /// single-declaration mutant re-summarizes only the edited function
+    /// and its transitive callers.
+    pub summary_recomputes: u64,
 }
 
 /// Mutant-dedup cache statistics for one campaign.
@@ -322,9 +336,10 @@ impl CampaignShared {
                     .with_cross_check(config.cross_check_every)
                     .with_capacity(config.query_cache_cap)
             }),
-            ub_gate: config
-                .ub_filter
-                .then(|| UbGate::with_db(std::sync::Arc::clone(&query_db))),
+            ub_gate: config.ub_filter.then(|| {
+                UbGate::with_db(std::sync::Arc::clone(&query_db))
+                    .with_interproc(config.interproc_gate)
+            }),
             telemetry,
         }
     }
@@ -368,6 +383,8 @@ impl CampaignShared {
             checked: g.checked(),
             filtered: g.filtered(),
             fast_path: g.fast_path(),
+            summary_hits: g.summary_hits(),
+            summary_recomputes: g.summary_recomputes(),
         });
         CampaignReport {
             fuzzer: fuzzer.to_string(),

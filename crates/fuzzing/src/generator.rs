@@ -110,6 +110,9 @@ struct PoolEntry {
     /// `None` inside the lock means the program does not parse; the outer
     /// `OnceLock` makes the (attempted) parse happen at most once.
     parsed: OnceLock<Option<Arc<ParsedProgram>>>,
+    /// Whether static analysis reports any finding on this program,
+    /// classified at most once (on the first weighted pick).
+    linty: OnceLock<bool>,
     /// Adopted from another shard — excluded from future exports.
     foreign: bool,
 }
@@ -119,6 +122,7 @@ impl PoolEntry {
         PoolEntry {
             program,
             parsed: OnceLock::new(),
+            linty: OnceLock::new(),
             foreign: false,
         }
     }
@@ -130,9 +134,14 @@ impl Clone for PoolEntry {
         if let Some(v) = self.parsed.get() {
             let _ = parsed.set(v.clone());
         }
+        let linty = OnceLock::new();
+        if let Some(&v) = self.linty.get() {
+            let _ = linty.set(v);
+        }
         PoolEntry {
             program: self.program.clone(),
             parsed,
+            linty,
             foreign: self.foreign,
         }
     }
@@ -202,6 +211,55 @@ impl SeedPool {
         assert!(!self.items.is_empty(), "seed pool must not be empty");
         let i = rng.index(self.items.len());
         (i, &self.items[i].program)
+    }
+
+    /// Whether entry `i` carries any static-analysis finding — a lint or
+    /// latent UB the gate's parent baseline already tolerates. Classified
+    /// once per entry (the verdict is cached); the first linty
+    /// classification bumps the `analyze_lint_penalty` telemetry counter.
+    /// Unparseable programs count as clean here: the parse cache, not the
+    /// scheduler, is where they are handled.
+    fn is_linty(&self, i: usize) -> bool {
+        let entry = &self.items[i];
+        *entry.linty.get_or_init(|| {
+            let linty = metamut_analyze::analyze_source(&entry.program)
+                .map(|findings| !findings.is_empty())
+                .unwrap_or(false);
+            if linty {
+                metamut_telemetry::handle().counter_add("analyze_lint_penalty", 1);
+            }
+            linty
+        })
+    }
+
+    /// Finding-aware random pick: analysis-clean entries draw with weight
+    /// 2, entries carrying findings with weight 1 — mutating an already
+    /// smelly seed mostly yields mutants the UB gate pays to re-judge.
+    /// With `penalize` off, or while every pooled entry is clean, the
+    /// draw consumes the RNG exactly like [`SeedPool::pick`], so the
+    /// candidate stream is bit-identical.
+    pub fn pick_weighted<'a>(&'a self, rng: &mut MutRng, penalize: bool) -> (usize, &'a str) {
+        if !penalize {
+            return self.pick(rng);
+        }
+        assert!(!self.items.is_empty(), "seed pool must not be empty");
+        let weights: Vec<u64> = (0..self.items.len())
+            .map(|i| if self.is_linty(i) { 1 } else { 2 })
+            .collect();
+        let total: u64 = weights.iter().sum();
+        if total == 2 * self.items.len() as u64 {
+            // All clean: same draw, same RNG consumption, as `pick`.
+            let i = rng.index(self.items.len());
+            return (i, &self.items[i].program);
+        }
+        let mut r = rng.index(total as usize) as u64;
+        for (i, &w) in weights.iter().enumerate() {
+            if r < w {
+                return (i, &self.items[i].program);
+            }
+            r -= w;
+        }
+        unreachable!("weights sum to the drawn total")
     }
 
     /// Entry by index.
@@ -274,6 +332,7 @@ impl SeedPool {
             .map(|(i, program)| PoolEntry {
                 program,
                 parsed: OnceLock::new(),
+                linty: OnceLock::new(),
                 foreign: foreign.get(i).copied().unwrap_or(false),
             })
             .collect();
@@ -302,6 +361,7 @@ impl SeedPool {
             self.items.push(PoolEntry {
                 program: p,
                 parsed: OnceLock::new(),
+                linty: OnceLock::new(),
                 foreign: true,
             });
         }
@@ -371,6 +431,57 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: PoolSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn weighted_pick_downweights_linty_seeds() {
+        // Clean seed vs a seed with a maybe-uninit lint: clean draws with
+        // weight 2, linty with weight 1, so roughly two thirds of picks
+        // should land on the clean entry.
+        let clean = "int f(void) { return 1; }".to_string();
+        let linty = "int g(int c) { int x; if (c) { x = 1; } return x; }".to_string();
+        let pool = SeedPool::new([clean, linty]);
+        let mut rng = MutRng::new(9);
+        let mut counts = [0usize; 2];
+        for _ in 0..3000 {
+            counts[pool.pick_weighted(&mut rng, true).0] += 1;
+        }
+        assert!(
+            counts[0] > counts[1] * 3 / 2,
+            "clean seed must dominate 2:1, got {counts:?}"
+        );
+        assert!(counts[1] > 0, "linty seeds stay reachable, got {counts:?}");
+    }
+
+    #[test]
+    fn weighted_pick_is_transparent_when_off_or_all_clean() {
+        let linty_pool = SeedPool::new([
+            "int f(void) { return 1; }".to_string(),
+            "int g(int c) { int x; if (c) { x = 1; } return x; }".to_string(),
+        ]);
+        // Penalty off: identical stream regardless of pool contents.
+        let mut ra = MutRng::new(4);
+        let mut rb = MutRng::new(4);
+        for _ in 0..50 {
+            assert_eq!(
+                linty_pool.pick_weighted(&mut ra, false),
+                linty_pool.pick(&mut rb)
+            );
+        }
+        // Penalty on over an all-clean pool: still the identical stream.
+        let clean_pool = SeedPool::new([
+            "int f(void) { return 1; }".to_string(),
+            "int h(int a) { return a + 2; }".to_string(),
+            "int k(void) { int y = 3; return y; }".to_string(),
+        ]);
+        let mut rc = MutRng::new(11);
+        let mut rd = MutRng::new(11);
+        for _ in 0..50 {
+            assert_eq!(
+                clean_pool.pick_weighted(&mut rc, true),
+                clean_pool.pick(&mut rd)
+            );
+        }
     }
 
     #[test]

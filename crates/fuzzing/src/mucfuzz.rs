@@ -20,6 +20,11 @@ pub struct MuCFuzz {
     /// one parse per pool entry instead of one per attempt). Off only for
     /// the throughput baseline.
     cache_parses: bool,
+    /// Down-weight parents that carry static-analysis findings when
+    /// drawing from the pool (see [`SeedPool::pick_weighted`]).
+    /// `--no-lint-penalty` turns it off, reproducing the uniform draw
+    /// bit-for-bit.
+    lint_penalty: bool,
     /// Scratch buffer for the per-candidate mutator shuffle, reused so the
     /// hot loop does not allocate.
     order: Vec<usize>,
@@ -32,6 +37,7 @@ impl std::fmt::Debug for MuCFuzz {
             .field("mutators", &self.mutators.len())
             .field("pool", &self.pool.len())
             .field("cache_parses", &self.cache_parses)
+            .field("lint_penalty", &self.lint_penalty)
             .finish()
     }
 }
@@ -59,6 +65,7 @@ impl MuCFuzz {
             pool: SeedPool::new(seeds),
             attempts_per_step: 4,
             cache_parses: true,
+            lint_penalty: true,
             order: Vec::new(),
         }
     }
@@ -69,6 +76,15 @@ impl MuCFuzz {
     /// turning it off only serves as a perf baseline.
     pub fn parse_cache(mut self, enabled: bool) -> Self {
         self.cache_parses = enabled;
+        self
+    }
+
+    /// Enables or disables the lint penalty on parent selection (on by
+    /// default). Off restores the uniform draw of Algorithm 1 line 4
+    /// exactly; on spends two thirds of the energy on analysis-clean
+    /// parents once any pooled seed carries a finding.
+    pub fn lint_penalty(mut self, enabled: bool) -> Self {
+        self.lint_penalty = enabled;
         self
     }
 
@@ -91,8 +107,9 @@ impl TestGenerator for MuCFuzz {
 
     fn next_candidate(&mut self, rng: &mut MutRng) -> Candidate {
         let telemetry = metamut_telemetry::handle();
-        // Algorithm 1 line 4: P ← random_choice(pool).
-        let (parent_idx, parent) = self.pool.pick(rng);
+        // Algorithm 1 line 4: P ← random_choice(pool), down-weighting
+        // parents with static-analysis findings unless disabled.
+        let (parent_idx, parent) = self.pool.pick_weighted(rng, self.lint_penalty);
         let parent = parent.to_string();
         let parent_ast = if self.cache_parses {
             match self.pool.parsed(parent_idx) {
@@ -271,6 +288,48 @@ mod tests {
         assert!(cached.parse_count() <= 30);
         assert!(cached.parse_count() < 30 * 2, "cache not effective");
         assert_eq!(legacy.parse_count(), 0, "legacy path must bypass cache");
+    }
+
+    #[test]
+    fn lint_penalty_downweights_linty_parents() {
+        // One clean parent, one with a maybe-uninit lint: the penalized
+        // fuzzer must derive most candidates from the clean parent, and
+        // disabling the penalty must restore the uniform draw exactly.
+        let clean = "int f(void) { return 1; }".to_string();
+        let linty = "int g(int c) { int x; if (c) { x = 1; } return x; }".to_string();
+        let seeds = [clean, linty];
+        let mk = || {
+            MuCFuzz::new(
+                "uCFuzz.s",
+                Arc::new(metamut_mutators::supervised_registry()),
+                seeds.clone(),
+            )
+        };
+        let mut on = mk();
+        let mut rng = MutRng::new(21);
+        let mut from = [0usize; 2];
+        for _ in 0..400 {
+            let c = on.next_candidate(&mut rng);
+            from[c.parent.unwrap()] += 1;
+        }
+        assert!(
+            from[0] > from[1] * 3 / 2,
+            "clean parent must dominate, got {from:?}"
+        );
+        // Off restores the uniform draw (`pick_weighted(_, false)` is
+        // `pick`; the bit-identity itself is proven at the pool level).
+        let mut off = mk().lint_penalty(false);
+        let mut rng = MutRng::new(33);
+        let mut from = [0usize; 2];
+        for _ in 0..400 {
+            let c = off.next_candidate(&mut rng);
+            from[c.parent.unwrap()] += 1;
+        }
+        let spread = from[0].abs_diff(from[1]);
+        assert!(
+            spread < 100,
+            "uniform draw must not skew far from 50/50, got {from:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! metamut compile FILE [-p gcc|clang] [-O N] [--flags ...]
 //! metamut generate [-n N] [-s N]        # run the MetaMut pipeline
 //! metamut fuzz [-i N] [-s N] [-p gcc|clang] [-w N] [--no-dedup] [--no-incremental]
-//!              [--no-ub-filter] [--query-cache-cap N] [--reduce]
+//!              [--no-ub-filter] [--no-interproc-gate] [--no-lint-penalty]
+//!              [--query-cache-cap N] [--reduce]
 //!              [--status-addr HOST:PORT]
 //! metamut analyze FILE [--json]         # dataflow UB/validity findings
 //! metamut reduce FILE [-p gcc|clang] [-O N] [--flags ...]   # minimize one crasher
@@ -68,6 +69,8 @@ fn main() -> ExitCode {
                  \n                               -w N: worker threads (0 = one per CPU; default 1)\
                  \n                               --no-incremental: compile every mutant cold\
                  \n                               --no-ub-filter: compile UB mutants too\
+                 \n                               --no-interproc-gate: UB gate without call summaries\
+                 \n                               --no-lint-penalty: uniform seed picks (ignore lints)\
                  \n                               --query-cache-cap N: cap cached seed slots (0 = unbounded)\
                  \n                                 (--baseline-cache-cap is a deprecated alias)\
                  \n                               --reduce: triage + reduce discovered crashes\
@@ -367,6 +370,12 @@ fn analyze_cmd(rest: &[String]) -> ExitCode {
                 "{file}:{pos}: {} [{}] in '{}': {}",
                 f.severity, f.analysis, f.function, f.message
             );
+            // Interprocedural findings: show the call path, outermost
+            // call site first, down to where the defect actually fires.
+            for link in &f.chain {
+                let at = source.line_col(link.span.lo);
+                println!("  via '{}' at {file}:{at}", link.function);
+            }
             // Caret-underline the finding's span on its first source line.
             if let Some(line) = source.line_span(pos.line) {
                 let text = source.snippet(line);
@@ -948,6 +957,7 @@ fn fuzz(rest: &[String]) -> ExitCode {
         dedup: !rest.iter().any(|a| a == "--no-dedup"),
         incremental: !rest.iter().any(|a| a == "--no-incremental"),
         ub_filter: !rest.iter().any(|a| a == "--no-ub-filter"),
+        interproc_gate: !rest.iter().any(|a| a == "--no-interproc-gate"),
         query_cache_cap: query_cache_cap(rest),
         query_db: Some(Arc::clone(&query_db)),
         ..Default::default()
@@ -982,11 +992,12 @@ fn fuzz(rest: &[String]) -> ExitCode {
         }
         None => None,
     };
+    let lint_penalty = !rest.iter().any(|a| a == "--no-lint-penalty");
     let report = if config.resolved_workers() > 1 {
         let registry = Arc::new(metamut::mutators::full_registry());
         run_parallel_campaign(
             &seeds,
-            |_w, shard| MuCFuzz::new("uCFuzz", registry.clone(), shard),
+            |_w, shard| MuCFuzz::new("uCFuzz", registry.clone(), shard).lint_penalty(lint_penalty),
             &compiler,
             &config,
         )
@@ -995,7 +1006,8 @@ fn fuzz(rest: &[String]) -> ExitCode {
             "uCFuzz",
             Arc::new(metamut::mutators::full_registry()),
             seeds.iter().cloned(),
-        );
+        )
+        .lint_penalty(lint_penalty);
         run_campaign(&mut fuzzer, &compiler, &config)
     };
     let dedup_note = report
